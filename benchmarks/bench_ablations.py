@@ -1,0 +1,133 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* chain-through-blacklisted dropping (on/off) — does also purging
+  descriptors whose chains merely *pass through* a violator speed up
+  recovery?
+* sample-cache horizon sweep — how much detection power does a shorter
+  cache retain?
+* non-swappable swap limit (§V-A third restriction).
+"""
+
+from benchmarks.conftest import run_once
+from repro.adversary.cloning import CloningAttacker
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_with_probes
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.detection import detected_identities, overall_detection_ratio
+from repro.metrics.links import malicious_link_fraction
+
+
+def _hub_recovery(drop_chains: bool) -> float:
+    overlay = build_secure_overlay(
+        n=200,
+        config=SecureCyclonConfig(
+            view_length=15,
+            swap_length=3,
+            drop_chains_through_blacklisted=drop_chains,
+        ),
+        malicious=30,
+        attack_start=15,
+        seed=31,
+    )
+    series = run_with_probes(
+        overlay, 60, {"mal": malicious_link_fraction}, every=1
+    )["mal"]
+    # Cycles from attack start until malicious links fall below 1 %.
+    for cycle, value in series.points:
+        if cycle > 15 and value < 0.01:
+            return float(cycle - 15)
+    return float("inf")
+
+
+def test_ablation_chain_policy(benchmark, archive):
+    def run():
+        return {
+            "creator-only (paper)": _hub_recovery(False),
+            "chains-through-blacklisted": _hub_recovery(True),
+        }
+
+    results = run_once(benchmark, run)
+    archive(
+        "ablation_chain_policy",
+        "Ablation — purge policy vs hub-attack recovery time (cycles to "
+        "<1% malicious links)\n"
+        + format_table(["policy", "recovery cycles"], results.items()),
+    )
+    assert all(value < 60 for value in results.values())
+
+
+def _clone_detection(horizon: int) -> float:
+    overlay = build_secure_overlay(
+        n=150,
+        config=SecureCyclonConfig(
+            view_length=12,
+            swap_length=3,
+            sample_horizon_cycles=horizon,
+            blacklist_enabled=False,
+        ),
+        malicious=15,
+        attack_start=8,
+        seed=32,
+        attacker_cls=CloningAttacker,
+        attacker_kwargs={"age_range": (2, 14)},
+    )
+    overlay.run(60)
+    events = [
+        e for node in overlay.malicious_nodes for e in node.clone_events
+    ]
+    return overall_detection_ratio(
+        events, detected_identities(overlay.engine.trace)
+    )
+
+
+def test_ablation_sample_horizon(benchmark, archive):
+    def run():
+        return {h: _clone_detection(h) for h in (6, 12, 24, 48)}
+
+    results = run_once(benchmark, run)
+    archive(
+        "ablation_sample_horizon",
+        "Ablation — sample-cache horizon (cycles) vs clone-detection ratio\n"
+        + format_table(
+            ["horizon", "detection ratio"],
+            [(h, r) for h, r in results.items()],
+        ),
+    )
+    horizons = sorted(results)
+    # More memory never hurts detection (modulo noise).
+    assert results[horizons[-1]] >= results[horizons[0]] - 0.05
+
+
+def test_ablation_nonswap_swap_limit(benchmark, archive):
+    def run():
+        rows = []
+        for limit in (None, 1, 0):
+            overlay = build_secure_overlay(
+                n=150,
+                config=SecureCyclonConfig(
+                    view_length=12,
+                    swap_length=3,
+                    non_swappable_swap_limit=limit,
+                ),
+                seed=33,
+            )
+            overlay.run(40)
+            from repro.metrics.links import view_fill_fraction
+
+            rows.append(
+                (
+                    "unlimited" if limit is None else str(limit),
+                    view_fill_fraction(overlay.engine),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    archive(
+        "ablation_nonswap_limit",
+        "Ablation — non-swappable swap limit vs honest view fill\n"
+        + format_table(["limit", "view fill"], rows),
+    )
+    for _, fill in rows:
+        assert fill > 0.85  # honest overlays stay healthy either way

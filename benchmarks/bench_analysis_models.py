@@ -1,0 +1,135 @@
+"""Bench: analytic models vs simulation.
+
+Archives one results file with three comparisons:
+
+* the §VI-A cost budget (:class:`NetworkCostModel`) swept over the
+  paper's configurations;
+* the Fig 2 indegree moments, model vs a converged live overlay;
+* the Fig 7 clone-detection estimate vs measured detection on a live
+  cloning attack.
+
+The models are first-principles approximations; the assertions pin
+*agreement in kind* (same means, same ordering, same monotonicity),
+not exact values.
+"""
+
+from benchmarks.conftest import run_once
+from repro.adversary.cloning import CloningAttacker
+from repro.analysis.detection import clone_detection_probability
+from repro.analysis.indegree import empirical_moments, indegree_moments
+from repro.analysis.netcost import NetworkCostModel
+from repro.core.config import SecureCyclonConfig
+from repro.cyclon.config import CyclonConfig
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import (
+    build_cyclon_overlay,
+    build_secure_overlay,
+)
+from repro.metrics.degree import indegree_counts
+from repro.metrics.detection import detected_identities, overall_detection_ratio
+
+
+def _netcost_sweep():
+    rows = []
+    for view_length, swap_length in ((20, 3), (20, 5), (50, 3), (50, 5)):
+        model = NetworkCostModel(
+            view_length=view_length, swap_length=swap_length
+        )
+        rows.append(
+            (
+                f"l={view_length} s={swap_length}",
+                model.pessimistic_descriptor_bytes,
+                model.kilobytes_per_direction,
+                model.bandwidth_bytes_per_second / 1024,
+            )
+        )
+    return rows
+
+
+def _indegree_comparison():
+    view_length = 12
+    nodes = 200
+    overlay = build_cyclon_overlay(
+        n=nodes,
+        config=CyclonConfig(view_length=view_length, swap_length=3),
+        seed=21,
+    )
+    overlay.run(50)
+    measured_mean, measured_std = empirical_moments(
+        indegree_counts(overlay.engine)
+    )
+    model_mean, model_std = indegree_moments(nodes, view_length)
+    return [
+        ("mean indegree", model_mean, measured_mean),
+        ("std dev (model = envelope)", model_std, measured_std),
+    ]
+
+
+def _detection_comparison():
+    nodes, view_length, malicious = 150, 12, 15
+    overlay = build_secure_overlay(
+        n=nodes,
+        config=SecureCyclonConfig(
+            view_length=view_length,
+            swap_length=3,
+            redemption_cache_cycles=5,
+            blacklist_enabled=False,
+        ),
+        malicious=malicious,
+        attack_start=8,
+        seed=33,
+        attacker_cls=CloningAttacker,
+        attacker_kwargs={"age_range": (2, 10)},
+    )
+    overlay.run(60)
+    events = [
+        event for node in overlay.malicious_nodes for event in node.clone_events
+    ]
+    measured = overall_detection_ratio(
+        events, detected_identities(overlay.engine.trace)
+    )
+    mean_age = 6  # midpoint of the attacked age range
+    predicted = clone_detection_probability(
+        nodes,
+        view_length,
+        age_at_cloning=mean_age,
+        redemption_cache_cycles=5,
+        malicious_fraction=malicious / nodes,
+    )
+    return [("clone-detection ratio", predicted, measured)]
+
+
+def test_analysis_models(benchmark, archive):
+    def run():
+        return (
+            _netcost_sweep(),
+            _indegree_comparison(),
+            _detection_comparison(),
+        )
+
+    netcost, indegree, detection = run_once(benchmark, run)
+
+    blocks = [
+        "Analytic models vs simulation",
+        format_table(
+            ["config", "descriptor (B)", "KB/direction", "KB/s per node"],
+            netcost,
+        ),
+        format_table(["indegree metric", "model", "measured"], indegree),
+        format_table(["detection metric", "model", "measured"], detection),
+    ]
+    archive("analysis_models", "\n\n".join(blocks))
+
+    # §VI-A pinned numbers for the paper's configuration.
+    assert netcost[0][1] == 430.0
+    assert abs(netcost[0][2] - 10.5) < 0.02
+    # Fig 2: measured mean indegree is exactly the view length; spread
+    # stays below the random-graph envelope (with slack for noise).
+    (_, model_mean, measured_mean), (_, envelope, measured_std) = indegree
+    assert measured_mean == model_mean
+    assert measured_std < 2.0 * envelope
+    # Fig 7: model and measurement agree that young-age cloning is
+    # caught more often than not.
+    (_, predicted, measured), = detection
+    assert predicted > 0.5
+    assert measured > 0.5

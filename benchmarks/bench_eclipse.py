@@ -1,0 +1,18 @@
+"""Bench: the extension eclipse-campaign experiment (§III-B/C).
+
+Expected shape: targeted pressure never approaches a full eclipse —
+the clone-hungry campaign exposes the party within a few cycles, and
+the victim's view recovers.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import eclipse_experiment
+
+
+def test_eclipse_campaign(benchmark, archive):
+    results = run_once(benchmark, eclipse_experiment.run_eclipse)
+    archive("eclipse_campaign", eclipse_experiment.render(results))
+    for result in results:
+        assert not result.ever_fully_eclipsed
+        assert result.final_pressure < 0.2
+        assert result.blacklist_progress > 0.8

@@ -1,0 +1,17 @@
+"""Bench: regenerate paper Fig 2 (Cyclon indegree distribution).
+
+Expected shape: every node's indegree clusters tightly around the
+configured view length, for both network sizes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig2_indegree
+
+
+def test_fig2_indegree(benchmark, archive):
+    panels = run_once(benchmark, fig2_indegree.run_fig2)
+    archive("fig2_indegree", fig2_indegree.render(panels))
+    for panel in panels:
+        assert abs(panel.statistics["mean"] - panel.view_length) < 1.0
+        assert panel.statistics["stddev"] < 0.25 * panel.view_length
+        assert panel.statistics["min"] > 0

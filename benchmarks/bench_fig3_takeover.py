@@ -1,0 +1,29 @@
+"""Bench: regenerate paper Fig 3 (hub attack on legacy Cyclon).
+
+Expected shape: malicious links stay near the population share until
+the attack starts, then race away from it.  In our victim-merge model
+(DESIGN.md decision 5) capture completes to ~100 % for the paper's
+practical swap lengths (s <= 5); for very high swap lengths the faster
+honest link turnover holds the attacker at a plateau far above the
+baseline but below 100 % — the documented deviation in EXPERIMENTS.md.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3_cyclon_takeover
+
+
+def test_fig3_takeover(benchmark, archive):
+    panels = run_once(benchmark, fig3_cyclon_takeover.run_fig3)
+    archive("fig3_cyclon_takeover", fig3_cyclon_takeover.render(panels))
+    for panel in panels:
+        baseline = panel.malicious / panel.nodes
+        for series in panel.series:
+            pre_attack = series.y_at(panel.attack_start - 10)
+            assert pre_attack < baseline + 0.15
+            swap_length = int(series.label.rsplit(" ", 1)[-1])
+            if swap_length <= 5:
+                assert series.final_y() > 0.9  # complete takeover
+            else:
+                # High swap lengths: massive amplification even where
+                # capture stays partial in our merge model.
+                assert series.final_y() > 10 * baseline

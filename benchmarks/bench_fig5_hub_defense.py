@@ -1,0 +1,22 @@
+"""Bench: regenerate paper Fig 5 (SecureCyclon defeats the hub attack).
+
+Expected shape: a brief spike after the attack starts, then a rapid
+collapse of malicious links as violators are proven and blacklisted —
+including the extreme 40 %-malicious scenario.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_hub_defense
+
+
+def test_fig5_hub_defense(benchmark, archive):
+    panels = run_once(benchmark, fig5_hub_defense.run_fig5)
+    archive("fig5_hub_defense", fig5_hub_defense.render(panels))
+    for panel in panels:
+        for series in panel.series:
+            # The attack never wins: by the end of the run the
+            # malicious-link share has collapsed to (near) zero.
+            assert series.final_y() < 0.35
+        # Low swap lengths fully purge (paper: s=3 is the safe choice).
+        low_s = panel.series[0]
+        assert low_s.final_y() < 0.05

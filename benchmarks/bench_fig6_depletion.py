@@ -1,0 +1,26 @@
+"""Bench: regenerate paper Fig 6 (link-depletion vs tit-for-tat).
+
+Expected shape: with tit-for-tat disabled, non-swappable links grow
+with the swap length (near-total at 50 % malicious); enabling
+tit-for-tat caps the damage to a bounded fraction.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6_depletion
+
+
+def test_fig6_depletion(benchmark, archive):
+    panels = run_once(benchmark, fig6_depletion.run_fig6)
+    archive("fig6_depletion", fig6_depletion.render(panels))
+    by_key = {(p.malicious, p.tit_for_tat): p for p in panels}
+    for (malicious, tit_for_tat), panel in by_key.items():
+        partner = by_key.get((malicious, not tit_for_tat))
+        if partner is None or tit_for_tat:
+            continue
+        # tit-for-tat strictly reduces peak depletion at equal attack.
+        for drained, protected in zip(panel.series, partner.series):
+            assert protected.max_y() <= drained.max_y() + 0.05
+    heavy = [p for p in by_key.values() if p.malicious > p.nodes * 0.3]
+    for panel in heavy:
+        if not panel.tit_for_tat:
+            assert max(s.max_y() for s in panel.series) > 0.6

@@ -1,0 +1,20 @@
+"""Bench: regenerate paper Fig 7 (clone detection vs age at duplication).
+
+Expected shape: detection is near-certain for young clones and decays
+with age; a larger redemption cache lifts the overall ratio.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7_redemption
+
+
+def test_fig7_redemption(benchmark, archive):
+    panels = run_once(benchmark, fig7_redemption.run_fig7)
+    archive("fig7_redemption", fig7_redemption.render(panels))
+    for panel in panels:
+        overall = {c.cache_cycles: c.overall for c in panel.curves}
+        caches = sorted(overall)
+        # Bigger caches never hurt detection (allow sampling noise).
+        assert overall[caches[-1]] >= overall[caches[0]] - 0.05
+        # Detection exists at all.
+        assert overall[caches[-1]] > 0.1

@@ -1,0 +1,21 @@
+"""Bench: regenerate the §VI-A network-cost table.
+
+Expected values: 430-byte descriptors under the paper's pessimistic
+6-transfer assumption and ~10.5 KB per direction per gossip; the live
+measurement should come in at or below the budget.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import netcost_table
+
+
+def test_netcost(benchmark, archive):
+    result = run_once(benchmark, netcost_table.run_netcost)
+    archive("netcost_table", netcost_table.render(result))
+    analytic = dict(result.analytic_rows)
+    assert analytic["descriptor size (bytes)"] == 430.0
+    assert abs(analytic["per direction per gossip (KB)"] - 10.5) < 0.02
+    measured = dict(result.measured_rows)
+    # Live traffic stays within ~2x of the paper's pessimistic budget.
+    assert measured["measured initiator->partner per gossip (KB)"] < 21.0
+    assert measured["mean transfers per live descriptor"] < 8.0

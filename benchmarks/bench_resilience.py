@@ -1,0 +1,28 @@
+"""Benches: churn recovery and the message-loss sweep.
+
+Extension experiments (DESIGN.md §5a): the §I robustness claims and
+the §V-A/§V-B repair machinery under non-adversarial failures.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import churn_recovery, loss_sweep
+
+
+def test_churn_recovery(benchmark, archive):
+    result = run_once(benchmark, churn_recovery.run_churn_recovery)
+    archive("churn_recovery", churn_recovery.render(result))
+    for panel in result.crash_panels:
+        assert panel.min_component > 0.9
+        assert panel.recovery_cycles < 40
+    for panel in result.churn_panels:
+        assert panel.final_fill > 0.9
+        assert panel.final_component > 0.95
+
+
+def test_loss_sweep(benchmark, archive):
+    rows = run_once(benchmark, loss_sweep.run_loss_sweep)
+    archive("loss_sweep", loss_sweep.render(rows))
+    for row in rows:
+        assert row.final_component > 0.95
+        if row.loss_rate == 0.0:
+            assert row.final_fill > 0.99

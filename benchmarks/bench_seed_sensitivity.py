@@ -1,0 +1,67 @@
+"""Bench: seed sensitivity of the headline results.
+
+The paper's plots are single runs; this bench repeats the core
+hub-attack defence across independent seeds and archives mean ± std of
+the outcomes that matter, demonstrating they are properties of the
+protocol rather than of one lucky seed.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.multirun import sweep_scalars
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_with_probes
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.graphstats import eclipsed_fraction
+from repro.metrics.links import (
+    blacklisted_malicious_fraction,
+    malicious_link_fraction,
+)
+
+SEEDS = (11, 22, 33, 44, 55)
+ATTACK_START = 15
+
+
+def _one_run(seed: int):
+    overlay = build_secure_overlay(
+        n=250,
+        config=SecureCyclonConfig(view_length=15, swap_length=3),
+        malicious=25,
+        attack_start=ATTACK_START,
+        seed=seed,
+    )
+    series = run_with_probes(
+        overlay, 60, {"malicious": malicious_link_fraction}, every=1
+    )["malicious"]
+    recovery = float("inf")
+    for cycle, value in series.points:
+        if cycle > ATTACK_START and value < 0.01:
+            recovery = float(cycle - ATTACK_START)
+            break
+    return {
+        "peak malicious links": series.max_y(),
+        "final malicious links": series.final_y(),
+        "recovery cycles (to <1%)": recovery,
+        "attackers blacklisted": blacklisted_malicious_fraction(
+            overlay.engine
+        ),
+        "eclipsed nodes": eclipsed_fraction(overlay.engine),
+    }
+
+
+def test_seed_sensitivity(benchmark, archive):
+    sweeps = run_once(benchmark, sweep_scalars, _one_run, SEEDS)
+    archive(
+        "seed_sensitivity",
+        f"Seed sensitivity — hub-attack defence across {len(SEEDS)} seeds\n"
+        + format_table(
+            ["outcome", "mean", "std", "min", "max"],
+            [sweep.row() for sweep in sweeps],
+        ),
+    )
+    by_name = {sweep.name: sweep for sweep in sweeps}
+    # Every seed recovers completely and blacklists the whole party.
+    assert by_name["final malicious links"].max < 0.01
+    assert by_name["attackers blacklisted"].min > 0.99
+    assert by_name["recovery cycles (to <1%)"].max < 40
+    assert by_name["eclipsed nodes"].max == 0.0

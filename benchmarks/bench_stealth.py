@@ -1,0 +1,23 @@
+"""Bench: the stealth-bias residue vs the violating hub attack.
+
+Extension experiment (DESIGN.md §5a): SecureCyclon purges violators to
+~0 % links, while a never-violating stealth party keeps only a small
+multiple of its population share — over-representation is eliminated,
+not merely bounded.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import stealth_experiment
+
+
+def test_stealth_residue(benchmark, archive):
+    results = run_once(benchmark, stealth_experiment.run_stealth)
+    archive("stealth_residue", stealth_experiment.render(results))
+    for result in results:
+        share = result.malicious / result.nodes
+        # The violating party is purged...
+        assert result.hub_settled < 0.05
+        # ...the rule-abiding party is not, but its bias stays within a
+        # small multiple of its legitimate token supply.
+        assert result.stealth_settled < min(1.0, 3.0 * share)
+        assert result.stealth_peak < min(1.0, 4.0 * share)

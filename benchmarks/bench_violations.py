@@ -1,0 +1,16 @@
+"""Bench: the §III violation matrix.
+
+Every avenue of over-representation is either provable (frequency,
+cloning — the party ends up 100 % blacklisted) or deterministically
+rejected (partner selection, replay — zero yield).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import violations_matrix
+
+
+def test_violation_matrix(benchmark, archive):
+    outcomes = run_once(benchmark, violations_matrix.run_violations)
+    archive("violations_matrix", violations_matrix.render(outcomes))
+    for outcome in outcomes:
+        assert outcome.punished or outcome.rejected, outcome.violation

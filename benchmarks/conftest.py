@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure benchmark runs its experiment exactly once
+(``rounds=1, iterations=1``: these are simulations, not micro-kernels),
+prints the rendered tables/series, and archives them under
+``results/`` so the regenerated paper data survives the pytest run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def archive():
+    """Write (and echo) one experiment's rendered output."""
+
+    def _archive(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[archived to {path}]")
+
+    return _archive
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

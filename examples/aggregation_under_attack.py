@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Decentralised averaging on top of peer sampling (a §I application).
+
+Every node holds a local measurement; push-pull gossip averaging should
+converge everyone to the global mean.  Convergence quality depends on
+the sampling layer: on a hijacked overlay the estimates converge slowly
+and unevenly because most links dead-end in censoring hubs.
+
+Run:  python examples/aggregation_under_attack.py
+"""
+
+from repro import CyclonConfig, SecureCyclonConfig
+from repro.experiments.scenarios import build_cyclon_overlay, build_secure_overlay
+from repro.gossip.aggregation import push_pull_average
+
+NODES = 150
+VIEW = 10
+MALICIOUS = 10
+
+
+def run_aggregation(overlay, label):
+    engine = overlay.engine
+    ids = sorted(engine.legit_ids)
+    # A synthetic sensor field: node i measures i (true mean known).
+    values = {nid: float(i) for i, nid in enumerate(ids)}
+    result = push_pull_average(engine, values, rounds=20)
+    print(
+        f"{label:<32} true mean={result.true_mean:8.2f}  "
+        f"max error={result.max_error():8.4f}  "
+        f"final variance={result.variance_per_round[-1]:10.6f}"
+    )
+    return result
+
+
+def main() -> None:
+    healthy = build_secure_overlay(
+        n=NODES,
+        config=SecureCyclonConfig(view_length=VIEW, swap_length=3),
+        seed=41,
+    )
+    healthy.run(30)
+
+    hijacked = build_cyclon_overlay(
+        n=NODES,
+        config=CyclonConfig(view_length=VIEW, swap_length=3),
+        malicious=MALICIOUS,
+        attack_start=10,
+        seed=41,
+    )
+    hijacked.run(60)
+
+    defended = build_secure_overlay(
+        n=NODES,
+        config=SecureCyclonConfig(view_length=VIEW, swap_length=3),
+        malicious=MALICIOUS,
+        attack_start=10,
+        seed=41,
+    )
+    defended.run(60)
+
+    print(f"Push-pull averaging, 20 rounds, {NODES} nodes:\n")
+    run_aggregation(healthy, "healthy SecureCyclon")
+    run_aggregation(hijacked, "Cyclon after hub attack")
+    run_aggregation(defended, "SecureCyclon under same attack")
+    print(
+        "\nOn the captured overlay most view links point at hubs that\n"
+        "refuse to aggregate, so estimates barely mix; the defended\n"
+        "overlay matches the healthy baseline."
+    )
+
+
+if __name__ == "__main__":
+    main()

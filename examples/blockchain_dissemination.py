@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Block dissemination over a peer-sampling overlay (the §I motivation).
+
+Blockchains gossip blocks over overlays built by peer sampling.  This
+example measures block-broadcast coverage on three overlays:
+
+1. a healthy SecureCyclon overlay;
+2. a legacy Cyclon overlay *after* a successful hub attack — malicious
+   hubs swallow the block, so coverage collapses (the paper's massive
+   DoS scenario);
+3. the same SecureCyclon overlay under the same attack — the attackers
+   were blacklisted, so dissemination is unharmed.
+
+Run:  python examples/blockchain_dissemination.py
+"""
+
+from repro import CyclonConfig, SecureCyclonConfig
+from repro.experiments.scenarios import build_cyclon_overlay, build_secure_overlay
+from repro.gossip.dissemination import disseminate
+from repro.metrics.links import malicious_link_fraction
+
+NODES = 200
+VIEW = 12
+MALICIOUS = 12
+
+
+def broadcast_coverage(overlay, blocks=5, fanout=4):
+    """Average coverage over several block broadcasts from random origins."""
+    engine = overlay.engine
+    rng = engine.rng_hub.stream("block-origins")
+    legit = sorted(engine.legit_ids)
+    total = 0.0
+    for _ in range(blocks):
+        origin = rng.choice(legit)
+        result = disseminate(engine, origin, fanout=fanout)
+        total += len(result.reached & engine.legit_ids) / len(legit)
+    return total / blocks
+
+
+def main() -> None:
+    healthy = build_secure_overlay(
+        n=NODES,
+        config=SecureCyclonConfig(view_length=VIEW, swap_length=3),
+        seed=29,
+    )
+    healthy.run(40)
+
+    hijacked = build_cyclon_overlay(
+        n=NODES,
+        config=CyclonConfig(view_length=VIEW, swap_length=3),
+        malicious=MALICIOUS,
+        attack_start=10,
+        seed=29,
+    )
+    hijacked.run(70)
+
+    defended = build_secure_overlay(
+        n=NODES,
+        config=SecureCyclonConfig(view_length=VIEW, swap_length=3),
+        malicious=MALICIOUS,
+        attack_start=10,
+        seed=29,
+    )
+    defended.run(70)
+
+    rows = [
+        ("healthy SecureCyclon", healthy),
+        ("Cyclon after hub attack", hijacked),
+        ("SecureCyclon under same attack", defended),
+    ]
+    print(f"Block broadcast coverage over {NODES}-node overlays "
+          f"({MALICIOUS} malicious where noted):\n")
+    print(f"{'overlay':<32} {'mal links':>10} {'coverage':>10}")
+    for label, overlay in rows:
+        coverage = broadcast_coverage(overlay)
+        mal = malicious_link_fraction(overlay.engine)
+        print(f"{label:<32} {100 * mal:>9.1f}% {100 * coverage:>9.1f}%")
+
+    print(
+        "\nThe hub attack turns the unprotected overlay into a censorship\n"
+        "machine; SecureCyclon's provable eviction keeps blocks flowing."
+    )
+
+
+if __name__ == "__main__":
+    main()

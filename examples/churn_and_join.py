@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Churn, crashes and the §V-A join procedure.
+
+Shows the self-healing side of the protocol: a quarter of the overlay
+crashes at once, new nodes join via the non-swappable bootstrap, and
+the overlay stays connected with full views throughout.
+
+Run:  python examples/churn_and_join.py
+"""
+
+from repro import SecureCyclonConfig, build_secure_overlay
+from repro.bootstrap import bootstrap_joiner
+from repro.core.node import SecureCyclonNode
+from repro.metrics.graphstats import largest_component_fraction
+from repro.metrics.links import non_swappable_fraction, view_fill_fraction
+
+
+def report(overlay, label):
+    engine = overlay.engine
+    print(
+        f"{label:<34} nodes={len(engine.nodes):>4}  "
+        f"fill={view_fill_fraction(engine):.2f}  "
+        f"nonswap={100 * non_swappable_fraction(engine):.1f}%  "
+        f"component={largest_component_fraction(engine):.0%}"
+    )
+
+
+def join_one(overlay, name):
+    engine = overlay.engine
+    keypair = engine.registry.new_keypair(engine.rng_hub.stream(f"kp-{name}"))
+    node = SecureCyclonNode(
+        keypair=keypair,
+        address=engine.network.reserve_address(keypair.public),
+        config=SecureCyclonConfig(view_length=12, swap_length=3),
+        clock=engine.clock,
+        registry=engine.registry,
+        rng=engine.rng_hub.stream(f"rng-{name}"),
+        trace=engine.trace,
+    )
+    node.bind_network(engine.network)
+    acquired = bootstrap_joiner(
+        node,
+        engine.legit_nodes(),
+        links=4,
+        rng=engine.rng_hub.stream(f"boot-{name}"),
+    )
+    engine.add_node(node)
+    return node, acquired
+
+
+def main() -> None:
+    overlay = build_secure_overlay(
+        n=200,
+        config=SecureCyclonConfig(view_length=12, swap_length=3),
+        seed=37,
+    )
+    overlay.run(20)
+    report(overlay, "converged overlay")
+
+    # Catastrophic failure: 50 nodes crash simultaneously.
+    for victim in list(overlay.engine.alive_ids())[:50]:
+        overlay.engine.remove_node(victim)
+    report(overlay, "right after 50 crashes")
+    overlay.run(20)
+    report(overlay, "20 cycles later (healed)")
+
+    # Ten newcomers join through the §V-A bootstrap.
+    joiners = []
+    for index in range(10):
+        node, acquired = join_one(overlay, f"joiner-{index}")
+        joiners.append(node)
+    print(f"\n10 joiners bootstrapped with ~4 donated links each")
+    overlay.run(20)
+    report(overlay, "20 cycles after the joins")
+    fills = [len(node.view) / node.view.capacity for node in joiners]
+    print(
+        f"joiners' own view fill after integration: "
+        f"{min(fills):.2f}..{max(fills):.2f}"
+    )
+    print(
+        "\nDonors kept non-swappable copies of the links they gave away;\n"
+        "those converted back to fresh swappable links by redemption —\n"
+        "which is why the non-swappable share above returns to ~0."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Gossip failure detection on top of the peer-sampling service.
+
+One of the paper's §I motivations made concrete: a heartbeat-gossip
+failure detector whose monitoring relationships come from the live
+SecureCyclon views.  The demo crashes a batch of nodes and shows
+prompt, false-positive-free detection — then repeats the run on an
+overlay under a hub attack, where detection visibly degrades: the
+application-level reason peer sampling must be dependable.
+
+Run:  python examples/failure_detector.py
+"""
+
+from repro import SecureCyclonConfig, build_secure_overlay
+from repro.gossip.failure_detector import FailureDetector
+
+NODES = 150
+VIEW = 12
+SUSPECT_AFTER = 10
+CRASHES = 10
+
+
+def detection_report(overlay, label):
+    engine = overlay.engine
+    detector = FailureDetector(engine, suspect_after=SUSPECT_AFTER)
+    detector.run(SUSPECT_AFTER)  # seed tables while everyone is alive
+
+    legit = [nid for nid in engine.alive_ids() if nid not in engine.malicious_ids]
+    victims = set(legit[:CRASHES])
+    for victim in victims:
+        engine.remove_node(victim)
+    overlay.run(3)  # let the overlay notice and keep mixing
+    result = detector.run(3 * SUSPECT_AFTER)
+
+    detected = {
+        victim for victim in victims if result.detection_round(victim) is not None
+    }
+    rounds = [
+        result.detection_round(victim)
+        for victim in victims
+        if result.detection_round(victim) is not None
+    ]
+    false_positives = result.false_positives(victims)
+    print(f"{label}")
+    print(f"  crashed nodes detected:   {len(detected)}/{len(victims)}")
+    if rounds:
+        print(f"  median detection round:   {sorted(rounds)[len(rounds) // 2]}")
+    print(f"  false positives:          {len(false_positives)}")
+    print()
+
+
+def main() -> None:
+    print("=== healthy SecureCyclon overlay ===")
+    overlay = build_secure_overlay(
+        n=NODES,
+        config=SecureCyclonConfig(view_length=VIEW, swap_length=3),
+        seed=51,
+    )
+    overlay.run(20)
+    detection_report(overlay, "uniform views -> crisp detection")
+
+    print("=== same overlay, 20% hub attackers (blacklist disabled) ===")
+    attacked = build_secure_overlay(
+        n=NODES,
+        config=SecureCyclonConfig(
+            view_length=VIEW, swap_length=3, blacklist_enabled=False
+        ),
+        malicious=NODES // 5,
+        attack_start=10,
+        seed=51,
+    )
+    attacked.run(30)  # views polluted by the unpunished attack
+    detection_report(
+        attacked,
+        "polluted views -> monitoring routed through the adversary",
+    )
+    print(
+        "With enforcement enabled (the default) the attackers are "
+        "blacklisted\nwithin a few cycles and detection quality returns "
+        "to the healthy case."
+    )
+
+
+if __name__ == "__main__":
+    main()

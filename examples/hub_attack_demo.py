@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The paper's headline story: the hub attack, with and without defence.
+
+Runs the same coordinated attack (malicious nodes presenting views that
+point only at their colleagues) against legacy Cyclon and against
+SecureCyclon, printing the malicious-link share side by side.  Legacy
+Cyclon is fully captured; SecureCyclon detects the cloned descriptors,
+floods the proofs, and evicts every attacker.
+
+Run:  python examples/hub_attack_demo.py
+"""
+
+from repro import CyclonConfig, SecureCyclonConfig
+from repro.experiments.scenarios import build_cyclon_overlay, build_secure_overlay
+from repro.metrics.timeline import attack_timeline
+from repro.metrics.links import (
+    blacklisted_malicious_fraction,
+    malicious_link_fraction,
+)
+
+NODES = 250
+VIEW = 15
+MALICIOUS = 15
+ATTACK_START = 15
+TOTAL_CYCLES = 75
+REPORT_EVERY = 15
+
+
+def main() -> None:
+    cyclon = build_cyclon_overlay(
+        n=NODES,
+        config=CyclonConfig(view_length=VIEW, swap_length=3),
+        malicious=MALICIOUS,
+        attack_start=ATTACK_START,
+        seed=23,
+    )
+    secure = build_secure_overlay(
+        n=NODES,
+        config=SecureCyclonConfig(view_length=VIEW, swap_length=3),
+        malicious=MALICIOUS,
+        attack_start=ATTACK_START,
+        seed=23,
+    )
+
+    print(
+        f"{NODES} nodes, view {VIEW}, {MALICIOUS} malicious "
+        f"({MALICIOUS / NODES:.0%}), attack starts at cycle {ATTACK_START}\n"
+    )
+    print(f"{'cycle':>6} {'Cyclon mal%':>12} {'Secure mal%':>12} {'blacklisted%':>13}")
+    for _ in range(TOTAL_CYCLES // REPORT_EVERY):
+        cyclon.run(REPORT_EVERY)
+        secure.run(REPORT_EVERY)
+        print(
+            f"{cyclon.engine.clock.cycle:>6}"
+            f" {100 * malicious_link_fraction(cyclon.engine):>11.1f}%"
+            f" {100 * malicious_link_fraction(secure.engine):>11.1f}%"
+            f" {100 * blacklisted_malicious_fraction(secure.engine):>12.1f}%"
+        )
+
+    print()
+    print(attack_timeline(secure.engine).render("What SecureCyclon proved:"))
+    print(
+        "\nEvery decision is backed by two conflicting signed descriptors\n"
+        "that any third party can re-validate locally."
+    )
+
+
+if __name__ == "__main__":
+    main()

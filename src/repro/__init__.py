@@ -1,0 +1,49 @@
+"""SecureCyclon: dependable peer sampling (ICDCS 2023) — reproduction.
+
+A production-quality Python reproduction of *SecureCyclon: Dependable
+Peer Sampling* (Antonov & Voulgaris, ICDCS 2023), including:
+
+* the legacy Cyclon protocol (:mod:`repro.cyclon`);
+* the SecureCyclon protocol (:mod:`repro.core`);
+* a cycle-driven P2P simulator (:mod:`repro.sim`);
+* the paper's adversaries (:mod:`repro.adversary`);
+* metrics, experiments and benchmarks for every figure (:mod:`repro.metrics`,
+  :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import build_secure_overlay, SecureCyclonConfig
+
+    overlay = build_secure_overlay(n=200, config=SecureCyclonConfig())
+    overlay.run(50)
+    node = next(iter(overlay.engine.legit_nodes()))
+    print([pk.hex() for pk in node.view.neighbor_ids()])
+"""
+
+from repro.audit import audit_engine
+from repro.core.config import SecureCyclonConfig
+from repro.core.node import SecureCyclonNode
+from repro.cyclon.config import CyclonConfig
+from repro.cyclon.node import CyclonNode
+from repro.experiments.scenarios import (
+    Overlay,
+    build_cyclon_overlay,
+    build_secure_overlay,
+)
+from repro.sim.engine import Engine, SimConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SecureCyclonConfig",
+    "SecureCyclonNode",
+    "CyclonConfig",
+    "CyclonNode",
+    "Overlay",
+    "build_cyclon_overlay",
+    "build_secure_overlay",
+    "Engine",
+    "SimConfig",
+    "audit_engine",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""The adversary suite (paper §II-C attack model, §III, §VI).
+
+All malicious nodes in one simulation run under a single
+:class:`~repro.adversary.coordinator.MaliciousCoordinator`: they collude,
+share a pool of descriptors, know each other's keys, and "forge node
+descriptors on demand to assist each other" (§II-C).
+
+Attackers:
+
+* :class:`~repro.adversary.hub.CyclonHubAttacker` /
+  :class:`~repro.adversary.hub.SecureHubAttacker` — the hub attack
+  (Figs 3 and 5): present views consisting exclusively of malicious
+  descriptors.
+* :class:`~repro.adversary.depletion.DepletionAttacker` — the
+  link-depletion attack (Fig 6): accept descriptors, return nothing.
+* :class:`~repro.adversary.cloning.CloningAttacker` — age-targeted
+  descriptor cloning (Fig 7).
+* :class:`~repro.adversary.frequency.FrequencyAttacker` — over-minting
+  fresh self-descriptors (§III frequency violations).
+* :class:`~repro.adversary.partner.CyclonPartnerViolationAttacker` /
+  :class:`~repro.adversary.partner.SecurePartnerViolationAttacker` —
+  partner-selection violations (§III): free against legacy Cyclon,
+  deterministically rejected by SecureCyclon's redemption rule.
+* :class:`~repro.adversary.stealth.StealthBiasAttacker` — the strongest
+  *rule-abiding* strategy: bias every swap toward colleague descriptors
+  without ever committing a provable violation.
+* :class:`~repro.adversary.replay.ReplayAttacker` — re-redeems spent
+  descriptors (rejected via the creator's redemption record).
+"""
+
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.adversary.hub import CyclonHubAttacker, SecureHubAttacker
+from repro.adversary.depletion import DepletionAttacker
+from repro.adversary.cloning import CloneEvent, CloningAttacker
+from repro.adversary.frequency import FrequencyAttacker
+from repro.adversary.eclipse import EclipseAttacker, eclipse_pressure
+from repro.adversary.partner import (
+    CyclonPartnerViolationAttacker,
+    SecurePartnerViolationAttacker,
+)
+from repro.adversary.replay import ReplayAttacker
+from repro.adversary.stealth import StealthBiasAttacker
+
+__all__ = [
+    "MaliciousCoordinator",
+    "CyclonHubAttacker",
+    "SecureHubAttacker",
+    "CyclonPartnerViolationAttacker",
+    "SecurePartnerViolationAttacker",
+    "DepletionAttacker",
+    "CloneEvent",
+    "CloningAttacker",
+    "FrequencyAttacker",
+    "EclipseAttacker",
+    "ReplayAttacker",
+    "StealthBiasAttacker",
+    "eclipse_pressure",
+]

@@ -1,0 +1,113 @@
+"""Age-targeted descriptor cloning (paper §V-C, evaluated in Fig 7).
+
+A cloning attacker behaves like a correct SecureCyclon node, except
+that whenever it transfers a descriptor away it secretly keeps the
+pre-transfer copy, and re-spends ("clones") that copy once the
+descriptor reaches a target age.  Old descriptors are the interesting
+case: they get redeemed soon after cloning, so the two forked branches
+may never meet in anyone's sample cache — unless the redemption cache
+keeps the spent copy around (which is exactly what Fig 7 measures).
+
+Every duplication is recorded as a :class:`CloneEvent`; the Fig 7
+harness joins these against the ``secure.violation_found`` trace events
+of legitimate nodes to compute detection ratios per age bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.core.descriptor import DescriptorId, SecureDescriptor
+from repro.core.node import SecureCyclonNode
+
+
+@dataclass(frozen=True)
+class CloneEvent:
+    """One duplication: which descriptor, how old it was, and when."""
+
+    identity: DescriptorId
+    age_at_duplication: int
+    cycle: int
+
+
+@dataclass
+class _StashEntry:
+    descriptor: SecureDescriptor
+    target_age: int
+
+
+class CloningAttacker(SecureCyclonNode):
+    """A mostly-correct node that double-spends descriptors at chosen ages."""
+
+    def __init__(
+        self,
+        *args,
+        coordinator: MaliciousCoordinator,
+        age_range: Tuple[int, int] = (2, 20),
+        stash_limit: int = 32,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.coordinator = coordinator
+        self.age_range = age_range
+        self.stash_limit = stash_limit
+        self._stash: List[_StashEntry] = []
+        self.clone_events: List[CloneEvent] = []
+
+    @property
+    def is_malicious(self) -> bool:
+        return True
+
+    def _attacking(self) -> bool:
+        return self.coordinator.is_attacking(self.current_cycle)
+
+    def _descriptor_age(self, descriptor: SecureDescriptor) -> int:
+        return descriptor.age_cycles(
+            self.clock.now(), self.clock.period_seconds
+        )
+
+    def _pop_outgoing(self, counterparty) -> Optional[SecureDescriptor]:
+        if not self._attacking():
+            return super()._pop_outgoing(counterparty)
+        ready = self._take_ready_clone()
+        if ready is not None:
+            self.clone_events.append(
+                CloneEvent(
+                    identity=ready.identity,
+                    age_at_duplication=self._descriptor_age(ready),
+                    cycle=self.current_cycle,
+                )
+            )
+            return ready
+        descriptor = super()._pop_outgoing(counterparty)
+        if descriptor is not None:
+            self._maybe_stash(descriptor)
+        return descriptor
+
+    def _maybe_stash(self, descriptor: SecureDescriptor) -> None:
+        """Keep a copy of a descriptor we are about to transfer away."""
+        if len(self._stash) >= self.stash_limit:
+            return
+        if self.coordinator.is_member(descriptor.creator):
+            return  # clone legitimate descriptors only: that is the attack
+        low, high = self.age_range
+        current_age = self._descriptor_age(descriptor)
+        if current_age + 1 > high:
+            return  # too old to reach any target age in the range
+        target = self.rng.randint(max(low, current_age + 1), high)
+        self._stash.append(_StashEntry(descriptor=descriptor, target_age=target))
+
+    def _take_ready_clone(self) -> Optional[SecureDescriptor]:
+        low, high = self.age_range
+        for index, entry in enumerate(self._stash):
+            age = self._descriptor_age(entry.descriptor)
+            if age > high:
+                # Window missed; drop silently.
+                del self._stash[index]
+                return self._take_ready_clone()
+            if age >= entry.target_age:
+                del self._stash[index]
+                return entry.descriptor
+        return None

@@ -1,0 +1,123 @@
+"""The link-depletion attack (paper §V-B, evaluated in Fig 6).
+
+A depletion attacker exploits non-atomic gossip exchanges: it takes the
+descriptors a legitimate node offers and "transmits an empty view" in
+return, draining the victim's swappable links.  With tit-for-tat
+disabled the victim loses up to ``s`` descriptors per exchange; with
+tit-for-tat enabled the loss is capped at the single redeemed token.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.core.exchange import (
+    BulkSwapMessage,
+    BulkSwapReply,
+    GossipAccept,
+    GossipOpen,
+    TransferMessage,
+    TransferReply,
+)
+from repro.core.node import SecureCyclonNode
+from repro.errors import PeerUnreachable
+from repro.sim.channel import MessageDropped
+from repro.sim.network import Network
+
+
+class DepletionAttacker(SecureCyclonNode):
+    """A SecureCyclon participant that defects on every counter-transfer."""
+
+    def __init__(self, *args, coordinator: MaliciousCoordinator, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.coordinator = coordinator
+
+    @property
+    def is_malicious(self) -> bool:
+        return True
+
+    def _attacking(self) -> bool:
+        return self.coordinator.is_attacking(self.current_cycle)
+
+    # ------------------------------------------------------------------
+    # initiator side: extract descriptors, give nothing
+    # ------------------------------------------------------------------
+
+    def run_cycle(self, network: Network) -> None:
+        if not self._attacking():
+            super().run_cycle(network)
+            return
+        if self.config.tit_for_tat:
+            # Tit-for-tat leaves nothing for an initiating defector to
+            # extract (counters only follow receipts), so the attacker
+            # initiates normally — keeping its descriptors circulating
+            # so victims keep redeeming tokens at it — and defects only
+            # as a partner.
+            super().run_cycle(network)
+            return
+        entry = self.view.oldest()
+        if entry is None:
+            return
+        self.view.remove_entry(entry)
+        try:
+            channel = network.connect(self.node_id, entry.creator)
+        except PeerUnreachable:
+            return
+        redemption = entry.descriptor.redeem(
+            self.keypair, non_swappable=entry.non_swappable
+        )
+        opening = GossipOpen(
+            redemption=redemption,
+            non_swappable=entry.non_swappable,
+            samples=(),
+            proofs=(),
+        )
+        try:
+            reply = channel.request(opening)
+        except MessageDropped:
+            return
+        if not isinstance(reply, GossipAccept):
+            return
+        if not self.config.tit_for_tat:
+            # The bulk-mode drain: offer nothing, harvest the partner's
+            # full counter-swap (the §V-B attack in its purest form).
+            try:
+                swap = channel.request(BulkSwapMessage(descriptors=()))
+            except MessageDropped:
+                return
+            if isinstance(swap, BulkSwapReply):
+                for descriptor in swap.descriptors:
+                    self._hoard(descriptor)
+        # With tit-for-tat the partner only ever counters after
+        # receiving, so there is nothing for a defector to extract:
+        # the attacker simply walks away after the open.
+
+    def _hoard(self, descriptor) -> None:
+        if descriptor.creator == self.node_id:
+            return
+        if descriptor.current_owner != self.node_id:
+            return
+        self.view.insert(descriptor, non_swappable=False)
+
+    # ------------------------------------------------------------------
+    # partner side: accept, absorb, return nothing
+    # ------------------------------------------------------------------
+
+    def receive(self, sender_id: Any, payload: Any) -> Any:
+        if not self._attacking():
+            return super().receive(sender_id, payload)
+        if isinstance(payload, GossipOpen):
+            return GossipAccept(samples=(), proofs=())
+        if isinstance(payload, TransferMessage):
+            self._hoard(payload.descriptor)
+            return TransferReply(descriptor=None)
+        if isinstance(payload, BulkSwapMessage):
+            for descriptor in payload.descriptors:
+                self._hoard(descriptor)
+            return BulkSwapReply(descriptors=())
+        raise TypeError(f"unexpected payload {type(payload).__name__}")
+
+    def receive_push(self, sender_id: Any, payload: Any) -> None:
+        if not self._attacking():
+            super().receive_push(sender_id, payload)

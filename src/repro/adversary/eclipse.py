@@ -1,0 +1,89 @@
+"""The eclipse attack (paper §III-B): isolating one targeted victim.
+
+Unlike the hub attack, an eclipse attack aims all malicious resources
+at a *single* node, trying to own every link in its view.  The paper
+stresses the orthogonality of the two attacks: SecureCyclon's hub
+defences do not automatically guarantee that no single node can be
+eclipsed (§III-C) — though the same token mechanics still force the
+attackers to clone descriptors to sustain pressure, so they are still
+progressively exposed.
+
+An :class:`EclipseAttacker`:
+
+* hoards every descriptor *created by the target* that passes through
+  its hands (they are the only admission tickets to the victim);
+* spends those tickets to gossip with the target as often as possible;
+* feeds the target fabricated pool clones (malicious-only links);
+* otherwise behaves correctly, to keep harvesting target tickets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.adversary.hub import SecureHubAttacker
+from repro.crypto.keys import PublicKey
+from repro.sim.network import Network
+
+
+class EclipseAttacker(SecureHubAttacker):
+    """A hub attacker that concentrates on one victim.
+
+    The campaign target is ``coordinator.eclipse_target`` (a public
+    key), set by the experiment after the overlay is built — scenario
+    builders construct attackers before the victim is chosen.  With no
+    target set, the attacker degrades to plain hub behaviour.
+    """
+
+    @property
+    def _target(self) -> Optional[PublicKey]:
+        return getattr(self.coordinator, "eclipse_target", None)
+
+    def _pick_redeemable(self):
+        """Prefer redeeming a target-created token (attack the victim);
+        fall back to the uniform choice to keep the supply flowing."""
+        if self._target is None:
+            return super()._pick_redeemable()
+        target_entries = [
+            entry for entry in self.view if entry.creator == self._target
+        ]
+        if target_entries:
+            # The oldest target token first: honest-looking cadence.
+            return min(target_entries, key=lambda entry: entry.timestamp)
+        return super()._pick_redeemable()
+
+    def _hoard(self, descriptor) -> None:
+        """Target-created descriptors are prized gossip tickets; the
+        rest feed the normal hoard."""
+        if (
+            self._target is not None
+            and descriptor.creator == self._target
+            and descriptor.current_owner == self.node_id
+        ):
+            # Keep it: it is a future gossip ticket to the victim.
+            self.view.insert(descriptor, non_swappable=False)
+            return
+        super()._hoard(descriptor)
+
+
+def make_eclipse_coordinator(
+    attack_start_cycle: int, rng, target: PublicKey
+) -> MaliciousCoordinator:
+    """A coordinator pre-configured for an eclipse campaign."""
+    coordinator = MaliciousCoordinator(
+        attack_start_cycle=attack_start_cycle, rng=rng
+    )
+    coordinator.eclipse_target = target
+    return coordinator
+
+
+def eclipse_pressure(engine: Any, target: PublicKey) -> float:
+    """Fraction of the target's current view that points at attackers."""
+    node = engine.nodes.get(target)
+    if node is None or len(node.view) == 0:
+        return 0.0
+    malicious = engine.malicious_ids
+    return sum(
+        1 for creator in node.view.neighbor_ids() if creator in malicious
+    ) / len(node.view)

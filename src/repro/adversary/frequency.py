@@ -1,0 +1,74 @@
+"""The frequency attack (paper §III "frequency violations").
+
+A frequency attacker mints several descriptors per cycle — timestamps
+spread inside one gossip period — and circulates them as samples in
+its gossip messages.  Any correct node that observes two of the burst
+within its sample cache obtains a :class:`~repro.core.proofs.FrequencyProof`
+and the attacker is blacklisted.  This attacker exists mainly to
+demonstrate (and test) that over-minting is provably caught.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.core.descriptor import SecureDescriptor, mint
+from repro.core.node import SecureCyclonNode
+
+
+class FrequencyAttacker(SecureCyclonNode):
+    """A node that mints ``burst`` descriptors per cycle instead of one."""
+
+    def __init__(
+        self,
+        *args,
+        coordinator: MaliciousCoordinator,
+        burst: int = 3,
+        **kwargs,
+    ) -> None:
+        if burst < 2:
+            raise ValueError("a frequency attacker needs burst >= 2")
+        super().__init__(*args, **kwargs)
+        self.coordinator = coordinator
+        self.burst = burst
+        self._burst_mints: List[SecureDescriptor] = []
+
+    @property
+    def is_malicious(self) -> bool:
+        return True
+
+    def _attacking(self) -> bool:
+        return self.coordinator.is_attacking(self.current_cycle)
+
+    def begin_cycle(self, cycle: int) -> None:
+        super().begin_cycle(cycle)
+        if not self._attacking():
+            return
+        # Mint a burst of descriptors with sub-period timestamp spacing.
+        # Each is given one self-hop so it carries the creator's
+        # signature (a bare descriptor proves nothing).
+        period = self.clock.period_seconds
+        spacing = period / (self.burst + 1)
+        base = self.clock.now()
+        self._burst_mints = []
+        for index in range(self.burst):
+            descriptor = mint(
+                self.keypair, self.address, base + index * spacing
+            )
+            self._burst_mints.append(
+                descriptor.transfer(self.keypair, self.node_id)
+            )
+
+    def mint_fresh_descriptor(self) -> SecureDescriptor:
+        if not self._attacking():
+            return super().mint_fresh_descriptor()
+        # Bypass the honest once-per-cycle guard: reuse the first burst
+        # mint as this cycle's "fresh" descriptor.
+        return mint(self.keypair, self.address, self.clock.now())
+
+    def _samples_payload(self) -> Tuple[SecureDescriptor, ...]:
+        samples = super()._samples_payload()
+        if self._attacking() and self._burst_mints:
+            samples = samples + tuple(self._burst_mints)
+        return samples

@@ -1,0 +1,286 @@
+"""The hub attack (paper §III-A, §VI-B) for both protocols.
+
+Until the coordinator's attack cycle, attackers are indistinguishable
+from correct nodes.  From then on they gossip at the correct rate and
+with seemingly correct exchanges, but every descriptor they present
+points at a member of the malicious party:
+
+* against legacy Cyclon the attack trivially forges descriptors and
+  takes over 100 % of all links (Fig 3);
+* against SecureCyclon the attackers can only pollute by *cloning*
+  pool descriptors (forking their ownership chains) — every fork is
+  provable, so the attack collapses as members get blacklisted (Fig 5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.core.exchange import (
+    BulkSwapMessage,
+    BulkSwapReply,
+    GossipAccept,
+    GossipOpen,
+    GossipReject,
+    TransferMessage,
+    TransferReply,
+)
+from repro.core.node import SecureCyclonNode
+from repro.cyclon.descriptor import CyclonDescriptor
+from repro.cyclon.node import CyclonNode, CyclonReply, CyclonRequest
+from repro.errors import PeerUnreachable
+from repro.sim.channel import MessageDropped
+from repro.sim.network import Network
+
+
+class CyclonHubAttacker(CyclonNode):
+    """A hub attacker in the unprotected Cyclon overlay.
+
+    Post-attack it keeps gossiping at the correct rate, but every batch
+    it ships is a fake view "consisting of malicious nodes exclusively"
+    (§VI-B).  The batch is oversized — the §III view-violation /
+    "rapid provision of supplementary node descriptors" building block
+    of the attack model — and legacy Cyclon victims have no way to
+    validate or refuse it.
+    """
+
+    def __init__(
+        self,
+        *args,
+        coordinator: MaliciousCoordinator,
+        aggression: int = 1,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.coordinator = coordinator
+        if aggression < 1:
+            raise ValueError("aggression must be >= 1")
+        self.aggression = aggression
+
+    @property
+    def is_malicious(self) -> bool:
+        return True
+
+    def _attacking(self) -> bool:
+        return self.coordinator.is_attacking(self.current_cycle)
+
+    def _fake_view(self) -> List[CyclonDescriptor]:
+        """A full view of freshly forged malicious descriptors.
+
+        Legacy Cyclon descriptors are unauthenticated, so forging them
+        is free — the root vulnerability of §II-B.  Members are distinct
+        (an honest view never holds duplicates, and duplicates would
+        only waste batch slots).
+        """
+        members = self.coordinator.members()
+        count = min(self.config.view_length, len(members))
+        chosen = self.coordinator.rng.sample(members, count)
+        return [
+            CyclonDescriptor(
+                node_id=member,
+                address=self.coordinator.address_of(member),
+                age=0,
+            )
+            for member in chosen
+        ]
+
+    def run_cycle(self, network: Network) -> None:
+        if not self._attacking():
+            super().run_cycle(network)
+            return
+        # "Frequency violations" (§III) let an attacker initiate more
+        # than once per cycle; the default aggression of 1 keeps the
+        # paper's "correct rate" behaviour.
+        for _ in range(self.aggression):
+            victim_id = self.coordinator.random_victim()
+            if victim_id is None:
+                return
+            try:
+                channel = network.connect(self.node_id, victim_id)
+            except PeerUnreachable:
+                continue
+            try:
+                channel.request(CyclonRequest(tuple(self._fake_view())))
+            except MessageDropped:
+                pass
+            # Replies are discarded: the coordinator already has "mutual
+            # knowledge about the network" (§II-C).
+
+    def receive(self, sender_id: Any, payload: Any) -> Any:
+        if not self._attacking():
+            return super().receive(sender_id, payload)
+        if isinstance(payload, CyclonRequest):
+            return CyclonReply(tuple(self._fake_view()))
+        raise TypeError(f"unexpected payload {type(payload).__name__}")
+
+
+class SecureHubAttacker(SecureCyclonNode):
+    """A hub attacker inside a SecureCyclon overlay (§VI-B).
+
+    Post-attack behaviour: fake views drawn from the coordinator's
+    central pool, swapped descriptors fabricated by cloning pool
+    descriptors, received legitimate descriptors hoarded as future
+    redemption tokens, and all security duties (checking, flooding,
+    blacklisting) abandoned.
+    """
+
+    def __init__(self, *args, coordinator: MaliciousCoordinator, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.coordinator = coordinator
+        self._cycle_mint = None
+
+    @property
+    def is_malicious(self) -> bool:
+        return True
+
+    def _attacking(self) -> bool:
+        return self.coordinator.is_attacking(self.current_cycle)
+
+    # ------------------------------------------------------------------
+    # engine hooks
+    # ------------------------------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        super().begin_cycle(cycle)
+        if self._attacking():
+            # One legal mint per cycle, shared with the pool (§VI-B).
+            self._cycle_mint = self.coordinator.contribute_fresh(
+                self.node_id, self.clock.now()
+            )
+
+    def run_cycle(self, network: Network) -> None:
+        if not self._attacking():
+            super().run_cycle(network)
+            return
+        self._network_for_flood = network
+        entry = self._pick_redeemable()
+        if entry is None:
+            return
+        self.view.remove_entry(entry)
+        partner_id = entry.creator
+        try:
+            channel = network.connect(self.node_id, partner_id)
+        except PeerUnreachable:
+            return
+        redemption = entry.descriptor.redeem(
+            self.keypair, non_swappable=entry.non_swappable
+        )
+        opening = GossipOpen(
+            redemption=redemption,
+            non_swappable=entry.non_swappable,
+            samples=self._fake_samples(),
+            proofs=(),
+        )
+        try:
+            reply = channel.request(opening)
+        except MessageDropped:
+            return
+        if not isinstance(reply, GossipAccept):
+            return
+        if self.config.tit_for_tat:
+            self._attack_rounds(channel, partner_id)
+        else:
+            self._attack_bulk(channel, partner_id)
+
+    def _pick_redeemable(self):
+        """A uniformly random view entry pointing at a legitimate node
+        (§II-C: malicious nodes pick victims uniformly at random)."""
+        candidates = [
+            entry
+            for entry in self.view
+            if not self.coordinator.is_member(entry.creator)
+        ]
+        if candidates:
+            return self.rng.choice(candidates)
+        remaining = list(self.view)
+        if remaining:
+            return self.rng.choice(remaining)
+        return None
+
+    def _fake_samples(self):
+        count = self.config.view_length + max(
+            1, self.config.redemption_cache_cycles
+        )
+        return tuple(self.coordinator.fake_view(count))
+
+    def _attack_rounds(self, channel, partner_id) -> None:
+        for round_index in range(self.config.swap_length):
+            outgoing = self._attack_descriptor(partner_id, round_index)
+            if outgoing is None:
+                return
+            try:
+                reply = channel.request(
+                    TransferMessage(descriptor=outgoing, round_index=round_index)
+                )
+            except MessageDropped:
+                return
+            if not isinstance(reply, TransferReply) or reply.descriptor is None:
+                return
+            self._hoard(reply.descriptor)
+
+    def _attack_bulk(self, channel, partner_id) -> None:
+        outgoing = []
+        for round_index in range(self.config.swap_length):
+            descriptor = self._attack_descriptor(partner_id, round_index)
+            if descriptor is not None:
+                outgoing.append(descriptor)
+        try:
+            reply = channel.request(BulkSwapMessage(descriptors=tuple(outgoing)))
+        except MessageDropped:
+            return
+        if isinstance(reply, BulkSwapReply):
+            for descriptor in reply.descriptors:
+                self._hoard(descriptor)
+
+    def _attack_descriptor(self, victim_id, round_index: int):
+        """Round 0: the legal fresh mint.  Later rounds: pool clones."""
+        if round_index == 0 and self._cycle_mint is not None:
+            descriptor = self._cycle_mint.transfer(self.keypair, victim_id)
+            return descriptor
+        return self.coordinator.fabricate_transfer(self.node_id, victim_id)
+
+    def _hoard(self, descriptor) -> None:
+        """Keep received legitimate descriptors as future gossip tokens."""
+        if descriptor.creator == self.node_id:
+            return
+        if descriptor.current_owner != self.node_id:
+            return
+        self.view.insert(descriptor, non_swappable=False)
+
+    # ------------------------------------------------------------------
+    # partner side
+    # ------------------------------------------------------------------
+
+    def receive(self, sender_id: Any, payload: Any) -> Any:
+        if not self._attacking():
+            return super().receive(sender_id, payload)
+        if isinstance(payload, GossipOpen):
+            # Accept everything: each accepted redemption spends a
+            # legitimate token and opens a pollution channel.
+            self._sessions.pop(sender_id, None)
+            return GossipAccept(samples=self._fake_samples(), proofs=())
+        if isinstance(payload, TransferMessage):
+            self._hoard(payload.descriptor)
+            counter = self.coordinator.fabricate_transfer(
+                self.node_id, sender_id
+            )
+            return TransferReply(descriptor=counter)
+        if isinstance(payload, BulkSwapMessage):
+            for descriptor in payload.descriptors:
+                self._hoard(descriptor)
+            counters = []
+            for _ in range(self.config.swap_length):
+                fabricated = self.coordinator.fabricate_transfer(
+                    self.node_id, sender_id
+                )
+                if fabricated is not None:
+                    counters.append(fabricated)
+            return BulkSwapReply(descriptors=tuple(counters))
+        raise TypeError(f"unexpected payload {type(payload).__name__}")
+
+    def receive_push(self, sender_id: Any, payload: Any) -> None:
+        if not self._attacking():
+            super().receive_push(sender_id, payload)
+        # Attackers swallow flooded proofs (§VI-B: proofs travel only
+        # through legitimate links).

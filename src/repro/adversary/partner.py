@@ -1,0 +1,175 @@
+"""Partner-selection violations (paper §III, second building block).
+
+A node is supposed to gossip with the *oldest* descriptor in its view.
+Deviating lets an attacker focus its exchanges wherever they serve the
+attack:
+
+* :class:`CyclonPartnerViolationAttacker` runs in the unprotected
+  overlay, where nothing ties an exchange to a descriptor — it can
+  contact any legitimate node at will, every cycle, keeping its view
+  unspent and farming fresh links to itself.
+* :class:`SecurePartnerViolationAttacker` attempts the same against
+  SecureCyclon, where §IV-A makes the redemption token the *only*
+  admission ticket: a gossip request toward a node whose descriptor
+  the attacker does not own is deterministically rejected.  The class
+  records the rejections; the tests assert the attack yields nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.core.exchange import GossipOpen, GossipReject
+from repro.core.node import SecureCyclonNode
+from repro.cyclon.descriptor import CyclonDescriptor
+from repro.cyclon.node import CyclonNode, CyclonRequest
+from repro.errors import PeerUnreachable
+from repro.sim.channel import MessageDropped
+from repro.sim.network import Network
+
+
+class CyclonPartnerViolationAttacker(CyclonNode):
+    """Legacy-Cyclon attacker that picks its partners arbitrarily.
+
+    Each cycle it contacts a victim of its choosing — without redeeming
+    (or even holding) that victim's descriptor — and runs an otherwise
+    normal-looking exchange that always leads with a fresh
+    self-descriptor.  With ``coordinator.eclipse_target`` set, all
+    attackers converge on one victim: every forced exchange drains
+    ``s`` random entries from the victim's view and replaces them with
+    attacker-supplied content, so a handful of violators monopolise the
+    victim's neighbourhood within a few cycles — a targeted eclipse
+    built from the §III partner-selection building block alone.
+    Without a target, victims are picked uniformly at random.
+    """
+
+    def __init__(
+        self, *args, coordinator: MaliciousCoordinator, **kwargs
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.coordinator = coordinator
+        self.exchanges_forced = 0
+
+    @property
+    def is_malicious(self) -> bool:
+        return True
+
+    def _attacking(self) -> bool:
+        return self.coordinator.is_attacking(self.current_cycle)
+
+    def run_cycle(self, network: Network) -> None:
+        if not self._attacking():
+            super().run_cycle(network)
+            return
+        victim_id = getattr(self.coordinator, "eclipse_target", None)
+        if victim_id is None:
+            victim_id = self.coordinator.random_victim()
+        if victim_id is None:
+            return
+        try:
+            channel = network.connect(self.node_id, victim_id)
+        except PeerUnreachable:
+            return
+        outgoing = [self.self_descriptor()] + self._batch_filler(victim_id)
+        try:
+            channel.request(CyclonRequest(tuple(outgoing)))
+            self.exchanges_forced += 1
+        except MessageDropped:
+            pass
+
+    def _batch_filler(self, victim_id) -> list:
+        """The s−1 descriptors accompanying the fresh self-descriptor.
+
+        Partner-selection violations compose with the §III view
+        violations: the filler descriptors are forged links to
+        colleagues (the victim cannot validate them in legacy Cyclon).
+        Falls back to copies from the attacker's own view when it has
+        no colleagues.
+        """
+        members = [
+            member for member in self.coordinator.members()
+            if member != self.node_id and member != victim_id
+        ]
+        count = self.config.swap_length - 1
+        if members:
+            chosen = self.coordinator.rng.sample(members, min(count, len(members)))
+            return [
+                CyclonDescriptor(
+                    node_id=member,
+                    address=self.coordinator.address_of(member),
+                    age=0,
+                )
+                for member in chosen
+            ]
+        sample = [
+            entry for entry in self.view if entry.node_id != victim_id
+        ]
+        self.rng.shuffle(sample)
+        return sample[:count]
+
+
+class SecurePartnerViolationAttacker(SecureCyclonNode):
+    """The same strategy against SecureCyclon — provably fruitless.
+
+    The attacker opens gossip toward random victims using whatever
+    owned descriptor it has at hand (created by somebody else) or a
+    freshly minted self-descriptor.  §IV-A's redemption check
+    ("a descriptor for which the initiator is currently the owner and
+    its neighbor was the creator") rejects every such opening.
+    """
+
+    def __init__(
+        self, *args, coordinator: MaliciousCoordinator, **kwargs
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.coordinator = coordinator
+        self.rejections = 0
+        self.accepted = 0
+
+    @property
+    def is_malicious(self) -> bool:
+        return True
+
+    def _attacking(self) -> bool:
+        return self.coordinator.is_attacking(self.current_cycle)
+
+    def run_cycle(self, network: Network) -> None:
+        if not self._attacking():
+            super().run_cycle(network)
+            return
+        self._network_for_flood = network
+        victim_id = self.coordinator.random_victim()
+        if victim_id is None:
+            return
+        try:
+            channel = network.connect(self.node_id, victim_id)
+        except PeerUnreachable:
+            return
+        token = self._any_token(victim_id)
+        if token is None:
+            return
+        opening = GossipOpen(
+            redemption=token.redeem(self.keypair),
+            non_swappable=False,
+            samples=(),
+            proofs=(),
+        )
+        try:
+            reply = channel.request(opening)
+        except MessageDropped:
+            return
+        if isinstance(reply, GossipReject):
+            self.rejections += 1
+        else:
+            self.accepted += 1
+
+    def _any_token(self, victim_id) -> Optional[Any]:
+        """A descriptor to mis-redeem: anything not created by the victim."""
+        for entry in self.view:
+            if entry.creator != victim_id:
+                return entry.descriptor
+        try:
+            return self.mint_fresh_descriptor()
+        except RuntimeError:
+            return None

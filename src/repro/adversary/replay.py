@@ -1,0 +1,93 @@
+"""Replaying already-redeemed descriptors (DESIGN.md decision 6).
+
+Redeeming a descriptor ends its life: the creator records the spent
+timestamp and refuses it from then on.  A malicious node could try to
+stretch one legitimately acquired token into permanent gossip access
+by redeeming it again each cycle.  Because the replayed chain is
+*identical* to the recorded one (no fork), the ownership check alone
+cannot prove a violation — the rejection comes from the creator's own
+redeemed-timestamp record.
+
+:class:`ReplayAttacker` implements the strategy and counts outcomes;
+the tests assert that only the first redemption of any token is ever
+accepted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.core.descriptor import SecureDescriptor
+from repro.core.exchange import GossipAccept, GossipOpen, GossipReject
+from repro.core.node import SecureCyclonNode
+from repro.errors import PeerUnreachable
+from repro.sim.channel import MessageDropped
+from repro.sim.network import Network
+
+
+class ReplayAttacker(SecureCyclonNode):
+    """Hoards every descriptor it redeems and redeems it again forever."""
+
+    def __init__(
+        self, *args, coordinator: MaliciousCoordinator, **kwargs
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.coordinator = coordinator
+        self._spent: List[SecureDescriptor] = []
+        self.replays_attempted = 0
+        self.replays_accepted = 0
+        self.replays_rejected = 0
+
+    @property
+    def is_malicious(self) -> bool:
+        return True
+
+    def _attacking(self) -> bool:
+        return self.coordinator.is_attacking(self.current_cycle)
+
+    def run_cycle(self, network: Network) -> None:
+        if not self._attacking():
+            # Pre-attack: behave honestly, but remember what we redeem.
+            entry = self.view.oldest()
+            if entry is not None and not entry.non_swappable:
+                self._spent.append(entry.descriptor)
+            super().run_cycle(network)
+            return
+        self._network_for_flood = network
+        self._replay_one(network)
+
+    def _replay_one(self, network: Network) -> None:
+        token = self._pick_spent_token()
+        if token is None:
+            # Nothing hoarded yet: fall back to honest gossip (and hoard).
+            entry = self.view.oldest()
+            if entry is not None and not entry.non_swappable:
+                self._spent.append(entry.descriptor)
+            super().run_cycle(network)
+            return
+        try:
+            channel = network.connect(self.node_id, token.creator)
+        except PeerUnreachable:
+            return
+        opening = GossipOpen(
+            redemption=token.redeem(self.keypair),
+            non_swappable=False,
+            samples=(),
+            proofs=(),
+        )
+        self.replays_attempted += 1
+        try:
+            reply = channel.request(opening)
+        except MessageDropped:
+            self.replays_attempted -= 1
+            return
+        if isinstance(reply, GossipAccept):
+            self.replays_accepted += 1
+        elif isinstance(reply, GossipReject):
+            self.replays_rejected += 1
+
+    def _pick_spent_token(self) -> Optional[SecureDescriptor]:
+        if not self._spent:
+            return None
+        return self.rng.choice(self._spent)

@@ -1,0 +1,84 @@
+"""The stealth-bias attacker: maximal pollution *without* violating.
+
+SecureCyclon's claim is that it "deterministically eliminates the
+ability of malicious nodes to overrepresent themselves" — malicious
+over-representation requires forging, cloning, or over-minting, all of
+which are provable violations.  The strongest remaining strategy is a
+*rule-abiding* bias:
+
+* when asked to swap, preferentially hand out descriptors of malicious
+  colleagues that the attacker legitimately owns;
+* hold descriptors of legitimate nodes for redemption only, so they
+  keep granting gossip access but are never propagated onward.
+
+No rule is broken: every shipped descriptor is owned, chains never
+fork, minting stays at one per cycle.  The attacker therefore can never
+be blacklisted — and the experiment built on this class shows the flip
+side of the paper's guarantee: the achievable bias is bounded by the
+party's legitimate token supply (its population share), rather than
+growing to 100 % as in Fig 3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.core.descriptor import SecureDescriptor
+from repro.core.node import SecureCyclonNode
+from repro.crypto.keys import PublicKey
+
+
+class StealthBiasAttacker(SecureCyclonNode):
+    """A colluding node that biases swaps but never violates."""
+
+    def __init__(self, *args, coordinator: MaliciousCoordinator, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.coordinator = coordinator
+        #: How many descriptors this node shipped, by creator camp.
+        self.shipped_malicious = 0
+        self.shipped_legitimate = 0
+
+    @property
+    def is_malicious(self) -> bool:
+        return True
+
+    def _attacking(self) -> bool:
+        return self.coordinator.is_attacking(self.current_cycle)
+
+    def _pop_outgoing(
+        self, counterparty: PublicKey
+    ) -> Optional[SecureDescriptor]:
+        """Prefer legitimately owned descriptors of malicious colleagues.
+
+        Falls back to the honest random pick when no colleague
+        descriptor is available — refusing to swap would only stall the
+        dialogue and starve the attacker of fresh legitimate tokens.
+        """
+        if not self._attacking():
+            return super()._pop_outgoing(counterparty)
+        preferred = [
+            entry
+            for entry in self.view
+            if not entry.non_swappable
+            and entry.creator != counterparty
+            and self.coordinator.is_member(entry.creator)
+        ]
+        if preferred:
+            entry = self.rng.choice(preferred)
+            self.view.remove_entry(entry)
+            self.shipped_malicious += 1
+            return entry.descriptor
+        descriptor = super()._pop_outgoing(counterparty)
+        if descriptor is not None:
+            self.shipped_legitimate += 1
+        return descriptor
+
+    def receive_push(self, sender_id: Any, payload: Any) -> None:
+        """Swallow proof floods (§IV: attackers skip security duties).
+
+        A stealth attacker never commits a violation, so no proof can
+        name it — but suppressing forwarded proofs about *other* nodes
+        is free and marginally helps any colleagues that do violate.
+        """
+        del sender_id, payload

@@ -1,0 +1,53 @@
+"""Analytic models of SecureCyclon's behaviour.
+
+The paper reasons informally about descriptor lifetimes, transfer
+counts, message sizes (§VI-A), indegree equilibrium (§II-B / Fig 2),
+and clone detectability (§V-C / Fig 7).  This package turns that prose
+into executable models so the simulator can be *checked against the
+theory* rather than only against itself:
+
+* :mod:`repro.analysis.lifetime` — descriptor lifetime and ownership-
+  transfer distributions;
+* :mod:`repro.analysis.indegree` — the indegree-equilibrium model
+  behind Fig 2;
+* :mod:`repro.analysis.netcost` — the §VI-A back-of-the-envelope
+  traffic budget, parameterised;
+* :mod:`repro.analysis.detection` — a first-principles estimate of the
+  clone-detection probability that Fig 7 measures;
+* :mod:`repro.analysis.flooding` — epidemic proof-spread time, which
+  bounds how fast a discovered violator is purged (Fig 5's collapse);
+* :mod:`repro.analysis.purge` — the end-to-end Fig 5 collapse model:
+  first detection, flood, link decay.
+"""
+
+from repro.analysis.detection import clone_detection_probability
+from repro.analysis.flooding import flood_rounds_to_cover
+from repro.analysis.indegree import (
+    indegree_distribution,
+    indegree_moments,
+)
+from repro.analysis.lifetime import (
+    expected_lifetime_cycles,
+    expected_transfers,
+    transfer_count_distribution,
+)
+from repro.analysis.netcost import NetworkCostModel
+from repro.analysis.purge import (
+    cycles_to_purge,
+    expected_collapse_cycles,
+    link_decay_factor,
+)
+
+__all__ = [
+    "NetworkCostModel",
+    "clone_detection_probability",
+    "cycles_to_purge",
+    "expected_collapse_cycles",
+    "link_decay_factor",
+    "expected_lifetime_cycles",
+    "expected_transfers",
+    "flood_rounds_to_cover",
+    "indegree_distribution",
+    "indegree_moments",
+    "transfer_count_distribution",
+]

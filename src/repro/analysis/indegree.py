@@ -1,0 +1,75 @@
+"""The indegree-equilibrium model behind Fig 2 (paper §II-B).
+
+Cyclon's link arithmetic: every node *mints* exactly one descriptor of
+itself per cycle and sees one of its standing descriptors *redeemed*
+each time someone initiates an exchange with it.  A node with indegree
+above the average is contacted more often than once per cycle, so its
+indegree falls; below-average indegree rises.  The restoring force
+makes the stationary indegree distribution concentrate tightly around
+the configured outdegree ℓ.
+
+For a quantitative reference curve we use the random-graph limit the
+Cyclon paper demonstrates empirically: after mixing, each of the
+``n·ℓ`` directed links points at a given node roughly independently
+with probability ``1/n``, i.e. indegree ~ Binomial(n·ℓ, 1/n) ≈
+Poisson(ℓ) for large n.  Cyclon's self-correcting dynamics squeeze the
+distribution *tighter* than Poisson (the simulator shows a standard
+deviation below √ℓ), so the Poisson curve is an upper envelope for the
+spread — exactly how the tests use it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+
+def indegree_distribution(
+    nodes: int, view_length: int, max_indegree: int = 0
+) -> List[float]:
+    """Binomial(n·ℓ, 1/n) indegree pmf; index = indegree.
+
+    ``max_indegree`` of 0 means "3ℓ", plenty for the mass to vanish.
+    """
+    if nodes <= 1:
+        raise ValueError("need at least two nodes")
+    if view_length <= 0:
+        raise ValueError("view_length must be positive")
+    cap = max_indegree or 3 * view_length
+    trials = nodes * view_length
+    p = 1.0 / nodes
+    # Poisson approximation is numerically safer for the large trial
+    # counts used here and indistinguishable at n >= 100.
+    lam = trials * p
+    pmf = []
+    for k in range(cap + 1):
+        log_mass = -lam + k * math.log(lam) - math.lgamma(k + 1)
+        pmf.append(math.exp(log_mass))
+    return pmf
+
+
+def indegree_moments(nodes: int, view_length: int) -> Tuple[float, float]:
+    """(mean, standard deviation) of the reference distribution.
+
+    The mean is exactly ℓ — links are conserved, so this part is not an
+    approximation.  The standard deviation √ℓ is the random-graph
+    envelope; measured Cyclon overlays come in below it.
+    """
+    if nodes <= 1:
+        raise ValueError("need at least two nodes")
+    if view_length <= 0:
+        raise ValueError("view_length must be positive")
+    return float(view_length), math.sqrt(view_length)
+
+
+def empirical_moments(indegrees: Dict) -> Tuple[float, float]:
+    """(mean, standard deviation) of measured indegrees.
+
+    Accepts the mapping produced by :func:`repro.metrics.degree.indegrees`.
+    """
+    values = list(indegrees.values())
+    if not values:
+        return 0.0, 0.0
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return mean, math.sqrt(variance)

@@ -1,0 +1,83 @@
+"""Descriptor lifetime and transfer-count models (paper §VI-A).
+
+The paper's cost analysis rests on two claims taken from the Cyclon
+paper and restated in §VI-A:
+
+* a descriptor lives for an average of ℓ cycles before it is redeemed
+  (ℓ = view length);
+* during that lifetime it changes owner ``2s/ℓ`` times per cycle on
+  average (each node takes part in about two exchanges per cycle and
+  ships ``s`` of its ℓ descriptors in each), for a lifetime total of
+  ``2s`` transfers.
+
+This module derives those numbers, plus the full transfer-count
+distribution under the same independence assumptions, so tests and the
+cost table can compare the budget against simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+def expected_lifetime_cycles(view_length: int) -> float:
+    """Mean descriptor lifetime in cycles (≈ ℓ, §VI-A).
+
+    Views hold ℓ descriptors and each node redeems exactly one — its
+    oldest — per cycle, so in steady state the per-node death rate is
+    one descriptor per cycle against a standing population of ℓ:
+    a mean life of ℓ cycles.
+    """
+    if view_length <= 0:
+        raise ValueError("view_length must be positive")
+    return float(view_length)
+
+
+def per_cycle_transfer_probability(view_length: int, swap_length: int) -> float:
+    """Chance a given descriptor changes owner in a given cycle (2s/ℓ).
+
+    A node is party to about two gossip exchanges per cycle (initiates
+    one, is contacted once on average) and each exchange moves ``s``
+    random descriptors of the ℓ it holds.
+    """
+    _validate(view_length, swap_length)
+    return min(1.0, 2.0 * swap_length / view_length)
+
+
+def expected_transfers(view_length: int, swap_length: int) -> float:
+    """Mean ownership transfers over a descriptor's lifetime (= 2s)."""
+    return per_cycle_transfer_probability(
+        view_length, swap_length
+    ) * expected_lifetime_cycles(view_length)
+
+
+def transfer_count_distribution(
+    view_length: int, swap_length: int, max_transfers: int = 64
+) -> List[float]:
+    """Probability mass of a descriptor's lifetime transfer count.
+
+    Under the §VI-A independence assumptions the count is binomial:
+    ℓ cycle-trials, each moving the descriptor with probability 2s/ℓ.
+    Entry ``k`` of the returned list is ``P[transfers = k]``; the list
+    is truncated at ``max_transfers`` (tail mass added to the last
+    entry) and sums to 1.
+    """
+    _validate(view_length, swap_length)
+    trials = view_length
+    p = per_cycle_transfer_probability(view_length, swap_length)
+    size = min(trials, max_transfers) + 1
+    pmf = [0.0] * size
+    for k in range(trials + 1):
+        mass = math.comb(trials, k) * p**k * (1 - p) ** (trials - k)
+        pmf[min(k, size - 1)] += mass
+    return pmf
+
+
+def _validate(view_length: int, swap_length: int) -> None:
+    if view_length <= 0:
+        raise ValueError("view_length must be positive")
+    if swap_length <= 0:
+        raise ValueError("swap_length must be positive")
+    if swap_length > view_length:
+        raise ValueError("swap_length cannot exceed view_length")

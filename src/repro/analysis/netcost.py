@@ -1,0 +1,91 @@
+"""The §VI-A network-cost budget, as a parameterised model.
+
+The paper walks through one configuration (ℓ=20, s=3, r=5) and lands
+on "a descriptor is ~430 bytes, a gossip exchange moves ~10.5 KB each
+way".  :class:`NetworkCostModel` reproduces that arithmetic for any
+configuration, so the cost table can sweep parameters and the tests
+can pin the paper's exact numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.lifetime import expected_transfers
+from repro.core.wire import HOP_BITS, NODE_INFO_BITS
+
+
+@dataclass(frozen=True)
+class NetworkCostModel:
+    """Analytic traffic budget for one SecureCyclon configuration.
+
+    Parameters mirror the paper's: ``view_length`` ℓ, ``swap_length``
+    s, ``redemption_cache`` r, and the per-cycle gossip period in
+    seconds (for bandwidth figures).
+    """
+
+    view_length: int = 20
+    swap_length: int = 3
+    redemption_cache: int = 5
+    period_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.view_length <= 0:
+            raise ValueError("view_length must be positive")
+        if not 0 < self.swap_length <= self.view_length:
+            raise ValueError("swap_length must be in (0, view_length]")
+        if self.redemption_cache < 0:
+            raise ValueError("redemption_cache must be non-negative")
+        if self.period_seconds <= 0:
+            raise ValueError("period_seconds must be positive")
+
+    # -- descriptor sizes ------------------------------------------------
+
+    def descriptor_bits(self, transfers: int) -> int:
+        """368 + 512·t bits for a descriptor transferred ``t`` times."""
+        if transfers < 0:
+            raise ValueError("transfers must be non-negative")
+        return NODE_INFO_BITS + HOP_BITS * transfers
+
+    @property
+    def pessimistic_transfers(self) -> int:
+        """The paper's pessimistic per-descriptor transfer count (2s)."""
+        return round(expected_transfers(self.view_length, self.swap_length))
+
+    @property
+    def pessimistic_descriptor_bytes(self) -> float:
+        """Descriptor size assuming every descriptor made 2s transfers.
+
+        For the paper's configuration this is the quoted 430 bytes
+        (3440 bits).
+        """
+        return self.descriptor_bits(self.pessimistic_transfers) / 8.0
+
+    # -- per-exchange traffic -------------------------------------------
+
+    @property
+    def descriptors_per_direction(self) -> int:
+        """Each party ships its view plus its redemption cache (ℓ+r)."""
+        return self.view_length + self.redemption_cache
+
+    @property
+    def bytes_per_direction(self) -> float:
+        """Budgeted bytes moved in each direction of one exchange."""
+        return self.descriptors_per_direction * self.pessimistic_descriptor_bytes
+
+    @property
+    def kilobytes_per_direction(self) -> float:
+        """The paper's headline figure (~10.5 KB for ℓ=20, s=3, r=5)."""
+        return self.bytes_per_direction / 1024.0
+
+    # -- per-node bandwidth ----------------------------------------------
+
+    @property
+    def bytes_per_node_per_cycle(self) -> float:
+        """A node is party to ~2 exchanges per cycle, each bidirectional."""
+        return 2 * 2 * self.bytes_per_direction
+
+    @property
+    def bandwidth_bytes_per_second(self) -> float:
+        """Sustained per-node bandwidth implied by the gossip period."""
+        return self.bytes_per_node_per_cycle / self.period_seconds

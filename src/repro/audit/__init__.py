@@ -1,0 +1,35 @@
+"""Global protocol auditing for simulated overlays.
+
+Individual SecureCyclon nodes can only check what passes through their
+hands; the simulator, holding the whole universe, can check *global*
+invariants that no real deployment could observe directly.  This
+package is the omniscient auditor used by tests and long-running
+experiments to certify that a run respected the protocol's theory:
+
+* every owned descriptor verifies and is owned by its holder;
+* circulating copies of one token never fork illegally among honest
+  holders;
+* honest creators never exceed the one-mint-per-cycle rate;
+* every blacklist entry is backed by a valid proof naming a truly
+  malicious node (zero false positives).
+"""
+
+from repro.audit.auditor import AuditReport, Finding, audit_engine
+from repro.audit.invariants import (
+    check_blacklists,
+    check_chain_consistency,
+    check_mint_rate,
+    check_ownership,
+    check_view_shape,
+)
+
+__all__ = [
+    "AuditReport",
+    "Finding",
+    "audit_engine",
+    "check_blacklists",
+    "check_chain_consistency",
+    "check_mint_rate",
+    "check_ownership",
+    "check_view_shape",
+]

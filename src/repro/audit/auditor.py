@@ -1,0 +1,82 @@
+"""Running all invariant checks and reporting.
+
+:func:`audit_engine` is the one-call entry point: it runs every check
+in :mod:`repro.audit.invariants` against a live engine and returns an
+:class:`AuditReport`.  Tests call ``audit_engine(engine).assert_clean()``
+after end-to-end runs; experiments can audit mid-run via an observer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Sequence
+
+from repro.audit.invariants import (
+    Finding,
+    check_blacklists,
+    check_chain_consistency,
+    check_mint_rate,
+    check_ownership,
+    check_view_shape,
+)
+
+ALL_CHECKS: Sequence[Callable[..., Iterator[Finding]]] = (
+    check_view_shape,
+    check_ownership,
+    check_chain_consistency,
+    check_mint_rate,
+    check_blacklists,
+)
+
+
+@dataclass
+class AuditReport:
+    """The outcome of one audit pass."""
+
+    findings: List[Finding] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_invariant(self) -> Dict[str, List[Finding]]:
+        """Findings grouped by invariant name."""
+        grouped: Dict[str, List[Finding]] = {}
+        for finding in self.findings:
+            grouped.setdefault(finding.invariant, []).append(finding)
+        return grouped
+
+    def assert_clean(self) -> None:
+        """Raise with a readable digest if any invariant was violated."""
+        if self.clean:
+            return
+        lines = [f"{len(self.findings)} audit finding(s):"]
+        for invariant, findings in sorted(self.by_invariant().items()):
+            lines.append(f"  {invariant}: {len(findings)}")
+            lines.extend(f"    {finding}" for finding in findings[:5])
+            if len(findings) > 5:
+                lines.append(f"    ... and {len(findings) - 5} more")
+        raise AssertionError("\n".join(lines))
+
+    def summary(self) -> str:
+        """One line: clean, or counts per invariant."""
+        if self.clean:
+            return f"audit clean ({self.checks_run} checks)"
+        parts = ", ".join(
+            f"{invariant}={len(findings)}"
+            for invariant, findings in sorted(self.by_invariant().items())
+        )
+        return f"audit FAILED: {parts}"
+
+
+def audit_engine(
+    engine,
+    checks: Sequence[Callable[..., Iterator[Finding]]] = ALL_CHECKS,
+) -> AuditReport:
+    """Run ``checks`` (default: all of them) against ``engine``."""
+    report = AuditReport()
+    for check in checks:
+        report.checks_run += 1
+        report.findings.extend(check(engine))
+    return report

@@ -1,0 +1,179 @@
+"""The individual global invariant checks.
+
+Each check walks the live engine and yields :class:`Finding` records
+for anything out of order.  All checks are read-only and side-effect
+free, so they can run mid-simulation between cycles.
+
+Checks apply to *honest* SecureCyclon nodes: adversarial node classes
+deliberately break the rules (that is their job), so their internal
+state is exempt — what matters is that honest state stays lawful even
+while under attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.core.chain import compare_chains
+from repro.core.descriptor import DescriptorId, SecureDescriptor, verify_descriptor
+from repro.core.node import SecureCyclonNode
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit finding: which invariant, where, and what happened."""
+
+    invariant: str
+    node: Any
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.invariant}] node={self.node!r}: {self.message}"
+
+
+def _honest_secure_nodes(engine) -> List[SecureCyclonNode]:
+    return [
+        node
+        for node in engine.legit_nodes()
+        if isinstance(node, SecureCyclonNode)
+    ]
+
+
+def check_view_shape(engine) -> Iterator[Finding]:
+    """Views respect capacity, identity-uniqueness, and no self-links."""
+    for node in _honest_secure_nodes(engine):
+        entries = list(node.view)
+        if len(entries) > node.view.capacity:
+            yield Finding(
+                "view-shape",
+                node.node_id,
+                f"view holds {len(entries)} > capacity {node.view.capacity}",
+            )
+        identities = [entry.descriptor.identity for entry in entries]
+        if len(set(identities)) != len(identities):
+            yield Finding(
+                "view-shape", node.node_id, "duplicate descriptor identity"
+            )
+        for entry in entries:
+            if entry.creator == node.node_id:
+                yield Finding(
+                    "view-shape", node.node_id, "view contains a self-link"
+                )
+
+
+def check_ownership(engine) -> Iterator[Finding]:
+    """Every owned view descriptor verifies and names its holder as the
+    current owner (non-swappable copies name the *transferee* instead,
+    the §V-A shape)."""
+    for node in _honest_secure_nodes(engine):
+        for entry in node.view:
+            descriptor = entry.descriptor
+            if not verify_descriptor(descriptor, engine.registry):
+                yield Finding(
+                    "ownership",
+                    node.node_id,
+                    f"invalid chain on {descriptor.identity!r}",
+                )
+                continue
+            if entry.non_swappable:
+                # A retained copy: the node gave the ownership away, so
+                # its own key must appear in the chain but not at the tail.
+                if node.node_id not in descriptor.owners():
+                    yield Finding(
+                        "ownership",
+                        node.node_id,
+                        f"non-swappable copy never owned: "
+                        f"{descriptor.identity!r}",
+                    )
+            elif descriptor.current_owner != node.node_id:
+                yield Finding(
+                    "ownership",
+                    node.node_id,
+                    f"holder is not the owner of {descriptor.identity!r}",
+                )
+
+
+def _circulating_copies(
+    engine,
+) -> Dict[DescriptorId, List[Tuple[Any, SecureDescriptor]]]:
+    copies: Dict[DescriptorId, List[Tuple[Any, SecureDescriptor]]] = {}
+    for node in _honest_secure_nodes(engine):
+        for entry in node.view:
+            copies.setdefault(entry.descriptor.identity, []).append(
+                (node.node_id, entry.descriptor)
+            )
+    return copies
+
+
+def check_chain_consistency(engine) -> Iterator[Finding]:
+    """Copies of one token held by honest nodes never fork illegally.
+
+    Honest nodes can transiently hold prefix-related copies (a sample
+    that is younger than the circulating original), and sanctioned
+    §V-A forks are legal; anything else among *honest* holders means
+    an adversarial clone slipped past the checks, or worse, honest
+    code double-spent.  Tokens created by malicious nodes are skipped:
+    the adversary clones its own tokens by design and honest holders
+    cannot know until proofs spread.
+    """
+    malicious = engine.malicious_ids
+    for identity, holders in _circulating_copies(engine).items():
+        if identity.creator in malicious:
+            continue
+        for index in range(1, len(holders)):
+            holder_a, copy_a = holders[0]
+            holder_b, copy_b = holders[index]
+            comparison = compare_chains(copy_a, copy_b)
+            if comparison.is_violation and comparison.culprit not in malicious:
+                yield Finding(
+                    "chain-consistency",
+                    holder_b,
+                    f"illegal fork of {identity!r} between honest holders "
+                    f"{holder_a!r} and {holder_b!r}",
+                )
+
+
+def check_mint_rate(engine) -> Iterator[Finding]:
+    """No honest creator has two circulating descriptors closer than
+    the gossip period (the frequency invariant, §IV-B), and no honest
+    node's own bookkeeping shows more than one mint per cycle."""
+    period = engine.clock.period_seconds
+    by_creator: Dict[Any, List[float]] = {}
+    malicious = engine.malicious_ids
+    for identity in _circulating_copies(engine):
+        if identity.creator not in malicious:
+            by_creator.setdefault(identity.creator, []).append(
+                identity.timestamp
+            )
+    for creator, stamps in by_creator.items():
+        stamps.sort()
+        for earlier, later in zip(stamps, stamps[1:]):
+            if later != earlier and later - earlier < period - 1e-6:
+                yield Finding(
+                    "mint-rate",
+                    creator,
+                    f"two descriptors {later - earlier:.3f}s apart "
+                    f"(period {period}s)",
+                )
+
+
+def check_blacklists(engine) -> Iterator[Finding]:
+    """Blacklists contain only malicious nodes, each with a valid proof."""
+    malicious = engine.malicious_ids
+    period = engine.clock.period_seconds
+    for node in _honest_secure_nodes(engine):
+        for offender in node.blacklist.members():
+            if offender not in malicious:
+                yield Finding(
+                    "blacklist",
+                    node.node_id,
+                    f"honest node {offender!r} blacklisted (false positive)",
+                )
+            proof = node.blacklist.proof_for(offender)
+            if proof is None or not proof.validate(engine.registry, period):
+                yield Finding(
+                    "blacklist",
+                    node.node_id,
+                    f"blacklist entry for {offender!r} lacks a valid proof",
+                )

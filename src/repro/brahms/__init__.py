@@ -1,0 +1,25 @@
+"""A Brahms-style Byzantine-resilient sampler (related work, §VII).
+
+Brahms (Bortnikov et al., PODC 2008) is the classic comparison point
+for Byzantine-resilient peer sampling.  It *bounds* the adversary's
+over-representation — limited pushes plus min-wise independent
+permutation samplers keep some unbiased links alive — but, as the paper
+stresses, it never *eliminates* malicious descriptors the way
+SecureCyclon's provable blacklisting does, and its sampler trades away
+freshness.  This implementation exists to reproduce that qualitative
+comparison in the benchmark suite.
+"""
+
+from repro.brahms.config import BrahmsConfig
+from repro.brahms.sampler import MinWiseSampler, SamplerArray
+from repro.brahms.node import BrahmsNode, BrahmsPush, BrahmsPullRequest, BrahmsPullReply
+
+__all__ = [
+    "BrahmsConfig",
+    "MinWiseSampler",
+    "SamplerArray",
+    "BrahmsNode",
+    "BrahmsPush",
+    "BrahmsPullRequest",
+    "BrahmsPullReply",
+]

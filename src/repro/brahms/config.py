@@ -1,0 +1,58 @@
+"""Configuration for the Brahms-style sampler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BrahmsConfig:
+    """Brahms parameters.
+
+    ``view_size`` is ℓ1 (the gossip view), ``sampler_size`` ℓ2 (the
+    min-wise sampler array).  ``alpha``/``beta``/``gamma`` split the
+    view re-construction between pushed IDs, pulled IDs and sampled
+    IDs and must sum to 1.  ``push_limit_factor`` bounds how many
+    pushes a node accepts per round before suspecting an attack and
+    keeping its previous view (the limited-push defence).
+    """
+
+    view_size: int = 16
+    sampler_size: int = 16
+    alpha: float = 0.45
+    beta: float = 0.45
+    gamma: float = 0.10
+    push_limit_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.view_size < 1:
+            raise ConfigError("view_size must be >= 1")
+        if self.sampler_size < 1:
+            raise ConfigError("sampler_size must be >= 1")
+        total = self.alpha + self.beta + self.gamma
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(
+                f"alpha + beta + gamma must equal 1, got {total}"
+            )
+        if min(self.alpha, self.beta, self.gamma) < 0:
+            raise ConfigError("mixing weights must be non-negative")
+        if self.push_limit_factor <= 0:
+            raise ConfigError("push_limit_factor must be positive")
+
+    @property
+    def push_slots(self) -> int:
+        return max(1, round(self.alpha * self.view_size))
+
+    @property
+    def pull_slots(self) -> int:
+        return max(1, round(self.beta * self.view_size))
+
+    @property
+    def sample_slots(self) -> int:
+        return max(0, self.view_size - self.push_slots - self.pull_slots)
+
+    @property
+    def push_limit(self) -> int:
+        return max(1, round(self.push_limit_factor * self.push_slots))

@@ -1,0 +1,178 @@
+"""The Brahms protocol node.
+
+Each round a node pushes its ID to ``alpha·ℓ1`` view members, pulls the
+views of ``beta·ℓ1`` members, and rebuilds its view from fixed quotas
+of pushed, pulled and sampler-provided IDs.  Receiving more pushes than
+the limit is treated as attack evidence: the node keeps its previous
+view for that round (the limited-push defence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from repro.brahms.config import BrahmsConfig
+from repro.brahms.sampler import SamplerArray
+from repro.errors import PeerUnreachable
+from repro.sim.channel import MessageDropped
+from repro.sim.engine import ProtocolNode
+from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class BrahmsPush:
+    """One-way: the sender advertises its own ID."""
+
+    node_id: Any
+
+
+@dataclass(frozen=True)
+class BrahmsPullRequest:
+    """Dialogue: ask a peer for its current view."""
+
+
+@dataclass(frozen=True)
+class BrahmsPullReply:
+    """Dialogue reply: the peer's current view IDs."""
+
+    view: Tuple[Any, ...]
+
+
+class BrahmsNode(ProtocolNode):
+    """A correct Brahms participant.
+
+    The node's public sample set (for applications) is the sampler
+    array; the view is gossip working state.
+    """
+
+    def __init__(self, node_id: Any, config: BrahmsConfig, rng) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.rng = rng
+        self.view: List[Any] = []
+        self.samplers = SamplerArray(config.sampler_size, rng)
+        self.current_cycle = 0
+        self._pushes_received: List[Any] = []
+        self._pulled: List[Any] = []
+
+    def seed_view(self, node_ids) -> None:
+        """Bootstrap the view (and samplers) with initial contacts."""
+        for node_id in node_ids:
+            if node_id != self.node_id and node_id not in self.view:
+                self.view.append(node_id)
+        del self.view[self.config.view_size :]
+        self.samplers.observe_all(self.view)
+
+    # ------------------------------------------------------------------
+    # engine hooks
+    # ------------------------------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        self.current_cycle = cycle
+        self._pushes_received = []
+        self._pulled = []
+
+    def run_cycle(self, network: Network) -> None:
+        if not self.view:
+            return
+        push_targets = self._pick(self.config.push_slots)
+        for target in push_targets:
+            network.push(self.node_id, target, BrahmsPush(node_id=self.node_id))
+        pull_targets = self._pick(self.config.pull_slots)
+        for target in pull_targets:
+            try:
+                channel = network.connect(self.node_id, target)
+                reply = channel.request(BrahmsPullRequest())
+            except (PeerUnreachable, MessageDropped):
+                continue
+            if isinstance(reply, BrahmsPullReply):
+                self._pulled.extend(
+                    nid for nid in reply.view if nid != self.node_id
+                )
+        self._rebuild_view()
+
+    def receive(self, sender_id: Any, payload: Any) -> Any:
+        if isinstance(payload, BrahmsPullRequest):
+            return BrahmsPullReply(view=tuple(self.view))
+        raise TypeError(f"unexpected payload {type(payload).__name__}")
+
+    def receive_push(self, sender_id: Any, payload: Any) -> None:
+        if isinstance(payload, BrahmsPush):
+            self._pushes_received.append(payload.node_id)
+
+    # ------------------------------------------------------------------
+    # view reconstruction
+    # ------------------------------------------------------------------
+
+    def _pick(self, count: int) -> List[Any]:
+        count = min(count, len(self.view))
+        return self.rng.sample(self.view, count) if count else []
+
+    def _rebuild_view(self) -> None:
+        pushes = self._pushes_received
+        pulls = self._pulled
+        self.samplers.observe_all(pushes)
+        self.samplers.observe_all(pulls)
+
+        if not pushes and not pulls:
+            return
+        if len(pushes) > self.config.push_limit:
+            # Push flood: likely an attack; keep the previous view.
+            return
+
+        new_view: List[Any] = []
+
+        def take(source: List[Any], count: int) -> None:
+            pool = [nid for nid in source if nid not in new_view]
+            count = min(count, len(pool))
+            new_view.extend(self.rng.sample(pool, count))
+
+        take(pushes, self.config.push_slots)
+        take(pulls, self.config.pull_slots)
+        take(self.samplers.samples(), self.config.sample_slots)
+        take(self.view, self.config.view_size - len(new_view))
+        if new_view:
+            self.view = new_view[: self.config.view_size]
+
+
+class BrahmsHubAttacker(BrahmsNode):
+    """A colluding attacker flooding pushes and malicious-only pulls."""
+
+    def __init__(self, *args, coordinator, push_rate: int = 4, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.coordinator = coordinator
+        self.push_rate = push_rate
+
+    @property
+    def is_malicious(self) -> bool:
+        return True
+
+    def _attacking(self) -> bool:
+        return self.coordinator.is_attacking(self.current_cycle)
+
+    def run_cycle(self, network: Network) -> None:
+        if not self._attacking():
+            super().run_cycle(network)
+            return
+        members = self.coordinator.members()
+        for _ in range(self.push_rate):
+            victim = self.coordinator.random_victim()
+            if victim is None:
+                return
+            advertised = self.coordinator.rng.choice(members)
+            network.push(self.node_id, victim, BrahmsPush(node_id=advertised))
+
+    def receive(self, sender_id: Any, payload: Any) -> Any:
+        if not self._attacking():
+            return super().receive(sender_id, payload)
+        if isinstance(payload, BrahmsPullRequest):
+            members = self.coordinator.members()
+            count = min(self.config.view_size, len(members))
+            return BrahmsPullReply(
+                view=tuple(self.coordinator.rng.sample(members, count))
+            )
+        raise TypeError(f"unexpected payload {type(payload).__name__}")
+
+    def receive_push(self, sender_id: Any, payload: Any) -> None:
+        return  # attackers ignore inbound pushes

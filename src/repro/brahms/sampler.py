@@ -1,0 +1,87 @@
+"""Min-wise independent permutation samplers.
+
+Each sampler slot draws a secret random seed and retains, from the
+stream of node IDs it has ever observed, the ID minimising
+``H(seed || id)``.  Because the seed is secret and the hash behaves
+like a random permutation, the retained element is a uniform sample of
+the observed stream — no matter how the adversary floods it (its
+duplicates cannot lower the minimum twice).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, List, Optional
+
+
+class MinWiseSampler:
+    """One sampler slot: keeps the stream's min-hash element."""
+
+    def __init__(self, rng) -> None:
+        self._seed = rng.getrandbits(64).to_bytes(8, "big")
+        self._best_value: Optional[bytes] = None
+        self._best_id: Any = None
+
+    def _hash(self, node_id: Any) -> bytes:
+        raw = getattr(node_id, "digest", None)
+        if raw is None:
+            raw = repr(node_id).encode("utf-8")
+        return hashlib.sha256(self._seed + raw).digest()
+
+    def observe(self, node_id: Any) -> None:
+        """Feed one ID from the stream."""
+        value = self._hash(node_id)
+        if self._best_value is None or value < self._best_value:
+            self._best_value = value
+            self._best_id = node_id
+
+    def sample(self) -> Any:
+        """The current sample (None until the first observation)."""
+        return self._best_id
+
+    def invalidate_if(self, predicate) -> bool:
+        """Reset the slot if its sample matches ``predicate``.
+
+        Brahms re-validates samples against liveness probes; tests use
+        this to model eviction of dead/blacklisted samples.
+        """
+        if self._best_id is not None and predicate(self._best_id):
+            self._best_value = None
+            self._best_id = None
+            return True
+        return False
+
+
+class SamplerArray:
+    """A fixed array of independent min-wise samplers."""
+
+    def __init__(self, size: int, rng) -> None:
+        if size < 1:
+            raise ValueError("sampler array size must be >= 1")
+        self._samplers: List[MinWiseSampler] = [
+            MinWiseSampler(rng) for _ in range(size)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._samplers)
+
+    def observe(self, node_id: Any) -> None:
+        for sampler in self._samplers:
+            sampler.observe(node_id)
+
+    def observe_all(self, node_ids) -> None:
+        for node_id in node_ids:
+            self.observe(node_id)
+
+    def samples(self) -> List[Any]:
+        """Current non-empty samples."""
+        return [
+            sampler.sample()
+            for sampler in self._samplers
+            if sampler.sample() is not None
+        ]
+
+    def invalidate_if(self, predicate) -> int:
+        return sum(
+            1 for sampler in self._samplers if sampler.invalidate_if(predicate)
+        )

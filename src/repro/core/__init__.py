@@ -1,0 +1,76 @@
+"""SecureCyclon: the paper's primary contribution.
+
+The public surface of this package:
+
+* :class:`~repro.core.config.SecureCyclonConfig` — protocol parameters;
+* :class:`~repro.core.node.SecureCyclonNode` — a correct participant;
+* :class:`~repro.core.descriptor.SecureDescriptor` and friends — the
+  token-like descriptors with chains of ownership;
+* :mod:`~repro.core.proofs` — indisputable violation proofs;
+* :mod:`~repro.core.wire` — wire sizes and serialisation.
+"""
+
+from repro.core.blacklist import Blacklist
+from repro.core.chain import ChainComparison, ChainRelation, compare_chains
+from repro.core.config import SecureCyclonConfig
+from repro.core.descriptor import (
+    DescriptorId,
+    OwnershipHop,
+    SecureDescriptor,
+    TransferKind,
+    mint,
+    verify_descriptor,
+)
+from repro.core.exchange import (
+    BulkSwapMessage,
+    BulkSwapReply,
+    GossipAccept,
+    GossipOpen,
+    GossipReject,
+    ProofFlood,
+    TransferMessage,
+    TransferReply,
+)
+from repro.core.node import SecureCyclonNode
+from repro.core.proofs import (
+    CloningProof,
+    FrequencyProof,
+    ViolationProof,
+    build_cloning_proof,
+    build_frequency_proof,
+)
+from repro.core.redemption import RedemptionCache
+from repro.core.samples import SampleCache
+from repro.core.view import SecureView, ViewEntry
+
+__all__ = [
+    "Blacklist",
+    "ChainComparison",
+    "ChainRelation",
+    "compare_chains",
+    "SecureCyclonConfig",
+    "DescriptorId",
+    "OwnershipHop",
+    "SecureDescriptor",
+    "TransferKind",
+    "mint",
+    "verify_descriptor",
+    "BulkSwapMessage",
+    "BulkSwapReply",
+    "GossipAccept",
+    "GossipOpen",
+    "GossipReject",
+    "ProofFlood",
+    "TransferMessage",
+    "TransferReply",
+    "SecureCyclonNode",
+    "CloningProof",
+    "FrequencyProof",
+    "ViolationProof",
+    "build_cloning_proof",
+    "build_frequency_proof",
+    "RedemptionCache",
+    "SampleCache",
+    "SecureView",
+    "ViewEntry",
+]

@@ -1,0 +1,58 @@
+"""The blacklist: validated violators and the proofs against them.
+
+Paper §IV-C: upon receiving and locally validating a proof of
+violation, correct nodes blacklist the corresponding malicious node,
+drop every descriptor linking to it, and stop accepting its gossip.
+The blacklist also remembers the proof itself so it can be forwarded to
+newly joined nodes during gossip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.proofs import ViolationProof
+from repro.crypto.keys import PublicKey
+
+
+class Blacklist:
+    """Set of proven violators, keyed by public key."""
+
+    def __init__(self) -> None:
+        self._proofs: Dict[PublicKey, ViolationProof] = {}
+        self._proofs_tuple: tuple = ()
+
+    def __len__(self) -> int:
+        return len(self._proofs)
+
+    def __contains__(self, public: PublicKey) -> bool:
+        return public in self._proofs
+
+    def is_blacklisted(self, public: PublicKey) -> bool:
+        return public in self._proofs
+
+    def add(self, proof: ViolationProof) -> bool:
+        """Record ``proof``; True iff its culprit is newly blacklisted.
+
+        The "already discovered" test is the paper's guard against
+        re-flooding known proofs (§IV-C DoS discussion).
+        """
+        if proof.culprit in self._proofs:
+            return False
+        self._proofs[proof.culprit] = proof
+        self._proofs_tuple = self._proofs_tuple + (proof,)
+        return True
+
+    def proof_for(self, public: PublicKey) -> Optional[ViolationProof]:
+        return self._proofs.get(public)
+
+    def proofs(self) -> List[ViolationProof]:
+        """All retained proofs (piggybacked on gossip for catch-up)."""
+        return list(self._proofs_tuple)
+
+    def proofs_tuple(self) -> tuple:
+        """Same as :meth:`proofs` but without a copy (hot path)."""
+        return self._proofs_tuple
+
+    def members(self) -> Iterable[PublicKey]:
+        return self._proofs.keys()

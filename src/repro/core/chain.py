@@ -1,0 +1,122 @@
+"""Ownership-chain comparison (the ownership check of paper §IV-B).
+
+Two copies of the same descriptor must tell compatible stories: one
+chain must be a prefix of the other (one copy is simply staler).  If
+the chains *fork* — diverge at some hop — then the last common owner
+signed two different transfers of the same token, which is indisputable
+proof of cloning.  The single sanctioned exception is a fork whose
+diverging hop is a non-swappable redemption back to the creator
+(paper §V-A; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.descriptor import (
+    OwnershipHop,
+    SecureDescriptor,
+    TransferKind,
+)
+from repro.crypto.keys import PublicKey
+from repro.errors import DescriptorError
+
+
+class ChainRelation(enum.Enum):
+    """How two chains of the same descriptor relate."""
+
+    EQUAL = "equal"
+    PREFIX = "prefix"  # first chain is a proper prefix of the second
+    EXTENSION = "extension"  # second chain is a proper prefix of the first
+    FORK = "fork"
+
+
+@dataclass(frozen=True)
+class ChainComparison:
+    """Result of comparing two copies of one descriptor.
+
+    For forks, ``fork_index`` is the position of the first diverging
+    hop, ``culprit`` the owner who signed both diverging hops, and
+    ``sanctioned`` whether the fork is the legal non-swappable-redemption
+    shape rather than a violation.
+    """
+
+    relation: ChainRelation
+    fork_index: Optional[int] = None
+    culprit: Optional[PublicKey] = None
+    sanctioned: bool = False
+
+    @property
+    def is_violation(self) -> bool:
+        return self.relation is ChainRelation.FORK and not self.sanctioned
+
+
+def _hops_equal(a: OwnershipHop, b: OwnershipHop) -> bool:
+    """Hop equality for chain comparison.
+
+    Signatures are deterministic in our scheme, so (owner, kind) decides
+    equality for verified chains; comparing signatures too would only
+    matter for unverified garbage, which callers reject earlier.
+    """
+    return a.owner == b.owner and a.kind == b.kind
+
+
+def _is_sanctioned_fork(
+    descriptor: SecureDescriptor, a: OwnershipHop, b: OwnershipHop
+) -> bool:
+    """A fork is sanctioned iff a diverging hop is a non-swappable
+    redemption back to the creator (the §V-A repair mechanism)."""
+    for hop in (a, b):
+        if (
+            hop.kind is TransferKind.NONSWAP_REDEEM
+            and hop.owner == descriptor.creator
+        ):
+            return True
+    return False
+
+
+def compare_chains(
+    first: SecureDescriptor, second: SecureDescriptor
+) -> ChainComparison:
+    """Compare two copies of the same descriptor.
+
+    Raises :class:`DescriptorError` if the descriptors do not share an
+    identity — comparing unrelated descriptors is a caller bug.
+    """
+    if first.identity != second.identity:
+        raise DescriptorError(
+            f"cannot compare chains of different descriptors: "
+            f"{first.identity!r} vs {second.identity!r}"
+        )
+
+    shorter = min(len(first.hops), len(second.hops))
+    for index in range(shorter):
+        hop_a = first.hops[index]
+        hop_b = second.hops[index]
+        if _hops_equal(hop_a, hop_b):
+            continue
+        owners = first.owners()
+        return ChainComparison(
+            relation=ChainRelation.FORK,
+            fork_index=index,
+            culprit=owners[index],
+            sanctioned=_is_sanctioned_fork(first, hop_a, hop_b),
+        )
+
+    if len(first.hops) == len(second.hops):
+        return ChainComparison(relation=ChainRelation.EQUAL)
+    if len(first.hops) < len(second.hops):
+        return ChainComparison(relation=ChainRelation.PREFIX)
+    return ChainComparison(relation=ChainRelation.EXTENSION)
+
+
+def longer_chain(
+    first: SecureDescriptor, second: SecureDescriptor
+) -> SecureDescriptor:
+    """The more-advanced of two compatible copies (paper §IV-B: "the one
+    with the longest version is retained")."""
+    if len(second.hops) > len(first.hops):
+        return second
+    return first

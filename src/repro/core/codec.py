@@ -1,0 +1,228 @@
+"""Whole-message binary codec for the gossip dialogue.
+
+:mod:`repro.core.wire` serialises the two primitive records (descriptors
+and proofs); this module frames complete dialogue messages so a whole
+SecureCyclon conversation can be moved as bytes.  The simulator itself
+passes Python objects between nodes (channels are in-process), so the
+codec exists for three consumers:
+
+* the network-cost experiment, which reports *measured* (not budgeted)
+  per-message sizes;
+* round-trip property tests, which fuzz the framing;
+* anyone lifting this library onto a real transport.
+
+Framing: one type byte, then the message's fields in a fixed order,
+with ``u16`` counts for sequences and ``u32`` length prefixes for every
+variable-size record.  Strings are UTF-8 with a ``u16`` length.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Tuple
+
+from repro.core.exchange import (
+    BulkSwapMessage,
+    BulkSwapReply,
+    GossipAccept,
+    GossipOpen,
+    GossipReject,
+    ProofFlood,
+    TransferMessage,
+    TransferReply,
+)
+from repro.core.descriptor import SecureDescriptor
+from repro.core.proofs import ViolationProof
+from repro.core.wire import (
+    decode_descriptor,
+    decode_proof,
+    encode_descriptor,
+    encode_proof,
+)
+from repro.errors import DescriptorError
+
+_TYPE_CODES = {
+    GossipOpen: 1,
+    GossipAccept: 2,
+    GossipReject: 3,
+    TransferMessage: 4,
+    TransferReply: 5,
+    BulkSwapMessage: 6,
+    BulkSwapReply: 7,
+    ProofFlood: 8,
+}
+
+
+class _Writer:
+    """Accumulates length-prefixed records."""
+
+    def __init__(self) -> None:
+        self.parts: List[bytes] = []
+
+    def u8(self, value: int) -> None:
+        self.parts.append(struct.pack(">B", value))
+
+    def u16(self, value: int) -> None:
+        self.parts.append(struct.pack(">H", value))
+
+    def u32(self, value: int) -> None:
+        self.parts.append(struct.pack(">I", value))
+
+    def blob(self, data: bytes) -> None:
+        self.u32(len(data))
+        self.parts.append(data)
+
+    def string(self, text: str) -> None:
+        raw = text.encode("utf-8")
+        self.u16(len(raw))
+        self.parts.append(raw)
+
+    def descriptor(self, descriptor: SecureDescriptor) -> None:
+        self.blob(encode_descriptor(descriptor))
+
+    def descriptors(self, items: Tuple[SecureDescriptor, ...]) -> None:
+        self.u16(len(items))
+        for item in items:
+            self.descriptor(item)
+
+    def proofs(self, items: Tuple[ViolationProof, ...]) -> None:
+        self.u16(len(items))
+        for item in items:
+            self.blob(encode_proof(item))
+
+    def bytes(self) -> bytes:
+        return b"".join(self.parts)
+
+
+class _Reader:
+    """Mirrors :class:`_Writer`."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def u8(self) -> int:
+        (value,) = struct.unpack_from(">B", self.data, self.offset)
+        self.offset += 1
+        return value
+
+    def u16(self) -> int:
+        (value,) = struct.unpack_from(">H", self.data, self.offset)
+        self.offset += 2
+        return value
+
+    def u32(self) -> int:
+        (value,) = struct.unpack_from(">I", self.data, self.offset)
+        self.offset += 4
+        return value
+
+    def blob(self) -> bytes:
+        size = self.u32()
+        raw = self.data[self.offset : self.offset + size]
+        if len(raw) != size:
+            raise DescriptorError("truncated record")
+        self.offset += size
+        return raw
+
+    def string(self) -> str:
+        size = self.u16()
+        raw = self.data[self.offset : self.offset + size]
+        if len(raw) != size:
+            raise DescriptorError("truncated string")
+        self.offset += size
+        return raw.decode("utf-8")
+
+    def descriptor(self) -> SecureDescriptor:
+        return decode_descriptor(self.blob())
+
+    def descriptors(self) -> Tuple[SecureDescriptor, ...]:
+        return tuple(self.descriptor() for _ in range(self.u16()))
+
+    def proofs(self) -> Tuple[ViolationProof, ...]:
+        return tuple(decode_proof(self.blob()) for _ in range(self.u16()))
+
+    def done(self) -> None:
+        if self.offset != len(self.data):
+            raise DescriptorError("trailing bytes after message")
+
+
+def encode_message(message: Any) -> bytes:
+    """Serialise any dialogue message to bytes."""
+    code = _TYPE_CODES.get(type(message))
+    if code is None:
+        raise DescriptorError(
+            f"not a dialogue message: {type(message).__name__}"
+        )
+    writer = _Writer()
+    writer.u8(code)
+    if isinstance(message, GossipOpen):
+        writer.descriptor(message.redemption)
+        writer.u8(1 if message.non_swappable else 0)
+        writer.descriptors(message.samples)
+        writer.proofs(message.proofs)
+    elif isinstance(message, GossipAccept):
+        writer.descriptors(message.samples)
+        writer.proofs(message.proofs)
+    elif isinstance(message, GossipReject):
+        writer.string(message.reason)
+        writer.proofs(message.proofs)
+    elif isinstance(message, TransferMessage):
+        writer.descriptor(message.descriptor)
+        writer.u16(message.round_index)
+    elif isinstance(message, TransferReply):
+        writer.u8(1 if message.descriptor is not None else 0)
+        if message.descriptor is not None:
+            writer.descriptor(message.descriptor)
+    elif isinstance(message, (BulkSwapMessage, BulkSwapReply)):
+        writer.descriptors(message.descriptors)
+    else:  # ProofFlood
+        writer.blob(encode_proof(message.proof))
+    return writer.bytes()
+
+
+def decode_message(data: bytes) -> Any:
+    """Inverse of :func:`encode_message`."""
+    try:
+        reader = _Reader(data)
+        code = reader.u8()
+        if code == 1:
+            message: Any = GossipOpen(
+                redemption=reader.descriptor(),
+                non_swappable=bool(reader.u8()),
+                samples=reader.descriptors(),
+                proofs=reader.proofs(),
+            )
+        elif code == 2:
+            message = GossipAccept(
+                samples=reader.descriptors(), proofs=reader.proofs()
+            )
+        elif code == 3:
+            message = GossipReject(
+                reason=reader.string(), proofs=reader.proofs()
+            )
+        elif code == 4:
+            message = TransferMessage(
+                descriptor=reader.descriptor(), round_index=reader.u16()
+            )
+        elif code == 5:
+            present = reader.u8()
+            message = TransferReply(
+                descriptor=reader.descriptor() if present else None
+            )
+        elif code == 6:
+            message = BulkSwapMessage(descriptors=reader.descriptors())
+        elif code == 7:
+            message = BulkSwapReply(descriptors=reader.descriptors())
+        elif code == 8:
+            message = ProofFlood(proof=decode_proof(reader.blob()))
+        else:
+            raise DescriptorError(f"unknown message type code {code}")
+        reader.done()
+        return message
+    except (struct.error, ValueError, IndexError) as exc:
+        raise DescriptorError(f"malformed message bytes: {exc}") from exc
+
+
+def encoded_message_size(message: Any) -> int:
+    """Measured wire size in bytes of the framed message."""
+    return len(encode_message(message))

@@ -1,0 +1,290 @@
+"""SecureCyclon's enhanced node descriptors (paper §IV-A).
+
+A descriptor is born with its creator's public key, network address and
+a wall-clock timestamp.  Every time it changes hands, a *hop* is
+appended: the new owner's public key plus a signature by the *previous*
+owner over everything so far.  The resulting chain of ownership makes a
+descriptor an unforgeable, unclonable token:
+
+* nobody can mint a descriptor for another node (the first hop must be
+  signed by the creator);
+* transferring the same descriptor twice necessarily produces two
+  chains that fork at the double-spender, which is indisputable proof
+  of a cloning violation (§IV-B).
+
+Redemption — presenting the descriptor back to its creator to initiate
+gossip — is modelled as a final hop whose target *is* the creator (see
+DESIGN.md).  A redeemed-then-cloned descriptor therefore forks exactly
+like any other double transfer.  Non-swappable redemptions (§V-A) carry
+a distinct hop kind so the sanctioned fork they create toward the
+creator is never mistaken for a violation.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.signing import Signature, sign, verify
+from repro.errors import DescriptorError
+from repro.sim.network import NetworkAddress
+
+
+class TransferKind(enum.Enum):
+    """Why a hop was appended to the chain.
+
+    ``TRANSFER`` is an ordinary ownership transfer during a swap.
+    ``REDEEM`` is the final hop back to the creator that spends the
+    descriptor for a gossip exchange.  ``NONSWAP_REDEEM`` is a
+    redemption performed with a retained non-swappable copy (§V-A);
+    forks it creates against the live copy are sanctioned.
+    """
+
+    TRANSFER = "transfer"
+    REDEEM = "redeem"
+    NONSWAP_REDEEM = "nonswap_redeem"
+
+
+TERMINAL_KINDS = (TransferKind.REDEEM, TransferKind.NONSWAP_REDEEM)
+
+
+@dataclass(frozen=True)
+class OwnershipHop:
+    """One link of the chain: ``owner`` received the descriptor.
+
+    ``signature`` was produced by the *previous* owner (the creator for
+    the first hop) over the descriptor digest up to and including this
+    hop, so the chain cannot be truncated, reordered or grafted.
+    """
+
+    owner: PublicKey
+    kind: TransferKind
+    signature: Signature
+
+
+@dataclass(frozen=True)
+class DescriptorId:
+    """The identity of a descriptor: its creator and birth timestamp.
+
+    Two descriptors with equal identity are copies of the same token;
+    their chains must be prefix-compatible or someone cheated.
+    """
+
+    creator: PublicKey
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        # Identities key the sample caches of every node; cache the hash.
+        object.__setattr__(
+            self, "_hash", hash((self.creator, self.timestamp))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DescriptorId({self.creator.hex()}@{self.timestamp:g})"
+
+
+@dataclass(frozen=True)
+class SecureDescriptor:
+    """An enhanced descriptor: node info plus the chain of ownership."""
+
+    creator: PublicKey
+    address: NetworkAddress
+    timestamp: float
+    hops: Tuple[OwnershipHop, ...] = ()
+    # Pre-computed (creator, timestamp) pair — the descriptor's identity.
+    # Eager because it is read on every cache lookup in the simulation.
+    identity: DescriptorId = field(
+        init=False, compare=False, repr=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "identity",
+            DescriptorId(creator=self.creator, timestamp=self.timestamp),
+        )
+
+    # ------------------------------------------------------------------
+    # identity and ownership
+    # ------------------------------------------------------------------
+
+    @property
+    def current_owner(self) -> PublicKey:
+        """Who may transfer or redeem this descriptor next."""
+        if self.hops:
+            return self.hops[-1].owner
+        return self.creator
+
+    def owners(self) -> Tuple[PublicKey, ...]:
+        """The full ownership sequence, creator first."""
+        return (self.creator,) + tuple(hop.owner for hop in self.hops)
+
+    @property
+    def transfer_count(self) -> int:
+        return len(self.hops)
+
+    @property
+    def is_spent(self) -> bool:
+        """True once a terminal (redeem) hop has been appended."""
+        return bool(self.hops) and self.hops[-1].kind in TERMINAL_KINDS
+
+    def age_cycles(self, now: float, period_seconds: float) -> int:
+        """Age in whole cycles at wall-clock time ``now``."""
+        if period_seconds <= 0:
+            raise DescriptorError("period must be positive")
+        return max(0, int((now - self.timestamp) // period_seconds))
+
+    # ------------------------------------------------------------------
+    # digests and signing payloads
+    # ------------------------------------------------------------------
+
+    def base_digest(self) -> bytes:
+        """Digest of the birth fields (creator, address, timestamp)."""
+        hasher = hashlib.sha256()
+        hasher.update(self.creator.digest)
+        hasher.update(self.address.host.to_bytes(4, "big"))
+        hasher.update(self.address.port.to_bytes(2, "big"))
+        hasher.update(repr(self.timestamp).encode("ascii"))
+        return hasher.digest()
+
+    def chain_digest(self) -> bytes:
+        """Running digest over the birth fields and every hop.
+
+        Cached: descriptors are immutable and every transfer extends
+        the digest of its parent.
+        """
+        cached = self.__dict__.get("_chain_digest")
+        if cached is not None:
+            return cached
+        digest = self.base_digest()
+        for hop in self.hops:
+            digest = _extend_digest(digest, hop.owner, hop.kind)
+        object.__setattr__(self, "_chain_digest", digest)
+        return digest
+
+    # ------------------------------------------------------------------
+    # transfers
+    # ------------------------------------------------------------------
+
+    def transfer(
+        self,
+        owner_keypair: KeyPair,
+        new_owner: PublicKey,
+        kind: TransferKind = TransferKind.TRANSFER,
+    ) -> "SecureDescriptor":
+        """Hand this descriptor to ``new_owner``, signed by the owner.
+
+        ``owner_keypair`` must belong to the current owner — this is the
+        API-level embodiment of "only the owner can transfer".  Terminal
+        kinds must target the creator, and nothing may follow them.
+        """
+        if owner_keypair.public != self.current_owner:
+            raise DescriptorError(
+                f"{owner_keypair.public.hex()} is not the current owner "
+                f"({self.current_owner.hex()})"
+            )
+        if self.is_spent:
+            raise DescriptorError("descriptor already redeemed")
+        if kind in TERMINAL_KINDS and new_owner != self.creator:
+            raise DescriptorError("redemption hops must target the creator")
+        new_digest = _extend_digest(self.chain_digest(), new_owner, kind)
+        signature = sign(owner_keypair, new_digest)
+        hop = OwnershipHop(owner=new_owner, kind=kind, signature=signature)
+        child = SecureDescriptor(
+            creator=self.creator,
+            address=self.address,
+            timestamp=self.timestamp,
+            hops=self.hops + (hop,),
+        )
+        object.__setattr__(child, "_chain_digest", new_digest)
+        # The new hop was signed here and now with the genuine owner
+        # key, so a child of a verified parent is verified by
+        # construction — propagate the memo instead of re-running the
+        # whole chain of HMACs at the receiver.
+        verified_by = self.__dict__.get("_verified_by")
+        if verified_by is not None:
+            object.__setattr__(child, "_verified_by", verified_by)
+        return child
+
+    def redeem(
+        self,
+        owner_keypair: KeyPair,
+        non_swappable: bool = False,
+    ) -> "SecureDescriptor":
+        """Spend this descriptor for a gossip exchange with its creator."""
+        kind = (
+            TransferKind.NONSWAP_REDEEM if non_swappable else TransferKind.REDEEM
+        )
+        return self.transfer(owner_keypair, self.creator, kind=kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        path = "->".join(pk.hex(6) for pk in self.owners())
+        return f"SecureDescriptor({path}@{self.timestamp:g})"
+
+
+def _extend_digest(
+    digest: bytes, owner: PublicKey, kind: TransferKind
+) -> bytes:
+    hasher = hashlib.sha256()
+    hasher.update(digest)
+    hasher.update(owner.digest)
+    hasher.update(kind.value.encode("ascii"))
+    return hasher.digest()
+
+
+def mint(
+    keypair: KeyPair, address: NetworkAddress, timestamp: float
+) -> SecureDescriptor:
+    """Create a brand-new descriptor of the key pair's node."""
+    return SecureDescriptor(
+        creator=keypair.public, address=address, timestamp=timestamp, hops=()
+    )
+
+
+# ----------------------------------------------------------------------
+# chain verification (memoised per registry)
+# ----------------------------------------------------------------------
+
+
+def verify_descriptor(descriptor: SecureDescriptor, registry) -> bool:
+    """Check every hop signature and the structural chain rules.
+
+    Structural rules: terminal hops target the creator and appear only
+    in final position.  Verification is memoised on the descriptor (per
+    registry) because descriptors are immutable and shared: in a large
+    simulation the same descriptor object is observed by many nodes,
+    and re-running the HMACs would dominate the run time without
+    changing any outcome.
+    """
+    if descriptor.__dict__.get("_verified_by") is registry:
+        return True
+
+    digest = descriptor.base_digest()
+    signer = descriptor.creator
+    for index, hop in enumerate(descriptor.hops):
+        if hop.kind in TERMINAL_KINDS:
+            if index != len(descriptor.hops) - 1:
+                return False
+            if hop.owner != descriptor.creator:
+                return False
+        digest = _extend_digest(digest, hop.owner, hop.kind)
+        if hop.signature.signer != signer:
+            return False
+        if not verify(registry, hop.signature, digest):
+            return False
+        signer = hop.owner
+
+    object.__setattr__(descriptor, "_verified_by", registry)
+    return True
+
+
+def require_valid(descriptor: SecureDescriptor, registry) -> None:
+    """Raise :class:`DescriptorError` unless the descriptor verifies."""
+    if not verify_descriptor(descriptor, registry):
+        raise DescriptorError(f"invalid ownership chain on {descriptor!r}")

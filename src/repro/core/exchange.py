@@ -1,0 +1,89 @@
+"""Wire messages of the SecureCyclon gossip dialogue.
+
+A gossip exchange is a short dialogue:
+
+1. ``GossipOpen`` — the initiator presents the *redemption* of a
+   descriptor created by the partner (its permission certificate,
+   paper §IV-A), plus its samples (view copies and redemption cache)
+   and every violation proof it knows (§IV-C catch-up).
+2. ``GossipAccept`` / ``GossipReject`` — the partner's verdict, with
+   its own samples and proofs on acceptance.
+3. Descriptor ownership then moves either one-per-round-trip
+   (``TransferMessage``/``TransferReply``, the §V-B tit-for-tat), or in
+   a single ``BulkSwapMessage``/``BulkSwapReply`` pair when tit-for-tat
+   is disabled (the Fig 6 baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.descriptor import SecureDescriptor
+from repro.core.proofs import ViolationProof
+
+
+@dataclass(frozen=True)
+class GossipOpen:
+    """Initiator→partner: redemption token, samples, known proofs."""
+
+    redemption: SecureDescriptor
+    non_swappable: bool = False
+    samples: Tuple[SecureDescriptor, ...] = ()
+    proofs: Tuple[ViolationProof, ...] = ()
+
+
+@dataclass(frozen=True)
+class GossipAccept:
+    """Partner→initiator: exchange granted; partner's samples and proofs."""
+
+    samples: Tuple[SecureDescriptor, ...] = ()
+    proofs: Tuple[ViolationProof, ...] = ()
+
+
+@dataclass(frozen=True)
+class GossipReject:
+    """Partner→initiator: exchange refused.
+
+    ``proofs`` lets the partner attach evidence, e.g. when the refusal
+    is because the initiator was just proven malicious.
+    """
+
+    reason: str
+    proofs: Tuple[ViolationProof, ...] = ()
+
+
+@dataclass(frozen=True)
+class TransferMessage:
+    """Initiator→partner: one descriptor whose ownership was transferred."""
+
+    descriptor: SecureDescriptor
+    round_index: int
+
+
+@dataclass(frozen=True)
+class TransferReply:
+    """Partner→initiator: the counter-transfer for this round (or None)."""
+
+    descriptor: Optional[SecureDescriptor] = None
+
+
+@dataclass(frozen=True)
+class BulkSwapMessage:
+    """Initiator→partner: all swapped descriptors at once (no tit-for-tat)."""
+
+    descriptors: Tuple[SecureDescriptor, ...] = ()
+
+
+@dataclass(frozen=True)
+class BulkSwapReply:
+    """Partner→initiator: all counter-swapped descriptors at once."""
+
+    descriptors: Tuple[SecureDescriptor, ...] = ()
+
+
+@dataclass(frozen=True)
+class ProofFlood:
+    """One-way flooded violation proof (paper §IV-C)."""
+
+    proof: ViolationProof

@@ -1,0 +1,123 @@
+"""Indisputable violation proofs (paper §IV-B, §IV-C).
+
+A proof is a pair of signed descriptors that cannot both exist under an
+honest execution.  Any third party can validate a proof locally — no
+trust in the discoverer is needed — which is what makes network-wide
+blacklisting sound: "it only takes one node to discover a violation,
+for all nodes to reliably acknowledge the fact."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.chain import compare_chains
+from repro.core.descriptor import SecureDescriptor, verify_descriptor
+from repro.crypto.keys import PublicKey
+
+FREQUENCY_SLACK_SECONDS = 1e-9
+"""Tolerance subtracted from the period in the frequency predicate.
+
+Wall clocks (and floating-point timestamp arithmetic) carry jitter far
+below any meaningful gossip period; without this slack, two honestly
+period-spaced timestamps could differ by one ULP less than the period
+and wrongly incriminate their creator."""
+
+
+def timestamps_conflict(a: float, b: float, period_seconds: float) -> bool:
+    """The §IV-B frequency predicate over two mint timestamps."""
+    if a == b:
+        return False
+    return abs(a - b) < period_seconds - FREQUENCY_SLACK_SECONDS
+
+
+@dataclass(frozen=True)
+class ViolationProof:
+    """Base class: two conflicting descriptors incriminating ``culprit``."""
+
+    first: SecureDescriptor
+    second: SecureDescriptor
+    culprit: PublicKey
+
+    kind: str = "violation"
+
+    def validate(self, registry, period_seconds: float) -> bool:
+        """Locally re-derive the violation; True iff it holds."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CloningProof(ViolationProof):
+    """Two copies of one descriptor with forked ownership chains.
+
+    The culprit is the last common owner — the node that signed two
+    different transfers of the same token.
+    """
+
+    kind: str = "cloning"
+
+    def validate(self, registry, period_seconds: float) -> bool:
+        if self.first.identity != self.second.identity:
+            return False
+        if not verify_descriptor(self.first, registry):
+            return False
+        if not verify_descriptor(self.second, registry):
+            return False
+        comparison = compare_chains(self.first, self.second)
+        return comparison.is_violation and comparison.culprit == self.culprit
+
+
+@dataclass(frozen=True)
+class FrequencyProof(ViolationProof):
+    """Two distinct descriptors minted by one creator within a period.
+
+    Honest nodes mint at most one descriptor per gossip period, so two
+    creator-signed descriptors with timestamps closer than the period
+    prove over-minting by the creator (§III "frequency violations").
+    Each descriptor must carry at least one hop: the first hop bears the
+    creator's own signature, which is what pins the mint to the culprit.
+    """
+
+    kind: str = "frequency"
+
+    def validate(self, registry, period_seconds: float) -> bool:
+        a, b = self.first, self.second
+        if a.creator != b.creator or a.creator != self.culprit:
+            return False
+        if not timestamps_conflict(a.timestamp, b.timestamp, period_seconds):
+            return False
+        if not a.hops or not b.hops:
+            return False
+        return verify_descriptor(a, registry) and verify_descriptor(b, registry)
+
+
+def build_cloning_proof(
+    first: SecureDescriptor, second: SecureDescriptor
+) -> Optional[CloningProof]:
+    """A :class:`CloningProof` if the two copies truly fork, else None."""
+    if first.identity != second.identity:
+        return None
+    comparison = compare_chains(first, second)
+    if not comparison.is_violation:
+        return None
+    return CloningProof(first=first, second=second, culprit=comparison.culprit)
+
+
+def build_frequency_proof(
+    first: SecureDescriptor,
+    second: SecureDescriptor,
+    period_seconds: float,
+) -> Optional[FrequencyProof]:
+    """A :class:`FrequencyProof` if the timestamps conflict, else None."""
+    if first.creator != second.creator:
+        return None
+    if not timestamps_conflict(
+        first.timestamp, second.timestamp, period_seconds
+    ):
+        return None
+    if not first.hops or not second.hops:
+        return None
+    return FrequencyProof(
+        first=first, second=second, culprit=first.creator
+    )

@@ -1,0 +1,65 @@
+"""The redemption cache (paper §V-C).
+
+A descriptor redeemed at a very high age may never have the chance to
+meet one of its clones inside anyone's sample cache — it dies too soon.
+The redemption cache closes that window: redeemed descriptors are kept
+for a few cycles and shipped as samples with every gossip message, so
+late clones of a just-redeemed descriptor still get cross-checked.
+
+Both ends of a redemption keep a copy: the redeemer spent the token and
+the creator accepted it, and either copy serves as evidence against a
+clone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.core.descriptor import DescriptorId, SecureDescriptor
+
+
+class RedemptionCache:
+    """Recently redeemed descriptors, retained for a fixed cycle count.
+
+    ``retention_cycles`` of zero disables the cache entirely (the
+    "no redemption cache" curve of Fig 7).
+    """
+
+    def __init__(self, retention_cycles: int) -> None:
+        if retention_cycles < 0:
+            raise ValueError("retention_cycles must be >= 0")
+        self._retention = retention_cycles
+        self._entries: Deque[Tuple[int, SecureDescriptor]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def retention_cycles(self) -> int:
+        return self._retention
+
+    def add(self, descriptor: SecureDescriptor, cycle: int) -> None:
+        """Retain ``descriptor`` (just redeemed) starting at ``cycle``."""
+        if self._retention == 0:
+            return
+        self._entries.append((cycle, descriptor))
+
+    def contents(self) -> List[SecureDescriptor]:
+        """Current cache contents, oldest first (sent as gossip samples)."""
+        return [descriptor for _, descriptor in self._entries]
+
+    def find(self, identity: DescriptorId) -> Optional[SecureDescriptor]:
+        """The cached redemption of ``identity``, if still retained."""
+        for _, descriptor in self._entries:
+            if descriptor.identity == identity:
+                return descriptor
+        return None
+
+    def expire(self, cycle: int) -> int:
+        """Drop entries older than the retention window."""
+        dropped = 0
+        while self._entries and self._entries[0][0] <= cycle - self._retention:
+            self._entries.popleft()
+            dropped += 1
+        return dropped

@@ -1,0 +1,166 @@
+"""The sample cache: cross-checking every descriptor a node sees.
+
+Paper §IV-B: "nodes should cache all descriptors they have seen in
+order to match them against each other and against descriptors they
+will receive in the future".  Caching a descriptor does *not* confer
+ownership — samples exist solely for violation discovery.
+
+The cache holds at most one copy per descriptor identity (the longest
+compatible chain, per the paper) plus a per-creator timestamp index for
+the frequency check.  Entries expire after a configurable horizon;
+descriptors only live ~ℓ cycles, so a horizon of 2ℓ keeps memory
+bounded without losing detection power (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.chain import ChainRelation, compare_chains
+from repro.core.descriptor import DescriptorId, SecureDescriptor
+from repro.core.proofs import (
+    CloningProof,
+    FrequencyProof,
+    ViolationProof,
+    build_frequency_proof,
+    timestamps_conflict,
+)
+from repro.crypto.keys import PublicKey
+
+
+class SampleCache:
+    """Per-node store of observed descriptors with conflict detection."""
+
+    def __init__(self, horizon_cycles: int, period_seconds: float) -> None:
+        if horizon_cycles < 1:
+            raise ValueError("horizon_cycles must be >= 1")
+        if period_seconds <= 0:
+            raise ValueError("period_seconds must be positive")
+        self._horizon = horizon_cycles
+        self._period = period_seconds
+        self._by_identity: Dict[DescriptorId, SecureDescriptor] = {}
+        self._timestamps: Dict[PublicKey, List[float]] = {}
+        self._expiry: Deque[Tuple[int, DescriptorId]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._by_identity)
+
+    def get(self, identity: DescriptorId) -> Optional[SecureDescriptor]:
+        return self._by_identity.get(identity)
+
+    # ------------------------------------------------------------------
+    # observation (the §IV-B checks)
+    # ------------------------------------------------------------------
+
+    def observe(
+        self, descriptor: SecureDescriptor, cycle: int
+    ) -> List[ViolationProof]:
+        """Record ``descriptor`` and return any violation proofs found.
+
+        Runs the frequency check against every cached descriptor by the
+        same creator and the ownership check against the cached copy of
+        the same identity, exactly as §IV-B prescribes.  The descriptor
+        is cached afterwards either way: evidence stays useful even when
+        a violation was already found.
+        """
+        identity = descriptor.identity
+        existing = self._by_identity.get(identity)
+        if existing is descriptor:
+            # Exactly this object was observed before — every check
+            # already ran against it.  Samples repeat heavily (views
+            # change slowly), so this fast path carries real traffic.
+            return []
+
+        proofs: List[ViolationProof] = []
+        if existing is None:
+            # New identity: only the frequency check applies, then store.
+            proofs.extend(self._frequency_check(descriptor))
+            self._by_identity[identity] = descriptor
+            timestamps = self._timestamps.setdefault(descriptor.creator, [])
+            bisect.insort(timestamps, descriptor.timestamp)
+            self._expiry.append((cycle + self._horizon, identity))
+            return proofs
+
+        # Known identity: the ownership check (§IV-B).  The frequency
+        # check was already performed when the identity first arrived.
+        comparison = compare_chains(existing, descriptor)
+        if comparison.is_violation:
+            proofs.append(
+                CloningProof(
+                    first=existing,
+                    second=descriptor,
+                    culprit=comparison.culprit,
+                )
+            )
+        elif comparison.relation is ChainRelation.PREFIX:
+            # Retain the longest compatible chain (§IV-B).
+            self._by_identity[identity] = descriptor
+        return proofs
+
+    def _frequency_check(
+        self, descriptor: SecureDescriptor
+    ) -> List[FrequencyProof]:
+        """Find cached same-creator descriptors minted within a period."""
+        timestamps = self._timestamps.get(descriptor.creator)
+        if not timestamps:
+            return []
+        ts = descriptor.timestamp
+        period = self._period
+        index = bisect.bisect_left(timestamps, ts)
+        proofs: List[FrequencyProof] = []
+        # Only the immediate neighbors can be closer than the period;
+        # anything further is at least as far as a neighbor.  The cheap
+        # timestamp test runs first — honest traffic never passes it.
+        for neighbor_index in (index - 1, index):
+            if not 0 <= neighbor_index < len(timestamps):
+                continue
+            other_ts = timestamps[neighbor_index]
+            if not timestamps_conflict(other_ts, ts, period):
+                continue
+            other = self._by_identity.get(
+                DescriptorId(creator=descriptor.creator, timestamp=other_ts)
+            )
+            if other is None:
+                continue
+            proof = build_frequency_proof(descriptor, other, period)
+            if proof is not None:
+                proofs.append(proof)
+        return proofs
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def expire(self, cycle: int) -> int:
+        """Drop entries past their horizon; returns how many were dropped."""
+        dropped = 0
+        while self._expiry and self._expiry[0][0] <= cycle:
+            _, identity = self._expiry.popleft()
+            if self._remove_identity(identity):
+                dropped += 1
+        return dropped
+
+    def forget_creator(self, creator: PublicKey) -> int:
+        """Purge all samples created by ``creator`` (it was blacklisted)."""
+        timestamps = self._timestamps.pop(creator, [])
+        removed = 0
+        for timestamp in list(timestamps):
+            identity = DescriptorId(creator=creator, timestamp=timestamp)
+            if self._by_identity.pop(identity, None) is not None:
+                removed += 1
+        return removed
+
+    def _remove_identity(self, identity: DescriptorId) -> bool:
+        descriptor = self._by_identity.pop(identity, None)
+        if descriptor is None:
+            return False
+        timestamps = self._timestamps.get(identity.creator)
+        if timestamps:
+            index = bisect.bisect_left(timestamps, identity.timestamp)
+            if index < len(timestamps) and timestamps[index] == identity.timestamp:
+                del timestamps[index]
+            if not timestamps:
+                del self._timestamps[identity.creator]
+        return True

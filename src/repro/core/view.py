@@ -1,0 +1,186 @@
+"""The SecureCyclon partial view: owned descriptors plus repair state.
+
+Unlike the legacy Cyclon view, entries here are descriptors the node
+*owns* (it is the chain tail), and each may be flagged non-swappable
+(paper §V-A): a retained copy of a descriptor whose ownership was
+transferred away, usable only to redeem — never to swap.
+
+Invariants (checked in tests):
+
+* at most ``capacity`` entries;
+* at most one entry per descriptor *identity* (creator, timestamp) —
+  unlike legacy Cyclon, two links to the same creator may coexist,
+  because each descriptor is a distinct conserved token and silently
+  discarding one would leak view slots (and the paper's §II-B
+  equilibrium argument counts descriptors, not distinct creators);
+* never an entry created by the view's owner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from repro.core.descriptor import DescriptorId, SecureDescriptor
+from repro.crypto.keys import PublicKey
+
+
+@dataclass(frozen=True)
+class ViewEntry:
+    """One view slot: an owned descriptor and its swap eligibility."""
+
+    descriptor: SecureDescriptor
+    non_swappable: bool = False
+
+    @property
+    def creator(self) -> PublicKey:
+        return self.descriptor.creator
+
+    @property
+    def timestamp(self) -> float:
+        return self.descriptor.timestamp
+
+
+class SecureView:
+    """Bounded view of owned descriptors held by one SecureCyclon node."""
+
+    def __init__(self, owner_id: PublicKey, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("view capacity must be >= 1")
+        self.owner_id = owner_id
+        self.capacity = capacity
+        self._entries: List[ViewEntry] = []
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ViewEntry]:
+        return iter(self._entries)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def descriptors(self) -> List[SecureDescriptor]:
+        return [entry.descriptor for entry in self._entries]
+
+    def neighbor_ids(self) -> List[PublicKey]:
+        return [entry.creator for entry in self._entries]
+
+    def contains_creator(self, creator: PublicKey) -> bool:
+        return any(entry.creator == creator for entry in self._entries)
+
+    def entry_for_creator(self, creator: PublicKey) -> Optional[ViewEntry]:
+        for entry in self._entries:
+            if entry.creator == creator:
+                return entry
+        return None
+
+    def non_swappable_count(self) -> int:
+        return sum(1 for entry in self._entries if entry.non_swappable)
+
+    def swappable_count(self) -> int:
+        return len(self._entries) - self.non_swappable_count()
+
+    def oldest(self) -> Optional[ViewEntry]:
+        """The entry with the earliest birth timestamp."""
+        if not self._entries:
+            return None
+        return min(self._entries, key=lambda entry: entry.timestamp)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def insert(
+        self, descriptor: SecureDescriptor, non_swappable: bool = False
+    ) -> bool:
+        """Insert respecting the invariants; True if the view changed.
+
+        A duplicate *identity* keeps the existing entry unless the new
+        copy is swappable and the old one is not (a swappable link is
+        strictly more useful).  Duplicate creators with different
+        timestamps are distinct tokens and may coexist.
+        """
+        if descriptor.creator == self.owner_id:
+            return False
+        candidate = ViewEntry(descriptor=descriptor, non_swappable=non_swappable)
+        identity = descriptor.identity
+        for index, entry in enumerate(self._entries):
+            if entry.descriptor.identity != identity:
+                continue
+            if entry.non_swappable and not candidate.non_swappable:
+                self._entries[index] = candidate
+                return True
+            return False
+        if len(self._entries) >= self.capacity:
+            return False
+        self._entries.append(candidate)
+        return True
+
+    def remove_entry(self, entry: ViewEntry) -> bool:
+        """Remove one specific entry; True if it was present."""
+        try:
+            self._entries.remove(entry)
+            return True
+        except ValueError:
+            return False
+
+    def remove_identity(self, identity: DescriptorId) -> Optional[ViewEntry]:
+        for index, entry in enumerate(self._entries):
+            if entry.descriptor.identity == identity:
+                return self._entries.pop(index)
+        return None
+
+    def pop_random_swappable(
+        self, count: int, rng, exclude_creator: Optional[PublicKey] = None
+    ) -> List[ViewEntry]:
+        """Remove and return up to ``count`` random swappable entries.
+
+        ``exclude_creator`` skips descriptors created by the exchange
+        counterparty: sending a node its own descriptor would just
+        retire the token (the receiver holds no self-links), wasting a
+        swap slot, so honest peers pick around it.
+        """
+        swappable_indices = [
+            index
+            for index, entry in enumerate(self._entries)
+            if not entry.non_swappable
+            and (exclude_creator is None or entry.creator != exclude_creator)
+        ]
+        count = min(count, len(swappable_indices))
+        if count == 0:
+            return []
+        chosen = rng.sample(swappable_indices, count)
+        picked = [self._entries[index] for index in chosen]
+        for index in sorted(chosen, reverse=True):
+            del self._entries[index]
+        return picked
+
+    def pop_one_random_swappable(
+        self, rng, exclude_creator: Optional[PublicKey] = None
+    ) -> Optional[ViewEntry]:
+        entries = self.pop_random_swappable(
+            1, rng, exclude_creator=exclude_creator
+        )
+        return entries[0] if entries else None
+
+    def purge_creator(self, creator: PublicKey) -> int:
+        """Drop every entry created by ``creator`` (it was blacklisted)."""
+        before = len(self._entries)
+        self._entries = [
+            entry for entry in self._entries if entry.creator != creator
+        ]
+        return before - len(self._entries)
+
+    def purge_if(self, predicate) -> int:
+        """Drop entries matching ``predicate``; returns how many."""
+        before = len(self._entries)
+        self._entries = [
+            entry for entry in self._entries if not predicate(entry)
+        ]
+        return before - len(self._entries)

@@ -1,0 +1,37 @@
+"""Idealised cryptographic substrate for the SecureCyclon simulation.
+
+The paper assumes every node holds exactly one private/public key pair,
+that messages are signed, and that malicious nodes *cannot* forge
+signatures of other nodes (system model, paper §II-A).  Running real
+asymmetric cryptography for tens of thousands of simulated nodes over
+hundreds of cycles would dominate the run time without changing any
+protocol behaviour, so this package provides an *idealised* scheme with
+the same security semantics:
+
+* a private key is a random seed;
+* the public key is ``SHA-256(seed)`` — collision-free for our purposes,
+  and exactly 256 bits like the keys the paper budgets for;
+* a signature is ``HMAC-SHA256(seed, message)``;
+* verification recomputes the HMAC using the seed held by a
+  :class:`~repro.crypto.registry.KeyRegistry` (the "ideal oracle").
+
+Because signing requires the private seed, and the registry only hands a
+seed to the :class:`~repro.crypto.keys.KeyPair` that owns it, a simulated
+adversary can only produce signatures for keys it controls — precisely
+the unforgeability assumption of the paper.  The substitution is recorded
+in ``DESIGN.md``.
+"""
+
+from repro.crypto.keys import KeyPair, PublicKey, generate_keypair
+from repro.crypto.registry import KeyRegistry
+from repro.crypto.signing import Signature, sign, verify
+
+__all__ = [
+    "KeyPair",
+    "PublicKey",
+    "generate_keypair",
+    "KeyRegistry",
+    "Signature",
+    "sign",
+    "verify",
+]

@@ -1,0 +1,87 @@
+"""Key pairs and public keys for the idealised signature scheme.
+
+Public keys double as node identifiers throughout the library, mirroring
+the paper's system model: "We set the value of the unique ID of each node
+to be equal to the value of its public key" (§II-A).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+PUBLIC_KEY_BITS = 256
+"""Size of a public key on the wire, as budgeted by the paper (§VI-A)."""
+
+_SEED_BYTES = 32
+
+
+@dataclass(frozen=True, order=True)
+class PublicKey:
+    """A 256-bit public key; also serves as the node's unique ID.
+
+    Instances are immutable, hashable and totally ordered, so they can be
+    used as dictionary keys and sorted deterministically in tests and
+    reports.
+    """
+
+    digest: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.digest) != _SEED_BYTES:
+            raise ValueError(
+                f"public key must be {_SEED_BYTES} bytes, got {len(self.digest)}"
+            )
+        # Public keys are dictionary keys everywhere (views, caches,
+        # registries); pre-computing the hash keeps those lookups off
+        # the simulation's critical path.
+        object.__setattr__(self, "_hash", hash(self.digest))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this key in bits."""
+        return PUBLIC_KEY_BITS
+
+    def hex(self, length: int = 8) -> str:
+        """Short hex prefix, convenient for logs and reports."""
+        return self.digest[: (length + 1) // 2].hex()[:length]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PublicKey({self.hex()})"
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A private seed together with its derived public key.
+
+    The seed is the signing capability: only code holding the
+    :class:`KeyPair` can sign on behalf of its public key.  Equality and
+    hashing are defined on the public key alone so that key pairs can be
+    kept in sets without leaking seed material into comparisons.
+    """
+
+    seed: bytes = field(repr=False, compare=False)
+    public: PublicKey = field(compare=True)
+
+    def __post_init__(self) -> None:
+        expected = derive_public(self.seed)
+        if expected != self.public:
+            raise ValueError("public key does not match seed")
+
+
+def derive_public(seed: bytes) -> PublicKey:
+    """Derive the public key for ``seed`` (``SHA-256(seed)``)."""
+    return PublicKey(hashlib.sha256(seed).digest())
+
+
+def generate_keypair(rng) -> KeyPair:
+    """Generate a fresh key pair using ``rng`` (a ``random.Random``).
+
+    Determinism matters for reproducible simulations, so the seed is drawn
+    from the caller-supplied RNG rather than from ``os.urandom``.
+    """
+    seed = rng.getrandbits(_SEED_BYTES * 8).to_bytes(_SEED_BYTES, "big")
+    return KeyPair(seed=seed, public=derive_public(seed))

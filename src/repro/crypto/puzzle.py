@@ -1,0 +1,81 @@
+"""Sybil-resistant identifier acquisition (paper §II-A).
+
+The paper assumes "the acquisition of unique identifiers is not a
+trivial process", citing Douceur's Sybil-attack countermeasures: a
+trusted authority, or "having to solve a unique computational puzzle
+in order to acquire an identifier".  This module provides the puzzle
+variant — a hashcash-style proof of work bound to the public key — so
+joins can be gated on admission evidence.
+
+This is deliberately cheap at the default difficulty: the simulation
+only needs the *mechanism*, not the economics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.keys import PublicKey
+from repro.errors import CryptoError
+
+MAX_ATTEMPTS = 1_000_000
+
+
+@dataclass(frozen=True)
+class IdentifierPuzzle:
+    """A solved admission puzzle for one public key."""
+
+    public: PublicKey
+    difficulty_bits: int
+    nonce: int
+
+    def digest(self) -> bytes:
+        return _puzzle_digest(self.public, self.nonce)
+
+
+def _puzzle_digest(public: PublicKey, nonce: int) -> bytes:
+    hasher = hashlib.sha256()
+    hasher.update(b"securecyclon-id-puzzle")
+    hasher.update(public.digest)
+    hasher.update(nonce.to_bytes(8, "big"))
+    return hasher.digest()
+
+
+def _leading_zero_bits(digest: bytes) -> int:
+    bits = 0
+    for byte in digest:
+        if byte == 0:
+            bits += 8
+            continue
+        bits += 8 - byte.bit_length()
+        break
+    return bits
+
+
+def solve_puzzle(public: PublicKey, difficulty_bits: int) -> IdentifierPuzzle:
+    """Find a nonce whose digest has ``difficulty_bits`` leading zeros.
+
+    Raises :class:`CryptoError` if no solution is found within the
+    attempt bound (only possible at absurd difficulties).
+    """
+    if not 0 <= difficulty_bits <= 64:
+        raise CryptoError("difficulty_bits must be in [0, 64]")
+    for nonce in range(MAX_ATTEMPTS):
+        if _leading_zero_bits(_puzzle_digest(public, nonce)) >= difficulty_bits:
+            return IdentifierPuzzle(
+                public=public, difficulty_bits=difficulty_bits, nonce=nonce
+            )
+    raise CryptoError(
+        f"no puzzle solution within {MAX_ATTEMPTS} attempts "
+        f"(difficulty {difficulty_bits})"
+    )
+
+
+def verify_puzzle(puzzle: IdentifierPuzzle) -> bool:
+    """Check a claimed admission puzzle."""
+    if not 0 <= puzzle.difficulty_bits <= 64:
+        return False
+    return (
+        _leading_zero_bits(puzzle.digest()) >= puzzle.difficulty_bits
+    )

@@ -1,0 +1,62 @@
+"""The key registry: the idealised verification oracle.
+
+In a real deployment, anyone can verify an Ed25519 signature using only
+the signer's public key.  Our idealised scheme needs the private seed to
+recompute the HMAC, so a per-simulation :class:`KeyRegistry` stores the
+seed of every key pair ever generated and lends it out *only* for
+verification.  Simulated nodes never read seeds out of the registry to
+sign — signing goes through :func:`repro.crypto.signing.sign`, which
+demands the :class:`~repro.crypto.keys.KeyPair` object itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.crypto.keys import KeyPair, PublicKey, generate_keypair
+from repro.errors import UnknownKeyError
+
+
+class KeyRegistry:
+    """Registry of all key pairs in one simulated universe."""
+
+    def __init__(self) -> None:
+        self._seeds: Dict[PublicKey, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._seeds)
+
+    def __contains__(self, public: PublicKey) -> bool:
+        return public in self._seeds
+
+    def __iter__(self) -> Iterator[PublicKey]:
+        return iter(self._seeds)
+
+    def register(self, keypair: KeyPair) -> None:
+        """Record ``keypair`` so its signatures can later be verified.
+
+        Re-registering the same pair is a no-op; registering a different
+        seed under an existing public key indicates a hash collision and
+        is rejected loudly.
+        """
+        existing = self._seeds.get(keypair.public)
+        if existing is not None and existing != keypair.seed:
+            raise UnknownKeyError(
+                f"public key {keypair.public.hex()} already registered "
+                "with a different seed"
+            )
+        self._seeds[keypair.public] = keypair.seed
+
+    def new_keypair(self, rng) -> KeyPair:
+        """Generate and register a fresh key pair in one step."""
+        keypair = generate_keypair(rng)
+        self.register(keypair)
+        return keypair
+
+    def seed_for(self, public: PublicKey) -> Optional[bytes]:
+        """Seed for ``public``, or ``None`` if the key is unknown.
+
+        Exposed for the verification path only; protocol code must never
+        use this to sign on behalf of another node.
+        """
+        return self._seeds.get(public)

@@ -1,0 +1,69 @@
+"""Signing and verification against the idealised oracle.
+
+``sign`` requires the private :class:`~repro.crypto.keys.KeyPair`;
+``verify`` requires a :class:`~repro.crypto.registry.KeyRegistry` that
+holds the signer's seed.  This split models perfect asymmetric
+signatures: possession of the key pair is the only way to produce a
+signature that verifies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.errors import SignatureError
+
+SIGNATURE_BITS = 256
+"""Wire size of a signature, as budgeted by the paper (§VI-A)."""
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A detached signature by ``signer`` over some message bytes."""
+
+    signer: PublicKey
+    mac: bytes
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this signature in bits."""
+        return SIGNATURE_BITS
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Signature(by={self.signer.hex()}, mac={self.mac[:4].hex()})"
+
+
+def _compute_mac(seed: bytes, message: bytes) -> bytes:
+    return hmac.new(seed, message, hashlib.sha256).digest()
+
+
+def sign(keypair: KeyPair, message: bytes) -> Signature:
+    """Sign ``message`` with ``keypair``'s private seed."""
+    if not isinstance(message, (bytes, bytearray)):
+        raise TypeError(f"message must be bytes, got {type(message).__name__}")
+    return Signature(signer=keypair.public, mac=_compute_mac(keypair.seed, bytes(message)))
+
+
+def verify(registry, signature: Signature, message: bytes) -> bool:
+    """Return ``True`` iff ``signature`` is valid for ``message``.
+
+    ``registry`` is a :class:`~repro.crypto.registry.KeyRegistry` acting
+    as the verification oracle.  Unknown signers verify as ``False``
+    rather than raising, because a node receiving a descriptor signed by
+    a key it has never heard of simply treats the signature as invalid.
+    """
+    seed = registry.seed_for(signature.signer)
+    if seed is None:
+        return False
+    return hmac.compare_digest(signature.mac, _compute_mac(seed, bytes(message)))
+
+
+def verify_or_raise(registry, signature: Signature, message: bytes) -> None:
+    """Like :func:`verify` but raises :class:`SignatureError` on failure."""
+    if not verify(registry, signature, message):
+        raise SignatureError(
+            f"signature by {signature.signer.hex()} failed verification"
+        )

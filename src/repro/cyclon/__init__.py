@@ -1,0 +1,22 @@
+"""The legacy Cyclon peer-sampling protocol (paper §II-B).
+
+This is the baseline SecureCyclon hardens: age-based partial views,
+oldest-neighbor gossip, and random descriptor swaps.  It reproduces the
+properties the paper recaps — random-graph-like overlays, tightly
+bounded indegrees (Fig 2) — and its total collapse under the hub attack
+(Fig 3).
+"""
+
+from repro.cyclon.config import CyclonConfig
+from repro.cyclon.descriptor import CyclonDescriptor
+from repro.cyclon.view import CyclonView
+from repro.cyclon.node import CyclonNode, CyclonRequest, CyclonReply
+
+__all__ = [
+    "CyclonConfig",
+    "CyclonDescriptor",
+    "CyclonView",
+    "CyclonNode",
+    "CyclonRequest",
+    "CyclonReply",
+]

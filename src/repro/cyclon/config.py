@@ -1,0 +1,31 @@
+"""Configuration for the legacy Cyclon protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CyclonConfig:
+    """Cyclon parameters, named as in the paper.
+
+    ``view_length`` is ℓ, the fixed number of neighbors each node keeps;
+    ``swap_length`` is s, the number of descriptors exchanged per gossip.
+    The paper's experiments use ℓ ∈ {20, 50} and s ∈ {3, 5, 8, 10}.
+    """
+
+    view_length: int = 20
+    swap_length: int = 3
+
+    def __post_init__(self) -> None:
+        if self.view_length < 1:
+            raise ConfigError("view_length must be >= 1")
+        if self.swap_length < 1:
+            raise ConfigError("swap_length must be >= 1")
+        if self.swap_length > self.view_length:
+            raise ConfigError(
+                f"swap_length ({self.swap_length}) cannot exceed "
+                f"view_length ({self.view_length})"
+            )

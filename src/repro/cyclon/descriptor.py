@@ -1,0 +1,41 @@
+"""Legacy Cyclon node descriptors.
+
+A classic Cyclon descriptor is a plain container: node ID, network
+address, and an age counter (paper §II-B lists ID, address and a
+creation timestamp; the original Cyclon formulation tracks the age in
+cycles, which is the form the "select the oldest" rule consumes, so we
+store the age directly).  Nothing is signed — which is exactly why the
+protocol is forgeable and the hub attack works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.sim.network import NetworkAddress
+
+
+@dataclass(frozen=True)
+class CyclonDescriptor:
+    """An unauthenticated link to ``node_id``.
+
+    ``age`` counts cycles since creation; descriptors are immutable, so
+    ageing produces a new instance via :meth:`aged`.
+    """
+
+    node_id: Any
+    address: NetworkAddress
+    age: int = 0
+
+    def __post_init__(self) -> None:
+        if self.age < 0:
+            raise ValueError("age must be non-negative")
+
+    def aged(self, cycles: int = 1) -> "CyclonDescriptor":
+        """A copy of this descriptor, older by ``cycles``."""
+        return replace(self, age=self.age + cycles)
+
+    def fresh_copy(self) -> "CyclonDescriptor":
+        """A copy with age reset to zero (a re-minted descriptor)."""
+        return replace(self, age=0)

@@ -1,0 +1,141 @@
+"""The legacy Cyclon protocol node (paper §II-B).
+
+Each cycle a node ages its view, redeems its *oldest* descriptor to
+initiate a push-pull exchange with that neighbor, and swaps ``s``
+descriptors: a fresh self-descriptor plus ``s - 1`` random entries
+against ``s`` random entries of the partner.  Nothing is authenticated,
+so this node trusts whatever descriptors it receives — the property the
+hub attack exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+from repro.cyclon.config import CyclonConfig
+from repro.cyclon.descriptor import CyclonDescriptor
+from repro.cyclon.view import CyclonView
+from repro.errors import PeerUnreachable
+from repro.sim.channel import MessageDropped
+from repro.sim.engine import ProtocolNode
+from repro.sim.network import Network, NetworkAddress
+
+
+@dataclass(frozen=True)
+class CyclonRequest:
+    """Initiator→partner: the descriptors offered for the swap."""
+
+    descriptors: Tuple[CyclonDescriptor, ...]
+
+
+@dataclass(frozen=True)
+class CyclonReply:
+    """Partner→initiator: the descriptors returned in the swap."""
+
+    descriptors: Tuple[CyclonDescriptor, ...]
+
+
+class CyclonNode(ProtocolNode):
+    """A correct (honest) Cyclon participant."""
+
+    def __init__(
+        self,
+        node_id: Any,
+        address: NetworkAddress,
+        config: CyclonConfig,
+        rng,
+        trace=None,
+    ) -> None:
+        self.node_id = node_id
+        self.address = address
+        self.config = config
+        self.rng = rng
+        self.trace = trace
+        self.view = CyclonView(node_id, config.view_length)
+        self.current_cycle = 0
+
+    # ------------------------------------------------------------------
+    # engine hooks
+    # ------------------------------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Advance the node clock and age every descriptor in the view."""
+        self.current_cycle = cycle
+        self.view.increment_ages()
+
+    def run_cycle(self, network: Network) -> None:
+        """Initiate one classic Cyclon shuffle with the oldest neighbor."""
+        oldest = self.view.oldest()
+        if oldest is None:
+            return
+        self.view.remove(oldest)
+        try:
+            channel = network.connect(self.node_id, oldest.node_id)
+        except PeerUnreachable:
+            # Paper §V-A case 1: drop the unreachable neighbor's
+            # descriptor and skip this cycle.
+            self._emit("cyclon.partner_unreachable", partner=oldest.node_id)
+            return
+
+        outgoing = self._select_outgoing()
+        try:
+            reply = channel.request(CyclonRequest(tuple(outgoing)))
+        except MessageDropped:
+            # Whether or not the partner processed the request, classic
+            # Cyclon lets the initiator retain what it sent (§II-B).
+            self.view.fill_from(d for d in outgoing if d.node_id != self.node_id)
+            self._emit("cyclon.exchange_dropped", partner=oldest.node_id)
+            return
+        self._integrate(reply.descriptors, sent=outgoing)
+
+    def receive(self, sender_id: Any, payload: Any) -> Any:
+        """Answer an incoming Cyclon shuffle request."""
+        if isinstance(payload, CyclonRequest):
+            return self._handle_request(sender_id, payload)
+        raise TypeError(f"unexpected payload {type(payload).__name__}")
+
+    # ------------------------------------------------------------------
+    # protocol steps
+    # ------------------------------------------------------------------
+
+    def self_descriptor(self) -> CyclonDescriptor:
+        """A brand-new descriptor of this node (age zero)."""
+        return CyclonDescriptor(node_id=self.node_id, address=self.address, age=0)
+
+    def _select_outgoing(self) -> List[CyclonDescriptor]:
+        """Fresh self-descriptor plus ``s - 1`` random view entries."""
+        extras = self.view.pop_random(self.config.swap_length - 1, self.rng)
+        return [self.self_descriptor()] + extras
+
+    def _handle_request(self, sender_id: Any, request: CyclonRequest) -> CyclonReply:
+        outgoing = self.view.pop_random(self.config.swap_length, self.rng)
+        self._integrate(request.descriptors, sent=outgoing)
+        return CyclonReply(tuple(outgoing))
+
+    def _integrate(
+        self,
+        received: Sequence[CyclonDescriptor],
+        sent: Sequence[CyclonDescriptor],
+    ) -> None:
+        """Merge a received batch, then backfill with sent ones.
+
+        Vanilla Cyclon semantics for a batch of up to ``s``: received
+        descriptors fill the slots freed by the swap (duplicates keep
+        the younger copy), and the node retains what it sent when slots
+        remain (§II-B).  Descriptors beyond the free capacity — which
+        only a protocol violator sends — are absorbed by displacing
+        strictly older entries; the protocol has no validation to
+        refuse them.
+        """
+        overflow: List[CyclonDescriptor] = []
+        for descriptor in received:
+            if not self.view.insert(descriptor):
+                overflow.append(descriptor)
+        self.view.fill_from(d for d in sent if d.node_id != self.node_id)
+        for descriptor in overflow:
+            self.view.replace_oldest_if_younger(descriptor)
+
+    def _emit(self, kind: str, **detail: Any) -> None:
+        if self.trace is not None:
+            self.trace.emit(self.current_cycle, kind, node=self.node_id, **detail)

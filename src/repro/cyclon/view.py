@@ -1,0 +1,139 @@
+"""The Cyclon partial view: a bounded list of descriptors.
+
+Invariants maintained by this class and checked in tests:
+
+* at most ``capacity`` (ℓ) entries;
+* at most one entry per target node ID;
+* never an entry pointing at the view's owner.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional
+
+from repro.cyclon.descriptor import CyclonDescriptor
+
+
+class CyclonView:
+    """Partial view of the overlay held by one Cyclon node."""
+
+    def __init__(self, owner_id: Any, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("view capacity must be >= 1")
+        self.owner_id = owner_id
+        self.capacity = capacity
+        self._entries: List[CyclonDescriptor] = []
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CyclonDescriptor]:
+        return iter(self._entries)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def contains_id(self, node_id: Any) -> bool:
+        return any(entry.node_id == node_id for entry in self._entries)
+
+    def entry_for(self, node_id: Any) -> Optional[CyclonDescriptor]:
+        for entry in self._entries:
+            if entry.node_id == node_id:
+                return entry
+        return None
+
+    def neighbor_ids(self) -> List[Any]:
+        return [entry.node_id for entry in self._entries]
+
+    def oldest(self) -> Optional[CyclonDescriptor]:
+        """The entry with the highest age (ties broken arbitrarily)."""
+        if not self._entries:
+            return None
+        return max(self._entries, key=lambda entry: entry.age)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def increment_ages(self) -> None:
+        """Age every entry by one cycle (start-of-cycle housekeeping)."""
+        self._entries = [entry.aged() for entry in self._entries]
+
+    def remove(self, descriptor: CyclonDescriptor) -> bool:
+        """Remove the entry for ``descriptor.node_id``; True if present."""
+        for index, entry in enumerate(self._entries):
+            if entry.node_id == descriptor.node_id:
+                del self._entries[index]
+                return True
+        return False
+
+    def pop_random(self, count: int, rng) -> List[CyclonDescriptor]:
+        """Remove and return up to ``count`` uniformly random entries."""
+        count = min(count, len(self._entries))
+        if count == 0:
+            return []
+        chosen_indices = rng.sample(range(len(self._entries)), count)
+        chosen = [self._entries[i] for i in chosen_indices]
+        for index in sorted(chosen_indices, reverse=True):
+            del self._entries[index]
+        return chosen
+
+    def insert(self, descriptor: CyclonDescriptor) -> bool:
+        """Insert ``descriptor`` respecting the view invariants.
+
+        Self-links are rejected.  A duplicate target keeps whichever
+        copy is younger.  Returns ``True`` if the view changed.
+        """
+        if descriptor.node_id == self.owner_id:
+            return False
+        for index, entry in enumerate(self._entries):
+            if entry.node_id == descriptor.node_id:
+                if descriptor.age < entry.age:
+                    self._entries[index] = descriptor
+                    return True
+                return False
+        if len(self._entries) >= self.capacity:
+            return False
+        self._entries.append(descriptor)
+        return True
+
+    def replace_oldest_if_younger(self, descriptor: CyclonDescriptor) -> bool:
+        """Replace the oldest entry when ``descriptor`` is younger.
+
+        This is the healer-style absorption of *supplementary*
+        descriptors (more than the swap length): legacy Cyclon performs
+        no validation, so a peer that ships an oversized batch of fresh
+        descriptors displaces the receiver's oldest links.  Honest
+        exchanges never produce extras, so this path only fires under
+        attack (see DESIGN.md on the Fig 3 attack model).
+        """
+        if descriptor.node_id == self.owner_id:
+            return False
+        if self.contains_id(descriptor.node_id):
+            return False
+        oldest = self.oldest()
+        if oldest is None or descriptor.age >= oldest.age:
+            return False
+        self.remove(oldest)
+        self._entries.append(descriptor)
+        return True
+
+    def fill_from(self, leftovers: Iterable[CyclonDescriptor]) -> int:
+        """Backfill empty slots from ``leftovers`` (sent-but-unswapped).
+
+        Implements the paper's rule that a node "is free to retain the
+        descriptors it sent to the other party" when slots remain.
+        Returns the number of descriptors re-inserted.
+        """
+        inserted = 0
+        for descriptor in leftovers:
+            if self.free_slots <= 0:
+                break
+            if self.insert(descriptor):
+                inserted += 1
+        return inserted

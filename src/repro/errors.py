@@ -1,0 +1,60 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object failed validation."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (unknown key, bad signature...)."""
+
+
+class SignatureError(CryptoError):
+    """A signature did not verify against the claimed signer and message."""
+
+
+class UnknownKeyError(CryptoError):
+    """An operation referenced a public key absent from the key registry."""
+
+
+class ProtocolError(ReproError):
+    """A peer violated the protocol in a way the local node rejects."""
+
+
+class DescriptorError(ProtocolError):
+    """A node descriptor is malformed or failed validation."""
+
+
+class RedemptionError(ProtocolError):
+    """A descriptor redemption was rejected by the creator."""
+
+
+class ExchangeAborted(ProtocolError):
+    """A gossip exchange terminated before completing all rounds."""
+
+
+class ChannelError(ReproError):
+    """A simulated network channel failed."""
+
+
+class ChannelDropped(ChannelError):
+    """A simulated message was dropped in transit."""
+
+
+class PeerUnreachable(ChannelError):
+    """The remote peer did not accept the connection (dead or departed)."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an inconsistent state."""

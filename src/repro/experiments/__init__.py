@@ -1,0 +1,26 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every module exposes a ``run_*`` function returning plain data (lists
+of :class:`~repro.metrics.series.Series` or rows) plus a ``main()``
+that prints the same rows/series the paper reports.  The benchmark
+suite under ``benchmarks/`` wraps these functions one-to-one.
+
+Scales: experiments accept a :class:`~repro.experiments.scale.Scale`
+("smoke", "default", or "full"); see DESIGN.md §5 for the mapping to
+the paper's parameters.
+"""
+
+from repro.experiments.scale import Scale, resolve_scale
+from repro.experiments.scenarios import (
+    build_cyclon_overlay,
+    build_secure_overlay,
+)
+from repro.experiments.runner import run_with_probes
+
+__all__ = [
+    "Scale",
+    "resolve_scale",
+    "build_cyclon_overlay",
+    "build_secure_overlay",
+    "run_with_probes",
+]

@@ -1,0 +1,98 @@
+"""Command-line entry point: ``python -m repro.experiments <figure>``.
+
+Runs one (or all) of the paper's experiments and prints the rendered
+tables.  The scale is taken from ``--scale`` or the ``REPRO_SCALE``
+environment variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments import (
+    churn_recovery,
+    eclipse_experiment,
+    loss_sweep,
+    stealth_experiment,
+    violations_matrix,
+    fig2_indegree,
+    fig3_cyclon_takeover,
+    fig5_hub_defense,
+    fig6_depletion,
+    fig7_redemption,
+    netcost_table,
+)
+from repro.experiments.scale import Scale
+
+EXPERIMENTS = {
+    "fig2": (fig2_indegree.run_fig2, fig2_indegree.render),
+    "fig3": (fig3_cyclon_takeover.run_fig3, fig3_cyclon_takeover.render),
+    "fig5": (fig5_hub_defense.run_fig5, fig5_hub_defense.render),
+    "fig6": (fig6_depletion.run_fig6, fig6_depletion.render),
+    "fig7": (fig7_redemption.run_fig7, fig7_redemption.render),
+    "netcost": (netcost_table.run_netcost, netcost_table.render),
+    "eclipse": (eclipse_experiment.run_eclipse, eclipse_experiment.render),
+    "stealth": (stealth_experiment.run_stealth, stealth_experiment.render),
+    "violations": (violations_matrix.run_violations, violations_matrix.render),
+    "churn": (churn_recovery.run_churn_recovery, churn_recovery.render),
+    "loss": (loss_sweep.run_loss_sweep, loss_sweep.render),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the SecureCyclon paper's figures/tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="which experiment to run ('list' prints the catalogue)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in Scale],
+        default=None,
+        help="override REPRO_SCALE (smoke/default/full)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="simulation master seed"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="also write each experiment's rendered output to this "
+        "directory as <name>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            run, _ = EXPERIMENTS[name]
+            summary = (run.__doc__ or "").strip().splitlines()
+            print(f"{name:<12} {summary[0] if summary else ''}")
+        return 0
+
+    scale = Scale(args.scale) if args.scale else None
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run, render = EXPERIMENTS[name]
+        started = time.time()
+        result = run(scale=scale, seed=args.seed)
+        text = render(result)
+        print(text)
+        if args.output is not None:
+            args.output.mkdir(parents=True, exist_ok=True)
+            (args.output / f"{name}.txt").write_text(
+                text + "\n", encoding="utf-8"
+            )
+        print(f"\n[{name} finished in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

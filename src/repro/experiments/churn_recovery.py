@@ -1,0 +1,335 @@
+"""Extension experiment — self-healing under churn (§I, §V-A).
+
+The paper's evaluation runs static memberships, but both protocols'
+raison d'être is surviving churn: Cyclon's random-graph overlays
+"remain connected even in the face of high node churn or catastrophic
+failures" (§I), and all of §V-A exists to repair views after losses.
+This experiment exercises exactly that, for legacy Cyclon and
+SecureCyclon side by side:
+
+* **catastrophic failure** — a fraction of all nodes crashes in one
+  cycle; we track connectivity and view fill as the survivors heal;
+* **continuous churn** — Bernoulli joins and leaves every cycle
+  (joiners use the §V-A non-swappable bootstrap), measuring the
+  steady-state health of a perpetually changing membership.
+
+Expected shape: the largest component never fragments (random-graph
+robustness), view fill dips by roughly the crash fraction and recovers
+within a few view-lengths' worth of cycles, and SecureCyclon matches
+legacy Cyclon's healing speed — the security layer does not tax
+self-healing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.bootstrap import bootstrap_joiner
+from repro.core.config import SecureCyclonConfig
+from repro.core.node import SecureCyclonNode
+from repro.cyclon.config import CyclonConfig
+from repro.experiments.plotting import chart_panel
+from repro.experiments.report import format_table, series_table
+from repro.experiments.runner import run_with_probes
+from repro.experiments.scale import Scale, pick, resolve_scale
+from repro.experiments.scenarios import (
+    Overlay,
+    build_cyclon_overlay,
+    build_secure_overlay,
+)
+from repro.metrics.graphstats import largest_component_fraction
+from repro.metrics.links import non_swappable_fraction, view_fill_fraction
+from repro.metrics.series import Series
+
+
+@dataclass
+class CrashPanel:
+    """One protocol × crash-fraction run."""
+
+    protocol: str
+    crash_fraction: float
+    crash_cycle: int
+    fill_series: Series
+    component_series: Series
+
+    @property
+    def recovery_cycles(self) -> float:
+        """Cycles from the crash until view fill is back above 95 %."""
+        for cycle, value in self.fill_series.points:
+            if cycle > self.crash_cycle and value >= 0.95:
+                return float(cycle - self.crash_cycle)
+        return float("inf")
+
+    @property
+    def min_component(self) -> float:
+        """Worst-case largest-component fraction after the crash."""
+        return min(
+            value
+            for cycle, value in self.component_series.points
+            if cycle >= self.crash_cycle
+        )
+
+
+@dataclass
+class ChurnPanel:
+    """Continuous-churn steady state for one protocol."""
+
+    protocol: str
+    join_rate: float
+    leave_rate: float
+    final_fill: float
+    final_component: float
+    final_non_swappable: float
+    population_delta: int
+
+
+@dataclass
+class ChurnRecoveryResult:
+    """Everything the render needs."""
+
+    nodes: int
+    view_length: int
+    crash_panels: List[CrashPanel]
+    churn_panels: List[ChurnPanel]
+
+
+def _secure_config(view_length: int) -> SecureCyclonConfig:
+    return SecureCyclonConfig(view_length=view_length, swap_length=3)
+
+
+def _cyclon_config(view_length: int) -> CyclonConfig:
+    return CyclonConfig(view_length=view_length, swap_length=3)
+
+
+def _build(protocol: str, n: int, view_length: int, seed: int) -> Overlay:
+    if protocol == "secure":
+        return build_secure_overlay(
+            n=n, config=_secure_config(view_length), seed=seed
+        )
+    return build_cyclon_overlay(
+        n=n, config=_cyclon_config(view_length), seed=seed
+    )
+
+
+def _crash_run(
+    protocol: str,
+    nodes: int,
+    view_length: int,
+    crash_fraction: float,
+    warmup: int,
+    aftermath: int,
+    seed: int,
+) -> CrashPanel:
+    overlay = _build(protocol, nodes, view_length, seed)
+    overlay.run(warmup)
+
+    victims = overlay.engine.alive_ids()
+    crash_count = round(len(victims) * crash_fraction)
+    rng = overlay.engine.rng_hub.stream("crash-selection")
+    for victim in rng.sample(victims, crash_count):
+        overlay.engine.remove_node(victim)
+
+    series = run_with_probes(
+        overlay,
+        aftermath,
+        {
+            "fill": view_fill_fraction,
+            "component": lambda engine: largest_component_fraction(
+                engine, legit_only=False
+            ),
+        },
+        every=1,
+    )
+    fill = series["fill"]
+    fill.label = f"{protocol} fill"
+    component = series["component"]
+    component.label = f"{protocol} component"
+    return CrashPanel(
+        protocol=protocol,
+        crash_fraction=crash_fraction,
+        crash_cycle=warmup,
+        fill_series=fill,
+        component_series=component,
+    )
+
+
+def _join_one(overlay: Overlay, name: str, view_length: int) -> None:
+    engine = overlay.engine
+    keypair = engine.registry.new_keypair(engine.rng_hub.stream(f"kp-{name}"))
+    node = SecureCyclonNode(
+        keypair=keypair,
+        address=engine.network.reserve_address(keypair.public),
+        config=_secure_config(view_length),
+        clock=engine.clock,
+        registry=engine.registry,
+        rng=engine.rng_hub.stream(f"rng-{name}"),
+        trace=engine.trace,
+    )
+    node.bind_network(engine.network)
+    bootstrap_joiner(
+        node,
+        engine.legit_nodes(),
+        links=max(3, view_length // 4),
+        rng=engine.rng_hub.stream(f"boot-{name}"),
+    )
+    engine.add_node(node)
+
+
+def _churn_run(
+    nodes: int,
+    view_length: int,
+    join_rate: float,
+    leave_rate: float,
+    cycles: int,
+    seed: int,
+) -> ChurnPanel:
+    """Continuous churn on SecureCyclon with §V-A joins.
+
+    Joins/leaves are driven between engine cycles so the run keeps the
+    deterministic engine untouched; rates are events per cycle.
+    """
+    overlay = build_secure_overlay(
+        n=nodes, config=_secure_config(view_length), seed=seed
+    )
+    overlay.run(10)  # converge first
+    rng = overlay.engine.rng_hub.stream("churn-driver")
+    joined = 0
+    left = 0
+    for cycle in range(cycles):
+        if rng.random() < join_rate:
+            _join_one(overlay, f"joiner-{cycle}", view_length)
+            joined += 1
+        if rng.random() < leave_rate:
+            alive = overlay.engine.alive_ids()
+            if len(alive) > nodes // 2:
+                overlay.engine.remove_node(rng.choice(alive))
+                left += 1
+        overlay.run(1)
+    return ChurnPanel(
+        protocol="secure",
+        join_rate=join_rate,
+        leave_rate=leave_rate,
+        final_fill=view_fill_fraction(overlay.engine),
+        final_component=largest_component_fraction(
+            overlay.engine, legit_only=False
+        ),
+        final_non_swappable=non_swappable_fraction(overlay.engine),
+        population_delta=joined - left,
+    )
+
+
+def run_churn_recovery(
+    scale: Optional[Scale] = None, seed: int = 42
+) -> ChurnRecoveryResult:
+    """Run the crash panels and the continuous-churn panel."""
+    scale = resolve_scale(scale)
+    nodes, view_length = pick(scale, (100, 10), (250, 15), (1000, 20))
+    crash_fractions = pick(scale, (0.3,), (0.1, 0.3, 0.5), (0.1, 0.3, 0.5, 0.7))
+    warmup = pick(scale, 10, 20, 50)
+    aftermath = pick(scale, 30, 50, 100)
+    churn_cycles = pick(scale, 30, 60, 150)
+
+    crash_panels = []
+    for crash_fraction in crash_fractions:
+        for protocol in ("cyclon", "secure"):
+            crash_panels.append(
+                _crash_run(
+                    protocol,
+                    nodes,
+                    view_length,
+                    crash_fraction,
+                    warmup,
+                    aftermath,
+                    seed,
+                )
+            )
+
+    churn_rates = pick(
+        scale, ((0.5, 0.5),), ((0.5, 0.5), (1.0, 1.0)), ((0.5, 0.5), (1.0, 1.0))
+    )
+    churn_panels = [
+        _churn_run(nodes, view_length, join_rate, leave_rate, churn_cycles, seed)
+        for join_rate, leave_rate in churn_rates
+    ]
+    return ChurnRecoveryResult(
+        nodes=nodes,
+        view_length=view_length,
+        crash_panels=crash_panels,
+        churn_panels=churn_panels,
+    )
+
+
+def render(result: ChurnRecoveryResult) -> str:
+    """Results file: recovery table, fill charts, churn steady state."""
+    blocks = [
+        "Churn recovery — catastrophic failure "
+        f"(nodes:{result.nodes}, view:{result.view_length})\n"
+        + format_table(
+            [
+                "protocol",
+                "crash fraction",
+                "recovery (cycles to 95% fill)",
+                "min component after crash",
+            ],
+            [
+                (
+                    panel.protocol,
+                    f"{panel.crash_fraction:.0%}",
+                    panel.recovery_cycles,
+                    panel.min_component,
+                )
+                for panel in result.crash_panels
+            ],
+        )
+    ]
+    worst = max(
+        result.crash_panels, key=lambda panel: panel.crash_fraction
+    ).crash_fraction
+    worst_panels = [
+        panel
+        for panel in result.crash_panels
+        if panel.crash_fraction == worst
+    ]
+    blocks.append(
+        chart_panel(
+            f"[chart] view fill after a {worst:.0%} crash",
+            [panel.fill_series for panel in worst_panels],
+            x_label="time (cycles)",
+            y_label="fill %",
+            y_max=100.0,
+        )
+    )
+    blocks.append(
+        "Continuous churn — SecureCyclon steady state (§V-A joins)\n"
+        + format_table(
+            [
+                "join rate",
+                "leave rate",
+                "final fill",
+                "final component",
+                "non-swappable",
+                "population delta",
+            ],
+            [
+                (
+                    panel.join_rate,
+                    panel.leave_rate,
+                    panel.final_fill,
+                    panel.final_component,
+                    panel.final_non_swappable,
+                    panel.population_delta,
+                )
+                for panel in result.churn_panels
+            ],
+        )
+    )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(render(run_churn_recovery()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

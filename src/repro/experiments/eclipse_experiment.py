@@ -1,0 +1,134 @@
+"""Extension experiment — targeted eclipse pressure (paper §III-B/C).
+
+Not a paper figure: the paper *discusses* eclipse attacks and their
+orthogonality to hub attacks (§III-C) but does not evaluate a targeted
+campaign.  This experiment closes that gap: a malicious party aims all
+of its admission tickets at one victim and we measure how much of the
+victim's view it manages to own over time, per swap length, and how
+fast the clone-based pressure gets the party blacklisted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.adversary.eclipse import EclipseAttacker, eclipse_pressure
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.plotting import chart_panel
+from repro.experiments.report import format_table, series_table
+from repro.experiments.runner import run_with_probes
+from repro.experiments.scale import Scale, pick, resolve_scale
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.links import blacklisted_malicious_fraction
+from repro.metrics.series import Series
+
+
+@dataclass
+class EclipseResult:
+    """One campaign: pressure series plus summary numbers."""
+
+    label: str
+    swap_length: int
+    series: Series
+    peak_pressure: float
+    final_pressure: float
+    ever_fully_eclipsed: bool
+    blacklist_progress: float
+
+
+def run_eclipse(
+    scale: Optional[Scale] = None, seed: int = 42
+) -> List[EclipseResult]:
+    """Run the targeted-eclipse campaign at the given scale."""
+    scale = resolve_scale(scale)
+    nodes, view_length, malicious = pick(
+        scale, (100, 10, 10), (250, 15, 25), (1000, 20, 100)
+    )
+    swap_lengths = pick(scale, (3,), (3, 5, 10), (3, 5, 8, 10))
+    attack_start = pick(scale, 10, 15, 50)
+    cycles = pick(scale, 40, 80, 150)
+
+    results = []
+    for swap_length in swap_lengths:
+        overlay = build_secure_overlay(
+            n=nodes,
+            config=SecureCyclonConfig(
+                view_length=view_length, swap_length=swap_length
+            ),
+            malicious=malicious,
+            attack_start=attack_start,
+            seed=seed,
+            attacker_cls=EclipseAttacker,
+        )
+        # Target: the first legitimate node (stable under the seed).
+        target = sorted(overlay.engine.legit_ids)[0]
+        overlay.coordinator.eclipse_target = target
+
+        probes = {
+            "pressure": lambda engine, t=target: eclipse_pressure(engine, t)
+        }
+        series = run_with_probes(overlay, cycles, probes, every=1)["pressure"]
+        series.label = f"swap length {swap_length}"
+        results.append(
+            EclipseResult(
+                label=(
+                    f"nodes:{nodes}, view:{view_length}, "
+                    f"attackers:{malicious}"
+                ),
+                swap_length=swap_length,
+                series=series,
+                peak_pressure=series.max_y(),
+                final_pressure=series.final_y(),
+                ever_fully_eclipsed=any(y >= 1.0 for y in series.ys),
+                blacklist_progress=blacklisted_malicious_fraction(
+                    overlay.engine
+                ),
+            )
+        )
+    return results
+
+
+def render(results: List[EclipseResult]) -> str:
+    blocks = [
+        series_table(
+            f"Eclipse campaign — attacker share of the target's view (%) "
+            f"({results[0].label})",
+            [result.series for result in results],
+        ),
+        format_table(
+            [
+                "swap length",
+                "peak pressure (%)",
+                "final (%)",
+                "fully eclipsed",
+                "attackers blacklisted (%)",
+            ],
+            [
+                (
+                    result.swap_length,
+                    result.peak_pressure * 100,
+                    result.final_pressure * 100,
+                    "yes" if result.ever_fully_eclipsed else "no",
+                    result.blacklist_progress * 100,
+                )
+                for result in results
+            ],
+        ),
+        chart_panel(
+            f"[chart] {results[0].label}",
+            [result.series for result in results],
+            x_label="time (cycles)",
+            y_label="view %",
+            y_max=100.0,
+        ),
+    ]
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(render(run_eclipse()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

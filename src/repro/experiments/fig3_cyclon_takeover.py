@@ -1,0 +1,118 @@
+"""Fig 3 — the hub attack takes over an unprotected Cyclon overlay.
+
+A malicious group of exactly ℓ nodes behaves correctly until cycle 50,
+then floods fake views of malicious descriptors.  The paper shows the
+fraction of legitimate links pointing at malicious nodes racing to
+100 %.  One curve per swap length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cyclon.config import CyclonConfig
+from repro.experiments.plotting import chart_panel
+from repro.experiments.report import series_table
+from repro.experiments.runner import run_with_probes
+from repro.experiments.scale import Scale, pick, resolve_scale
+from repro.experiments.scenarios import build_cyclon_overlay
+from repro.metrics.links import malicious_link_fraction
+from repro.metrics.series import Series
+
+
+@dataclass
+class Fig3Panel:
+    """One panel: a network size with one curve per swap length."""
+
+    label: str
+    nodes: int
+    view_length: int
+    malicious: int
+    attack_start: int
+    series: List[Series]
+
+
+def run_fig3(
+    scale: Optional[Scale] = None, seed: int = 42
+) -> List[Fig3Panel]:
+    """Run the Fig 3 experiment at the given scale."""
+    scale = resolve_scale(scale)
+    specs = pick(
+        scale,
+        smoke=[(150, 15, 15)],
+        default=[(1000, 20, 20), (2000, 50, 50)],
+        full=[(1000, 20, 20), (10000, 50, 50)],
+    )
+    swap_lengths = pick(scale, (3, 10), (3, 5, 8, 10), (3, 5, 8, 10))
+    attack_start = pick(scale, 20, 50, 50)
+    cycles = pick(scale, 80, 200, 500)
+    every = pick(scale, 5, 5, 10)
+
+    panels = []
+    for nodes, view_length, malicious in specs:
+        series_list = []
+        for swap_length in swap_lengths:
+            overlay = build_cyclon_overlay(
+                n=nodes,
+                config=CyclonConfig(
+                    view_length=view_length, swap_length=swap_length
+                ),
+                malicious=malicious,
+                attack_start=attack_start,
+                seed=seed,
+            )
+            result = run_with_probes(
+                overlay,
+                cycles,
+                {"malicious_links": malicious_link_fraction},
+                every=every,
+            )
+            series = result["malicious_links"]
+            series.label = f"swap length {swap_length}"
+            series_list.append(series)
+        panels.append(
+            Fig3Panel(
+                label=(
+                    f"nodes:{nodes}, view:{view_length}, "
+                    f"malicious nodes:{malicious}"
+                ),
+                nodes=nodes,
+                view_length=view_length,
+                malicious=malicious,
+                attack_start=attack_start,
+                series=series_list,
+            )
+        )
+    return panels
+
+
+def render(panels: List[Fig3Panel]) -> str:
+    blocks = []
+    for panel in panels:
+        blocks.append(
+            series_table(
+                f"Fig 3 — links to malicious nodes (%) under the hub "
+                f"attack, legacy Cyclon ({panel.label}, attack at cycle "
+                f"{panel.attack_start})",
+                panel.series,
+            )
+        )
+        blocks.append(
+            chart_panel(
+                f"[chart] {panel.label}",
+                panel.series,
+                x_label="time (cycles)",
+                y_label="mal %",
+                y_max=100.0,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(render(run_fig3()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

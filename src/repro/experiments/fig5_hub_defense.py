@@ -1,0 +1,166 @@
+"""Fig 5 — SecureCyclon defends against the hub attack.
+
+Top row: the same minimal attack as Fig 3 (ℓ malicious nodes) against
+SecureCyclon — the malicious-link fraction spikes briefly after the
+attack starts, then collapses as violators are proven and blacklisted.
+
+Bottom row: the extreme scenario with 40 % of all nodes malicious.
+High swap lengths can leave a residue of eclipsed nodes (legitimate
+nodes whose every link is malicious, unreachable by proof floods);
+the experiment reports that fraction too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.plotting import chart_panel
+from repro.experiments.report import format_table, series_table
+from repro.experiments.runner import run_with_probes
+from repro.experiments.scale import Scale, pick, resolve_scale
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.graphstats import eclipsed_fraction
+from repro.metrics.links import (
+    blacklisted_malicious_fraction,
+    malicious_link_fraction,
+)
+from repro.metrics.series import Series
+
+
+@dataclass
+class Fig5Panel:
+    """One panel: a population/attack size with a curve per swap length."""
+
+    label: str
+    nodes: int
+    view_length: int
+    malicious: int
+    attack_start: int
+    series: List[Series]
+    final_eclipsed: Dict[int, float]  # swap length -> eclipsed fraction
+    final_blacklist_progress: Dict[int, float]
+
+
+def run_fig5(
+    scale: Optional[Scale] = None,
+    seed: int = 42,
+    extreme: bool = True,
+) -> List[Fig5Panel]:
+    """Run the Fig 5 experiment.
+
+    ``extreme=False`` skips the 40 %-malicious bottom row (used by the
+    quick benchmarks).
+    """
+    scale = resolve_scale(scale)
+    minimal_specs = pick(
+        scale,
+        smoke=[(120, 12, 12)],
+        default=[(300, 20, 20)],
+        full=[(1000, 20, 20), (10000, 50, 50)],
+    )
+    extreme_specs = pick(
+        scale,
+        smoke=[(120, 12, 48)],
+        default=[(300, 20, 120)],
+        full=[(1000, 20, 400), (10000, 50, 4000)],
+    )
+    swap_lengths = pick(scale, (3,), (3, 5, 8, 10), (3, 5, 8, 10))
+    attack_start = pick(scale, 20, 50, 50)
+    cycles = pick(scale, 50, 100, 100)
+    every = pick(scale, 2, 2, 2)
+
+    specs = list(minimal_specs)
+    if extreme:
+        specs.extend(extreme_specs)
+
+    panels = []
+    for nodes, view_length, malicious in specs:
+        series_list = []
+        eclipsed: Dict[int, float] = {}
+        progress: Dict[int, float] = {}
+        for swap_length in swap_lengths:
+            overlay = build_secure_overlay(
+                n=nodes,
+                config=SecureCyclonConfig(
+                    view_length=view_length, swap_length=swap_length
+                ),
+                malicious=malicious,
+                attack_start=attack_start,
+                seed=seed,
+            )
+            result = run_with_probes(
+                overlay,
+                cycles,
+                {"malicious_links": malicious_link_fraction},
+                every=every,
+            )
+            series = result["malicious_links"]
+            series.label = f"swap length {swap_length}"
+            series_list.append(series)
+            eclipsed[swap_length] = eclipsed_fraction(overlay.engine)
+            progress[swap_length] = blacklisted_malicious_fraction(
+                overlay.engine
+            )
+        panels.append(
+            Fig5Panel(
+                label=(
+                    f"nodes:{nodes}, view:{view_length}, "
+                    f"malicious nodes:{malicious}"
+                ),
+                nodes=nodes,
+                view_length=view_length,
+                malicious=malicious,
+                attack_start=attack_start,
+                series=series_list,
+                final_eclipsed=eclipsed,
+                final_blacklist_progress=progress,
+            )
+        )
+    return panels
+
+
+def render(panels: List[Fig5Panel]) -> str:
+    blocks = []
+    for panel in panels:
+        blocks.append(
+            series_table(
+                f"Fig 5 — links to malicious nodes (%) under the hub "
+                f"attack, SecureCyclon ({panel.label}, attack at cycle "
+                f"{panel.attack_start})",
+                panel.series,
+            )
+        )
+        rows = [
+            (
+                s,
+                panel.final_eclipsed[s] * 100.0,
+                panel.final_blacklist_progress[s] * 100.0,
+            )
+            for s in sorted(panel.final_eclipsed)
+        ]
+        blocks.append(
+            format_table(
+                ["swap length", "eclipsed nodes (%)", "blacklist progress (%)"],
+                rows,
+            )
+        )
+        blocks.append(
+            chart_panel(
+                f"[chart] {panel.label}",
+                panel.series,
+                x_label="time (cycles)",
+                y_label="mal %",
+                y_max=100.0,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(render(run_fig5()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,126 @@
+"""Fig 6 — the link-depletion attack and the tit-for-tat defence.
+
+Malicious nodes respond to gossip with nothing (an "empty view"),
+draining legitimate views of swappable descriptors.  The paper plots
+the fraction of non-swappable links over time, for 2 % and 50 %
+malicious populations, with tit-for-tat disabled (left column) and
+enabled (right column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.adversary.depletion import DepletionAttacker
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.plotting import chart_panel
+from repro.experiments.report import series_table
+from repro.experiments.runner import run_with_probes
+from repro.experiments.scale import Scale, pick, resolve_scale
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.links import non_swappable_fraction
+from repro.metrics.series import Series
+
+
+@dataclass
+class Fig6Panel:
+    """One panel: a malicious share × tit-for-tat setting."""
+
+    label: str
+    nodes: int
+    view_length: int
+    malicious: int
+    tit_for_tat: bool
+    attack_start: int
+    series: List[Series]
+
+
+def run_fig6(
+    scale: Optional[Scale] = None, seed: int = 42
+) -> List[Fig6Panel]:
+    """Run the Fig 6 experiment at the given scale."""
+    scale = resolve_scale(scale)
+    nodes, view_length = pick(
+        scale, (150, 15), (300, 20), (1000, 20)
+    )
+    malicious_shares = pick(scale, (0.5,), (0.02, 0.5), (0.02, 0.5))
+    swap_lengths = pick(scale, (5,), (3, 5, 10), (3, 5, 8, 10))
+    attack_start = pick(scale, 20, 50, 50)
+    cycles = pick(scale, 50, 100, 100)
+    every = pick(scale, 2, 2, 2)
+
+    panels = []
+    for share in malicious_shares:
+        malicious = max(1, round(nodes * share))
+        for tit_for_tat in (False, True):
+            series_list = []
+            for swap_length in swap_lengths:
+                overlay = build_secure_overlay(
+                    n=nodes,
+                    config=SecureCyclonConfig(
+                        view_length=view_length,
+                        swap_length=swap_length,
+                        tit_for_tat=tit_for_tat,
+                    ),
+                    malicious=malicious,
+                    attack_start=attack_start,
+                    seed=seed,
+                    attacker_cls=DepletionAttacker,
+                )
+                result = run_with_probes(
+                    overlay,
+                    cycles,
+                    {"non_swappable": non_swappable_fraction},
+                    every=every,
+                )
+                series = result["non_swappable"]
+                series.label = f"swap length {swap_length}"
+                series_list.append(series)
+            panels.append(
+                Fig6Panel(
+                    label=(
+                        f"nodes:{nodes}, view:{view_length}, malicious "
+                        f"nodes:{malicious} ({share:.0%}), tit-for-tat: "
+                        f"{'enabled' if tit_for_tat else 'disabled'}"
+                    ),
+                    nodes=nodes,
+                    view_length=view_length,
+                    malicious=malicious,
+                    tit_for_tat=tit_for_tat,
+                    attack_start=attack_start,
+                    series=series_list,
+                )
+            )
+    return panels
+
+
+def render(panels: List[Fig6Panel]) -> str:
+    blocks = []
+    for panel in panels:
+        blocks.append(
+            series_table(
+                f"Fig 6 — non-swappable links (%) under the "
+                f"link-depletion attack ({panel.label}, attack at cycle "
+                f"{panel.attack_start})",
+                panel.series,
+            )
+        )
+        blocks.append(
+            chart_panel(
+                f"[chart] {panel.label}",
+                panel.series,
+                x_label="time (cycles)",
+                y_label="ns %",
+                y_max=100.0,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(render(run_fig6()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,139 @@
+"""Fig 7 — clone-detection ratio vs the age at duplication.
+
+Cloning attackers double-spend descriptors at targeted ages; the
+legitimate swarm runs its §IV-B checks with enforcement disabled (so
+attackers survive their first offence and keep producing events), and
+the harness reports the fraction of duplications that were provably
+detected, per age bucket, for several redemption-cache sizes and
+malicious population shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.adversary.cloning import CloningAttacker
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.report import format_table
+from repro.experiments.scale import Scale, pick, resolve_scale
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.detection import (
+    detected_identities,
+    detection_ratio_by_age,
+    overall_detection_ratio,
+)
+
+
+@dataclass
+class Fig7Curve:
+    """One curve: detection ratio per age for one cache size."""
+
+    cache_cycles: int
+    rows: List[Tuple[int, float, int]]  # (age, ratio, events)
+    overall: float
+
+
+@dataclass
+class Fig7Panel:
+    """One panel: a malicious share with one curve per cache size."""
+
+    label: str
+    malicious_share: float
+    curves: List[Fig7Curve]
+
+
+def run_fig7(
+    scale: Optional[Scale] = None, seed: int = 42
+) -> List[Fig7Panel]:
+    """Run the Fig 7 experiment at the given scale."""
+    scale = resolve_scale(scale)
+    nodes, view_length = pick(scale, (150, 15), (300, 20), (1000, 20))
+    malicious_shares = pick(scale, (0.2,), (0.05, 0.2, 0.5), (0.05, 0.2, 0.5))
+    cache_sizes = pick(scale, (0, 5), (0, 2, 5, 10), (0, 2, 5, 10))
+    cycles = pick(scale, 60, 90, 150)
+    attack_start = pick(scale, 10, 10, 10)
+    age_low, age_high = 2, 20
+    ages = range(age_low, age_high + 1, 2)
+
+    panels = []
+    for share in malicious_shares:
+        malicious = max(1, round(nodes * share))
+        curves = []
+        for cache_cycles in cache_sizes:
+            overlay = build_secure_overlay(
+                n=nodes,
+                config=SecureCyclonConfig(
+                    view_length=view_length,
+                    swap_length=3,
+                    redemption_cache_cycles=cache_cycles,
+                    blacklist_enabled=False,
+                ),
+                malicious=malicious,
+                attack_start=attack_start,
+                seed=seed,
+                attacker_cls=CloningAttacker,
+                attacker_kwargs={"age_range": (age_low, age_high)},
+            )
+            overlay.run(cycles)
+            events = [
+                event
+                for node in overlay.malicious_nodes
+                for event in node.clone_events
+            ]
+            detected = detected_identities(overlay.engine.trace)
+            curves.append(
+                Fig7Curve(
+                    cache_cycles=cache_cycles,
+                    rows=detection_ratio_by_age(events, detected, ages),
+                    overall=overall_detection_ratio(events, detected),
+                )
+            )
+        panels.append(
+            Fig7Panel(
+                label=(
+                    f"nodes:{nodes}, view:{view_length}, malicious "
+                    f"nodes:{share:.0%}"
+                ),
+                malicious_share=share,
+                curves=curves,
+            )
+        )
+    return panels
+
+
+def render(panels: List[Fig7Panel]) -> str:
+    blocks = []
+    for panel in panels:
+        headers = ["age when duplicated"] + [
+            (
+                "no redemption cache"
+                if curve.cache_cycles == 0
+                else f"cache {curve.cache_cycles} cycles"
+            )
+            for curve in panel.curves
+        ]
+        ages = [age for age, _, _ in panel.curves[0].rows]
+        rows = []
+        for index, age in enumerate(ages):
+            row = [age]
+            for curve in panel.curves:
+                _, ratio, count = curve.rows[index]
+                row.append("-" if count == 0 else ratio * 100.0)
+            rows.append(row)
+        rows.append(
+            ["overall"] + [curve.overall * 100.0 for curve in panel.curves]
+        )
+        blocks.append(
+            f"Fig 7 — detected duplicates (%) ({panel.label})\n"
+            + format_table(headers, rows, precision=1)
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(render(run_fig7()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

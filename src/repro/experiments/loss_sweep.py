@@ -1,0 +1,146 @@
+"""Extension experiment — message loss and non-atomic exchanges (§V-B).
+
+The paper's tit-for-tat mechanism is motivated by *adversarial*
+defection, but the same §V-A case-2 asymmetry arises from plain
+network loss: a reply dropped after the request was processed leaves
+ownership transferred one way only.  This sweep injects symmetric
+message loss at increasing rates into an all-honest SecureCyclon
+overlay — with and without tit-for-tat — and measures what the loss
+costs: view fill, non-swappable repairs, and connectivity.
+
+Expected shape: health degrades gracefully with the loss rate and the
+overlay never fragments.  Tit-for-tat trades exposure for fairness
+under *random* loss: its 2s round trips give a dialogue more chances
+to be cut short (lower fill than the bulk swap), but each cut strands
+at most one descriptor, so the non-swappable share stays at or below
+the bulk-swap variant.  Legacy Cyclon is the baseline (it retains sent
+descriptors on loss, so it only suffers stale links, not repairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import SecureCyclonConfig
+from repro.cyclon.config import CyclonConfig
+from repro.experiments.report import format_table
+from repro.experiments.scale import Scale, pick, resolve_scale
+from repro.experiments.scenarios import (
+    build_cyclon_overlay,
+    build_secure_overlay,
+)
+from repro.metrics.graphstats import largest_component_fraction
+from repro.metrics.links import non_swappable_fraction, view_fill_fraction
+from repro.sim.channel import DropPolicy
+from repro.sim.engine import SimConfig
+
+
+@dataclass
+class LossRow:
+    """One (loss rate × variant) measurement."""
+
+    variant: str
+    loss_rate: float
+    final_fill: float
+    final_component: float
+    final_non_swappable: float
+
+
+def _measure(
+    variant: str,
+    loss_rate: float,
+    nodes: int,
+    view_length: int,
+    cycles: int,
+    seed: int,
+) -> LossRow:
+    sim_config = SimConfig(
+        seed=seed,
+        drop_policy=DropPolicy(request_loss=loss_rate, reply_loss=loss_rate),
+    )
+    if variant == "cyclon":
+        overlay = build_cyclon_overlay(
+            n=nodes,
+            config=CyclonConfig(view_length=view_length, swap_length=3),
+            seed=seed,
+            sim_config=sim_config,
+        )
+    else:
+        overlay = build_secure_overlay(
+            n=nodes,
+            config=SecureCyclonConfig(
+                view_length=view_length,
+                swap_length=3,
+                tit_for_tat=(variant == "secure+tft"),
+            ),
+            seed=seed,
+            sim_config=sim_config,
+        )
+    overlay.run(cycles)
+    non_swappable = (
+        0.0 if variant == "cyclon" else non_swappable_fraction(overlay.engine)
+    )
+    return LossRow(
+        variant=variant,
+        loss_rate=loss_rate,
+        final_fill=view_fill_fraction(overlay.engine),
+        final_component=largest_component_fraction(
+            overlay.engine, legit_only=False
+        ),
+        final_non_swappable=non_swappable,
+    )
+
+
+def run_loss_sweep(
+    scale: Optional[Scale] = None, seed: int = 42
+) -> List[LossRow]:
+    """Sweep loss rates across the three protocol variants."""
+    scale = resolve_scale(scale)
+    nodes, view_length = pick(scale, (100, 10), (250, 15), (1000, 20))
+    cycles = pick(scale, 30, 60, 150)
+    loss_rates = pick(
+        scale, (0.0, 0.1), (0.0, 0.05, 0.1, 0.2), (0.0, 0.05, 0.1, 0.2, 0.4)
+    )
+    rows = []
+    for loss_rate in loss_rates:
+        for variant in ("cyclon", "secure", "secure+tft"):
+            rows.append(
+                _measure(variant, loss_rate, nodes, view_length, cycles, seed)
+            )
+    return rows
+
+
+def render(rows: List[LossRow]) -> str:
+    """One table, loss rate × variant."""
+    return (
+        "Message-loss sweep — overlay health after convergence under "
+        "symmetric loss\n"
+        + format_table(
+            [
+                "loss rate",
+                "variant",
+                "view fill",
+                "largest component",
+                "non-swappable",
+            ],
+            [
+                (
+                    f"{row.loss_rate:.0%}",
+                    row.variant,
+                    row.final_fill,
+                    row.final_component,
+                    row.final_non_swappable,
+                )
+                for row in rows
+            ],
+        )
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(render(run_loss_sweep()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,104 @@
+"""Seed sweeps: the same experiment across independent runs.
+
+Every figure harness is deterministic per seed; this module runs a
+scenario across several seeds and aggregates, giving the error-bar
+view the paper's single-run plots omit.  Used by the seed-sensitivity
+bench and available from the public API for any custom study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.metrics.series import Series, mean
+
+
+@dataclass
+class ScalarSweep:
+    """Aggregate of one scalar outcome across seeds."""
+
+    name: str
+    values: List[float]
+
+    @property
+    def mean(self) -> float:
+        return mean(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        center = self.mean
+        return math.sqrt(
+            sum((value - center) ** 2 for value in self.values)
+            / (len(self.values) - 1)
+        )
+
+    @property
+    def min(self) -> float:
+        return min(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values)
+
+    def row(self) -> tuple:
+        """(name, mean, std, min, max) — one table row."""
+        return (self.name, self.mean, self.std, self.min, self.max)
+
+
+def sweep_scalars(
+    run: Callable[[int], Dict[str, float]], seeds: Sequence[int]
+) -> List[ScalarSweep]:
+    """Run ``run(seed)`` per seed; aggregate its named scalar outputs.
+
+    Every run must return the same set of keys.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    collected: Dict[str, List[float]] = {}
+    expected_keys = None
+    for seed in seeds:
+        outcome = run(seed)
+        if expected_keys is None:
+            expected_keys = set(outcome)
+        elif set(outcome) != expected_keys:
+            raise ValueError(
+                f"seed {seed} returned keys {sorted(outcome)}, expected "
+                f"{sorted(expected_keys)}"
+            )
+        for name, value in outcome.items():
+            collected.setdefault(name, []).append(float(value))
+    return [
+        ScalarSweep(name=name, values=values)
+        for name, values in sorted(collected.items())
+    ]
+
+
+def aggregate_series(
+    runs: Sequence[Series], label: str = "mean"
+) -> Dict[str, Series]:
+    """Pointwise mean/min/max envelope over same-shaped series.
+
+    All runs must sample the same x values (true for fixed-``every``
+    probes).  Returns ``{"mean": ..., "min": ..., "max": ...}``.
+    """
+    if not runs:
+        raise ValueError("need at least one series")
+    xs = runs[0].xs
+    for series in runs[1:]:
+        if series.xs != xs:
+            raise ValueError("series sample different x values")
+    out = {
+        "mean": Series(label=label),
+        "min": Series(label=f"{label} (min)"),
+        "max": Series(label=f"{label} (max)"),
+    }
+    for index, x in enumerate(xs):
+        column = [series.ys[index] for series in runs]
+        out["mean"].append(x, mean(column))
+        out["min"].append(x, min(column))
+        out["max"].append(x, max(column))
+    return out

@@ -1,0 +1,116 @@
+"""ASCII line charts for experiment series.
+
+The benchmark harness archives its results as plain text; tables (see
+:mod:`repro.experiments.report`) carry the exact numbers, and the
+charts produced here show the *shape* — the thing the paper's figures
+are really about — without any plotting dependency.
+
+A chart is a character grid: y is scaled into a fixed number of rows,
+x into a fixed number of columns, and each series paints its points
+with its own glyph.  Overlapping points show the glyph of the series
+listed last.  Axis labels carry the data ranges so the chart is
+self-contained when pasted into EXPERIMENTS.md or a results file.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.metrics.series import Series
+
+#: Glyphs assigned to series in order; cycled if there are more series.
+GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    """Map ``value`` in [lo, hi] onto an integer cell in [0, steps-1]."""
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(steps - 1, max(0, round(position * (steps - 1))))
+
+
+def ascii_chart(
+    series_list: Sequence[Series],
+    width: int = 72,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "cycle",
+    y_label: str = "%",
+    y_scale: float = 100.0,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render ``series_list`` as one ASCII chart.
+
+    ``y_scale`` multiplies every y value before plotting (the probes
+    return fractions while the paper's axes are percentages).  ``y_min``
+    and ``y_max`` pin the y range; left to ``None`` they are taken from
+    the data, with a zero floor so percentage plots read naturally.
+    """
+    populated = [series for series in series_list if series.points]
+    if not populated:
+        return f"{title or 'chart'}\n(no data)"
+
+    xs = [x for series in populated for x in series.xs]
+    ys = [y * y_scale for series in populated for y in series.ys]
+    x_lo, x_hi = min(xs), max(xs)
+    lo = 0.0 if y_min is None else y_min
+    hi = max(ys) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(populated):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        for x, y in series.points:
+            column = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y * y_scale, lo, hi, height)
+            grid[row][column] = glyph
+
+    top_label = f"{hi:g}"
+    bottom_label = f"{lo:g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif row_index == height // 2:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|" + "".join(row))
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    x_left = f"{x_lo:g}"
+    x_right = f"{x_hi:g}"
+    caption = (
+        " " * (margin + 1)
+        + x_left
+        + x_label.center(width - len(x_left) - len(x_right))
+        + x_right
+    )
+    lines.append(caption)
+    legend = "  ".join(
+        f"{GLYPHS[index % len(GLYPHS)]}={series.label}"
+        for index, series in enumerate(populated)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def chart_panel(
+    title: str,
+    series_list: Sequence[Series],
+    **kwargs,
+) -> str:
+    """An :func:`ascii_chart` preceded by a blank separator line.
+
+    Convenience wrapper used by figure renderers that stack a table and
+    its chart in one results file.
+    """
+    return "\n" + ascii_chart(series_list, title=title, **kwargs)

@@ -1,0 +1,78 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are line plots and histograms; the harness prints
+the same data as aligned text tables (one row per x value, one column
+per series), which is what lands in ``EXPERIMENTS.md`` and the bench
+output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.metrics.series import Series
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], precision: int = 2
+) -> str:
+    """Align ``rows`` under ``headers``; floats rendered at ``precision``."""
+
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    out = [line(list(headers)), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def series_table(
+    title: str,
+    series_list: List[Series],
+    x_label: str = "cycle",
+    y_scale: float = 100.0,
+    precision: int = 2,
+) -> str:
+    """Render several series sharing an x axis as one table.
+
+    ``y_scale`` defaults to 100 because the paper's y-axes are almost
+    all percentages while the probes return fractions.
+    """
+    xs: List[float] = sorted({x for series in series_list for x in series.xs})
+    headers = [x_label] + [series.label for series in series_list]
+    by_series = [dict(series.points) for series in series_list]
+    rows = []
+    for x in xs:
+        row: List = [int(x) if float(x).is_integer() else x]
+        for points in by_series:
+            value = points.get(x)
+            row.append("-" if value is None else value * y_scale)
+        rows.append(row)
+    body = format_table(headers, rows, precision=precision)
+    return f"{title}\n{body}"
+
+
+def histogram_table(
+    title: str, pairs: Sequence[Tuple[int, int]], x_label: str, y_label: str
+) -> str:
+    """Render histogram pairs with a proportional bar column."""
+    if not pairs:
+        return f"{title}\n(empty)"
+    peak = max(count for _, count in pairs)
+    rows = []
+    for value, count in pairs:
+        bar = "#" * max(1, round(30 * count / peak)) if count else ""
+        rows.append((value, count, bar))
+    body = format_table([x_label, y_label, ""], rows)
+    return f"{title}\n{body}"

@@ -1,0 +1,29 @@
+"""Running scenarios while sampling probes into series."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.experiments.scenarios import Overlay
+from repro.metrics.series import Series
+from repro.sim.observers import SeriesObserver
+
+
+def run_with_probes(
+    overlay: Overlay,
+    cycles: int,
+    probes: Dict[str, Callable[[Any], float]],
+    every: int = 1,
+) -> Dict[str, Series]:
+    """Run ``overlay`` for ``cycles``, sampling ``probes`` every
+    ``every`` cycles; returns one :class:`Series` per probe."""
+    observer = SeriesObserver(probes, every=every)
+    overlay.engine.add_observer(observer)
+    overlay.run(cycles)
+    result: Dict[str, Series] = {}
+    for name in probes:
+        series = Series(label=name)
+        for cycle, value in observer.series[name]:
+            series.append(float(cycle), value)
+        result[name] = series
+    return result

@@ -1,0 +1,55 @@
+"""Experiment scale presets.
+
+The paper's evaluation runs 1K and 10K-node overlays for up to 500
+cycles.  Pure-Python simulation reproduces those shapes at a fraction
+of the size in a fraction of the time, so three presets exist:
+
+* ``smoke``   — seconds; used by the test suite;
+* ``default`` — minutes; used by the benchmark harness in CI;
+* ``full``    — the paper's parameters; set ``REPRO_SCALE=full``.
+
+Every figure module reads the preset through :func:`resolve_scale`, so
+``REPRO_SCALE`` uniformly rescales the whole harness.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from typing import Optional
+
+ENV_VAR = "REPRO_SCALE"
+
+
+class Scale(enum.Enum):
+    """How big an experiment run should be."""
+
+    SMOKE = "smoke"
+    DEFAULT = "default"
+    FULL = "full"
+
+
+def resolve_scale(scale: Optional[Scale] = None) -> Scale:
+    """Explicit argument wins; otherwise the ``REPRO_SCALE`` env var;
+    otherwise :data:`Scale.DEFAULT`."""
+    if scale is not None:
+        return scale
+    raw = os.environ.get(ENV_VAR, "").strip().lower()
+    if not raw:
+        return Scale.DEFAULT
+    try:
+        return Scale(raw)
+    except ValueError:
+        valid = ", ".join(member.value for member in Scale)
+        raise ValueError(
+            f"invalid {ENV_VAR}={raw!r}; expected one of: {valid}"
+        ) from None
+
+
+def pick(scale: Scale, smoke, default, full):
+    """Select a per-preset value."""
+    if scale is Scale.SMOKE:
+        return smoke
+    if scale is Scale.FULL:
+        return full
+    return default

@@ -1,0 +1,163 @@
+"""Scenario builders: assemble a populated, bootstrapped engine.
+
+These are the only places that wire together the simulator, the
+protocols, the adversary and the bootstrap — experiments and tests
+build on top of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Type
+
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.adversary.hub import CyclonHubAttacker, SecureHubAttacker
+from repro.bootstrap import bootstrap_cyclon, bootstrap_secure
+from repro.core.config import SecureCyclonConfig
+from repro.core.node import SecureCyclonNode
+from repro.cyclon.config import CyclonConfig
+from repro.cyclon.node import CyclonNode
+from repro.sim.engine import Engine, SimConfig
+
+
+@dataclass
+class Overlay:
+    """A built scenario: the engine plus adversary bookkeeping."""
+
+    engine: Engine
+    coordinator: Optional[MaliciousCoordinator] = None
+    malicious_nodes: List[Any] = field(default_factory=list)
+
+    @property
+    def nodes(self) -> Dict[Any, Any]:
+        return self.engine.nodes
+
+    def run(self, cycles: int) -> None:
+        self.engine.run(cycles)
+
+
+def _choose_malicious(node_ids: List[Any], count: int, rng) -> set:
+    if count <= 0:
+        return set()
+    if count > len(node_ids):
+        raise ValueError(
+            f"cannot make {count} of {len(node_ids)} nodes malicious"
+        )
+    return set(rng.sample(node_ids, count))
+
+
+def build_cyclon_overlay(
+    n: int,
+    config: Optional[CyclonConfig] = None,
+    malicious: int = 0,
+    attack_start: int = 0,
+    seed: int = 42,
+    attacker_cls: Type[CyclonHubAttacker] = CyclonHubAttacker,
+    sim_config: Optional[SimConfig] = None,
+) -> Overlay:
+    """A bootstrapped legacy-Cyclon overlay, optionally with attackers."""
+    config = config or CyclonConfig()
+    engine = Engine(sim_config or SimConfig(seed=seed))
+    coordinator = MaliciousCoordinator(
+        attack_start_cycle=attack_start,
+        rng=engine.rng_hub.stream("adversary"),
+    )
+
+    key_rng = engine.rng_hub.stream("keys")
+    keypairs = [engine.registry.new_keypair(key_rng) for _ in range(n)]
+    node_ids = [keypair.public for keypair in keypairs]
+    malicious_ids = _choose_malicious(
+        node_ids, malicious, engine.rng_hub.stream("malicious-choice")
+    )
+
+    malicious_nodes = []
+    for index, keypair in enumerate(keypairs):
+        node_id = keypair.public
+        address = engine.network.reserve_address(node_id)
+        rng = engine.rng_hub.stream(f"node-{index}")
+        if node_id in malicious_ids:
+            node = attacker_cls(
+                node_id,
+                address,
+                config,
+                rng,
+                trace=engine.trace,
+                coordinator=coordinator,
+            )
+            coordinator.register_member(keypair, address)
+            malicious_nodes.append(node)
+        else:
+            node = CyclonNode(node_id, address, config, rng, trace=engine.trace)
+        engine.add_node(node)
+
+    coordinator.note_legit_population(
+        [node_id for node_id in node_ids if node_id not in malicious_ids]
+    )
+    bootstrap_cyclon(
+        engine.nodes, config.view_length, engine.rng_hub.stream("bootstrap")
+    )
+    return Overlay(
+        engine=engine, coordinator=coordinator, malicious_nodes=malicious_nodes
+    )
+
+
+def build_secure_overlay(
+    n: int,
+    config: Optional[SecureCyclonConfig] = None,
+    malicious: int = 0,
+    attack_start: int = 0,
+    seed: int = 42,
+    attacker_cls: Type[SecureCyclonNode] = SecureHubAttacker,
+    attacker_kwargs: Optional[Dict[str, Any]] = None,
+    sim_config: Optional[SimConfig] = None,
+) -> Overlay:
+    """A bootstrapped SecureCyclon overlay, optionally with attackers."""
+    config = config or SecureCyclonConfig()
+    engine = Engine(sim_config or SimConfig(seed=seed))
+    coordinator = MaliciousCoordinator(
+        attack_start_cycle=attack_start,
+        rng=engine.rng_hub.stream("adversary"),
+    )
+    attacker_kwargs = dict(attacker_kwargs or {})
+
+    key_rng = engine.rng_hub.stream("keys")
+    keypairs = [engine.registry.new_keypair(key_rng) for _ in range(n)]
+    node_ids = [keypair.public for keypair in keypairs]
+    malicious_ids = _choose_malicious(
+        node_ids, malicious, engine.rng_hub.stream("malicious-choice")
+    )
+
+    malicious_nodes = []
+    for index, keypair in enumerate(keypairs):
+        node_id = keypair.public
+        address = engine.network.reserve_address(node_id)
+        rng = engine.rng_hub.stream(f"node-{index}")
+        common = dict(
+            keypair=keypair,
+            address=address,
+            config=config,
+            clock=engine.clock,
+            registry=engine.registry,
+            rng=rng,
+            trace=engine.trace,
+        )
+        if node_id in malicious_ids:
+            node = attacker_cls(
+                coordinator=coordinator, **common, **attacker_kwargs
+            )
+            coordinator.register_member(keypair, address)
+            malicious_nodes.append(node)
+        else:
+            node = SecureCyclonNode(**common)
+        node.bind_network(engine.network)
+        engine.add_node(node)
+
+    coordinator.note_legit_population(
+        [node_id for node_id in node_ids if node_id not in malicious_ids]
+    )
+    bootstrap_secure(
+        engine.nodes, config.view_length, engine.rng_hub.stream("bootstrap")
+    )
+    return Overlay(
+        engine=engine, coordinator=coordinator, malicious_nodes=malicious_nodes
+    )

@@ -1,0 +1,186 @@
+"""Extension experiment — the §III violation matrix.
+
+Section III enumerates the protocol violations an attacker can build
+on: frequency violations, partner-selection violations, and view
+violations (with descriptor cloning as their enabling primitive, and
+token replay as the degenerate no-fork case).  This experiment runs
+one small SecureCyclon overlay per violation type and reports the
+outcome in a single table:
+
+=================  =========================================
+violation          expected outcome under SecureCyclon
+=================  =========================================
+frequency          provable → attacker blacklisted
+cloning            provable → attacker blacklisted
+partner selection  deterministically rejected, zero yield
+replay             deterministically rejected, zero yield
+=================  =========================================
+
+It is the executable form of the paper's §IV claim that every avenue
+of over-representation is either *provable* (and punished) or
+*impossible* (and rejected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.adversary.cloning import CloningAttacker
+from repro.adversary.frequency import FrequencyAttacker
+from repro.adversary.partner import SecurePartnerViolationAttacker
+from repro.adversary.replay import ReplayAttacker
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.report import format_table
+from repro.experiments.scale import Scale, pick, resolve_scale
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.links import blacklisted_malicious_fraction
+
+
+@dataclass
+class ViolationOutcome:
+    """One row of the matrix."""
+
+    violation: str
+    attempts: int
+    yielded: int  # exchanges/acceptances the attacker actually gained
+    blacklisted_fraction: float
+
+    @property
+    def punished(self) -> bool:
+        return self.blacklisted_fraction > 0.99
+
+    @property
+    def rejected(self) -> bool:
+        return self.yielded == 0
+
+
+def _build(scale: Scale, seed: int, attacker_cls, attacker_kwargs=None):
+    nodes, view_length = pick(scale, (100, 10), (200, 15), (1000, 20))
+    malicious = max(2, nodes // 20)
+    attack_start = pick(scale, 8, 12, 50)
+    cycles = pick(scale, 40, 60, 150)
+    overlay = build_secure_overlay(
+        n=nodes,
+        config=SecureCyclonConfig(view_length=view_length, swap_length=3),
+        malicious=malicious,
+        attack_start=attack_start,
+        seed=seed,
+        attacker_cls=attacker_cls,
+        attacker_kwargs=attacker_kwargs or {},
+    )
+    overlay.run(cycles)
+    return overlay
+
+
+def run_violations(
+    scale: Optional[Scale] = None, seed: int = 42
+) -> List[ViolationOutcome]:
+    """Run all four violation scenarios; one outcome row each."""
+    scale = resolve_scale(scale)
+    outcomes = []
+
+    overlay = _build(scale, seed, FrequencyAttacker, {"burst": 3})
+    attempts = sum(
+        node.burst for node in overlay.malicious_nodes
+    )  # descriptors minted per attacking cycle
+    outcomes.append(
+        ViolationOutcome(
+            violation="frequency (over-minting)",
+            attempts=attempts,
+            yielded=0,
+            blacklisted_fraction=blacklisted_malicious_fraction(
+                overlay.engine
+            ),
+        )
+    )
+
+    overlay = _build(scale, seed, CloningAttacker, {"age_range": (2, 8)})
+    clone_count = sum(
+        len(node.clone_events) for node in overlay.malicious_nodes
+    )
+    outcomes.append(
+        ViolationOutcome(
+            violation="view (descriptor cloning)",
+            attempts=clone_count,
+            yielded=0,
+            blacklisted_fraction=blacklisted_malicious_fraction(
+                overlay.engine
+            ),
+        )
+    )
+
+    overlay = _build(scale, seed, SecurePartnerViolationAttacker)
+    attempts = sum(
+        node.rejections + node.accepted for node in overlay.malicious_nodes
+    )
+    yielded = sum(node.accepted for node in overlay.malicious_nodes)
+    outcomes.append(
+        ViolationOutcome(
+            violation="partner selection",
+            attempts=attempts,
+            yielded=yielded,
+            blacklisted_fraction=blacklisted_malicious_fraction(
+                overlay.engine
+            ),
+        )
+    )
+
+    overlay = _build(scale, seed, ReplayAttacker)
+    attempts = sum(
+        node.replays_attempted for node in overlay.malicious_nodes
+    )
+    yielded = sum(node.replays_accepted for node in overlay.malicious_nodes)
+    outcomes.append(
+        ViolationOutcome(
+            violation="token replay",
+            attempts=attempts,
+            yielded=yielded,
+            blacklisted_fraction=blacklisted_malicious_fraction(
+                overlay.engine
+            ),
+        )
+    )
+    return outcomes
+
+
+def render(outcomes: List[ViolationOutcome]) -> str:
+    """The violation matrix as one table."""
+    rows = []
+    for outcome in outcomes:
+        if outcome.punished:
+            verdict = "provable -> party blacklisted"
+        elif outcome.rejected:
+            verdict = "rejected -> zero yield"
+        else:
+            verdict = "PARTIAL"
+        rows.append(
+            (
+                outcome.violation,
+                outcome.attempts,
+                outcome.yielded,
+                outcome.blacklisted_fraction * 100,
+                verdict,
+            )
+        )
+    return (
+        "Violation matrix — every §III avenue, outcome under SecureCyclon\n"
+        + format_table(
+            [
+                "violation",
+                "attempts",
+                "yield",
+                "attackers blacklisted (%)",
+                "outcome",
+            ],
+            rows,
+        )
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(render(run_violations()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

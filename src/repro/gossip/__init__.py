@@ -1,0 +1,34 @@
+"""Gossip applications built on top of the peer-sampling service.
+
+The paper motivates peer sampling with the applications that depend on
+it (§I): dissemination, aggregation, overlay robustness.  This package
+implements two of them against the overlay's live views, so examples
+and tests can demonstrate end-to-end what a healthy (or hijacked)
+peer-sampling layer means for the application above it.
+"""
+
+from repro.gossip.dissemination import DisseminationResult, disseminate
+from repro.gossip.aggregation import AggregationResult, push_pull_average
+from repro.gossip.failure_detector import (
+    FailureDetector,
+    FailureDetectorResult,
+    HeartbeatEntry,
+)
+from repro.gossip.topology import (
+    RingDistance,
+    TopologyBuilder,
+    TopologyResult,
+)
+
+__all__ = [
+    "DisseminationResult",
+    "disseminate",
+    "AggregationResult",
+    "push_pull_average",
+    "FailureDetector",
+    "FailureDetectorResult",
+    "HeartbeatEntry",
+    "RingDistance",
+    "TopologyBuilder",
+    "TopologyResult",
+]

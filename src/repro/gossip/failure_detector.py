@@ -1,0 +1,190 @@
+"""A gossip-based failure-detection service over the overlay's views.
+
+The §I motivation list includes fault detection: "fault detection
+algorithms require that nodes be monitored by an unbiased selection of
+other nodes to properly detect faulty behavior".  This module
+implements the classic heartbeat-gossip detector (van Renesse et al.):
+
+* every node keeps a table ``node → (heartbeat counter, last-updated
+  round)``;
+* each round it increments its own counter and merges tables with one
+  random view neighbor (push-pull);
+* an entry not refreshed within ``suspect_after`` rounds marks its node
+  *suspected*.
+
+Detection quality depends directly on peer-sampling health: with
+uniform views, heartbeats reach everyone within O(log n) rounds and
+crashed nodes are suspected promptly with no false positives; on a
+hijacked overlay, heartbeats route through the adversary and honest
+nodes start suspecting each other — the application-level symptom of a
+hub attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.metrics.links import view_targets
+
+
+@dataclass
+class HeartbeatEntry:
+    """One row of a node's monitoring table."""
+
+    counter: int
+    updated_round: int
+
+
+@dataclass
+class FailureDetectorResult:
+    """Outcome of a monitored run."""
+
+    rounds: int
+    suspect_after: int
+    #: node -> set of peers it currently suspects
+    suspicions: Dict[Any, Set[Any]] = field(default_factory=dict)
+    #: (round, monitor, suspected) detection log
+    detections: List[Tuple[int, Any, Any]] = field(default_factory=list)
+
+    def suspected_by_all(self, crashed: Set[Any]) -> Set[Any]:
+        """Crashed nodes that every live monitor currently suspects."""
+        if not self.suspicions:
+            return set()
+        universal = set(crashed)
+        for suspected in self.suspicions.values():
+            universal &= suspected
+        return universal
+
+    def false_positives(self, crashed: Set[Any]) -> Set[Any]:
+        """Live nodes suspected by anyone."""
+        wrongly = set()
+        for suspected in self.suspicions.values():
+            wrongly |= suspected - crashed
+        return wrongly
+
+    def detection_round(self, node_id: Any) -> Optional[int]:
+        """First round any monitor suspected ``node_id``."""
+        for round_index, _, suspect in self.detections:
+            if suspect == node_id:
+                return round_index
+        return None
+
+
+class FailureDetector:
+    """Heartbeat-gossip failure detection over live overlay views."""
+
+    def __init__(
+        self,
+        engine: Any,
+        suspect_after: int = 10,
+        rng=None,
+        honest_only: bool = True,
+    ) -> None:
+        if suspect_after < 2:
+            raise ValueError("suspect_after must be at least 2 rounds")
+        self.engine = engine
+        self.suspect_after = suspect_after
+        self.rng = rng or engine.rng_hub.stream("failure-detector")
+        malicious = engine.malicious_ids if honest_only else set()
+        self._participants = [
+            node_id for node_id in engine.nodes if node_id not in malicious
+        ]
+        self._tables: Dict[Any, Dict[Any, HeartbeatEntry]] = {
+            node_id: {node_id: HeartbeatEntry(counter=0, updated_round=0)}
+            for node_id in self._participants
+        }
+        self._round = 0
+        self._already_reported: Set[Tuple[Any, Any]] = set()
+        self._detections: List[Tuple[int, Any, Any]] = []
+
+    # ------------------------------------------------------------------
+    # protocol rounds
+    # ------------------------------------------------------------------
+
+    def run(self, rounds: int) -> FailureDetectorResult:
+        """Advance ``rounds`` heartbeat-gossip rounds and report."""
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        for _ in range(rounds):
+            self._run_round()
+        return self.result()
+
+    def _run_round(self) -> None:
+        self._round += 1
+        alive = [
+            node_id
+            for node_id in self._participants
+            if node_id in self.engine.nodes
+        ]
+        # Heartbeat: every alive node bumps its own counter.
+        for node_id in alive:
+            table = self._tables[node_id]
+            entry = table[node_id]
+            entry.counter += 1
+            entry.updated_round = self._round
+
+        order = list(alive)
+        self.rng.shuffle(order)
+        for node_id in order:
+            node = self.engine.nodes.get(node_id)
+            if node is None:
+                continue
+            targets = [
+                target
+                for target in view_targets(node)
+                if target in self._tables and target in self.engine.nodes
+            ]
+            if not targets:
+                continue
+            partner = self.rng.choice(targets)
+            self._merge(node_id, partner)
+            self._merge(partner, node_id)
+        self._record_new_suspicions(alive)
+
+    def _merge(self, into: Any, source: Any) -> None:
+        """Push-pull table merge: keep the freshest counter per node."""
+        target_table = self._tables[into]
+        for node_id, entry in self._tables[source].items():
+            known = target_table.get(node_id)
+            if known is None or entry.counter > known.counter:
+                target_table[node_id] = HeartbeatEntry(
+                    counter=entry.counter, updated_round=self._round
+                )
+
+    def _record_new_suspicions(self, alive: List[Any]) -> None:
+        for monitor in alive:
+            for suspect in self._suspected_by(monitor):
+                key = (monitor, suspect)
+                if key not in self._already_reported:
+                    self._already_reported.add(key)
+                    self._detections.append((self._round, monitor, suspect))
+
+    # ------------------------------------------------------------------
+    # verdicts
+    # ------------------------------------------------------------------
+
+    def _suspected_by(self, monitor: Any) -> Set[Any]:
+        table = self._tables[monitor]
+        return {
+            node_id
+            for node_id, entry in table.items()
+            if node_id != monitor
+            and self._round - entry.updated_round >= self.suspect_after
+        }
+
+    def result(self) -> FailureDetectorResult:
+        """Snapshot of current suspicions and the detection log."""
+        alive = [
+            node_id
+            for node_id in self._participants
+            if node_id in self.engine.nodes
+        ]
+        return FailureDetectorResult(
+            rounds=self._round,
+            suspect_after=self.suspect_after,
+            suspicions={
+                monitor: self._suspected_by(monitor) for monitor in alive
+            },
+            detections=list(self._detections),
+        )

@@ -1,0 +1,151 @@
+"""Structured-overlay construction over the peer-sampling service.
+
+The paper's §I motivation list opens with overlay construction, and
+its reference [6] (VICINITY, by the same author) is the canonical
+recipe: run a proximity-driven gossip layer *on top of* peer sampling.
+Each node ranks candidates by an application-defined distance and
+keeps the closest ones; the peer-sampling views supply the random
+long-range candidates that keep the search global and prevent local
+minima.
+
+This module implements that two-layer pattern compactly:
+
+* :class:`RingDistance` — the classic demo proximity: nodes arrange
+  into a ring ordered by (a hash of) their IDs;
+* :class:`TopologyBuilder` — per-round candidate collection (proximity
+  neighbors' neighbors + fresh peer-sampling links) and greedy
+  selection of the ``k`` closest.
+
+Convergence to the *correct* ring requires the sampling layer to keep
+supplying uniformly random honest peers — one more application-level
+reason peer sampling must be dependable: on a hijacked overlay the
+candidate stream dries up and the ring cannot close.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Set
+
+from repro.metrics.links import view_targets
+
+
+class RingDistance:
+    """Distance on a hash ring: ``d(a, b)`` is the circular gap between
+    the two IDs' positions on a 64-bit ring."""
+
+    SPACE = 2**64
+
+    def position(self, node_id: Any) -> int:
+        """The node's ring coordinate (deterministic in its ID)."""
+        raw = getattr(node_id, "digest", None)
+        if raw is None:
+            raw = repr(node_id).encode("utf-8")
+        return int.from_bytes(
+            hashlib.sha256(raw).digest()[:8], "big"
+        )
+
+    def __call__(self, a: Any, b: Any) -> int:
+        gap = abs(self.position(a) - self.position(b))
+        return min(gap, self.SPACE - gap)
+
+
+@dataclass
+class TopologyResult:
+    """Outcome of a topology-construction run."""
+
+    rounds: int
+    #: node -> its selected proximity neighbors
+    neighbors: Dict[Any, List[Any]] = field(default_factory=dict)
+
+    def ring_accuracy(self, distance: RingDistance) -> float:
+        """Fraction of nodes whose two true ring successors/predecessors
+        (among participants) made it into their proximity set."""
+        participants = sorted(self.neighbors, key=distance.position)
+        if len(participants) < 3:
+            return 1.0
+        hits = 0
+        total = 0
+        count = len(participants)
+        for index, node_id in enumerate(participants):
+            wanted = {
+                participants[(index - 1) % count],
+                participants[(index + 1) % count],
+            }
+            have = set(self.neighbors[node_id])
+            total += len(wanted)
+            hits += len(wanted & have)
+        return hits / total if total else 1.0
+
+
+class TopologyBuilder:
+    """Greedy proximity gossip over live peer-sampling views.
+
+    ``k`` is the proximity-view size.  Each round, every node gathers
+    candidates from three streams — its current proximity neighbors,
+    those neighbors' proximity neighbors (transitive closure step),
+    and its *current peer-sampling view* (the randomness injection) —
+    and keeps the ``k`` candidates closest under ``distance``.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        k: int = 4,
+        distance: Callable[[Any, Any], float] = None,
+        honest_only: bool = True,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.engine = engine
+        self.k = k
+        self.distance = distance or RingDistance()
+        malicious = engine.malicious_ids if honest_only else set()
+        self._participants: List[Any] = [
+            node_id for node_id in engine.nodes if node_id not in malicious
+        ]
+        self._proximity: Dict[Any, List[Any]] = {
+            node_id: [] for node_id in self._participants
+        }
+        self._round = 0
+
+    def run(self, rounds: int) -> TopologyResult:
+        """Advance ``rounds`` proximity-gossip rounds and report."""
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        for _ in range(rounds):
+            self._run_round()
+        return TopologyResult(
+            rounds=self._round,
+            neighbors={
+                node_id: list(neighbors)
+                for node_id, neighbors in self._proximity.items()
+            },
+        )
+
+    def _run_round(self) -> None:
+        self._round += 1
+        alive = [
+            node_id
+            for node_id in self._participants
+            if node_id in self.engine.nodes
+        ]
+        snapshot = {
+            node_id: list(self._proximity[node_id]) for node_id in alive
+        }
+        for node_id in alive:
+            candidates: Set[Any] = set(snapshot[node_id])
+            for neighbor in snapshot[node_id]:
+                candidates.update(snapshot.get(neighbor, ()))
+            node = self.engine.nodes.get(node_id)
+            if node is not None:
+                candidates.update(
+                    target
+                    for target in view_targets(node)
+                    if target in self._proximity
+                )
+            candidates.discard(node_id)
+            self._proximity[node_id] = sorted(
+                candidates, key=lambda c: self.distance(node_id, c)
+            )[: self.k]

@@ -1,0 +1,52 @@
+"""Measurement utilities behind every figure of the paper.
+
+* :mod:`~repro.metrics.links` — link composition of legitimate views
+  (malicious fraction for Figs 3/5, non-swappable fraction for Fig 6);
+* :mod:`~repro.metrics.degree` — indegree distributions (Fig 2);
+* :mod:`~repro.metrics.graphstats` — overlay-graph statistics built on
+  networkx (connectivity, clustering, eclipse detection);
+* :mod:`~repro.metrics.detection` — clone-detection ratios (Fig 7);
+* :mod:`~repro.metrics.collector` — ready-made probes for
+  :class:`~repro.sim.observers.SeriesObserver`;
+* :mod:`~repro.metrics.series` — small series/statistics helpers;
+* :mod:`~repro.metrics.timeline` — attack-milestone reports distilled
+  from the event trace.
+"""
+
+from repro.metrics.links import (
+    malicious_link_fraction,
+    non_swappable_fraction,
+    view_fill_fraction,
+    view_targets,
+)
+from repro.metrics.degree import indegree_counts, indegree_histogram
+from repro.metrics.graphstats import (
+    build_overlay_graph,
+    eclipsed_fraction,
+    largest_component_fraction,
+    overlay_statistics,
+)
+from repro.metrics.detection import detection_ratio_by_age
+from repro.metrics.timeline import AttackTimeline, attack_timeline
+from repro.metrics.collector import standard_probes
+from repro.metrics.series import Series, mean, percentile
+
+__all__ = [
+    "malicious_link_fraction",
+    "non_swappable_fraction",
+    "view_fill_fraction",
+    "view_targets",
+    "indegree_counts",
+    "indegree_histogram",
+    "build_overlay_graph",
+    "eclipsed_fraction",
+    "largest_component_fraction",
+    "overlay_statistics",
+    "detection_ratio_by_age",
+    "AttackTimeline",
+    "attack_timeline",
+    "standard_probes",
+    "Series",
+    "mean",
+    "percentile",
+]

@@ -1,0 +1,29 @@
+"""Ready-made probe bundles for :class:`~repro.sim.observers.SeriesObserver`."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.metrics.links import (
+    blacklisted_malicious_fraction,
+    malicious_link_fraction,
+    non_swappable_fraction,
+    view_fill_fraction,
+)
+
+
+def standard_probes() -> Dict[str, Callable[[Any], float]]:
+    """The probes used by the attack experiments.
+
+    * ``malicious_links`` — Figs 3/5 y-axis (fraction, not percent);
+    * ``non_swappable`` — Fig 6 y-axis;
+    * ``view_fill`` — health check of view occupancy;
+    * ``blacklist_progress`` — how much of the malicious population the
+      average legitimate node has blacklisted.
+    """
+    return {
+        "malicious_links": malicious_link_fraction,
+        "non_swappable": non_swappable_fraction,
+        "view_fill": view_fill_fraction,
+        "blacklist_progress": blacklisted_malicious_fraction,
+    }

@@ -1,0 +1,46 @@
+"""Indegree metrics (paper Fig 2).
+
+Cyclon's signature property is that indegrees cluster tightly around
+the configured outdegree ℓ.  These helpers count, for every node, how
+many view entries across the whole overlay point at it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Tuple
+
+from repro.metrics.links import view_targets
+
+
+def indegree_counts(engine: Any) -> Dict[Any, int]:
+    """Indegree of every alive node (0 for nodes nobody points at)."""
+    counts: Counter = Counter()
+    for node in engine.nodes.values():
+        for target in view_targets(node):
+            counts[target] += 1
+    return {
+        node_id: counts.get(node_id, 0) for node_id in engine.nodes
+    }
+
+
+def indegree_histogram(engine: Any) -> List[Tuple[int, int]]:
+    """``(indegree, node count)`` pairs, sorted by indegree (Fig 2)."""
+    counts = indegree_counts(engine)
+    histogram: Counter = Counter(counts.values())
+    return sorted(histogram.items())
+
+
+def indegree_statistics(engine: Any) -> Dict[str, float]:
+    """Summary statistics of the indegree distribution."""
+    values = list(indegree_counts(engine).values())
+    if not values:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "stddev": 0.0}
+    mean = sum(values) / len(values)
+    variance = sum((value - mean) ** 2 for value in values) / len(values)
+    return {
+        "min": float(min(values)),
+        "max": float(max(values)),
+        "mean": mean,
+        "stddev": variance**0.5,
+    }

@@ -1,0 +1,89 @@
+"""Link-composition metrics over legitimate nodes' views.
+
+These produce the y-axes of Figs 3, 5 and 6: the percentage of links
+pointing at malicious nodes, and the percentage of non-swappable links.
+They work uniformly over Cyclon and SecureCyclon nodes by duck-typing
+the view entries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+
+def view_targets(node: Any) -> List[Any]:
+    """The IDs a node's view points at, protocol-agnostic.
+
+    SecureCyclon views expose ``neighbor_ids`` over creators; Cyclon
+    views expose it over descriptor node IDs.
+    """
+    return node.view.neighbor_ids()
+
+
+def malicious_link_fraction(engine: Any) -> float:
+    """Fraction of legitimate nodes' links that point at malicious nodes.
+
+    This is the headline metric of the hub-attack experiments (Figs 3
+    and 5): 1.0 means the attacker owns every link in every legitimate
+    view.
+    """
+    malicious_ids = engine.malicious_ids
+    total = 0
+    to_malicious = 0
+    for node in engine.legit_nodes():
+        for target in view_targets(node):
+            total += 1
+            if target in malicious_ids:
+                to_malicious += 1
+    if total == 0:
+        return 0.0
+    return to_malicious / total
+
+
+def non_swappable_fraction(engine: Any) -> float:
+    """Fraction of legitimate view entries flagged non-swappable (Fig 6).
+
+    Only meaningful for SecureCyclon overlays; Cyclon entries count as
+    swappable.
+    """
+    total = 0
+    non_swappable = 0
+    for node in engine.legit_nodes():
+        for entry in node.view:
+            total += 1
+            if getattr(entry, "non_swappable", False):
+                non_swappable += 1
+    if total == 0:
+        return 0.0
+    return non_swappable / total
+
+
+def view_fill_fraction(engine: Any) -> float:
+    """Average view occupancy of legitimate nodes (1.0 = all slots full)."""
+    fractions = []
+    for node in engine.legit_nodes():
+        capacity = node.view.capacity
+        fractions.append(len(node.view) / capacity if capacity else 0.0)
+    if not fractions:
+        return 0.0
+    return sum(fractions) / len(fractions)
+
+
+def blacklisted_malicious_fraction(engine: Any) -> float:
+    """Average fraction of the malicious population each legitimate node
+    has blacklisted — how far proof dissemination has progressed."""
+    malicious_ids = engine.malicious_ids
+    if not malicious_ids:
+        return 0.0
+    fractions = []
+    for node in engine.legit_nodes():
+        blacklist = getattr(node, "blacklist", None)
+        if blacklist is None:
+            return 0.0
+        count = sum(
+            1 for mid in malicious_ids if blacklist.is_blacklisted(mid)
+        )
+        fractions.append(count / len(malicious_ids))
+    if not fractions:
+        return 0.0
+    return sum(fractions) / len(fractions)

@@ -1,0 +1,68 @@
+"""Small series and statistics helpers shared by experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile by linear interpolation."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1 - weight) + ordered[upper] * weight
+
+
+@dataclass
+class Series:
+    """A labelled (x, y) series, the unit every figure is made of."""
+
+    label: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def append(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    @property
+    def xs(self) -> List[float]:
+        return [x for x, _ in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [y for _, y in self.points]
+
+    def max_y(self) -> float:
+        return max(self.ys) if self.points else 0.0
+
+    def min_y(self) -> float:
+        return min(self.ys) if self.points else 0.0
+
+    def final_y(self) -> float:
+        return self.points[-1][1] if self.points else 0.0
+
+    def y_at(self, x: float) -> float:
+        """The y value at the nearest sampled x."""
+        if not self.points:
+            return 0.0
+        nearest = min(self.points, key=lambda point: abs(point[0] - x))
+        return nearest[1]
+
+    def window_mean(self, x_lo: float, x_hi: float) -> float:
+        """Mean of y over points with x in [x_lo, x_hi]."""
+        selected = [y for x, y in self.points if x_lo <= x <= x_hi]
+        return mean(selected)

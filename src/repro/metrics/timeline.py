@@ -1,0 +1,91 @@
+"""Attack timelines distilled from a run's event trace.
+
+Experiments and examples often want the narrative of a run — when the
+attack started biting, when the first proof appeared, how long until
+the whole party was blacklisted — rather than raw event lists.  This
+module reduces an :class:`~repro.sim.trace.EventTrace` (plus engine
+state) to those milestones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.report import format_table
+
+
+@dataclass
+class AttackTimeline:
+    """Milestones of one adversarial run, in cycles."""
+
+    first_violation_found: Optional[int]
+    first_blacklisting: Optional[int]
+    full_blacklist_cycle: Optional[int]
+    violations_found: int
+    blacklist_adoptions: int
+    detections_by_kind: Dict[str, int]
+
+    def rows(self) -> List[tuple]:
+        """Table rows for rendering."""
+        def show(value):
+            return "-" if value is None else value
+
+        rows = [
+            ("first violation proven (cycle)", show(self.first_violation_found)),
+            ("first node blacklisted (cycle)", show(self.first_blacklisting)),
+            ("whole party blacklisted (cycle)", show(self.full_blacklist_cycle)),
+            ("violations proven (total)", self.violations_found),
+            ("blacklist adoptions (all nodes)", self.blacklist_adoptions),
+        ]
+        for kind, count in sorted(self.detections_by_kind.items()):
+            rows.append((f"  detections: {kind}", count))
+        return rows
+
+    def render(self, title: str = "Attack timeline") -> str:
+        """One aligned table."""
+        return f"{title}\n" + format_table(["milestone", "value"], self.rows())
+
+
+def attack_timeline(engine: Any) -> AttackTimeline:
+    """Distill ``engine``'s trace into an :class:`AttackTimeline`.
+
+    Works on any SecureCyclon run; on an honest run every milestone is
+    ``None``/zero — which the no-false-positive tests rely on.
+    """
+    trace = engine.trace
+    found = trace.of_kind("secure.violation_found")
+    first_found = found[0].cycle if found else None
+
+    blacklisted = trace.of_kind("secure.blacklisted")
+    first_blacklisting = blacklisted[0].cycle if blacklisted else None
+
+    by_kind: Dict[str, int] = {}
+    for event in found:
+        kind = event.detail.get("proof_kind", "unknown")
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+
+    full_cycle = _full_blacklist_cycle(engine, blacklisted)
+    return AttackTimeline(
+        first_violation_found=first_found,
+        first_blacklisting=first_blacklisting,
+        full_blacklist_cycle=full_cycle,
+        violations_found=len(found),
+        blacklist_adoptions=len(blacklisted),
+        detections_by_kind=by_kind,
+    )
+
+
+def _full_blacklist_cycle(engine: Any, blacklisted_events) -> Optional[int]:
+    """The cycle by which every malicious node had been blacklisted by
+    at least one honest node — None if that never happened (e.g. the
+    adversary never violated, or the run is honest)."""
+    malicious = set(engine.malicious_ids)
+    if not malicious:
+        return None
+    remaining = set(malicious)
+    for event in blacklisted_events:
+        remaining.discard(event.detail.get("culprit"))
+        if not remaining:
+            return event.cycle
+    return None

@@ -1,0 +1,47 @@
+"""Cycle-driven peer-to-peer simulation substrate.
+
+This package is the Python equivalent of the PeerNet/PeerSim environment
+the paper used for its evaluation (§VI).  It follows the same
+cycle-driven model:
+
+* time advances in *cycles*; each alive node initiates at most one gossip
+  exchange per cycle (paper §II-A);
+* within a cycle, nodes are activated in a random order drawn from a
+  deterministic, seeded RNG;
+* an exchange is a synchronous dialogue over a :class:`~repro.sim.channel.Channel`
+  whose individual messages may be dropped to model lossy networks and
+  unresponsive peers;
+* observers sample the global state at the end of every cycle — this is
+  how the paper's figures are produced.
+
+Nothing in this package knows about Cyclon or SecureCyclon; protocol
+logic lives in :mod:`repro.cyclon` and :mod:`repro.core` and plugs in via
+the :class:`~repro.sim.engine.ProtocolNode` interface.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.channel import Channel, DropPolicy
+from repro.sim.engine import Engine, ProtocolNode, SimConfig
+from repro.sim.network import Network, NetworkAddress
+from repro.sim.observers import Observer, SeriesObserver
+from repro.sim.rng import RngHub
+from repro.sim.churn import ChurnSchedule, ChurnEvent
+from repro.sim.trace import EventTrace, TraceEvent
+
+__all__ = [
+    "SimClock",
+    "Channel",
+    "DropPolicy",
+    "Engine",
+    "ProtocolNode",
+    "SimConfig",
+    "Network",
+    "NetworkAddress",
+    "Observer",
+    "SeriesObserver",
+    "RngHub",
+    "ChurnSchedule",
+    "ChurnEvent",
+    "EventTrace",
+    "TraceEvent",
+]

@@ -1,0 +1,108 @@
+"""Synchronous request/response channels with message-loss injection.
+
+A gossip exchange is a short dialogue between an initiator and a partner.
+The paper's protocols care about *partial* failures: a message may be
+lost after the partner has already processed the previous one, leaving
+the two views asymmetric (§V-A case 2).  :class:`Channel` therefore
+distinguishes, on a drop, whether the request was delivered before the
+failure — callers use this to decide whether a descriptor they sent must
+be considered spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import ChannelDropped
+
+
+@dataclass(frozen=True)
+class DropPolicy:
+    """Probabilities of losing a message in each direction.
+
+    ``request_loss`` applies to initiator→partner messages and
+    ``reply_loss`` to partner→initiator replies.  Both default to zero,
+    matching the paper's evaluation setting where losses come from the
+    adversary rather than the network.
+    """
+
+    request_loss: float = 0.0
+    reply_loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("request_loss", "reply_loss"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+
+class MessageDropped(ChannelDropped):
+    """A message was lost in transit.
+
+    ``delivered`` tells the sender whether the remote side processed the
+    request before the failure (i.e. only the reply was lost).
+    """
+
+    def __init__(self, direction: str, delivered: bool) -> None:
+        super().__init__(f"message dropped ({direction})")
+        self.direction = direction
+        self.delivered = delivered
+
+
+class Channel:
+    """One dialogue between an initiator and a partner node.
+
+    ``deliver`` is a callable that hands a payload to the remote node and
+    returns its reply; the engine wires it to the partner's ``receive``
+    method.  The channel tracks message and byte counts so experiments
+    can report network costs (paper §VI-A).
+    """
+
+    def __init__(
+        self,
+        initiator_id: Any,
+        partner_id: Any,
+        deliver: Callable[[Any], Any],
+        rng,
+        policy: Optional[DropPolicy] = None,
+        sizer: Optional[Callable[[Any], int]] = None,
+        stats: Optional[Any] = None,
+    ) -> None:
+        self.initiator_id = initiator_id
+        self.partner_id = partner_id
+        self._deliver = deliver
+        self._rng = rng
+        self._policy = policy or DropPolicy()
+        self._sizer = sizer
+        self._stats = stats
+        self.requests_sent = 0
+        self.replies_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def request(self, payload: Any) -> Any:
+        """Send ``payload`` and wait for the partner's reply.
+
+        Raises :class:`MessageDropped` if either direction loses the
+        message; ``delivered`` on the exception says whether the partner
+        processed the request.
+        """
+        self.requests_sent += 1
+        if self._sizer is not None:
+            size = self._sizer(payload)
+            self.bytes_sent += size
+            if self._stats is not None:
+                self._stats.record_dialogue_traffic(sent=size)
+        if self._rng.random() < self._policy.request_loss:
+            raise MessageDropped("request", delivered=False)
+        reply = self._deliver(payload)
+        if self._rng.random() < self._policy.reply_loss:
+            raise MessageDropped("reply", delivered=True)
+        self.replies_received += 1
+        if self._sizer is not None and reply is not None:
+            size = self._sizer(reply)
+            self.bytes_received += size
+            if self._stats is not None:
+                self._stats.record_dialogue_traffic(received=size)
+        return reply

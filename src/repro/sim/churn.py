@@ -1,0 +1,100 @@
+"""Churn schedules: joins, graceful leaves, and crashes over time.
+
+The paper's headline experiments run on a static membership, but Cyclon's
+defining property is robustness under churn, and §V-A of the paper is
+entirely about repairing views after losses.  :class:`ChurnSchedule`
+drives those scenarios: it maps cycles to membership events the engine
+executes at the start of the cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+
+JOIN = "join"
+LEAVE = "leave"
+CRASH = "crash"
+
+_VALID_ACTIONS = (JOIN, LEAVE, CRASH)
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change.
+
+    ``action`` is one of ``join`` (a brand-new node enters), ``leave``
+    (a node departs and is removed from the directory), or ``crash``
+    (same effect as leave in a fail-stop model; kept distinct so traces
+    can tell them apart).  ``node_id`` may be ``None`` for joins, in
+    which case the engine creates a fresh node.
+    """
+
+    cycle: int
+    action: str
+    node_id: Any = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _VALID_ACTIONS:
+            raise ValueError(
+                f"action must be one of {_VALID_ACTIONS}, got {self.action!r}"
+            )
+        if self.cycle < 0:
+            raise ValueError("cycle must be non-negative")
+
+
+class ChurnSchedule:
+    """An ordered collection of churn events indexed by cycle."""
+
+    def __init__(self, events: Optional[Iterable[ChurnEvent]] = None) -> None:
+        self._by_cycle: Dict[int, List[ChurnEvent]] = {}
+        for event in events or ():
+            self.add(event)
+
+    def add(self, event: ChurnEvent) -> None:
+        self._by_cycle.setdefault(event.cycle, []).append(event)
+
+    def join(self, cycle: int, node_id: Any = None) -> "ChurnSchedule":
+        """Fluent helper: schedule a join at ``cycle``."""
+        self.add(ChurnEvent(cycle=cycle, action=JOIN, node_id=node_id))
+        return self
+
+    def leave(self, cycle: int, node_id: Any) -> "ChurnSchedule":
+        """Fluent helper: schedule a graceful leave at ``cycle``."""
+        self.add(ChurnEvent(cycle=cycle, action=LEAVE, node_id=node_id))
+        return self
+
+    def crash(self, cycle: int, node_id: Any) -> "ChurnSchedule":
+        """Fluent helper: schedule a crash at ``cycle``."""
+        self.add(ChurnEvent(cycle=cycle, action=CRASH, node_id=node_id))
+        return self
+
+    def events_at(self, cycle: int) -> List[ChurnEvent]:
+        """Events scheduled for ``cycle`` (possibly empty)."""
+        return list(self._by_cycle.get(cycle, ()))
+
+    def __len__(self) -> int:
+        return sum(len(events) for events in self._by_cycle.values())
+
+    @staticmethod
+    def random_churn(
+        rng,
+        cycles: int,
+        join_rate: float,
+        leave_rate: float,
+        candidate_ids: Iterable[Any],
+    ) -> "ChurnSchedule":
+        """Build a schedule with Bernoulli joins/leaves per cycle.
+
+        ``join_rate``/``leave_rate`` are expected events per cycle;
+        leaves pick uniformly from ``candidate_ids``.
+        """
+        schedule = ChurnSchedule()
+        candidates = list(candidate_ids)
+        for cycle in range(cycles):
+            if rng.random() < join_rate:
+                schedule.join(cycle)
+            if candidates and rng.random() < leave_rate:
+                schedule.leave(cycle, rng.choice(candidates))
+        return schedule

@@ -1,0 +1,58 @@
+"""Simulated time.
+
+The paper uses *cycles* as the unit of protocol time and wall-clock
+timestamps inside descriptors (§II-A, §IV-A).  :class:`SimClock` provides
+both: a cycle counter, and a wall-clock reading derived from it through a
+configurable gossip period (the paper suggests real periods of 10–60 s).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """Cycle counter plus derived wall-clock time.
+
+    ``period_seconds`` is the prescribed gossip period: the wall-clock
+    span of one cycle.  The frequency check in SecureCyclon compares
+    descriptor timestamps against this period, so protocol code reads it
+    from the clock rather than carrying a separate constant.
+    """
+
+    def __init__(self, period_seconds: float = 10.0, start_cycle: int = 0) -> None:
+        if period_seconds <= 0:
+            raise SimulationError("gossip period must be positive")
+        if start_cycle < 0:
+            raise SimulationError("start cycle must be non-negative")
+        self._period = float(period_seconds)
+        self._cycle = int(start_cycle)
+
+    @property
+    def cycle(self) -> int:
+        """The current cycle number."""
+        return self._cycle
+
+    @property
+    def period_seconds(self) -> float:
+        """Wall-clock length of one cycle (the gossip period)."""
+        return self._period
+
+    def now(self) -> float:
+        """Current wall-clock time in seconds since simulation start."""
+        return self._cycle * self._period
+
+    def timestamp_for_cycle(self, cycle: int) -> float:
+        """Wall-clock timestamp at the start of ``cycle``."""
+        return cycle * self._period
+
+    def cycle_of_timestamp(self, timestamp: float) -> int:
+        """The cycle during which ``timestamp`` falls."""
+        return int(timestamp // self._period)
+
+    def advance(self, cycles: int = 1) -> int:
+        """Advance the clock by ``cycles`` and return the new cycle."""
+        if cycles < 0:
+            raise SimulationError("cannot advance the clock backwards")
+        self._cycle += cycles
+        return self._cycle

@@ -1,0 +1,188 @@
+"""The cycle-driven simulation engine.
+
+One :class:`Engine` owns a complete simulated universe: the key registry,
+the clock, the network directory, the event trace, and every protocol
+node.  Its ``run`` loop reproduces the PeerNet/PeerSim cycle model used
+by the paper: per cycle, every alive node is activated exactly once, in
+a freshly shuffled order, and initiates at most one gossip exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+
+from repro.crypto.registry import KeyRegistry
+from repro.errors import SimulationError
+from repro.sim.channel import DropPolicy
+from repro.sim.churn import CRASH, JOIN, LEAVE, ChurnSchedule
+from repro.sim.clock import SimClock
+from repro.sim.network import Network
+from repro.sim.observers import Observer
+from repro.sim.rng import RngHub
+from repro.sim.trace import EventTrace
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Engine-level configuration, protocol-agnostic.
+
+    ``period_seconds`` is the gossip period (wall-clock per cycle);
+    ``drop_policy`` injects message loss; ``trace`` toggles event
+    tracing (cheap, but disable for very large benchmark runs).
+    """
+
+    seed: int = 42
+    period_seconds: float = 10.0
+    drop_policy: DropPolicy = field(default_factory=DropPolicy)
+    trace: bool = True
+    payload_sizer: Optional[Callable[[Any], int]] = None
+
+
+class ProtocolNode:
+    """Interface every simulated protocol node implements.
+
+    The engine only ever talks to nodes through these five methods, so
+    Cyclon, SecureCyclon, adversaries, and any future protocol plug in
+    uniformly.
+    """
+
+    node_id: Any
+
+    @property
+    def is_malicious(self) -> bool:
+        """Whether this node belongs to the adversary (for metrics)."""
+        return False
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Housekeeping at the start of a cycle (ageing, quotas...)."""
+
+    def run_cycle(self, network: Network) -> None:
+        """Initiate this cycle's gossip exchange, if any."""
+
+    def receive(self, sender_id: Any, payload: Any) -> Any:
+        """Handle one dialogue message and return the reply."""
+        raise NotImplementedError
+
+    def receive_push(self, sender_id: Any, payload: Any) -> None:
+        """Handle a one-way message (e.g. a flooded violation proof)."""
+
+
+class Engine:
+    """A complete simulated universe and its run loop."""
+
+    def __init__(
+        self,
+        config: Optional[SimConfig] = None,
+        churn: Optional[ChurnSchedule] = None,
+        join_factory: Optional[Callable[["Engine"], ProtocolNode]] = None,
+    ) -> None:
+        self.config = config or SimConfig()
+        self.rng_hub = RngHub(self.config.seed)
+        self.registry = KeyRegistry()
+        self.clock = SimClock(period_seconds=self.config.period_seconds)
+        self.trace = EventTrace(enabled=self.config.trace)
+        self.network = Network(
+            rng=self.rng_hub.stream("network"),
+            drop_policy=self.config.drop_policy,
+            sizer=self.config.payload_sizer,
+        )
+        self.nodes: Dict[Any, ProtocolNode] = {}
+        self._observers: List[Observer] = []
+        self._churn = churn or ChurnSchedule()
+        self._join_factory = join_factory
+        self._order_rng = self.rng_hub.stream("activation-order")
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: ProtocolNode) -> None:
+        """Attach ``node`` to the universe and the network directory."""
+        if node.node_id in self.nodes:
+            raise SimulationError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+        self.network.attach(node.node_id, node)
+
+    def remove_node(self, node_id: Any) -> None:
+        """Remove a node (leave/crash); its ID stays known for metrics."""
+        self.nodes.pop(node_id, None)
+        self.network.detach(node_id)
+
+    def alive_ids(self) -> List[Any]:
+        """Return the ids of all nodes currently attached to the engine."""
+        return list(self.nodes)
+
+    @property
+    def malicious_ids(self) -> Set[Any]:
+        return {nid for nid, node in self.nodes.items() if node.is_malicious}
+
+    @property
+    def legit_ids(self) -> Set[Any]:
+        return {nid for nid, node in self.nodes.items() if not node.is_malicious}
+
+    def legit_nodes(self) -> List[ProtocolNode]:
+        """Return all attached nodes that are not flagged malicious."""
+        return [node for node in self.nodes.values() if not node.is_malicious]
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+
+    def add_observer(self, observer: Observer) -> None:
+        """Register an observer invoked after every completed cycle."""
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+
+    def run(self, cycles: int) -> None:
+        """Advance the simulation by ``cycles`` cycles."""
+        if cycles < 0:
+            raise SimulationError("cycles must be non-negative")
+        for observer in self._observers:
+            observer.on_start(self)
+        for _ in range(cycles):
+            self._run_one_cycle()
+        for observer in self._observers:
+            observer.on_finish(self)
+
+    def _run_one_cycle(self) -> None:
+        cycle = self.clock.cycle
+        self._apply_churn(cycle)
+
+        order = self.alive_ids()
+        self._order_rng.shuffle(order)
+        for node_id in order:
+            node = self.nodes.get(node_id)
+            if node is not None:
+                node.begin_cycle(cycle)
+
+        self._order_rng.shuffle(order)
+        for node_id in order:
+            node = self.nodes.get(node_id)
+            if node is not None:
+                node.run_cycle(self.network)
+
+        for observer in self._observers:
+            observer.on_cycle_end(self, cycle)
+        self.clock.advance()
+
+    def _apply_churn(self, cycle: int) -> None:
+        for event in self._churn.events_at(cycle):
+            if event.action == JOIN:
+                if self._join_factory is None:
+                    raise SimulationError(
+                        "churn schedule contains joins but no join_factory "
+                        "was provided"
+                    )
+                node = self._join_factory(self)
+                self.add_node(node)
+                self.trace.emit(cycle, "churn.join", node=node.node_id)
+            elif event.action in (LEAVE, CRASH):
+                if event.node_id in self.nodes:
+                    self.remove_node(event.node_id)
+                    self.trace.emit(
+                        cycle, f"churn.{event.action}", node=event.node_id
+                    )

@@ -1,0 +1,187 @@
+"""The simulated routed network.
+
+The paper's system model (§II-A) assumes a routed infrastructure where
+any node can contact any other, provided it knows the target's network
+address.  :class:`Network` models exactly that: a directory from node ID
+to a live protocol object, dialogues via :class:`~repro.sim.channel.Channel`,
+one-way pushes (used for proof flooding), and global traffic accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from repro.errors import PeerUnreachable
+from repro.sim.channel import Channel, DropPolicy
+
+
+@dataclass(frozen=True, order=True)
+class NetworkAddress:
+    """An IPv4-address-and-port stand-in (32 + 16 bits on the wire)."""
+
+    host: int
+    port: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.host < 2**32:
+            raise ValueError("host must fit in 32 bits")
+        if not 0 <= self.port < 2**16:
+            raise ValueError("port must fit in 16 bits")
+
+    @property
+    def bits(self) -> int:
+        """Wire size of an address in bits, per the paper's accounting."""
+        return 32 + 16
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        octets = [(self.host >> shift) & 0xFF for shift in (24, 16, 8, 0)]
+        return f"{'.'.join(map(str, octets))}:{self.port}"
+
+
+class Network:
+    """Directory of live nodes plus the channel factory between them."""
+
+    def __init__(
+        self,
+        rng,
+        drop_policy: Optional[DropPolicy] = None,
+        sizer: Optional[Callable[[Any], int]] = None,
+    ) -> None:
+        self._rng = rng
+        self._drop_policy = drop_policy or DropPolicy()
+        self._sizer = sizer
+        self._nodes: Dict[Any, Any] = {}
+        self._addresses: Dict[Any, NetworkAddress] = {}
+        self._next_host = 1
+        self.dialogues_opened = 0
+        self.pushes_sent = 0
+        self.push_bytes = 0
+        self.dialogue_bytes_forward = 0  # initiator -> partner
+        self.dialogue_bytes_backward = 0  # partner -> initiator
+        # One-way deliveries are queued and drained iteratively: a
+        # receive_push handler that re-floods (proof dissemination is a
+        # BFS over the overlay) must not recurse through the network,
+        # or a large overlay overflows the interpreter stack.
+        self._push_queue: "deque" = deque()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def reserve_address(self, node_id: Any) -> NetworkAddress:
+        """Assign (or look up) the address for ``node_id``.
+
+        Nodes need their address *before* they can mint descriptors of
+        themselves, so address assignment is separate from attachment.
+        """
+        address = self._addresses.get(node_id)
+        if address is None:
+            address = NetworkAddress(host=self._next_host, port=9000)
+            self._next_host += 1
+            self._addresses[node_id] = address
+        return address
+
+    def attach(self, node_id: Any, node: Any) -> NetworkAddress:
+        """Register ``node`` under ``node_id`` and assign it an address.
+
+        Re-attaching a node that left earlier keeps its old address —
+        real nodes keep their IP across restarts often enough that
+        experiments should be able to model both.
+        """
+        self._nodes[node_id] = node
+        return self.reserve_address(node_id)
+
+    def detach(self, node_id: Any) -> None:
+        """Remove ``node_id`` from the directory (node left or failed)."""
+        self._nodes.pop(node_id, None)
+
+    def is_alive(self, node_id: Any) -> bool:
+        return node_id in self._nodes
+
+    def node(self, node_id: Any) -> Any:
+        """The live protocol object for ``node_id``.
+
+        Raises :class:`PeerUnreachable` for dead or unknown nodes.
+        """
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise PeerUnreachable(f"node {node_id!r} is not reachable")
+        return node
+
+    def address_of(self, node_id: Any) -> NetworkAddress:
+        address = self._addresses.get(node_id)
+        if address is None:
+            raise PeerUnreachable(f"node {node_id!r} has no address")
+        return address
+
+    def alive_ids(self) -> Iterator[Any]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+
+    def connect(self, initiator_id: Any, partner_id: Any) -> Channel:
+        """Open a dialogue from ``initiator_id`` to ``partner_id``.
+
+        Raises :class:`PeerUnreachable` if the partner is dead; the
+        returned channel may still drop individual messages according to
+        the network's drop policy.
+        """
+        partner = self.node(partner_id)
+        self.dialogues_opened += 1
+
+        def deliver(payload: Any) -> Any:
+            return partner.receive(initiator_id, payload)
+
+        return Channel(
+            initiator_id=initiator_id,
+            partner_id=partner_id,
+            deliver=deliver,
+            rng=self._rng,
+            policy=self._drop_policy,
+            sizer=self._sizer,
+            stats=self,
+        )
+
+    def record_dialogue_traffic(self, sent: int = 0, received: int = 0) -> None:
+        """Accumulate per-direction dialogue traffic (network-cost table)."""
+        self.dialogue_bytes_forward += sent
+        self.dialogue_bytes_backward += received
+
+    def push(self, sender_id: Any, target_id: Any, payload: Any) -> bool:
+        """Deliver a one-way message (no reply expected).
+
+        Returns ``True`` if the message was accepted for delivery,
+        ``False`` if the target was unreachable or the message was
+        dropped.  Used for proof flooding, where senders neither wait
+        nor retry.  Deliveries triggered from inside a ``receive_push``
+        handler are queued and drained iteratively (breadth-first), so
+        network-wide floods cannot overflow the call stack.
+        """
+        if target_id not in self._nodes:
+            return False
+        self.pushes_sent += 1
+        if self._sizer is not None:
+            self.push_bytes += self._sizer(payload)
+        if self._rng.random() < self._drop_policy.request_loss:
+            return False
+        self._push_queue.append((sender_id, target_id, payload))
+        if self._draining:
+            return True
+        self._draining = True
+        try:
+            while self._push_queue:
+                src, dst, msg = self._push_queue.popleft()
+                node = self._nodes.get(dst)
+                if node is not None:
+                    node.receive_push(src, msg)
+        finally:
+            self._draining = False
+        return True

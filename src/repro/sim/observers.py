@@ -1,0 +1,58 @@
+"""End-of-cycle observers.
+
+The paper's figures are time series sampled once per cycle (fraction of
+malicious links, fraction of non-swappable links, ...).  Observers are
+the hook that produces them: the engine calls ``on_cycle_end`` after all
+exchanges of a cycle have completed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+
+class Observer:
+    """Base observer; subclasses override the hooks they need."""
+
+    def on_start(self, engine: Any) -> None:
+        """Called once before the first cycle runs."""
+
+    def on_cycle_end(self, engine: Any, cycle: int) -> None:
+        """Called after every cycle completes."""
+
+    def on_finish(self, engine: Any) -> None:
+        """Called once after the last cycle."""
+
+
+class SeriesObserver(Observer):
+    """Records one numeric series per named probe function.
+
+    Each probe is a callable ``engine -> float`` evaluated at the end of
+    every ``every``-th cycle.  The collected series are available as
+    ``observer.series[name]`` (list of ``(cycle, value)`` pairs).
+    """
+
+    def __init__(
+        self,
+        probes: Dict[str, Callable[[Any], float]],
+        every: int = 1,
+    ) -> None:
+        if every < 1:
+            raise ValueError("sampling interval must be >= 1")
+        self._probes = dict(probes)
+        self._every = every
+        self.series: Dict[str, List[tuple]] = {name: [] for name in probes}
+
+    def on_cycle_end(self, engine: Any, cycle: int) -> None:
+        if cycle % self._every != 0:
+            return
+        for name, probe in self._probes.items():
+            self.series[name].append((cycle, probe(engine)))
+
+    def values(self, name: str) -> List[float]:
+        """Just the values of one series, in cycle order."""
+        return [value for _, value in self.series[name]]
+
+    def cycles(self, name: str) -> List[int]:
+        """Just the sampled cycle numbers of one series."""
+        return [cycle for cycle, _ in self.series[name]]

@@ -1,0 +1,52 @@
+"""Deterministic randomness management.
+
+A simulation draws randomness for many independent purposes: key
+generation, per-node protocol choices, adversary choices, channel drops,
+churn.  Seeding them all from one shared ``random.Random`` would make a
+change in one consumer perturb every other, so :class:`RngHub` derives an
+independent, stable stream per named purpose from a single master seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngHub:
+    """Derives independent named RNG streams from one master seed.
+
+    Streams are created lazily and memoised: ``hub.stream("churn")``
+    always returns the same ``random.Random`` instance, whose seed
+    depends only on the master seed and the name.
+    """
+
+    def __init__(self, master_seed: int) -> None:
+        if not isinstance(master_seed, int):
+            raise TypeError("master_seed must be an int")
+        self._master_seed = master_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    @property
+    def master_seed(self) -> int:
+        return self._master_seed
+
+    def stream(self, name: str) -> random.Random:
+        """The RNG stream dedicated to ``name``."""
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        digest = hashlib.sha256(
+            f"{self._master_seed}:{name}".encode("utf-8")
+        ).digest()
+        rng = random.Random(int.from_bytes(digest[:8], "big"))
+        self._streams[name] = rng
+        return rng
+
+    def spawn(self, name: str) -> "RngHub":
+        """A child hub whose streams are independent of this hub's."""
+        digest = hashlib.sha256(
+            f"{self._master_seed}/hub/{name}".encode("utf-8")
+        ).digest()
+        return RngHub(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,72 @@
+"""Structured event tracing.
+
+Protocol code emits :class:`TraceEvent` records for the moments the
+evaluation cares about — violations discovered, proofs flooded, nodes
+blacklisted, exchanges aborted — and tests/experiments filter the trace
+instead of monkey-patching internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence.
+
+    ``kind`` is a short string key (e.g. ``"violation.cloning"``);
+    ``detail`` carries event-specific fields.
+    """
+
+    cycle: int
+    kind: str
+    node: Any = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventTrace:
+    """Append-only list of :class:`TraceEvent` with query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: List[TraceEvent] = []
+
+    def emit(
+        self,
+        cycle: int,
+        kind: str,
+        node: Any = None,
+        **detail: Any,
+    ) -> None:
+        """Record an event (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(
+            TraceEvent(cycle=cycle, kind=kind, node=node, detail=detail)
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events whose kind equals or starts with ``kind``."""
+        return [
+            event
+            for event in self._events
+            if event.kind == kind or event.kind.startswith(kind + ".")
+        ]
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        events = self.of_kind(kind)
+        return events[0] if events else None
+
+    def count(self, kind: str) -> int:
+        return len(self.of_kind(kind))
+
+    def clear(self) -> None:
+        self._events.clear()

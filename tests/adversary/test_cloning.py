@@ -1,0 +1,62 @@
+"""Behavioural tests for the cloning attacker (Fig 7)."""
+
+from repro.adversary.cloning import CloningAttacker
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.detection import (
+    detected_identities,
+    overall_detection_ratio,
+)
+
+
+def run_cloning(cache_cycles, cycles=60, n=120):
+    overlay = build_secure_overlay(
+        n=n,
+        config=SecureCyclonConfig(
+            view_length=12,
+            swap_length=3,
+            redemption_cache_cycles=cache_cycles,
+            blacklist_enabled=False,
+        ),
+        malicious=12,
+        attack_start=8,
+        seed=4,
+        attacker_cls=CloningAttacker,
+        attacker_kwargs={"age_range": (2, 14)},
+    )
+    overlay.run(cycles)
+    events = [
+        event
+        for node in overlay.malicious_nodes
+        for event in node.clone_events
+    ]
+    detected = detected_identities(overlay.engine.trace)
+    return events, detected
+
+
+def test_clone_events_are_produced():
+    events, _ = run_cloning(cache_cycles=5)
+    assert len(events) > 20
+    ages = {event.age_at_duplication for event in events}
+    assert len(ages) > 3  # coverage across the age range
+
+
+def test_some_clones_are_detected():
+    events, detected = run_cloning(cache_cycles=5)
+    ratio = overall_detection_ratio(events, detected)
+    assert ratio > 0.2
+
+
+def test_redemption_cache_helps_detection():
+    events_without, detected_without = run_cloning(cache_cycles=0)
+    events_with, detected_with = run_cloning(cache_cycles=10)
+    ratio_without = overall_detection_ratio(events_without, detected_without)
+    ratio_with = overall_detection_ratio(events_with, detected_with)
+    assert ratio_with >= ratio_without
+
+
+def test_attacker_records_ages_within_plausible_bounds():
+    events, _ = run_cloning(cache_cycles=5)
+    for event in events:
+        assert 0 <= event.age_at_duplication <= 40
+        assert event.cycle >= 8  # never before the attack starts

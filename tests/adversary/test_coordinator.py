@@ -1,0 +1,78 @@
+"""Unit tests for the malicious coordinator."""
+
+import random
+
+import pytest
+
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.core.chain import compare_chains
+from repro.core.descriptor import verify_descriptor
+from repro.sim.network import NetworkAddress
+
+
+@pytest.fixture
+def coordinator(keypairs, addresses):
+    coord = MaliciousCoordinator(attack_start_cycle=10, rng=random.Random(0))
+    for keypair, address in zip(keypairs[:3], addresses[:3]):
+        coord.register_member(keypair, address)
+    coord.note_legit_population([keypairs[3].public, keypairs[4].public])
+    return coord
+
+
+def test_attack_schedule(coordinator):
+    assert not coordinator.is_attacking(9)
+    assert coordinator.is_attacking(10)
+    assert coordinator.is_attacking(99)
+
+
+def test_membership(coordinator, keypairs):
+    assert coordinator.is_member(keypairs[0].public)
+    assert not coordinator.is_member(keypairs[4].public)
+    assert len(coordinator.members()) == 3
+
+
+def test_random_victim_is_legit(coordinator, keypairs):
+    legit = {keypairs[3].public, keypairs[4].public}
+    for _ in range(20):
+        assert coordinator.random_victim() in legit
+
+
+def test_pool_contribution_and_fake_views(coordinator, keypairs, registry):
+    member = keypairs[0].public
+    coordinator.contribute_fresh(member, timestamp=100.0)
+    assert coordinator.pool_size() == 1
+    fakes = coordinator.fake_view(4)
+    assert len(fakes) == 4
+    for fake in fakes:
+        assert coordinator.is_member(fake.creator)
+        assert verify_descriptor(fake, registry)
+    # Copies of the same pool descriptor are mutually consistent: no
+    # cloning proof can be built from the fake view alone.
+    assert compare_chains(fakes[0], fakes[1]).relation.name == "EQUAL"
+
+
+def test_fabricated_transfers_fork_at_a_member(
+    coordinator, keypairs, registry
+):
+    member = keypairs[0].public
+    coordinator.contribute_fresh(member, timestamp=100.0)
+    victim_a = keypairs[3].public
+    victim_b = keypairs[4].public
+    t_a = coordinator.fabricate_transfer(keypairs[1].public, victim_a)
+    t_b = coordinator.fabricate_transfer(keypairs[2].public, victim_b)
+    assert verify_descriptor(t_a, registry)
+    assert verify_descriptor(t_b, registry)
+    assert t_a.current_owner == victim_a
+    assert t_b.current_owner == victim_b
+    comparison = compare_chains(t_a, t_b)
+    # The double transfer forks at some colluding member — exactly the
+    # provable cloning SecureCyclon catches.
+    assert comparison.is_violation
+    assert coordinator.is_member(comparison.culprit)
+
+
+def test_fabricate_with_empty_pool_returns_none(keypairs, addresses):
+    coord = MaliciousCoordinator(attack_start_cycle=0, rng=random.Random(0))
+    coord.register_member(keypairs[0], addresses[0])
+    assert coord.fabricate_transfer(keypairs[0].public, keypairs[1].public) is None
+    assert coord.fake_view(3) == []

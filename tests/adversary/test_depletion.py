@@ -1,0 +1,58 @@
+"""Behavioural tests for the link-depletion attacker (Fig 6)."""
+
+import pytest
+
+from repro.adversary.depletion import DepletionAttacker
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.links import non_swappable_fraction, view_fill_fraction
+
+
+def run_depletion(tit_for_tat, malicious, n=120, cycles=50, swap_length=5):
+    overlay = build_secure_overlay(
+        n=n,
+        config=SecureCyclonConfig(
+            view_length=12, swap_length=swap_length, tit_for_tat=tit_for_tat
+        ),
+        malicious=malicious,
+        attack_start=15,
+        seed=2,
+        attacker_cls=DepletionAttacker,
+    )
+    overlay.run(cycles)
+    return overlay
+
+
+def test_bulk_mode_depletes_views():
+    overlay = run_depletion(tit_for_tat=False, malicious=60)
+    assert non_swappable_fraction(overlay.engine) > 0.5
+
+
+def test_tit_for_tat_bounds_depletion():
+    drained = run_depletion(tit_for_tat=False, malicious=60)
+    protected = run_depletion(tit_for_tat=True, malicious=60)
+    assert non_swappable_fraction(protected.engine) < non_swappable_fraction(
+        drained.engine
+    )
+    assert view_fill_fraction(protected.engine) > view_fill_fraction(
+        drained.engine
+    )
+
+
+def test_small_malicious_share_is_negligible_with_tft():
+    overlay = run_depletion(tit_for_tat=True, malicious=3)
+    assert non_swappable_fraction(overlay.engine) < 0.1
+
+
+def test_depletion_attacker_is_honest_before_attack():
+    overlay = build_secure_overlay(
+        n=80,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        malicious=40,
+        attack_start=1000,
+        seed=2,
+        attacker_cls=DepletionAttacker,
+    )
+    overlay.run(15)
+    assert non_swappable_fraction(overlay.engine) < 0.05
+    assert view_fill_fraction(overlay.engine) > 0.9

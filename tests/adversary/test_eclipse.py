@@ -1,0 +1,68 @@
+"""Behavioural tests for the targeted eclipse attacker."""
+
+import pytest
+
+from repro.adversary.eclipse import (
+    EclipseAttacker,
+    eclipse_pressure,
+    make_eclipse_coordinator,
+)
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.links import blacklisted_malicious_fraction
+
+
+def build_campaign(seed=51, attack_start=10):
+    overlay = build_secure_overlay(
+        n=100,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        malicious=15,
+        attack_start=attack_start,
+        seed=seed,
+        attacker_cls=EclipseAttacker,
+    )
+    target = sorted(overlay.engine.legit_ids)[0]
+    overlay.coordinator.eclipse_target = target
+    return overlay, target
+
+
+def test_without_target_degrades_to_hub_behaviour():
+    overlay = build_secure_overlay(
+        n=60,
+        config=SecureCyclonConfig(view_length=8, swap_length=3),
+        malicious=8,
+        attack_start=5,
+        seed=52,
+        attacker_cls=EclipseAttacker,
+    )
+    # No eclipse_target set: behaves like the hub attack and is purged.
+    overlay.run(40)
+    assert blacklisted_malicious_fraction(overlay.engine) > 0.9
+
+
+def test_campaign_is_blunted_and_party_exposed():
+    """The extension finding: a targeted eclipse needs cloned tokens to
+    sustain pressure, so the victim's own sample cache exposes the
+    party within a few cycles — pressure never rises much above the
+    attackers' baseline population share (15 %)."""
+    overlay, target = build_campaign()
+    pressures = []
+    for _ in range(10):
+        overlay.run(5)
+        pressures.append(eclipse_pressure(overlay.engine, target))
+    assert max(pressures) < 0.6  # never close to a full eclipse
+    assert blacklisted_malicious_fraction(overlay.engine) > 0.8
+    assert pressures[-1] < 0.1  # the victim's view recovers fully
+
+
+def test_make_eclipse_coordinator():
+    import random
+
+    coordinator = make_eclipse_coordinator(5, random.Random(0), target="t")
+    assert coordinator.eclipse_target == "t"
+    assert coordinator.attack_start_cycle == 5
+
+
+def test_pressure_of_unknown_target_is_zero():
+    overlay, _ = build_campaign()
+    assert eclipse_pressure(overlay.engine, "ghost") == 0.0

@@ -1,0 +1,62 @@
+"""Behavioural tests for the frequency attacker."""
+
+import pytest
+
+from repro.adversary.frequency import FrequencyAttacker
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.links import blacklisted_malicious_fraction
+
+
+def test_burst_must_be_at_least_two(keypairs):
+    import random
+
+    from repro.adversary.coordinator import MaliciousCoordinator
+    from repro.sim.clock import SimClock
+    from repro.sim.network import NetworkAddress
+
+    with pytest.raises(ValueError):
+        FrequencyAttacker(
+            keypair=keypairs[0],
+            address=NetworkAddress(host=1, port=1),
+            config=SecureCyclonConfig(),
+            clock=SimClock(),
+            registry=None,
+            rng=random.Random(0),
+            coordinator=MaliciousCoordinator(0, random.Random(0)),
+            burst=1,
+        )
+
+
+def test_over_minting_is_provably_caught():
+    overlay = build_secure_overlay(
+        n=80,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        malicious=4,
+        attack_start=10,
+        seed=6,
+        attacker_cls=FrequencyAttacker,
+        attacker_kwargs={"burst": 3},
+    )
+    overlay.run(30)
+    assert blacklisted_malicious_fraction(overlay.engine) == 1.0
+    # Frequency proofs, specifically.
+    kinds = {
+        event.detail.get("proof_kind")
+        for event in overlay.engine.trace.of_kind("secure.blacklisted")
+    }
+    assert "frequency" in kinds
+
+
+def test_honest_before_attack():
+    overlay = build_secure_overlay(
+        n=60,
+        config=SecureCyclonConfig(view_length=8, swap_length=3),
+        malicious=3,
+        attack_start=1000,
+        seed=6,
+        attacker_cls=FrequencyAttacker,
+        attacker_kwargs={"burst": 4},
+    )
+    overlay.run(15)
+    assert blacklisted_malicious_fraction(overlay.engine) == 0.0

@@ -1,0 +1,63 @@
+"""Behavioural tests for the hub attackers (both protocols)."""
+
+from repro.core.config import SecureCyclonConfig
+from repro.cyclon.config import CyclonConfig
+from repro.experiments.scenarios import build_cyclon_overlay, build_secure_overlay
+from repro.metrics.links import (
+    blacklisted_malicious_fraction,
+    malicious_link_fraction,
+)
+
+
+def test_cyclon_attacker_is_honest_before_attack():
+    overlay = build_cyclon_overlay(
+        n=60,
+        config=CyclonConfig(view_length=8, swap_length=3),
+        malicious=8,
+        attack_start=1000,  # never starts
+        seed=1,
+    )
+    overlay.run(20)
+    fraction = malicious_link_fraction(overlay.engine)
+    # Pre-attack, malicious representation stays near its population
+    # share (8/60 ≈ 13%).
+    assert fraction < 0.35
+
+
+def test_cyclon_attacker_takes_over_after_attack():
+    overlay = build_cyclon_overlay(
+        n=80,
+        config=CyclonConfig(view_length=10, swap_length=3),
+        malicious=10,
+        attack_start=10,
+        seed=1,
+    )
+    overlay.run(80)
+    assert malicious_link_fraction(overlay.engine) > 0.9
+
+
+def test_secure_attacker_is_purged():
+    overlay = build_secure_overlay(
+        n=80,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        malicious=10,
+        attack_start=10,
+        seed=1,
+    )
+    overlay.run(45)
+    assert blacklisted_malicious_fraction(overlay.engine) > 0.9
+    assert malicious_link_fraction(overlay.engine) < 0.05
+
+
+def test_secure_attacker_not_blacklisted_before_attack():
+    overlay = build_secure_overlay(
+        n=60,
+        config=SecureCyclonConfig(view_length=8, swap_length=3),
+        malicious=6,
+        attack_start=1000,
+        seed=1,
+    )
+    overlay.run(15)
+    assert blacklisted_malicious_fraction(overlay.engine) == 0.0
+    # And no violations were ever found against honest behaviour.
+    assert overlay.engine.trace.count("secure.violation_found") == 0

@@ -1,0 +1,131 @@
+"""Tests for partner-selection violation attackers."""
+
+import pytest
+
+from repro.adversary.partner import (
+    CyclonPartnerViolationAttacker,
+    SecurePartnerViolationAttacker,
+)
+from repro.core.config import SecureCyclonConfig
+from repro.cyclon.config import CyclonConfig
+from repro.experiments.scenarios import (
+    build_cyclon_overlay,
+    build_secure_overlay,
+)
+from repro.metrics.degree import indegree_counts
+
+
+@pytest.fixture(scope="module")
+def legacy_overlay():
+    """Random-victim mode: violations spread across the population."""
+    overlay = build_cyclon_overlay(
+        n=120,
+        config=CyclonConfig(view_length=10, swap_length=3),
+        malicious=6,
+        attack_start=10,
+        seed=23,
+        attacker_cls=CyclonPartnerViolationAttacker,
+    )
+    overlay.run(60)
+    return overlay
+
+
+@pytest.fixture(scope="module")
+def targeted_overlay():
+    """Targeted mode: all attackers converge on a single victim."""
+    overlay = build_cyclon_overlay(
+        n=120,
+        config=CyclonConfig(view_length=10, swap_length=3),
+        malicious=6,
+        attack_start=10,
+        seed=23,
+        attacker_cls=CyclonPartnerViolationAttacker,
+    )
+    malicious_ids = {node.node_id for node in overlay.malicious_nodes}
+    target = next(
+        node_id for node_id in overlay.engine.nodes
+        if node_id not in malicious_ids
+    )
+    overlay.coordinator.eclipse_target = target
+    overlay.run(60)
+    return overlay, target
+
+
+@pytest.fixture(scope="module")
+def secure_overlay():
+    overlay = build_secure_overlay(
+        n=120,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        malicious=6,
+        attack_start=10,
+        seed=23,
+        attacker_cls=SecurePartnerViolationAttacker,
+    )
+    overlay.run(60)
+    return overlay
+
+
+def test_legacy_attack_forces_exchanges(legacy_overlay):
+    forced = sum(n.exchanges_forced for n in legacy_overlay.malicious_nodes)
+    assert forced > 0
+
+
+def test_targeted_violations_monopolise_the_victim(targeted_overlay):
+    """With every violator converging on one victim, each forced
+    exchange drains s random victim entries and injects attacker
+    content — the victim's neighbourhood is captured although the
+    attackers hold no descriptor of it."""
+    overlay, target = targeted_overlay
+    victim = overlay.engine.nodes[target]
+    malicious_ids = {n.node_id for n in overlay.malicious_nodes}
+    in_view = [d.node_id for d in victim.view]
+    assert in_view, "victim view should not be empty"
+    malicious_share = sum(
+        1 for node_id in in_view if node_id in malicious_ids
+    ) / len(in_view)
+    assert malicious_share >= 0.4
+
+
+def test_untargeted_nodes_keep_healthy_views(targeted_overlay):
+    """The targeted campaign leaves the rest of the overlay intact."""
+    overlay, target = targeted_overlay
+    malicious_ids = {n.node_id for n in overlay.malicious_nodes}
+    shares = []
+    for node in overlay.engine.legit_nodes():
+        if node.node_id == target or len(node.view) == 0:
+            continue
+        in_view = [d.node_id for d in node.view]
+        shares.append(
+            sum(1 for nid in in_view if nid in malicious_ids) / len(in_view)
+        )
+    assert sum(shares) / len(shares) < 0.3
+
+
+def test_secure_rejects_every_violation(secure_overlay):
+    """§IV-A: no redemption token, no gossip — deterministically."""
+    accepted = sum(n.accepted for n in secure_overlay.malicious_nodes)
+    rejected = sum(n.rejections for n in secure_overlay.malicious_nodes)
+    assert accepted == 0
+    assert rejected > 0
+
+
+def test_secure_attacker_gains_no_indegree(secure_overlay):
+    counts = indegree_counts(secure_overlay.engine)
+    malicious_ids = {n.node_id for n in secure_overlay.malicious_nodes}
+    attacker_mean = sum(counts.get(m, 0) for m in malicious_ids) / len(
+        malicious_ids
+    )
+    honest = [
+        count for node_id, count in counts.items()
+        if node_id not in malicious_ids
+    ]
+    honest_mean = sum(honest) / len(honest)
+    # Post-attack the violators stop minting fresh links entirely, so
+    # their standing descriptors decay; they certainly never exceed
+    # the honest equilibrium.
+    assert attacker_mean <= honest_mean * 1.1
+
+
+def test_attackers_flagged_malicious(legacy_overlay, secure_overlay):
+    assert all(n.is_malicious for n in legacy_overlay.malicious_nodes)
+    assert all(n.is_malicious for n in secure_overlay.malicious_nodes)

@@ -1,0 +1,52 @@
+"""Tests for the replay attacker (already-redeemed tokens)."""
+
+import pytest
+
+from repro.adversary.replay import ReplayAttacker
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+
+
+@pytest.fixture(scope="module")
+def replay_overlay():
+    overlay = build_secure_overlay(
+        n=100,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        malicious=5,
+        attack_start=15,
+        seed=29,
+        attacker_cls=ReplayAttacker,
+    )
+    overlay.run(60)
+    return overlay
+
+
+def test_replays_are_attempted(replay_overlay):
+    attempts = sum(
+        node.replays_attempted for node in replay_overlay.malicious_nodes
+    )
+    assert attempts > 0
+
+
+def test_no_replay_is_ever_accepted(replay_overlay):
+    """DESIGN.md decision 6: creators remember spent timestamps."""
+    accepted = sum(
+        node.replays_accepted for node in replay_overlay.malicious_nodes
+    )
+    assert accepted == 0
+
+
+def test_replays_are_rejected_not_dropped(replay_overlay):
+    rejected = sum(
+        node.replays_rejected for node in replay_overlay.malicious_nodes
+    )
+    attempts = sum(
+        node.replays_attempted for node in replay_overlay.malicious_nodes
+    )
+    assert rejected == attempts
+
+
+def test_overlay_survives_replay_attack(replay_overlay):
+    """Replay spam costs honest nodes nothing: views stay populated."""
+    for node in replay_overlay.engine.legit_nodes():
+        assert len(node.view) >= node.config.view_length // 2

@@ -1,0 +1,67 @@
+"""Tests for the rule-abiding stealth-bias attacker."""
+
+import pytest
+
+from repro.adversary.stealth import StealthBiasAttacker
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.links import malicious_link_fraction
+
+
+@pytest.fixture(scope="module")
+def stealth_overlay():
+    overlay = build_secure_overlay(
+        n=150,
+        config=SecureCyclonConfig(view_length=12, swap_length=3),
+        malicious=15,  # 10 % of the population
+        attack_start=10,
+        seed=17,
+        attacker_cls=StealthBiasAttacker,
+    )
+    overlay.run(60)
+    return overlay
+
+
+def test_attackers_report_malicious(stealth_overlay):
+    assert all(node.is_malicious for node in stealth_overlay.malicious_nodes)
+
+
+def test_no_attacker_is_ever_blacklisted(stealth_overlay):
+    """The attacker never violates, so no proof can name it."""
+    malicious_ids = {node.node_id for node in stealth_overlay.malicious_nodes}
+    for node in stealth_overlay.engine.legit_nodes():
+        assert not (set(node.blacklist.members()) & malicious_ids)
+
+
+def test_bias_is_bounded_by_token_supply(stealth_overlay):
+    """Rule-abiding bias cannot approach the Fig 3 takeover: the
+    malicious share stays within a small factor of the population
+    share (10 %), far from 100 %."""
+    share = malicious_link_fraction(stealth_overlay.engine)
+    assert share < 0.35
+
+
+def test_bias_exceeds_population_share(stealth_overlay):
+    """The bias is real: preferential forwarding lifts the malicious
+    share above the honest-equilibrium baseline."""
+    share = malicious_link_fraction(stealth_overlay.engine)
+    assert share > 0.10
+
+
+def test_attacker_ships_colleague_descriptors(stealth_overlay):
+    shipped = sum(
+        node.shipped_malicious for node in stealth_overlay.malicious_nodes
+    )
+    assert shipped > 0
+
+
+def test_overlay_stays_healthy(stealth_overlay):
+    """Honest views keep functioning (no depletion side effect)."""
+    for node in stealth_overlay.engine.legit_nodes():
+        assert len(node.view) > 0
+
+
+def test_proof_swallowing_is_silent(stealth_overlay):
+    """receive_push drops floods without raising."""
+    attacker = stealth_overlay.malicious_nodes[0]
+    attacker.receive_push("whoever", object())

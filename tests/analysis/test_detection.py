@@ -1,0 +1,92 @@
+"""Tests for the clone-detection probability estimate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.detection import (
+    clone_detection_probability,
+    visibility_cycles,
+)
+
+
+def test_visibility_shrinks_with_age():
+    young = visibility_cycles(20, age_at_cloning=2, redemption_cache_cycles=5)
+    old = visibility_cycles(20, age_at_cloning=18, redemption_cache_cycles=5)
+    assert young > old
+
+
+def test_visibility_never_negative():
+    assert visibility_cycles(20, age_at_cloning=40, redemption_cache_cycles=0) > 0
+
+
+def test_visibility_rejects_negative_age():
+    with pytest.raises(ValueError):
+        visibility_cycles(20, age_at_cloning=-1, redemption_cache_cycles=5)
+
+
+def test_probability_decreases_with_age():
+    probabilities = [
+        clone_detection_probability(1000, 20, age, redemption_cache_cycles=5)
+        for age in range(2, 21, 2)
+    ]
+    assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
+
+
+def test_probability_increases_with_cache():
+    by_cache = [
+        clone_detection_probability(
+            1000, 20, age_at_cloning=18, redemption_cache_cycles=cache
+        )
+        for cache in (0, 2, 5, 10)
+    ]
+    assert all(a < b for a, b in zip(by_cache, by_cache[1:]))
+
+
+def test_probability_decreases_with_malicious_share():
+    by_share = [
+        clone_detection_probability(
+            1000, 20, age_at_cloning=10, malicious_fraction=share
+        )
+        for share in (0.0, 0.05, 0.2, 0.5)
+    ]
+    assert all(a > b for a, b in zip(by_share, by_share[1:]))
+
+
+def test_young_clone_nearly_always_caught():
+    # Fig 7: descriptors duplicated at a low age are detected with
+    # high probability by view transmission alone.
+    p = clone_detection_probability(
+        1000, 20, age_at_cloning=2, redemption_cache_cycles=0
+    )
+    assert p > 0.7
+
+
+def test_old_clone_with_no_cache_rarely_caught():
+    p = clone_detection_probability(
+        1000, 20, age_at_cloning=20, redemption_cache_cycles=0,
+        malicious_fraction=0.5,
+    )
+    assert p < 0.2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        clone_detection_probability(1, 20, 5)
+    with pytest.raises(ValueError):
+        clone_detection_probability(100, 20, 5, malicious_fraction=1.0)
+    with pytest.raises(ValueError):
+        clone_detection_probability(100, 20, 5, malicious_fraction=-0.1)
+
+
+@given(
+    nodes=st.integers(min_value=10, max_value=100000),
+    view_length=st.integers(min_value=2, max_value=60),
+    age=st.integers(min_value=0, max_value=80),
+    cache=st.integers(min_value=0, max_value=20),
+    share=st.floats(min_value=0.0, max_value=0.9),
+)
+def test_probability_always_in_unit_interval(nodes, view_length, age, cache, share):
+    p = clone_detection_probability(
+        nodes, view_length, age, cache, malicious_fraction=share
+    )
+    assert 0.0 <= p <= 1.0

@@ -1,0 +1,54 @@
+"""Tests for the proof-flooding epidemic model."""
+
+import pytest
+
+from repro.analysis.flooding import coverage_per_round, flood_rounds_to_cover
+
+
+def test_coverage_is_monotone():
+    coverage = coverage_per_round(nodes=1000, fanout=20, rounds=6)
+    assert all(a <= b for a, b in zip(coverage, coverage[1:]))
+
+
+def test_coverage_reaches_everyone():
+    coverage = coverage_per_round(nodes=1000, fanout=20, rounds=6)
+    assert coverage[-1] > 0.999
+
+
+def test_coverage_bounded_by_one():
+    coverage = coverage_per_round(nodes=50, fanout=49, rounds=10)
+    assert all(c <= 1.0 + 1e-9 for c in coverage)
+
+
+def test_flood_is_fast_at_paper_parameters():
+    # ℓ=20 fanout floods a 1K overlay in a couple of rounds; even 10K
+    # with ℓ=50 takes ≤ 3 — far below one gossip cycle (DESIGN.md §4).
+    assert flood_rounds_to_cover(1000, 20) <= 3
+    assert flood_rounds_to_cover(10000, 50) <= 3
+
+
+def test_smaller_fanout_needs_more_rounds():
+    slow = flood_rounds_to_cover(10000, 2)
+    fast = flood_rounds_to_cover(10000, 50)
+    assert slow > fast
+
+
+def test_initial_seed_accelerates():
+    one = coverage_per_round(1000, 5, rounds=3, initial=1)
+    many = coverage_per_round(1000, 5, rounds=3, initial=100)
+    assert many[0] > one[0]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        coverage_per_round(0, 5, 3)
+    with pytest.raises(ValueError):
+        coverage_per_round(10, 0, 3)
+    with pytest.raises(ValueError):
+        coverage_per_round(10, 5, 3, initial=0)
+    with pytest.raises(ValueError):
+        coverage_per_round(10, 5, 3, initial=11)
+    with pytest.raises(ValueError):
+        flood_rounds_to_cover(100, 10, target_fraction=0.0)
+    with pytest.raises(ValueError):
+        flood_rounds_to_cover(100, 10, target_fraction=1.5)

@@ -1,0 +1,66 @@
+"""Tests for the indegree-equilibrium reference model."""
+
+import pytest
+
+from repro.analysis.indegree import (
+    empirical_moments,
+    indegree_distribution,
+    indegree_moments,
+)
+from repro.cyclon.config import CyclonConfig
+from repro.experiments.scenarios import build_cyclon_overlay
+from repro.metrics.degree import indegree_counts
+
+
+def test_distribution_is_a_pmf():
+    pmf = indegree_distribution(nodes=1000, view_length=20)
+    assert all(p >= 0 for p in pmf)
+    assert sum(pmf) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_distribution_peaks_near_view_length():
+    pmf = indegree_distribution(nodes=1000, view_length=20)
+    peak = max(range(len(pmf)), key=pmf.__getitem__)
+    assert abs(peak - 20) <= 1
+
+
+def test_moments_mean_is_exactly_view_length():
+    mean, std = indegree_moments(nodes=1000, view_length=20)
+    assert mean == 20.0
+    assert std == pytest.approx(20**0.5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        indegree_distribution(nodes=1, view_length=20)
+    with pytest.raises(ValueError):
+        indegree_distribution(nodes=100, view_length=0)
+    with pytest.raises(ValueError):
+        indegree_moments(nodes=1, view_length=5)
+
+
+def test_empirical_moments_empty():
+    assert empirical_moments({}) == (0.0, 0.0)
+
+
+def test_empirical_moments_simple():
+    mean, std = empirical_moments({"a": 2, "b": 4})
+    assert mean == 3.0
+    assert std == 1.0
+
+
+def test_converged_cyclon_matches_model():
+    """Fig 2 cross-check: measured mean = ℓ exactly; spread below the
+    Poisson envelope the model provides."""
+    view_length = 10
+    overlay = build_cyclon_overlay(
+        n=120, config=CyclonConfig(view_length=view_length, swap_length=3),
+        seed=11,
+    )
+    overlay.run(40)
+    counts = indegree_counts(overlay.engine)
+    mean, std = empirical_moments(counts)
+    model_mean, model_std_envelope = indegree_moments(120, view_length)
+    assert mean == pytest.approx(model_mean)  # links are conserved
+    assert std < 2.0 * model_std_envelope
+    assert min(counts.values()) > 0  # nobody starves

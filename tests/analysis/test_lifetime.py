@@ -1,0 +1,100 @@
+"""Tests for the descriptor lifetime / transfer-count models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.lifetime import (
+    expected_lifetime_cycles,
+    expected_transfers,
+    per_cycle_transfer_probability,
+    transfer_count_distribution,
+)
+
+
+def test_lifetime_equals_view_length():
+    assert expected_lifetime_cycles(20) == 20.0
+    assert expected_lifetime_cycles(50) == 50.0
+
+
+def test_lifetime_rejects_nonpositive_view():
+    with pytest.raises(ValueError):
+        expected_lifetime_cycles(0)
+
+
+def test_paper_configuration_gives_six_transfers():
+    # §VI-A: ℓ=20, s=3 → 2s = 6 transfers over a descriptor's lifetime.
+    assert expected_transfers(view_length=20, swap_length=3) == pytest.approx(6.0)
+
+
+def test_transfer_probability_is_2s_over_ell():
+    assert per_cycle_transfer_probability(20, 3) == pytest.approx(0.3)
+    assert per_cycle_transfer_probability(50, 5) == pytest.approx(0.2)
+
+
+def test_transfer_probability_capped_at_one():
+    assert per_cycle_transfer_probability(4, 4) == 1.0
+
+
+def test_expected_transfers_scales_with_swap_length():
+    low = expected_transfers(20, 3)
+    high = expected_transfers(20, 10)
+    assert high > low
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        expected_transfers(0, 1)
+    with pytest.raises(ValueError):
+        expected_transfers(10, 0)
+    with pytest.raises(ValueError):
+        expected_transfers(10, 11)
+
+
+def test_distribution_sums_to_one():
+    pmf = transfer_count_distribution(20, 3)
+    assert sum(pmf) == pytest.approx(1.0)
+
+
+def test_distribution_mean_matches_expected_transfers():
+    pmf = transfer_count_distribution(20, 3)
+    mean = sum(k * p for k, p in enumerate(pmf))
+    assert mean == pytest.approx(expected_transfers(20, 3), rel=1e-9)
+
+
+def test_distribution_truncation_preserves_mass():
+    pmf = transfer_count_distribution(20, 10, max_transfers=5)
+    assert len(pmf) == 6
+    assert sum(pmf) == pytest.approx(1.0)
+
+
+@given(
+    view_length=st.integers(min_value=2, max_value=60),
+    swap_length=st.integers(min_value=1, max_value=60),
+)
+def test_distribution_always_a_pmf(view_length, swap_length):
+    if swap_length > view_length:
+        with pytest.raises(ValueError):
+            transfer_count_distribution(view_length, swap_length)
+        return
+    pmf = transfer_count_distribution(view_length, swap_length)
+    assert all(p >= 0 for p in pmf)
+    assert sum(pmf) == pytest.approx(1.0, abs=1e-9)
+
+
+@given(
+    view_length=st.integers(min_value=2, max_value=60),
+)
+def test_mean_transfers_bounded_by_lifetime(view_length):
+    swap_length = max(1, view_length // 4)
+    mean = expected_transfers(view_length, swap_length)
+    assert 0 < mean <= view_length
+
+
+def test_binomial_matches_math_comb_small_case():
+    # ℓ=4, s=1: p=0.5 per cycle over 4 trials — textbook binomial.
+    pmf = transfer_count_distribution(4, 1)
+    expected = [math.comb(4, k) * 0.5**4 for k in range(5)]
+    for got, want in zip(pmf, expected):
+        assert got == pytest.approx(want)

@@ -1,0 +1,76 @@
+"""Tests pinning the §VI-A cost model to the paper's numbers."""
+
+import pytest
+
+from repro.analysis.netcost import NetworkCostModel
+
+
+@pytest.fixture
+def paper_model():
+    """The exact configuration the paper budgets: ℓ=20, s=3, r=5."""
+    return NetworkCostModel(
+        view_length=20, swap_length=3, redemption_cache=5, period_seconds=10.0
+    )
+
+
+def test_node_info_is_368_bits(paper_model):
+    assert paper_model.descriptor_bits(0) == 368
+
+
+def test_each_transfer_adds_512_bits(paper_model):
+    assert paper_model.descriptor_bits(1) - paper_model.descriptor_bits(0) == 512
+
+
+def test_pessimistic_transfers_is_2s(paper_model):
+    assert paper_model.pessimistic_transfers == 6
+
+
+def test_descriptor_size_is_3440_bits_430_bytes(paper_model):
+    assert paper_model.descriptor_bits(6) == 3440
+    assert paper_model.pessimistic_descriptor_bytes == 430.0
+
+
+def test_descriptors_per_direction_is_25(paper_model):
+    assert paper_model.descriptors_per_direction == 25
+
+
+def test_headline_kb_per_direction(paper_model):
+    # Paper: "roughly 10.5 KBytes in each direction".
+    assert paper_model.kilobytes_per_direction == pytest.approx(10.5, abs=0.1)
+
+
+def test_bandwidth_is_modest(paper_model):
+    # 2 exchanges/cycle, both directions, over a 10 s period: a few KB/s.
+    assert paper_model.bandwidth_bytes_per_second < 8192
+
+
+def test_larger_views_cost_more():
+    small = NetworkCostModel(view_length=20, swap_length=3)
+    large = NetworkCostModel(view_length=50, swap_length=3)
+    assert large.bytes_per_direction > small.bytes_per_direction
+
+
+def test_transfer_count_drives_descriptor_size():
+    lazy = NetworkCostModel(view_length=20, swap_length=3)
+    busy = NetworkCostModel(view_length=20, swap_length=10)
+    assert busy.pessimistic_descriptor_bytes > lazy.pessimistic_descriptor_bytes
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        NetworkCostModel(view_length=0)
+    with pytest.raises(ValueError):
+        NetworkCostModel(view_length=10, swap_length=11)
+    with pytest.raises(ValueError):
+        NetworkCostModel(view_length=10, swap_length=0)
+    with pytest.raises(ValueError):
+        NetworkCostModel(redemption_cache=-1)
+    with pytest.raises(ValueError):
+        NetworkCostModel(period_seconds=0.0)
+    with pytest.raises(ValueError):
+        NetworkCostModel().descriptor_bits(-1)
+
+
+def test_model_is_frozen(paper_model):
+    with pytest.raises(AttributeError):
+        paper_model.view_length = 30

@@ -1,0 +1,89 @@
+"""Tests for the Fig 5 collapse (purge-time) model."""
+
+import pytest
+
+from repro.analysis.purge import (
+    cycles_to_purge,
+    expected_collapse_cycles,
+    expected_cycles_to_first_detection,
+    link_decay_factor,
+)
+
+
+def test_first_detection_single_attacker():
+    # One attacker, p=0.5 per exchange: mean 2 cycles.
+    assert expected_cycles_to_first_detection(1, 0.5) == pytest.approx(2.0)
+
+
+def test_first_detection_many_attackers_is_fast():
+    assert expected_cycles_to_first_detection(100, 0.1) < 1.01
+
+
+def test_first_detection_certain_detection():
+    assert expected_cycles_to_first_detection(1, 1.0) == 1.0
+
+
+def test_first_detection_validation():
+    with pytest.raises(ValueError):
+        expected_cycles_to_first_detection(0, 0.5)
+    with pytest.raises(ValueError):
+        expected_cycles_to_first_detection(5, 0.0)
+    with pytest.raises(ValueError):
+        expected_cycles_to_first_detection(5, 1.5)
+
+
+def test_decay_factor_paper_config():
+    # ℓ=20, s=3: a dead link survives a cycle with probability 0.7.
+    assert link_decay_factor(20, 3) == pytest.approx(0.7)
+
+
+def test_decay_factor_floors_at_zero():
+    assert link_decay_factor(4, 4) == 0.0
+
+
+def test_decay_factor_validation():
+    with pytest.raises(ValueError):
+        link_decay_factor(0, 3)
+    with pytest.raises(ValueError):
+        link_decay_factor(20, 0)
+
+
+def test_purge_time_paper_config():
+    # 0.7^t <= 0.01 → t ≈ 12.9 cycles: the Fig 5 collapse window.
+    assert cycles_to_purge(20, 3) == pytest.approx(12.9, abs=0.1)
+
+
+def test_purge_time_faster_with_higher_swap():
+    assert cycles_to_purge(20, 8) < cycles_to_purge(20, 3)
+
+
+def test_purge_time_instant_at_full_turnover():
+    assert cycles_to_purge(4, 4) == 1.0
+
+
+def test_purge_validation():
+    with pytest.raises(ValueError):
+        cycles_to_purge(20, 3, residual_fraction=0.0)
+    with pytest.raises(ValueError):
+        cycles_to_purge(20, 3, residual_fraction=1.0)
+
+
+def test_collapse_composes_all_stages():
+    total = expected_collapse_cycles(
+        attackers=20, view_length=20, swap_length=3
+    )
+    decay_only = cycles_to_purge(20, 3)
+    assert total > decay_only  # detection + flood add on top
+    assert total < decay_only + 3  # but detection is near-instant at k=20
+
+
+def test_collapse_matches_simulation_scale():
+    """The seed-sensitivity bench measures 2–5 cycles to <1 % at
+    ℓ=15, s=3 — but that clock starts at the *attack* and our overlay
+    purges most links before full blacklisting completes.  The model
+    (a pure post-blacklist decay bound) must land in the same decade,
+    not orders of magnitude away."""
+    total = expected_collapse_cycles(
+        attackers=25, view_length=15, swap_length=3
+    )
+    assert 3.0 < total < 30.0

@@ -1,0 +1,126 @@
+"""Tests for the omniscient protocol auditor."""
+
+import pytest
+
+from repro.audit import AuditReport, Finding, audit_engine
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+
+
+@pytest.fixture(scope="module")
+def honest_overlay():
+    overlay = build_secure_overlay(
+        n=80,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        seed=91,
+    )
+    overlay.run(25)
+    return overlay
+
+
+def test_honest_run_audits_clean(honest_overlay):
+    report = audit_engine(honest_overlay.engine)
+    report.assert_clean()
+    assert report.clean
+    assert report.checks_run == 5
+
+
+def test_summary_mentions_clean(honest_overlay):
+    report = audit_engine(honest_overlay.engine)
+    assert "clean" in report.summary()
+
+
+def test_attacked_run_still_audits_clean():
+    """Under a hub attack the *honest* state must stay lawful: the
+    auditor skips adversarial internals but verifies everything honest
+    nodes hold and every blacklist they build."""
+    overlay = build_secure_overlay(
+        n=80,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        malicious=10,
+        attack_start=8,
+        seed=92,
+    )
+    overlay.run(40)
+    audit_engine(overlay.engine).assert_clean()
+
+
+def test_lossy_run_audits_clean():
+    from repro.sim.channel import DropPolicy
+    from repro.sim.engine import SimConfig
+
+    overlay = build_secure_overlay(
+        n=60,
+        config=SecureCyclonConfig(view_length=8, swap_length=3),
+        seed=93,
+        sim_config=SimConfig(
+            seed=93, drop_policy=DropPolicy(request_loss=0.1, reply_loss=0.1)
+        ),
+    )
+    overlay.run(30)
+    audit_engine(overlay.engine).assert_clean()
+
+
+def test_dirty_report_raises_with_digest():
+    report = AuditReport(
+        findings=[
+            Finding("view-shape", "n1", "too big"),
+            Finding("view-shape", "n2", "self link"),
+            Finding("blacklist", "n3", "false positive"),
+        ],
+        checks_run=5,
+    )
+    assert not report.clean
+    with pytest.raises(AssertionError) as excinfo:
+        report.assert_clean()
+    message = str(excinfo.value)
+    assert "3 audit finding(s)" in message
+    assert "view-shape: 2" in message
+    assert "blacklist: 1" in message
+
+
+def test_by_invariant_groups(honest_overlay):
+    report = AuditReport(
+        findings=[
+            Finding("a", 1, "x"),
+            Finding("a", 2, "y"),
+            Finding("b", 3, "z"),
+        ]
+    )
+    grouped = report.by_invariant()
+    assert len(grouped["a"]) == 2
+    assert len(grouped["b"]) == 1
+
+
+def test_failed_summary_counts():
+    report = AuditReport(findings=[Finding("mint-rate", 1, "burst")])
+    assert "FAILED" in report.summary()
+    assert "mint-rate=1" in report.summary()
+
+
+def test_subset_of_checks(honest_overlay):
+    from repro.audit import check_view_shape
+
+    report = audit_engine(honest_overlay.engine, checks=(check_view_shape,))
+    assert report.checks_run == 1
+    assert report.clean
+
+
+def test_auditor_catches_planted_self_link(honest_overlay):
+    """Sanity: the auditor is not a rubber stamp — plant a violation
+    and it must be found."""
+    from repro.core.descriptor import mint
+
+    engine = honest_overlay.engine
+    node = engine.legit_nodes()[0]
+    # Forge a self-link by planting the node's own descriptor.
+    rogue = mint(node.keypair, node.address, engine.clock.now() + 12345.0)
+    node.view._entries.append(
+        type(next(iter(node.view)))(descriptor=rogue, non_swappable=False)
+    )
+    try:
+        report = audit_engine(engine)
+        assert not report.clean
+        assert "view-shape" in report.by_invariant()
+    finally:
+        node.view._entries.pop()

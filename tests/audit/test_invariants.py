@@ -1,0 +1,147 @@
+"""Each audit invariant must actually fire when its rule is broken.
+
+These tests plant one specific violation into otherwise-honest state
+and assert the corresponding check (and only that check) reports it.
+"""
+
+import pytest
+
+from repro.audit import (
+    audit_engine,
+    check_blacklists,
+    check_chain_consistency,
+    check_mint_rate,
+    check_ownership,
+    check_view_shape,
+)
+from repro.core.config import SecureCyclonConfig
+from repro.core.descriptor import mint
+from repro.core.view import ViewEntry
+from repro.experiments.scenarios import build_secure_overlay
+
+
+@pytest.fixture
+def overlay():
+    overlay = build_secure_overlay(
+        n=40,
+        config=SecureCyclonConfig(view_length=6, swap_length=3),
+        seed=101,
+    )
+    overlay.run(12)
+    return overlay
+
+
+def _plant(node, descriptor, non_swappable=False):
+    node.view._entries.append(
+        ViewEntry(descriptor=descriptor, non_swappable=non_swappable)
+    )
+
+
+def test_clean_baseline(overlay):
+    audit_engine(overlay.engine).assert_clean()
+
+
+def test_view_shape_fires_on_duplicate_identity(overlay):
+    node = overlay.engine.legit_nodes()[0]
+    entry = next(iter(node.view))
+    node.view._entries.append(entry)
+    try:
+        findings = list(check_view_shape(overlay.engine))
+        assert any("duplicate" in f.message for f in findings)
+    finally:
+        node.view._entries.pop()
+
+
+def test_view_shape_fires_on_overflow(overlay):
+    node = overlay.engine.legit_nodes()[0]
+    donors = overlay.engine.legit_nodes()[1:]
+    added = 0
+    for donor in donors:
+        for entry in donor.view:
+            if entry.creator != node.node_id:
+                node.view._entries.append(entry)
+                added += 1
+        if len(node.view._entries) > node.view.capacity:
+            break
+    try:
+        findings = list(check_view_shape(overlay.engine))
+        assert any("capacity" in f.message for f in findings)
+    finally:
+        del node.view._entries[-added:]
+
+
+def test_ownership_fires_on_foreign_descriptor(overlay):
+    nodes = overlay.engine.legit_nodes()
+    holder, victim, third = nodes[0], nodes[1], nodes[2]
+    # A descriptor owned by `third`, planted into `holder`'s view.
+    stolen = mint(
+        victim.keypair, victim.address, overlay.engine.clock.now() + 9999.0
+    ).transfer(victim.keypair, third.node_id)
+    _plant(holder, stolen)
+    try:
+        findings = list(check_ownership(overlay.engine))
+        assert any("holder is not the owner" in f.message for f in findings)
+    finally:
+        holder.view._entries.pop()
+
+
+def test_ownership_fires_on_bogus_nonswappable(overlay):
+    nodes = overlay.engine.legit_nodes()
+    holder, victim = nodes[0], nodes[1]
+    # A non-swappable copy of a token the holder never owned.
+    foreign = mint(
+        victim.keypair, victim.address, overlay.engine.clock.now() + 8888.0
+    )
+    _plant(holder, foreign, non_swappable=True)
+    try:
+        findings = list(check_ownership(overlay.engine))
+        assert any("never owned" in f.message for f in findings)
+    finally:
+        holder.view._entries.pop()
+
+
+def test_chain_consistency_fires_on_honest_fork(overlay):
+    nodes = overlay.engine.legit_nodes()
+    creator, spender, left, right = nodes[0], nodes[1], nodes[2], nodes[3]
+    base = mint(
+        creator.keypair, creator.address, overlay.engine.clock.now() + 7777.0
+    ).transfer(creator.keypair, spender.node_id)
+    fork_a = base.transfer(spender.keypair, left.node_id)
+    fork_b = base.transfer(spender.keypair, right.node_id)
+    _plant(left, fork_a)
+    _plant(right, fork_b)
+    try:
+        findings = list(check_chain_consistency(overlay.engine))
+        assert any("illegal fork" in f.message for f in findings)
+    finally:
+        left.view._entries.pop()
+        right.view._entries.pop()
+
+
+def test_mint_rate_fires_on_burst(overlay):
+    nodes = overlay.engine.legit_nodes()
+    burster, holder_a, holder_b = nodes[0], nodes[1], nodes[2]
+    now = overlay.engine.clock.now()
+    first = mint(burster.keypair, burster.address, now + 5000.0)
+    second = mint(burster.keypair, burster.address, now + 5000.1)  # too close
+    _plant(holder_a, first.transfer(burster.keypair, holder_a.node_id))
+    _plant(holder_b, second.transfer(burster.keypair, holder_b.node_id))
+    try:
+        findings = list(check_mint_rate(overlay.engine))
+        assert any("descriptors" in f.message for f in findings)
+    finally:
+        holder_a.view._entries.pop()
+        holder_b.view._entries.pop()
+
+
+def test_blacklist_fires_on_false_positive(overlay):
+    nodes = overlay.engine.legit_nodes()
+    accuser, framed = nodes[0], nodes[1]
+    accuser.blacklist._proofs[framed.node_id] = None  # no proof either
+    try:
+        findings = list(check_blacklists(overlay.engine))
+        messages = " | ".join(f.message for f in findings)
+        assert "false positive" in messages
+        assert "lacks a valid proof" in messages
+    finally:
+        del accuser.blacklist._proofs[framed.node_id]

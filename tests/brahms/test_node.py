@@ -1,0 +1,93 @@
+"""Behavioural tests for the Brahms node and its attacker."""
+
+import random
+
+import pytest
+
+from repro.brahms.config import BrahmsConfig
+from repro.brahms.node import BrahmsHubAttacker, BrahmsNode
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.errors import ConfigError
+from repro.sim.engine import Engine, SimConfig
+
+
+def build_brahms_world(n=60, malicious=0, attack_start=10, seed=8):
+    engine = Engine(SimConfig(seed=seed))
+    config = BrahmsConfig(view_size=8, sampler_size=8)
+    coordinator = MaliciousCoordinator(
+        attack_start_cycle=attack_start, rng=engine.rng_hub.stream("adv")
+    )
+    nodes = []
+    for i in range(n):
+        node_id = f"n{i}"
+        if i < malicious:
+            node = BrahmsHubAttacker(
+                node_id,
+                config,
+                engine.rng_hub.stream(node_id),
+                coordinator=coordinator,
+            )
+            keypair = engine.registry.new_keypair(engine.rng_hub.stream("k"))
+            coordinator._keypairs[node_id] = keypair  # ids are strings here
+            coordinator._addresses[node_id] = None
+        else:
+            node = BrahmsNode(node_id, config, engine.rng_hub.stream(node_id))
+        engine.add_node(node)
+        nodes.append(node)
+    coordinator.note_legit_population(
+        [f"n{i}" for i in range(malicious, n)]
+    )
+    rng = engine.rng_hub.stream("boot")
+    all_ids = [f"n{i}" for i in range(n)]
+    for node in nodes:
+        node.seed_view(rng.sample(all_ids, 10))
+    return engine, nodes, coordinator
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        BrahmsConfig(alpha=0.5, beta=0.5, gamma=0.5)
+    with pytest.raises(ConfigError):
+        BrahmsConfig(view_size=0)
+    config = BrahmsConfig(view_size=10)
+    assert config.push_slots + config.pull_slots + config.sample_slots <= 10
+
+
+def test_views_stay_populated():
+    engine, nodes, _ = build_brahms_world()
+    engine.run(15)
+    sizes = [len(node.view) for node in nodes]
+    assert min(sizes) > 0
+    assert sum(sizes) / len(sizes) > 4
+
+
+def test_samplers_fill_up():
+    engine, nodes, _ = build_brahms_world()
+    engine.run(15)
+    legit = [n for n in nodes if not n.is_malicious]
+    assert all(len(node.samplers.samples()) == 8 for node in legit)
+
+
+def test_push_flood_defense_limits_view_bias():
+    """Brahms bounds (but does not eliminate) malicious representation."""
+    engine, nodes, coordinator = build_brahms_world(
+        n=60, malicious=6, attack_start=5
+    )
+    engine.run(40)
+    legit = [n for n in nodes if not n.is_malicious]
+    malicious_ids = set(coordinator.members())
+    view_share = sum(
+        sum(1 for v in node.view if v in malicious_ids) / max(1, len(node.view))
+        for node in legit
+    ) / len(legit)
+    sample_share = sum(
+        sum(1 for s in node.samplers.samples() if s in malicious_ids)
+        / max(1, len(node.samplers.samples()))
+        for node in legit
+    ) / len(legit)
+    # The sampler stays near the true population share (10%) even while
+    # the gossip view gets polluted well above it.
+    assert sample_share < 0.35
+    assert view_share < 0.9
+    # And pollution never reaches SecureCyclon's post-purge zero.
+    assert view_share > 0.0

@@ -1,0 +1,70 @@
+"""Unit tests for the min-wise samplers."""
+
+import random
+from collections import Counter
+
+from repro.brahms.sampler import MinWiseSampler, SamplerArray
+
+
+def test_sampler_is_deterministic_over_stream_order():
+    rng = random.Random(1)
+    sampler = MinWiseSampler(rng)
+    ids = [f"n{i}" for i in range(50)]
+    for node_id in ids:
+        sampler.observe(node_id)
+    first = sampler.sample()
+
+    sampler2 = MinWiseSampler.__new__(MinWiseSampler)
+    sampler2._seed = sampler._seed
+    sampler2._best_value = None
+    sampler2._best_id = None
+    shuffled = list(ids)
+    random.Random(9).shuffle(shuffled)
+    for node_id in shuffled:
+        sampler2.observe(node_id)
+    assert sampler2.sample() == first
+
+
+def test_duplicates_do_not_bias():
+    """An adversary pushing its ID a million times gains nothing."""
+    rng = random.Random(2)
+    wins = 0
+    for trial in range(200):
+        sampler = MinWiseSampler(random.Random(trial))
+        for node_id in (f"honest{i}" for i in range(9)):
+            sampler.observe(node_id)
+        for _ in range(50):
+            sampler.observe("attacker")
+        if sampler.sample() == "attacker":
+            wins += 1
+    # 1 of 10 distinct IDs: expect ~20/200 wins, far below flooding share.
+    assert wins < 60
+
+
+def test_empty_sampler_returns_none():
+    assert MinWiseSampler(random.Random(0)).sample() is None
+
+
+def test_invalidate_if():
+    sampler = MinWiseSampler(random.Random(0))
+    sampler.observe("x")
+    assert sampler.invalidate_if(lambda nid: nid == "x")
+    assert sampler.sample() is None
+    assert not sampler.invalidate_if(lambda nid: True)
+
+
+def test_array_collects_distinctish_samples():
+    array = SamplerArray(16, random.Random(3))
+    array.observe_all(f"n{i}" for i in range(100))
+    samples = array.samples()
+    assert len(samples) == 16
+    assert len(set(samples)) > 4  # independent permutations differ
+
+
+def test_array_invalidate():
+    array = SamplerArray(8, random.Random(3))
+    array.observe_all(["a", "b"])
+    before = sum(1 for s in array.samples() if s == "a")
+    count = array.invalidate_if(lambda nid: nid == "a")
+    assert count == before
+    assert all(s != "a" for s in array.samples())

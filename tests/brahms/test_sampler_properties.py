@@ -1,0 +1,72 @@
+"""Property tests for the Brahms min-wise sampler."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.brahms.sampler import MinWiseSampler
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    ids=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1),
+)
+def test_sample_is_order_independent(seed, ids):
+    """The min-hash winner depends only on the *set* observed."""
+    rng = random.Random(seed)
+    sampler_a = MinWiseSampler(rng)
+    sampler_b = MinWiseSampler(random.Random(seed))
+    # Same seed stream → same secret; feed permuted orders.
+    shuffled = list(ids)
+    random.Random(seed + 1).shuffle(shuffled)
+    for node_id in ids:
+        sampler_a.observe(node_id)
+    for node_id in shuffled:
+        sampler_b.observe(node_id)
+    assert sampler_a.sample() == sampler_b.sample()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    ids=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1),
+    flood=st.integers(min_value=1, max_value=50),
+)
+def test_duplicates_cannot_displace_the_sample(seed, ids, flood):
+    """The adversarial over-representation defence: observing one ID a
+    thousand times is no different from observing it once."""
+    base = MinWiseSampler(random.Random(seed))
+    flooded = MinWiseSampler(random.Random(seed))
+    for node_id in ids:
+        base.observe(node_id)
+        flooded.observe(node_id)
+    attacker_id = ids[0]
+    for _ in range(flood):
+        flooded.observe(attacker_id)
+    assert flooded.sample() == base.sample()
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=20)
+def test_sample_is_roughly_uniform_across_slots(seed):
+    """Across many independent slots, every stream element wins some
+    slot — no systematic bias toward any ID."""
+    ids = list(range(8))
+    winners = set()
+    rng = random.Random(seed)
+    for _ in range(400):
+        sampler = MinWiseSampler(rng)
+        for node_id in ids:
+            sampler.observe(node_id)
+        winners.add(sampler.sample())
+    assert len(winners) == len(ids)
+
+
+def test_invalidate_and_resample():
+    sampler = MinWiseSampler(random.Random(5))
+    for node_id in ("a", "b", "c"):
+        sampler.observe(node_id)
+    winner = sampler.sample()
+    assert sampler.invalidate_if(lambda nid: nid == winner)
+    assert sampler.sample() is None
+    sampler.observe("d")
+    assert sampler.sample() == "d"

@@ -1,0 +1,41 @@
+"""Unit tests for the blacklist."""
+
+from repro.core.blacklist import Blacklist
+from repro.core.proofs import build_cloning_proof
+
+
+def make_proof(minted, keypairs, creator=0, cheat=1):
+    base = minted(creator).transfer(keypairs[creator], keypairs[cheat].public)
+    a = base.transfer(keypairs[cheat], keypairs[2].public)
+    b = base.transfer(keypairs[cheat], keypairs[3].public)
+    return build_cloning_proof(a, b)
+
+
+def test_add_is_idempotent_per_culprit(minted, keypairs):
+    blacklist = Blacklist()
+    proof = make_proof(minted, keypairs)
+    assert blacklist.add(proof) is True
+    assert blacklist.add(proof) is False
+    assert len(blacklist) == 1
+    assert blacklist.is_blacklisted(keypairs[1].public)
+    assert keypairs[1].public in blacklist
+
+
+def test_proof_retrieval(minted, keypairs):
+    blacklist = Blacklist()
+    proof = make_proof(minted, keypairs)
+    blacklist.add(proof)
+    assert blacklist.proof_for(keypairs[1].public) is proof
+    assert blacklist.proof_for(keypairs[0].public) is None
+    assert blacklist.proofs() == [proof]
+    assert blacklist.proofs_tuple() == (proof,)
+
+
+def test_members_iteration(minted, keypairs):
+    blacklist = Blacklist()
+    blacklist.add(make_proof(minted, keypairs, creator=0, cheat=1))
+    blacklist.add(make_proof(minted, keypairs, creator=2, cheat=3))
+    assert set(blacklist.members()) == {
+        keypairs[1].public,
+        keypairs[3].public,
+    }

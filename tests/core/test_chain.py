@@ -1,0 +1,88 @@
+"""Unit tests for ownership-chain comparison."""
+
+import pytest
+
+from repro.core.chain import ChainRelation, compare_chains, longer_chain
+from repro.errors import DescriptorError
+
+
+def test_equal_chains(minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    assert compare_chains(d, d).relation is ChainRelation.EQUAL
+
+
+def test_prefix_and_extension(minted, keypairs):
+    short = minted(0).transfer(keypairs[0], keypairs[1].public)
+    long = short.transfer(keypairs[1], keypairs[2].public)
+    assert compare_chains(short, long).relation is ChainRelation.PREFIX
+    assert compare_chains(long, short).relation is ChainRelation.EXTENSION
+    assert longer_chain(short, long) is long
+    assert longer_chain(long, short) is long
+
+
+def test_fork_detects_culprit_at_first_owner(minted, keypairs):
+    base = minted(0)
+    branch_a = base.transfer(keypairs[0], keypairs[1].public)
+    branch_b = base.transfer(keypairs[0], keypairs[2].public)
+    comparison = compare_chains(branch_a, branch_b)
+    assert comparison.relation is ChainRelation.FORK
+    assert comparison.fork_index == 0
+    assert comparison.culprit == keypairs[0].public
+    assert comparison.is_violation
+
+
+def test_fork_detects_culprit_mid_chain(minted, keypairs):
+    base = minted(0).transfer(keypairs[0], keypairs[1].public)
+    branch_a = base.transfer(keypairs[1], keypairs[2].public)
+    branch_b = base.transfer(keypairs[1], keypairs[3].public)
+    comparison = compare_chains(branch_a, branch_b)
+    assert comparison.culprit == keypairs[1].public
+    assert comparison.fork_index == 1
+
+
+def test_fork_after_common_long_prefix(minted, keypairs):
+    base = (
+        minted(0)
+        .transfer(keypairs[0], keypairs[1].public)
+        .transfer(keypairs[1], keypairs[2].public)
+    )
+    branch_a = base.transfer(keypairs[2], keypairs[3].public)
+    branch_b = base.redeem(keypairs[2])
+    comparison = compare_chains(branch_a, branch_b)
+    assert comparison.relation is ChainRelation.FORK
+    assert comparison.culprit == keypairs[2].public
+    assert comparison.is_violation  # transfer vs redeem double-spend
+
+
+def test_nonswap_redemption_fork_is_sanctioned(minted, keypairs):
+    base = minted(0).transfer(keypairs[0], keypairs[1].public)
+    live = base.transfer(keypairs[1], keypairs[2].public)
+    nonswap = base.redeem(keypairs[1], non_swappable=True)
+    comparison = compare_chains(live, nonswap)
+    assert comparison.relation is ChainRelation.FORK
+    assert comparison.sanctioned
+    assert not comparison.is_violation
+
+
+def test_regular_redemption_fork_is_a_violation(minted, keypairs):
+    base = minted(0).transfer(keypairs[0], keypairs[1].public)
+    live = base.transfer(keypairs[1], keypairs[2].public)
+    redeemed = base.redeem(keypairs[1])
+    assert compare_chains(live, redeemed).is_violation
+
+
+def test_different_identities_rejected(minted):
+    a = minted(0, timestamp=0.0)
+    b = minted(0, timestamp=10.0)
+    with pytest.raises(DescriptorError):
+        compare_chains(a, b)
+
+
+def test_symmetry_of_fork_culprit(minted, keypairs):
+    base = minted(0).transfer(keypairs[0], keypairs[1].public)
+    branch_a = base.transfer(keypairs[1], keypairs[2].public)
+    branch_b = base.transfer(keypairs[1], keypairs[3].public)
+    assert (
+        compare_chains(branch_a, branch_b).culprit
+        == compare_chains(branch_b, branch_a).culprit
+    )

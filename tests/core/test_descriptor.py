@@ -1,0 +1,185 @@
+"""Unit tests for SecureCyclon descriptors and chain verification."""
+
+import pytest
+
+from repro.core.descriptor import (
+    SecureDescriptor,
+    TransferKind,
+    mint,
+    require_valid,
+    verify_descriptor,
+)
+from repro.errors import DescriptorError
+
+
+def test_mint_has_no_hops(minted, keypairs):
+    d = minted(0)
+    assert d.creator == keypairs[0].public
+    assert d.hops == ()
+    assert d.current_owner == keypairs[0].public
+    assert d.transfer_count == 0
+    assert not d.is_spent
+
+
+def test_transfer_appends_hop(minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    assert d.current_owner == keypairs[1].public
+    assert d.owners() == (keypairs[0].public, keypairs[1].public)
+    assert d.transfer_count == 1
+    assert d.hops[0].kind is TransferKind.TRANSFER
+
+
+def test_only_current_owner_may_transfer(minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    with pytest.raises(DescriptorError):
+        d.transfer(keypairs[0], keypairs[2].public)  # 0 no longer owns it
+    d2 = d.transfer(keypairs[1], keypairs[2].public)
+    assert d2.current_owner == keypairs[2].public
+
+
+def test_redeem_targets_creator(minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    redeemed = d.redeem(keypairs[1])
+    assert redeemed.is_spent
+    assert redeemed.hops[-1].kind is TransferKind.REDEEM
+    assert redeemed.current_owner == keypairs[0].public
+
+
+def test_redeem_hop_cannot_target_third_party(minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    with pytest.raises(DescriptorError):
+        d.transfer(keypairs[1], keypairs[2].public, kind=TransferKind.REDEEM)
+
+
+def test_spent_descriptor_cannot_move(minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public).redeem(keypairs[1])
+    with pytest.raises(DescriptorError):
+        d.transfer(keypairs[0], keypairs[2].public)
+
+
+def test_nonswap_redeem_kind(minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    redeemed = d.redeem(keypairs[1], non_swappable=True)
+    assert redeemed.hops[-1].kind is TransferKind.NONSWAP_REDEEM
+
+
+def test_identity_is_creator_and_timestamp(minted):
+    a = minted(0, timestamp=10.0)
+    b = minted(0, timestamp=10.0)
+    c = minted(0, timestamp=20.0)
+    assert a.identity == b.identity
+    assert a.identity != c.identity
+
+
+def test_identity_survives_transfers(minted, keypairs):
+    d = minted(0, timestamp=5.0)
+    moved = d.transfer(keypairs[0], keypairs[1].public)
+    assert moved.identity == d.identity
+
+
+def test_age_cycles(minted):
+    d = minted(0, timestamp=100.0)
+    assert d.age_cycles(now=150.0, period_seconds=10.0) == 5
+    assert d.age_cycles(now=90.0, period_seconds=10.0) == 0  # clamped
+
+
+def test_verify_honest_chain(registry, minted, keypairs):
+    d = (
+        minted(0)
+        .transfer(keypairs[0], keypairs[1].public)
+        .transfer(keypairs[1], keypairs[2].public)
+        .redeem(keypairs[2])
+    )
+    assert verify_descriptor(d, registry)
+    require_valid(d, registry)
+
+
+def test_verify_rejects_grafted_chain(registry, minted, keypairs):
+    """Splicing a hop from one descriptor onto another must fail."""
+    d1 = minted(0, timestamp=0.0).transfer(keypairs[0], keypairs[1].public)
+    d2 = minted(0, timestamp=10.0)
+    grafted = SecureDescriptor(
+        creator=d2.creator,
+        address=d2.address,
+        timestamp=d2.timestamp,
+        hops=d1.hops,  # signature covers d1's digest, not d2's
+    )
+    assert not verify_descriptor(grafted, registry)
+    with pytest.raises(DescriptorError):
+        require_valid(grafted, registry)
+
+
+def test_verify_rejects_reordered_hops(registry, minted, keypairs):
+    d = (
+        minted(0)
+        .transfer(keypairs[0], keypairs[1].public)
+        .transfer(keypairs[1], keypairs[2].public)
+    )
+    reordered = SecureDescriptor(
+        creator=d.creator,
+        address=d.address,
+        timestamp=d.timestamp,
+        hops=(d.hops[1], d.hops[0]),
+    )
+    assert not verify_descriptor(reordered, registry)
+
+
+def test_verify_rejects_truncation_then_extension(registry, minted, keypairs):
+    """An owner cannot drop its predecessor's hop and re-sign."""
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    # keypair 2 (never an owner) tries to append a hop.
+    forged_hops = d.hops + (
+        d.transfer(keypairs[1], keypairs[2].public).hops[-1],
+    )
+    fake = SecureDescriptor(
+        creator=d.creator,
+        address=d.address,
+        timestamp=d.timestamp,
+        hops=(forged_hops[1],),  # skip the genuine first hop
+    )
+    assert not verify_descriptor(fake, registry)
+
+
+def test_verify_rejects_terminal_hop_mid_chain(registry, minted, keypairs):
+    redeemed = (
+        minted(0).transfer(keypairs[0], keypairs[1].public).redeem(keypairs[1])
+    )
+    extended_hops = redeemed.hops + (
+        minted(1).transfer(keypairs[1], keypairs[2].public).hops[-1],
+    )
+    fake = SecureDescriptor(
+        creator=redeemed.creator,
+        address=redeemed.address,
+        timestamp=redeemed.timestamp,
+        hops=extended_hops,
+    )
+    assert not verify_descriptor(fake, registry)
+
+
+def test_verification_is_memoised_per_registry(registry, minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    assert verify_descriptor(d, registry)
+    # Second verification takes the memo path and must agree.
+    assert verify_descriptor(d, registry)
+
+    from repro.crypto.registry import KeyRegistry
+
+    other = KeyRegistry()
+    # A registry that does not know the keys cannot verify, even though
+    # the first registry memoised success.
+    assert not verify_descriptor(d, other)
+
+
+def test_transfer_propagates_verified_memo(registry, minted, keypairs):
+    parent = minted(0).transfer(keypairs[0], keypairs[1].public)
+    assert verify_descriptor(parent, registry)
+    child = parent.transfer(keypairs[1], keypairs[2].public)
+    # The child must still verify (via the propagated memo or not).
+    assert verify_descriptor(child, registry)
+
+
+def test_chain_digest_is_stable_and_extended(minted, keypairs):
+    d = minted(0)
+    d1 = d.transfer(keypairs[0], keypairs[1].public)
+    assert d.chain_digest() != d1.chain_digest()
+    assert d1.chain_digest() == d1.chain_digest()

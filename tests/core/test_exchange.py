@@ -1,0 +1,56 @@
+"""Unit tests for the exchange message types."""
+
+from repro.core.exchange import (
+    BulkSwapMessage,
+    BulkSwapReply,
+    GossipAccept,
+    GossipOpen,
+    GossipReject,
+    ProofFlood,
+    TransferMessage,
+    TransferReply,
+)
+
+
+def test_messages_are_immutable_value_objects(minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    redemption = d.redeem(keypairs[1])
+    opening = GossipOpen(redemption=redemption, samples=(d,), proofs=())
+    assert opening == GossipOpen(redemption=redemption, samples=(d,), proofs=())
+    assert opening.non_swappable is False
+
+    import dataclasses
+
+    with __import__("pytest").raises(dataclasses.FrozenInstanceError):
+        opening.non_swappable = True
+
+
+def test_defaults():
+    accept = GossipAccept()
+    assert accept.samples == () and accept.proofs == ()
+    reject = GossipReject(reason="nope")
+    assert reject.proofs == ()
+    reply = TransferReply()
+    assert reply.descriptor is None
+    bulk = BulkSwapMessage()
+    assert bulk.descriptors == ()
+    assert BulkSwapReply().descriptors == ()
+
+
+def test_transfer_message_carries_round(minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    message = TransferMessage(descriptor=d, round_index=2)
+    assert message.round_index == 2
+    assert message.descriptor is d
+
+
+def test_proof_flood_wraps_proof(minted, keypairs):
+    from repro.core.proofs import build_cloning_proof
+
+    base = minted(0).transfer(keypairs[0], keypairs[1].public)
+    proof = build_cloning_proof(
+        base.transfer(keypairs[1], keypairs[2].public),
+        base.transfer(keypairs[1], keypairs[3].public),
+    )
+    flood = ProofFlood(proof=proof)
+    assert flood.proof.culprit == keypairs[1].public

@@ -1,0 +1,93 @@
+"""Unit tests for violation proofs."""
+
+from repro.core.proofs import (
+    CloningProof,
+    FrequencyProof,
+    build_cloning_proof,
+    build_frequency_proof,
+)
+
+PERIOD = 10.0
+
+
+def test_cloning_proof_builds_and_validates(registry, minted, keypairs):
+    base = minted(0).transfer(keypairs[0], keypairs[1].public)
+    branch_a = base.transfer(keypairs[1], keypairs[2].public)
+    branch_b = base.transfer(keypairs[1], keypairs[3].public)
+    proof = build_cloning_proof(branch_a, branch_b)
+    assert proof is not None
+    assert proof.culprit == keypairs[1].public
+    assert proof.validate(registry, PERIOD)
+
+
+def test_no_cloning_proof_for_compatible_chains(minted, keypairs):
+    short = minted(0).transfer(keypairs[0], keypairs[1].public)
+    long = short.transfer(keypairs[1], keypairs[2].public)
+    assert build_cloning_proof(short, long) is None
+
+
+def test_no_cloning_proof_across_identities(minted, keypairs):
+    a = minted(0, timestamp=0.0).transfer(keypairs[0], keypairs[1].public)
+    b = minted(1, timestamp=0.0).transfer(keypairs[1], keypairs[2].public)
+    assert build_cloning_proof(a, b) is None
+
+
+def test_cloning_proof_with_wrong_culprit_fails_validation(
+    registry, minted, keypairs
+):
+    base = minted(0).transfer(keypairs[0], keypairs[1].public)
+    branch_a = base.transfer(keypairs[1], keypairs[2].public)
+    branch_b = base.transfer(keypairs[1], keypairs[3].public)
+    lying = CloningProof(
+        first=branch_a, second=branch_b, culprit=keypairs[0].public
+    )
+    assert not lying.validate(registry, PERIOD)
+
+
+def test_frequency_proof_builds_and_validates(registry, minted, keypairs):
+    a = minted(0, timestamp=100.0).transfer(keypairs[0], keypairs[1].public)
+    b = minted(0, timestamp=104.0).transfer(keypairs[0], keypairs[2].public)
+    proof = build_frequency_proof(a, b, PERIOD)
+    assert proof is not None
+    assert proof.culprit == keypairs[0].public
+    assert proof.validate(registry, PERIOD)
+
+
+def test_no_frequency_proof_for_legal_spacing(minted, keypairs):
+    a = minted(0, timestamp=100.0).transfer(keypairs[0], keypairs[1].public)
+    b = minted(0, timestamp=110.0).transfer(keypairs[0], keypairs[2].public)
+    assert build_frequency_proof(a, b, PERIOD) is None
+
+
+def test_no_frequency_proof_for_same_timestamp(minted, keypairs):
+    a = minted(0, timestamp=100.0).transfer(keypairs[0], keypairs[1].public)
+    b = minted(0, timestamp=100.0).transfer(keypairs[0], keypairs[2].public)
+    # Same identity: that is a cloning matter, not frequency.
+    assert build_frequency_proof(a, b, PERIOD) is None
+
+
+def test_no_frequency_proof_for_different_creators(minted, keypairs):
+    a = minted(0, timestamp=100.0).transfer(keypairs[0], keypairs[1].public)
+    b = minted(1, timestamp=104.0).transfer(keypairs[1], keypairs[2].public)
+    assert build_frequency_proof(a, b, PERIOD) is None
+
+
+def test_unsigned_descriptors_cannot_prove_frequency(minted, keypairs):
+    # Bare mints carry no creator signature; they prove nothing.
+    a = minted(0, timestamp=100.0)
+    b = minted(0, timestamp=104.0)
+    assert build_frequency_proof(a, b, PERIOD) is None
+    fake = FrequencyProof(first=a, second=b, culprit=keypairs[0].public)
+    assert not fake.validate(object(), PERIOD)
+
+
+def test_frequency_proof_boundary_is_strict(registry, minted, keypairs):
+    a = minted(0, timestamp=100.0).transfer(keypairs[0], keypairs[1].public)
+    b = minted(0, timestamp=100.0 + PERIOD).transfer(
+        keypairs[0], keypairs[2].public
+    )
+    assert build_frequency_proof(a, b, PERIOD) is None
+    c = minted(0, timestamp=100.0 + PERIOD - 1e-6).transfer(
+        keypairs[0], keypairs[2].public
+    )
+    assert build_frequency_proof(a, c, PERIOD) is not None

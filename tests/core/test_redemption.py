@@ -1,0 +1,52 @@
+"""Unit tests for the redemption cache (§V-C)."""
+
+import pytest
+
+from repro.core.redemption import RedemptionCache
+
+
+def test_add_and_contents(minted, keypairs):
+    cache = RedemptionCache(retention_cycles=5)
+    d = minted(0).transfer(keypairs[0], keypairs[1].public).redeem(keypairs[1])
+    cache.add(d, cycle=3)
+    assert cache.contents() == [d]
+    assert cache.find(d.identity) is d
+    assert len(cache) == 1
+
+
+def test_retention_window(minted, keypairs):
+    cache = RedemptionCache(retention_cycles=5)
+    d = minted(0).transfer(keypairs[0], keypairs[1].public).redeem(keypairs[1])
+    cache.add(d, cycle=0)
+    assert cache.expire(cycle=4) == 0
+    assert len(cache) == 1
+    assert cache.expire(cycle=5) == 1
+    assert len(cache) == 0
+    assert cache.find(d.identity) is None
+
+
+def test_zero_retention_disables(minted, keypairs):
+    cache = RedemptionCache(retention_cycles=0)
+    d = minted(0).transfer(keypairs[0], keypairs[1].public).redeem(keypairs[1])
+    cache.add(d, cycle=0)
+    assert len(cache) == 0
+    assert cache.contents() == []
+
+
+def test_contents_order_is_oldest_first(minted, keypairs):
+    cache = RedemptionCache(retention_cycles=10)
+    descriptors = []
+    for i in range(3):
+        d = (
+            minted(0, timestamp=float(i) * 10)
+            .transfer(keypairs[0], keypairs[1].public)
+            .redeem(keypairs[1])
+        )
+        cache.add(d, cycle=i)
+        descriptors.append(d)
+    assert cache.contents() == descriptors
+
+
+def test_negative_retention_rejected():
+    with pytest.raises(ValueError):
+        RedemptionCache(retention_cycles=-1)

@@ -1,0 +1,127 @@
+"""Unit tests for the sample cache (the §IV-B checks)."""
+
+import pytest
+
+from repro.core.proofs import CloningProof, FrequencyProof
+from repro.core.samples import SampleCache
+
+PERIOD = 10.0
+
+
+@pytest.fixture
+def cache():
+    return SampleCache(horizon_cycles=10, period_seconds=PERIOD)
+
+
+def test_first_observation_yields_no_proofs(cache, minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    assert cache.observe(d, cycle=0) == []
+    assert cache.get(d.identity) is d
+
+
+def test_reobserving_same_object_is_silent(cache, minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    cache.observe(d, cycle=0)
+    assert cache.observe(d, cycle=3) == []
+
+
+def test_longer_compatible_chain_is_retained(cache, minted, keypairs):
+    short = minted(0).transfer(keypairs[0], keypairs[1].public)
+    long = short.transfer(keypairs[1], keypairs[2].public)
+    cache.observe(short, cycle=0)
+    assert cache.observe(long, cycle=1) == []
+    assert cache.get(short.identity) is long
+    # A stale copy arriving later neither conflicts nor downgrades.
+    assert cache.observe(short, cycle=2) == []
+    assert cache.get(short.identity) is long
+
+
+def test_fork_yields_cloning_proof(cache, minted, keypairs):
+    base = minted(0).transfer(keypairs[0], keypairs[1].public)
+    branch_a = base.transfer(keypairs[1], keypairs[2].public)
+    branch_b = base.transfer(keypairs[1], keypairs[3].public)
+    cache.observe(branch_a, cycle=0)
+    proofs = cache.observe(branch_b, cycle=1)
+    assert len(proofs) == 1
+    assert isinstance(proofs[0], CloningProof)
+    assert proofs[0].culprit == keypairs[1].public
+
+
+def test_sanctioned_nonswap_fork_yields_no_proof(cache, minted, keypairs):
+    base = minted(0).transfer(keypairs[0], keypairs[1].public)
+    live = base.transfer(keypairs[1], keypairs[2].public)
+    nonswap = base.redeem(keypairs[1], non_swappable=True)
+    cache.observe(live, cycle=0)
+    assert cache.observe(nonswap, cycle=1) == []
+
+
+def test_frequency_violation_detected(cache, minted, keypairs):
+    a = minted(0, timestamp=100.0).transfer(keypairs[0], keypairs[1].public)
+    b = minted(0, timestamp=103.0).transfer(keypairs[0], keypairs[2].public)
+    cache.observe(a, cycle=0)
+    proofs = cache.observe(b, cycle=0)
+    assert len(proofs) == 1
+    assert isinstance(proofs[0], FrequencyProof)
+    assert proofs[0].culprit == keypairs[0].public
+
+
+def test_legal_minting_cadence_passes(cache, minted, keypairs):
+    for cycle in range(5):
+        d = minted(0, timestamp=cycle * PERIOD).transfer(
+            keypairs[0], keypairs[1].public
+        )
+        assert cache.observe(d, cycle=cycle) == []
+
+
+def test_frequency_check_between_non_adjacent_arrival_order(
+    cache, minted, keypairs
+):
+    # Arrive out of chronological order: 100 and 120 are legal; 111
+    # conflicts with 120 (Δ=9); 118 conflicts with both 111 and 120.
+    stamps_and_proofs = [(100.0, 0), (120.0, 0), (111.0, 1), (118.0, 2)]
+    for index, (stamp, expected) in enumerate(stamps_and_proofs):
+        d = minted(0, timestamp=stamp).transfer(
+            keypairs[0], keypairs[1].public
+        )
+        proofs = cache.observe(d, cycle=index)
+        assert len(proofs) == expected, stamp
+
+
+def test_expiry_drops_old_entries(cache, minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    cache.observe(d, cycle=0)
+    assert len(cache) == 1
+    cache.expire(cycle=10)
+    assert len(cache) == 0
+    assert cache.get(d.identity) is None
+
+
+def test_expired_conflicts_are_no_longer_detected(cache, minted, keypairs):
+    base = minted(0).transfer(keypairs[0], keypairs[1].public)
+    branch_a = base.transfer(keypairs[1], keypairs[2].public)
+    branch_b = base.transfer(keypairs[1], keypairs[3].public)
+    cache.observe(branch_a, cycle=0)
+    cache.expire(cycle=50)
+    # The window closed: this is exactly why old clones need the
+    # redemption cache (Fig 7).
+    assert cache.observe(branch_b, cycle=50) == []
+
+
+def test_forget_creator_purges(cache, minted, keypairs):
+    for stamp in (0.0, PERIOD, 2 * PERIOD):
+        cache.observe(
+            minted(0, timestamp=stamp).transfer(keypairs[0], keypairs[1].public),
+            cycle=0,
+        )
+    cache.observe(
+        minted(1).transfer(keypairs[1], keypairs[2].public), cycle=0
+    )
+    assert cache.forget_creator(keypairs[0].public) == 3
+    assert len(cache) == 1
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        SampleCache(horizon_cycles=0, period_seconds=PERIOD)
+    with pytest.raises(ValueError):
+        SampleCache(horizon_cycles=5, period_seconds=0)

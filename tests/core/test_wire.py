@@ -1,0 +1,134 @@
+"""Unit tests for wire sizes and serialisation."""
+
+import pytest
+
+from repro.core.exchange import (
+    BulkSwapMessage,
+    GossipAccept,
+    GossipOpen,
+    GossipReject,
+    ProofFlood,
+    TransferMessage,
+    TransferReply,
+)
+from repro.core.proofs import build_cloning_proof
+from repro.core.wire import (
+    HOP_BITS,
+    NODE_INFO_BITS,
+    decode_descriptor,
+    decode_proof,
+    descriptor_bits,
+    encode_descriptor,
+    encode_proof,
+    encoded_descriptor_size,
+    payload_bits,
+    payload_bytes,
+    proof_bits,
+)
+from repro.errors import DescriptorError
+
+
+def test_paper_budget_constants():
+    assert NODE_INFO_BITS == 368
+    assert HOP_BITS == 512
+
+
+def test_descriptor_bits_grow_per_hop(minted, keypairs):
+    d = minted(0)
+    assert descriptor_bits(d) == 368
+    d = d.transfer(keypairs[0], keypairs[1].public)
+    assert descriptor_bits(d) == 368 + 512
+    d = d.transfer(keypairs[1], keypairs[2].public)
+    assert descriptor_bits(d) == 368 + 2 * 512
+
+
+def test_paper_example_descriptor_size(minted, keypairs):
+    """§VI-A: six transfers -> 3440 bits = 430 bytes."""
+    d = minted(0)
+    owners = [1, 2, 3, 1, 2, 3]
+    keypair = keypairs[0]
+    for owner in owners:
+        d = d.transfer(keypair, keypairs[owner].public)
+        keypair = keypairs[owner]
+    assert descriptor_bits(d) == 3440
+    assert descriptor_bits(d) // 8 == 430
+
+
+def test_payload_bits_cover_all_messages(minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    base = minted(1).transfer(keypairs[1], keypairs[2].public)
+    proof = build_cloning_proof(
+        base.transfer(keypairs[2], keypairs[3].public),
+        base.transfer(keypairs[2], keypairs[4].public),
+    )
+    redemption = d.redeem(keypairs[1])
+    messages = [
+        GossipOpen(redemption=redemption, samples=(d,), proofs=(proof,)),
+        GossipAccept(samples=(d,), proofs=(proof,)),
+        GossipReject(reason="x", proofs=(proof,)),
+        TransferMessage(descriptor=d, round_index=0),
+        TransferReply(descriptor=d),
+        TransferReply(descriptor=None),
+        BulkSwapMessage(descriptors=(d, d)),
+        ProofFlood(proof=proof),
+    ]
+    for message in messages:
+        bits = payload_bits(message)
+        assert bits > 0
+        assert payload_bytes(message) == (bits + 7) // 8
+    assert proof_bits(proof) == descriptor_bits(proof.first) + descriptor_bits(
+        proof.second
+    )
+
+
+def test_descriptor_roundtrip(minted, keypairs, registry):
+    d = (
+        minted(0, timestamp=123.5)
+        .transfer(keypairs[0], keypairs[1].public)
+        .transfer(keypairs[1], keypairs[2].public)
+        .redeem(keypairs[2])
+    )
+    decoded = decode_descriptor(encode_descriptor(d))
+    assert decoded == d
+    from repro.core.descriptor import verify_descriptor
+
+    assert verify_descriptor(decoded, registry)
+
+
+def test_encoded_size_close_to_budget(minted, keypairs):
+    d = minted(0).transfer(keypairs[0], keypairs[1].public)
+    measured = encoded_descriptor_size(d)
+    budget = descriptor_bits(d) // 8
+    # The measured encoding carries a kind byte per hop and framing.
+    assert budget <= measured <= budget + 16
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(DescriptorError):
+        decode_descriptor(b"\x00" * 10)
+    with pytest.raises(DescriptorError):
+        decode_descriptor(b"")
+
+
+def test_decode_rejects_trailing_bytes(minted, keypairs):
+    data = encode_descriptor(minted(0))
+    with pytest.raises(DescriptorError):
+        decode_descriptor(data + b"\x00")
+
+
+def test_proof_roundtrip(minted, keypairs, registry):
+    base = minted(0).transfer(keypairs[0], keypairs[1].public)
+    proof = build_cloning_proof(
+        base.transfer(keypairs[1], keypairs[2].public),
+        base.transfer(keypairs[1], keypairs[3].public),
+    )
+    decoded = decode_proof(encode_proof(proof))
+    assert decoded.culprit == proof.culprit
+    assert decoded.first == proof.first
+    assert decoded.second == proof.second
+    assert decoded.validate(registry, 10.0)
+
+
+def test_decode_proof_rejects_garbage():
+    with pytest.raises(DescriptorError):
+        decode_proof(b"\x01" * 20)

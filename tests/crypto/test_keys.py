@@ -1,0 +1,72 @@
+"""Unit tests for key pairs and public keys."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import (
+    KeyPair,
+    PublicKey,
+    derive_public,
+    generate_keypair,
+)
+
+
+def test_generate_keypair_is_deterministic_per_seed():
+    a = generate_keypair(random.Random(7))
+    b = generate_keypair(random.Random(7))
+    assert a.public == b.public
+    assert a.seed == b.seed
+
+
+def test_different_rng_states_give_different_keys():
+    rng = random.Random(7)
+    a = generate_keypair(rng)
+    b = generate_keypair(rng)
+    assert a.public != b.public
+
+
+def test_public_key_requires_32_bytes():
+    with pytest.raises(ValueError):
+        PublicKey(b"short")
+
+
+def test_public_key_is_hashable_and_ordered():
+    rng = random.Random(1)
+    keys = sorted(generate_keypair(rng).public for _ in range(10))
+    assert len(set(keys)) == 10
+    assert keys == sorted(keys)
+
+
+def test_public_key_hash_consistent_with_equality():
+    rng = random.Random(2)
+    key = generate_keypair(rng).public
+    clone = PublicKey(bytes(key.digest))
+    assert key == clone
+    assert hash(key) == hash(clone)
+
+
+def test_hex_prefix_length():
+    rng = random.Random(3)
+    key = generate_keypair(rng).public
+    assert len(key.hex(8)) == 8
+    assert key.digest.hex().startswith(key.hex(8))
+
+
+def test_keypair_rejects_mismatched_public():
+    rng = random.Random(4)
+    a = generate_keypair(rng)
+    b = generate_keypair(rng)
+    with pytest.raises(ValueError):
+        KeyPair(seed=a.seed, public=b.public)
+
+
+def test_derive_public_matches_keypair():
+    rng = random.Random(5)
+    pair = generate_keypair(rng)
+    assert derive_public(pair.seed) == pair.public
+
+
+def test_public_key_wire_size_is_256_bits():
+    rng = random.Random(6)
+    assert generate_keypair(rng).public.bits == 256

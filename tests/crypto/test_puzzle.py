@@ -1,0 +1,61 @@
+"""Unit tests for the identifier-acquisition puzzle."""
+
+import pytest
+
+from repro.crypto.puzzle import (
+    IdentifierPuzzle,
+    solve_puzzle,
+    verify_puzzle,
+)
+from repro.errors import CryptoError
+
+
+def test_solve_and_verify(keypairs):
+    puzzle = solve_puzzle(keypairs[0].public, difficulty_bits=8)
+    assert verify_puzzle(puzzle)
+    assert puzzle.public == keypairs[0].public
+
+
+def test_zero_difficulty_is_trivial(keypairs):
+    puzzle = solve_puzzle(keypairs[0].public, difficulty_bits=0)
+    assert puzzle.nonce == 0
+    assert verify_puzzle(puzzle)
+
+
+def test_wrong_nonce_fails(keypairs):
+    puzzle = solve_puzzle(keypairs[0].public, difficulty_bits=10)
+    forged = IdentifierPuzzle(
+        public=puzzle.public,
+        difficulty_bits=puzzle.difficulty_bits,
+        nonce=puzzle.nonce + 1,
+    )
+    # The forged nonce only verifies if it happens to also solve the
+    # puzzle — overwhelmingly unlikely at 10 bits, but check honestly.
+    if verify_puzzle(forged):
+        pytest.skip("nonce+1 accidentally solves the puzzle")
+    assert not verify_puzzle(forged)
+
+
+def test_puzzle_is_bound_to_the_key(keypairs):
+    puzzle = solve_puzzle(keypairs[0].public, difficulty_bits=10)
+    stolen = IdentifierPuzzle(
+        public=keypairs[1].public,
+        difficulty_bits=puzzle.difficulty_bits,
+        nonce=puzzle.nonce,
+    )
+    if verify_puzzle(stolen):
+        pytest.skip("nonce accidentally solves the other key's puzzle")
+    assert not verify_puzzle(stolen)
+
+
+def test_difficulty_bounds(keypairs):
+    with pytest.raises(CryptoError):
+        solve_puzzle(keypairs[0].public, difficulty_bits=65)
+    with pytest.raises(CryptoError):
+        solve_puzzle(keypairs[0].public, difficulty_bits=-1)
+
+
+def test_higher_difficulty_means_more_work(keypairs):
+    easy = solve_puzzle(keypairs[0].public, difficulty_bits=2)
+    hard = solve_puzzle(keypairs[0].public, difficulty_bits=12)
+    assert verify_puzzle(easy) and verify_puzzle(hard)

@@ -1,0 +1,42 @@
+"""Unit tests for the key registry."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import KeyPair, generate_keypair
+from repro.crypto.registry import KeyRegistry
+from repro.errors import UnknownKeyError
+
+
+def test_new_keypair_registers(registry, rng):
+    pair = registry.new_keypair(rng)
+    assert pair.public in registry
+    assert registry.seed_for(pair.public) == pair.seed
+
+
+def test_unknown_key_returns_none(registry, rng):
+    pair = generate_keypair(rng)
+    assert registry.seed_for(pair.public) is None
+
+
+def test_reregistration_is_idempotent(registry, rng):
+    pair = registry.new_keypair(rng)
+    registry.register(pair)
+    assert len(registry) == 1
+
+
+def test_colliding_registration_rejected(registry, rng):
+    pair = registry.new_keypair(rng)
+    # Craft a would-be collision: same public key, different seed.
+    evil = object.__new__(KeyPair)
+    object.__setattr__(evil, "seed", b"\x01" * 32)
+    object.__setattr__(evil, "public", pair.public)
+    with pytest.raises(UnknownKeyError):
+        registry.register(evil)
+
+
+def test_iteration_and_len(registry, rng):
+    pairs = [registry.new_keypair(rng) for _ in range(4)]
+    assert len(registry) == 4
+    assert {p.public for p in pairs} == set(registry)

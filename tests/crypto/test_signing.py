@@ -1,0 +1,56 @@
+"""Unit tests for the idealised signing scheme."""
+
+import pytest
+
+from repro.crypto.signing import Signature, sign, verify, verify_or_raise
+from repro.errors import SignatureError
+
+
+def test_sign_and_verify_roundtrip(registry, keypairs):
+    signature = sign(keypairs[0], b"hello")
+    assert verify(registry, signature, b"hello")
+
+
+def test_verify_fails_on_tampered_message(registry, keypairs):
+    signature = sign(keypairs[0], b"hello")
+    assert not verify(registry, signature, b"hellO")
+
+
+def test_verify_fails_on_wrong_claimed_signer(registry, keypairs):
+    signature = sign(keypairs[0], b"hello")
+    forged = Signature(signer=keypairs[1].public, mac=signature.mac)
+    assert not verify(registry, forged, b"hello")
+
+
+def test_verify_fails_for_unknown_signer(keypairs):
+    from repro.crypto.registry import KeyRegistry
+
+    empty_registry = KeyRegistry()
+    signature = sign(keypairs[0], b"hello")
+    assert not verify(empty_registry, signature, b"hello")
+
+
+def test_cannot_forge_without_the_seed(registry, keypairs):
+    # An adversary holding only public keys cannot produce a valid MAC.
+    fake = Signature(signer=keypairs[0].public, mac=b"\x00" * 32)
+    assert not verify(registry, fake, b"hello")
+
+
+def test_signing_requires_bytes(keypairs):
+    with pytest.raises(TypeError):
+        sign(keypairs[0], "not-bytes")
+
+
+def test_verify_or_raise(registry, keypairs):
+    signature = sign(keypairs[0], b"payload")
+    verify_or_raise(registry, signature, b"payload")
+    with pytest.raises(SignatureError):
+        verify_or_raise(registry, signature, b"other")
+
+
+def test_signature_is_deterministic(keypairs):
+    assert sign(keypairs[0], b"x") == sign(keypairs[0], b"x")
+
+
+def test_signature_wire_size_is_256_bits(keypairs):
+    assert sign(keypairs[0], b"x").bits == 256

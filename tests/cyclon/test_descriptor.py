@@ -1,0 +1,29 @@
+"""Unit tests for legacy Cyclon descriptors."""
+
+import pytest
+
+from repro.cyclon.descriptor import CyclonDescriptor
+from repro.sim.network import NetworkAddress
+
+
+def test_aged_produces_new_instance():
+    d = CyclonDescriptor(
+        node_id="a", address=NetworkAddress(host=1, port=1), age=3
+    )
+    older = d.aged(2)
+    assert older.age == 5
+    assert d.age == 3  # immutability
+
+
+def test_fresh_copy_resets_age():
+    d = CyclonDescriptor(
+        node_id="a", address=NetworkAddress(host=1, port=1), age=7
+    )
+    assert d.fresh_copy().age == 0
+
+
+def test_negative_age_rejected():
+    with pytest.raises(ValueError):
+        CyclonDescriptor(
+            node_id="a", address=NetworkAddress(host=1, port=1), age=-1
+        )

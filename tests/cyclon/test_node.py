@@ -1,0 +1,137 @@
+"""Unit and small-integration tests for the Cyclon protocol node."""
+
+import random
+
+import pytest
+
+from repro.cyclon.config import CyclonConfig
+from repro.cyclon.node import CyclonNode, CyclonReply, CyclonRequest
+from repro.errors import ConfigError
+from repro.sim.channel import DropPolicy
+from repro.sim.engine import Engine, SimConfig
+from repro.bootstrap import bootstrap_cyclon
+
+
+def build_pair(config=None):
+    """Two directly wired Cyclon nodes inside a tiny engine."""
+    engine = Engine(SimConfig(seed=3))
+    config = config or CyclonConfig(view_length=5, swap_length=3)
+    nodes = []
+    for name in ("a", "b", "c", "d", "e", "f"):
+        address = engine.network.reserve_address(name)
+        node = CyclonNode(
+            name, address, config, engine.rng_hub.stream(f"n-{name}")
+        )
+        engine.add_node(node)
+        nodes.append(node)
+    return engine, nodes
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        CyclonConfig(view_length=0)
+    with pytest.raises(ConfigError):
+        CyclonConfig(view_length=5, swap_length=6)
+    with pytest.raises(ConfigError):
+        CyclonConfig(swap_length=0)
+
+
+def test_gossip_reverses_the_redeemed_link():
+    engine, nodes = build_pair()
+    a, b = nodes[0], nodes[1]
+    a.view.insert(b.self_descriptor().aged(4))
+    a.begin_cycle(0)
+    b.begin_cycle(0)
+    a.run_cycle(engine.network)
+    # a redeemed its link to b; b now holds a fresh link to a.
+    assert not a.view.contains_id("b")
+    assert b.view.contains_id("a")
+    assert b.view.entry_for("a").age == 0
+
+
+def test_swap_conserves_views_between_honest_nodes():
+    engine, nodes = build_pair()
+    bootstrap_cyclon(engine.nodes, 5, random.Random(0))
+    total_before = sum(len(node.view) for node in nodes)
+    engine.run(5)
+    total_after = sum(len(node.view) for node in nodes)
+    # Honest gossip conserves link counts up to rare duplicate drops.
+    assert total_after >= total_before - 3
+
+
+def test_unreachable_partner_drops_descriptor():
+    engine, nodes = build_pair()
+    a = nodes[0]
+    a.view.insert(nodes[1].self_descriptor().aged(9))
+    engine.remove_node("b")
+    a.begin_cycle(0)
+    a.run_cycle(engine.network)
+    assert not a.view.contains_id("b")
+    assert len(a.view) == 0
+
+
+def test_dropped_exchange_retains_sent_descriptors():
+    engine = Engine(
+        SimConfig(seed=3, drop_policy=DropPolicy(request_loss=1.0))
+    )
+    config = CyclonConfig(view_length=5, swap_length=3)
+    a = CyclonNode(
+        "a", engine.network.reserve_address("a"), config,
+        engine.rng_hub.stream("a"),
+    )
+    b = CyclonNode(
+        "b", engine.network.reserve_address("b"), config,
+        engine.rng_hub.stream("b"),
+    )
+    engine.add_node(a)
+    engine.add_node(b)
+    a.view.insert(b.self_descriptor().aged(5))
+    for name in ("x", "y"):
+        address = engine.network.reserve_address(name)
+        a.view.insert(
+            CyclonNode(name, address, config, random.Random(0))
+            .self_descriptor()
+            .aged(1)
+        )
+    a.begin_cycle(0)
+    a.run_cycle(engine.network)
+    # The request was lost: a dropped b's link (it redeemed it) but kept
+    # the rest of its view.
+    assert not a.view.contains_id("b")
+    assert a.view.contains_id("x") and a.view.contains_id("y")
+
+
+def test_partner_reply_has_at_most_swap_length():
+    engine, nodes = build_pair()
+    b = nodes[1]
+    bootstrap_cyclon(engine.nodes, 5, random.Random(0))
+    b.begin_cycle(0)
+    request = CyclonRequest(descriptors=(nodes[0].self_descriptor(),))
+    reply = b.receive("a", request)
+    assert isinstance(reply, CyclonReply)
+    assert len(reply.descriptors) <= b.config.swap_length
+
+
+def test_unknown_payload_rejected():
+    engine, nodes = build_pair()
+    with pytest.raises(TypeError):
+        nodes[0].receive("b", object())
+
+
+def test_small_overlay_stays_connected():
+    engine = Engine(SimConfig(seed=11))
+    config = CyclonConfig(view_length=6, swap_length=3)
+    for i in range(30):
+        name = f"n{i}"
+        node = CyclonNode(
+            name,
+            engine.network.reserve_address(name),
+            config,
+            engine.rng_hub.stream(name),
+        )
+        engine.add_node(node)
+    bootstrap_cyclon(engine.nodes, 6, engine.rng_hub.stream("boot"))
+    engine.run(30)
+    from repro.metrics.graphstats import largest_component_fraction
+
+    assert largest_component_fraction(engine, legit_only=False) == 1.0

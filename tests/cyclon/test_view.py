@@ -1,0 +1,101 @@
+"""Unit tests for the legacy Cyclon view."""
+
+import random
+
+import pytest
+
+from repro.cyclon.descriptor import CyclonDescriptor
+from repro.cyclon.view import CyclonView
+from repro.sim.network import NetworkAddress
+
+
+def desc(node_id, age=0):
+    return CyclonDescriptor(
+        node_id=node_id, address=NetworkAddress(host=1, port=1), age=age
+    )
+
+
+@pytest.fixture
+def view():
+    return CyclonView(owner_id="me", capacity=4)
+
+
+def test_insert_and_capacity(view):
+    for i in range(6):
+        view.insert(desc(f"n{i}"))
+    assert len(view) == 4
+    assert view.free_slots == 0
+
+
+def test_self_links_rejected(view):
+    assert not view.insert(desc("me"))
+    assert len(view) == 0
+
+
+def test_duplicate_keeps_younger(view):
+    view.insert(desc("a", age=5))
+    assert view.insert(desc("a", age=2))
+    assert view.entry_for("a").age == 2
+    assert not view.insert(desc("a", age=9))
+    assert view.entry_for("a").age == 2
+    assert len(view) == 1
+
+
+def test_oldest_selection(view):
+    view.insert(desc("a", age=3))
+    view.insert(desc("b", age=7))
+    view.insert(desc("c", age=1))
+    assert view.oldest().node_id == "b"
+
+
+def test_increment_ages(view):
+    view.insert(desc("a", age=0))
+    view.increment_ages()
+    view.increment_ages()
+    assert view.entry_for("a").age == 2
+
+
+def test_pop_random_removes(view):
+    for i in range(4):
+        view.insert(desc(f"n{i}"))
+    popped = view.pop_random(2, random.Random(0))
+    assert len(popped) == 2
+    assert len(view) == 2
+    for entry in popped:
+        assert not view.contains_id(entry.node_id)
+
+
+def test_pop_random_bounded_by_size(view):
+    view.insert(desc("a"))
+    assert len(view.pop_random(10, random.Random(0))) == 1
+
+
+def test_remove(view):
+    view.insert(desc("a"))
+    assert view.remove(desc("a", age=9))  # removal is by node id
+    assert not view.remove(desc("a"))
+
+
+def test_replace_oldest_if_younger(view):
+    for i, age in enumerate((5, 9, 2, 1)):
+        view.insert(desc(f"n{i}", age=age))
+    assert view.replace_oldest_if_younger(desc("fresh", age=0))
+    assert not view.contains_id("n1")  # age 9 displaced
+    assert view.contains_id("fresh")
+    # An older descriptor cannot displace anything.
+    assert not view.replace_oldest_if_younger(desc("stale", age=50))
+    # Nor can a duplicate or a self-link.
+    assert not view.replace_oldest_if_younger(desc("fresh", age=0))
+    assert not view.replace_oldest_if_younger(desc("me", age=0))
+
+
+def test_fill_from_respects_capacity(view):
+    view.insert(desc("a"))
+    filled = view.fill_from([desc("b"), desc("c"), desc("d"), desc("e")])
+    assert filled == 3
+    assert len(view) == 4
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        CyclonView(owner_id="me", capacity=0)

@@ -1,0 +1,50 @@
+"""Tests for the experiments command-line entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+def test_every_figure_is_wired():
+    assert set(EXPERIMENTS) == {
+        "fig2",
+        "fig3",
+        "fig5",
+        "fig6",
+        "fig7",
+        "netcost",
+        "eclipse",
+        "stealth",
+        "violations",
+        "churn",
+        "loss",
+    }
+
+
+def test_cli_runs_one_experiment(capsys):
+    assert main(["netcost", "--scale", "smoke", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "VI-A" in out
+    assert "finished in" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_cli_list_prints_catalogue(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_cli_output_directory(tmp_path, capsys):
+    assert main(
+        ["netcost", "--scale", "smoke", "--seed", "1", "--output", str(tmp_path)]
+    ) == 0
+    capsys.readouterr()
+    archived = tmp_path / "netcost.txt"
+    assert archived.exists()
+    assert "VI-A" in archived.read_text()

@@ -1,0 +1,51 @@
+"""Smoke-scale runs of the extension experiments (stealth, violations)."""
+
+from repro.experiments import stealth_experiment, violations_matrix
+from repro.experiments.scale import Scale
+
+
+def test_stealth_smoke():
+    results = stealth_experiment.run_stealth(scale=Scale.SMOKE, seed=3)
+    assert len(results) == 1
+    result = results[0]
+    share = result.malicious / result.nodes
+    # The violating party collapses, the stealth party persists bounded.
+    assert result.hub_settled < 0.1
+    assert result.stealth_settled < min(1.0, 3.0 * share)
+    assert result.stealth_settled > 0.0
+
+
+def test_stealth_render_mentions_both_modes():
+    results = stealth_experiment.run_stealth(scale=Scale.SMOKE, seed=3)
+    text = stealth_experiment.render(results)
+    assert "stealth" in text
+    assert "hub" in text
+    assert "[chart]" in text
+
+
+def test_violations_smoke():
+    outcomes = violations_matrix.run_violations(scale=Scale.SMOKE, seed=3)
+    by_name = {outcome.violation: outcome for outcome in outcomes}
+    assert len(by_name) == 4
+
+    frequency = by_name["frequency (over-minting)"]
+    assert frequency.punished
+
+    cloning = by_name["view (descriptor cloning)"]
+    assert cloning.attempts > 0
+    assert cloning.punished
+
+    partner = by_name["partner selection"]
+    assert partner.attempts > 0
+    assert partner.rejected
+
+    replay = by_name["token replay"]
+    assert replay.attempts > 0
+    assert replay.rejected
+
+
+def test_violations_render_is_a_complete_table():
+    outcomes = violations_matrix.run_violations(scale=Scale.SMOKE, seed=3)
+    text = violations_matrix.render(outcomes)
+    assert "Violation matrix" in text
+    assert "PARTIAL" not in text  # every avenue closed

@@ -1,0 +1,73 @@
+"""Smoke-scale runs of every figure harness.
+
+These assert that each experiment module runs end to end at SMOKE scale
+and that the paper's qualitative shape already shows up tiny.
+"""
+
+import pytest
+
+from repro.experiments.scale import Scale
+from repro.experiments import (
+    fig2_indegree,
+    fig3_cyclon_takeover,
+    fig5_hub_defense,
+    fig6_depletion,
+    fig7_redemption,
+    netcost_table,
+)
+
+
+def test_fig2_smoke():
+    panels = fig2_indegree.run_fig2(scale=Scale.SMOKE, seed=1)
+    assert len(panels) == 1
+    panel = panels[0]
+    assert abs(panel.statistics["mean"] - panel.view_length) < 1.0
+    text = fig2_indegree.render(panels)
+    assert "indegree" in text
+
+
+def test_fig3_smoke():
+    panels = fig3_cyclon_takeover.run_fig3(scale=Scale.SMOKE, seed=1)
+    assert len(panels) == 1
+    for series in panels[0].series:
+        assert series.final_y() > 0.9  # takeover
+        assert series.y_at(10) < 0.4  # pre-attack baseline
+    assert "Fig 3" in fig3_cyclon_takeover.render(panels)
+
+
+def test_fig5_smoke():
+    panels = fig5_hub_defense.run_fig5(scale=Scale.SMOKE, seed=1)
+    assert len(panels) == 2  # minimal + extreme
+    for panel in panels:
+        for series in panel.series:
+            assert series.final_y() < 0.1  # purged
+    assert "Fig 5" in fig5_hub_defense.render(panels)
+
+
+def test_fig6_smoke():
+    panels = fig6_depletion.run_fig6(scale=Scale.SMOKE, seed=1)
+    # 50% malicious, tft off and on.
+    assert len(panels) == 2
+    drained = next(p for p in panels if not p.tit_for_tat)
+    protected = next(p for p in panels if p.tit_for_tat)
+    assert drained.series[0].max_y() > protected.series[0].max_y()
+    assert "Fig 6" in fig6_depletion.render(panels)
+
+
+def test_fig7_smoke():
+    panels = fig7_redemption.run_fig7(scale=Scale.SMOKE, seed=1)
+    assert len(panels) == 1
+    curves = panels[0].curves
+    assert len(curves) == 2  # cache 0 and cache 5
+    assert curves[-1].overall >= curves[0].overall
+    assert "Fig 7" in fig7_redemption.render(panels)
+
+
+def test_netcost_smoke():
+    result = netcost_table.run_netcost(scale=Scale.SMOKE, seed=1)
+    analytic = dict(result.analytic_rows)
+    assert analytic["descriptor size (bytes)"] == 430.0
+    assert abs(analytic["per direction per gossip (KB)"] - 10.5) < 0.01
+    measured = dict(result.measured_rows)
+    assert measured["measured initiator->partner per gossip (KB)"] > 1.0
+    assert "VI-A" in netcost_table.render(result)

@@ -1,0 +1,104 @@
+"""Tests for the seed-sweep helpers."""
+
+import pytest
+
+from repro.experiments.multirun import (
+    ScalarSweep,
+    aggregate_series,
+    sweep_scalars,
+)
+from repro.metrics.series import Series
+
+
+def make_series(label, ys):
+    series = Series(label=label)
+    for x, y in enumerate(ys):
+        series.append(float(x), y)
+    return series
+
+
+def test_scalar_sweep_statistics():
+    sweep = ScalarSweep(name="metric", values=[1.0, 2.0, 3.0])
+    assert sweep.mean == 2.0
+    assert sweep.min == 1.0
+    assert sweep.max == 3.0
+    assert sweep.std == pytest.approx(1.0)
+
+
+def test_scalar_sweep_single_value_has_zero_std():
+    sweep = ScalarSweep(name="m", values=[5.0])
+    assert sweep.std == 0.0
+
+
+def test_scalar_sweep_row_shape():
+    sweep = ScalarSweep(name="m", values=[1.0, 3.0])
+    name, mean, std, lo, hi = sweep.row()
+    assert name == "m"
+    assert mean == 2.0
+    assert (lo, hi) == (1.0, 3.0)
+
+
+def test_sweep_scalars_collects_across_seeds():
+    def run(seed):
+        return {"a": float(seed), "b": float(seed * 2)}
+
+    sweeps = {s.name: s for s in sweep_scalars(run, seeds=[1, 2, 3])}
+    assert sweeps["a"].values == [1.0, 2.0, 3.0]
+    assert sweeps["b"].mean == 4.0
+
+
+def test_sweep_scalars_requires_seeds():
+    with pytest.raises(ValueError):
+        sweep_scalars(lambda seed: {"a": 1.0}, seeds=[])
+
+
+def test_sweep_scalars_rejects_inconsistent_keys():
+    def run(seed):
+        return {"a": 1.0} if seed == 1 else {"b": 1.0}
+
+    with pytest.raises(ValueError):
+        sweep_scalars(run, seeds=[1, 2])
+
+
+def test_aggregate_series_envelope():
+    runs = [
+        make_series("r1", [0.0, 1.0, 2.0]),
+        make_series("r2", [2.0, 1.0, 0.0]),
+    ]
+    envelope = aggregate_series(runs, label="agg")
+    assert envelope["mean"].ys == [1.0, 1.0, 1.0]
+    assert envelope["min"].ys == [0.0, 1.0, 0.0]
+    assert envelope["max"].ys == [2.0, 1.0, 2.0]
+    assert envelope["mean"].label == "agg"
+
+
+def test_aggregate_series_rejects_mismatched_x():
+    runs = [make_series("r1", [0.0, 1.0]), make_series("r2", [0.0, 1.0, 2.0])]
+    with pytest.raises(ValueError):
+        aggregate_series(runs)
+
+
+def test_aggregate_series_requires_runs():
+    with pytest.raises(ValueError):
+        aggregate_series([])
+
+
+def test_sweep_over_real_overlay_outcomes():
+    """End-to-end: hub-attack recovery is robust across seeds."""
+    from repro.core.config import SecureCyclonConfig
+    from repro.experiments.scenarios import build_secure_overlay
+    from repro.metrics.links import malicious_link_fraction
+
+    def run(seed):
+        overlay = build_secure_overlay(
+            n=60,
+            config=SecureCyclonConfig(view_length=8, swap_length=3),
+            malicious=8,
+            attack_start=8,
+            seed=seed,
+        )
+        overlay.run(35)
+        return {"final_malicious": malicious_link_fraction(overlay.engine)}
+
+    (sweep,) = sweep_scalars(run, seeds=[101, 102, 103])
+    assert sweep.max < 0.05  # every seed recovers

@@ -1,0 +1,117 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.plotting import GLYPHS, ascii_chart, chart_panel
+from repro.metrics.series import Series
+
+
+def make_series(label, points):
+    series = Series(label=label)
+    for x, y in points:
+        series.append(x, y)
+    return series
+
+
+def test_empty_series_list_yields_placeholder():
+    assert "(no data)" in ascii_chart([])
+
+
+def test_series_without_points_is_skipped():
+    chart = ascii_chart([Series(label="empty")])
+    assert "(no data)" in chart
+
+
+def test_title_is_first_line():
+    series = make_series("a", [(0, 0.0), (10, 1.0)])
+    chart = ascii_chart([series], title="Fig X")
+    assert chart.splitlines()[0] == "Fig X"
+
+
+def test_dimensions_match_request():
+    series = make_series("a", [(0, 0.0), (10, 1.0)])
+    chart = ascii_chart([series], width=40, height=8, title=None)
+    lines = chart.splitlines()
+    # height rows + axis + caption + legend
+    assert len(lines) == 8 + 3
+    plot_rows = lines[:8]
+    assert all("|" in row for row in plot_rows)
+    body = plot_rows[0].split("|", 1)[1]
+    assert len(body) == 40
+
+
+def test_each_series_gets_distinct_glyph():
+    a = make_series("a", [(0, 0.1), (10, 0.2)])
+    b = make_series("b", [(0, 0.8), (10, 0.9)])
+    chart = ascii_chart([a, b])
+    assert GLYPHS[0] in chart
+    assert GLYPHS[1] in chart
+    assert f"{GLYPHS[0]}=a" in chart
+    assert f"{GLYPHS[1]}=b" in chart
+
+
+def test_high_values_render_above_low_values():
+    low = make_series("low", [(0, 0.0), (10, 0.0)])
+    high = make_series("high", [(0, 1.0), (10, 1.0)])
+    chart = ascii_chart([low, high], height=10)
+    lines = [line.split("|", 1)[1] for line in chart.splitlines() if "|" in line]
+    top_rows = "".join(lines[:3])
+    bottom_rows = "".join(lines[-3:])
+    assert GLYPHS[1] in top_rows  # high series near the top
+    assert GLYPHS[0] in bottom_rows  # low series near the bottom
+
+
+def test_y_axis_labels_show_range():
+    series = make_series("a", [(0, 0.0), (10, 0.5)])
+    chart = ascii_chart([series], y_scale=100.0)
+    assert "50" in chart  # top-of-range label
+    assert "0" in chart
+
+
+def test_x_axis_caption_shows_extremes_and_label():
+    series = make_series("a", [(5, 0.0), (95, 1.0)])
+    chart = ascii_chart([series], x_label="time (cycles)")
+    caption = chart.splitlines()[-2]
+    assert caption.strip().startswith("5")
+    assert caption.strip().endswith("95")
+    assert "time (cycles)" in caption
+
+
+def test_pinned_y_range_is_respected():
+    series = make_series("a", [(0, 0.2), (10, 0.4)])
+    chart = ascii_chart([series], y_min=0.0, y_max=100.0)
+    assert "100" in chart.splitlines()[0]
+
+
+def test_constant_series_does_not_crash():
+    series = make_series("flat", [(0, 0.5), (1, 0.5), (2, 0.5)])
+    chart = ascii_chart([series])
+    assert "flat" in chart
+
+
+def test_single_point_series():
+    series = make_series("dot", [(3, 0.3)])
+    chart = ascii_chart([series])
+    assert GLYPHS[0] in chart
+
+
+def test_more_series_than_glyphs_cycles():
+    many = [
+        make_series(f"s{i}", [(0, i / 20), (1, i / 20)]) for i in range(10)
+    ]
+    chart = ascii_chart(many)
+    assert f"{GLYPHS[0]}=s0" in chart
+    assert f"{GLYPHS[8 % len(GLYPHS)]}=s8" in chart
+
+
+def test_chart_panel_prepends_blank_line():
+    series = make_series("a", [(0, 0.0), (10, 1.0)])
+    panel = chart_panel("panel title", [series])
+    assert panel.startswith("\n")
+    assert "panel title" in panel
+
+
+def test_negative_values_with_explicit_floor():
+    series = make_series("delta", [(0, -0.5), (10, 0.5)])
+    chart = ascii_chart([series], y_min=-50.0, y_scale=100.0)
+    assert "-50" in chart

@@ -1,0 +1,34 @@
+"""Unit tests for report rendering."""
+
+from repro.experiments.report import format_table, histogram_table, series_table
+from repro.metrics.series import Series
+
+
+def test_format_table_aligns_and_rounds():
+    text = format_table(["name", "value"], [("x", 1.234), ("long-name", 2.0)])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "1.23" in lines[2]
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_series_table_merges_x_axes():
+    a = Series(label="A", points=[(0, 0.1), (10, 0.2)])
+    b = Series(label="B", points=[(0, 0.3), (20, 0.4)])
+    text = series_table("title", [a, b])
+    assert "title" in text
+    assert "A" in text and "B" in text
+    # Missing samples render as "-".
+    assert "-" in text
+    # Fractions are scaled to percentages by default.
+    assert "10.00" in text and "40.00" in text
+
+
+def test_histogram_table_bars():
+    text = histogram_table("h", [(1, 5), (2, 10)], "x", "count")
+    assert "#" in text
+    assert "h" in text
+
+
+def test_histogram_table_empty():
+    assert "(empty)" in histogram_table("h", [], "x", "y")

@@ -1,0 +1,98 @@
+"""Smoke-scale runs of the churn-recovery and loss-sweep experiments."""
+
+import pytest
+
+from repro.experiments import churn_recovery, loss_sweep
+from repro.experiments.scale import Scale
+
+
+@pytest.fixture(scope="module")
+def churn_result():
+    return churn_recovery.run_churn_recovery(scale=Scale.SMOKE, seed=5)
+
+
+@pytest.fixture(scope="module")
+def loss_rows():
+    return loss_sweep.run_loss_sweep(scale=Scale.SMOKE, seed=5)
+
+
+def test_crash_panels_cover_both_protocols(churn_result):
+    protocols = {panel.protocol for panel in churn_result.crash_panels}
+    assert protocols == {"cyclon", "secure"}
+
+
+def test_overlay_never_fragments_after_crash(churn_result):
+    for panel in churn_result.crash_panels:
+        assert panel.min_component > 0.95
+
+
+def test_views_recover_after_crash(churn_result):
+    for panel in churn_result.crash_panels:
+        assert panel.recovery_cycles != float("inf")
+        assert panel.recovery_cycles < 30
+
+
+def test_secure_healing_keeps_pace_with_cyclon(churn_result):
+    """The security layer must not tax self-healing badly."""
+    by_protocol = {}
+    for panel in churn_result.crash_panels:
+        by_protocol.setdefault(panel.protocol, []).append(
+            panel.recovery_cycles
+        )
+    secure_mean = sum(by_protocol["secure"]) / len(by_protocol["secure"])
+    cyclon_mean = sum(by_protocol["cyclon"]) / len(by_protocol["cyclon"])
+    assert secure_mean <= cyclon_mean + 15
+
+
+def test_continuous_churn_stays_healthy(churn_result):
+    for panel in churn_result.churn_panels:
+        assert panel.final_fill > 0.9
+        assert panel.final_component > 0.95
+        assert panel.final_non_swappable < 0.3
+
+
+def test_churn_render_mentions_everything(churn_result):
+    text = churn_recovery.render(churn_result)
+    assert "Churn recovery" in text
+    assert "Continuous churn" in text
+    assert "[chart]" in text
+
+
+def test_loss_sweep_covers_all_variants(loss_rows):
+    variants = {row.variant for row in loss_rows}
+    assert variants == {"cyclon", "secure", "secure+tft"}
+
+
+def test_lossless_baseline_is_perfect(loss_rows):
+    for row in loss_rows:
+        if row.loss_rate == 0.0:
+            assert row.final_fill > 0.99
+            assert row.final_non_swappable < 0.01
+
+
+def test_loss_never_fragments_overlay(loss_rows):
+    for row in loss_rows:
+        assert row.final_component > 0.95
+
+
+def test_degradation_is_graceful(loss_rows):
+    """Views stay majority-full even at the highest smoke loss rate."""
+    for row in loss_rows:
+        assert row.final_fill > 0.5
+
+
+def test_tft_strands_no_more_than_bulk(loss_rows):
+    by_rate = {}
+    for row in loss_rows:
+        by_rate.setdefault(row.loss_rate, {})[row.variant] = row
+    for rate, variants in by_rate.items():
+        assert (
+            variants["secure+tft"].final_non_swappable
+            <= variants["secure"].final_non_swappable + 0.05
+        )
+
+
+def test_loss_render_is_a_table(loss_rows):
+    text = loss_sweep.render(loss_rows)
+    assert "Message-loss sweep" in text
+    assert "secure+tft" in text

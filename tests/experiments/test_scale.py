@@ -1,0 +1,34 @@
+"""Unit tests for scale resolution."""
+
+import pytest
+
+from repro.experiments.scale import ENV_VAR, Scale, pick, resolve_scale
+
+
+def test_explicit_argument_wins(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "full")
+    assert resolve_scale(Scale.SMOKE) is Scale.SMOKE
+
+
+def test_env_var(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "full")
+    assert resolve_scale() is Scale.FULL
+    monkeypatch.setenv(ENV_VAR, "smoke")
+    assert resolve_scale() is Scale.SMOKE
+
+
+def test_default(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert resolve_scale() is Scale.DEFAULT
+
+
+def test_invalid_env_value(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "gigantic")
+    with pytest.raises(ValueError):
+        resolve_scale()
+
+
+def test_pick():
+    assert pick(Scale.SMOKE, 1, 2, 3) == 1
+    assert pick(Scale.DEFAULT, 1, 2, 3) == 2
+    assert pick(Scale.FULL, 1, 2, 3) == 3

@@ -1,0 +1,30 @@
+"""Tests for push-pull averaging over the overlay."""
+
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+from repro.gossip.aggregation import push_pull_average
+
+
+def test_estimates_converge_to_the_mean():
+    overlay = build_secure_overlay(
+        n=60, config=SecureCyclonConfig(view_length=8, swap_length=3), seed=4
+    )
+    overlay.run(15)
+    ids = sorted(overlay.engine.legit_ids)
+    values = {nid: float(i) for i, nid in enumerate(ids)}
+    result = push_pull_average(overlay.engine, values, rounds=25)
+    assert result.max_error() < 1.0
+    # Variance decays monotonically (up to tiny numerical wiggle).
+    assert result.variance_per_round[-1] < result.variance_per_round[0] / 100
+
+
+def test_mean_is_preserved():
+    overlay = build_secure_overlay(
+        n=40, config=SecureCyclonConfig(view_length=6, swap_length=3), seed=4
+    )
+    overlay.run(10)
+    ids = sorted(overlay.engine.legit_ids)
+    values = {nid: 10.0 if i % 2 else 0.0 for i, nid in enumerate(ids)}
+    result = push_pull_average(overlay.engine, values, rounds=20)
+    estimate_mean = sum(result.estimates.values()) / len(result.estimates)
+    assert abs(estimate_mean - result.true_mean) < 1e-6

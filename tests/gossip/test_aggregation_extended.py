@@ -1,0 +1,74 @@
+"""Extended aggregation tests: attack impact and configuration edges."""
+
+import pytest
+
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+from repro.gossip.aggregation import push_pull_average
+
+
+@pytest.fixture(scope="module")
+def healthy():
+    overlay = build_secure_overlay(
+        n=100,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        seed=121,
+    )
+    overlay.run(15)
+    return overlay
+
+
+def test_variance_decays_monotonically_in_aggregate(healthy):
+    values = {
+        node_id: float(index)
+        for index, node_id in enumerate(healthy.engine.alive_ids())
+    }
+    result = push_pull_average(healthy.engine, values, rounds=15)
+    variance = result.variance_per_round
+    assert variance[-1] < variance[0] / 100  # exponential decay
+
+
+def test_zero_rounds_returns_inputs(healthy):
+    values = {
+        node_id: 1.0 for node_id in healthy.engine.alive_ids()
+    }
+    result = push_pull_average(healthy.engine, values, rounds=0)
+    assert result.max_error() == 0.0
+
+
+def test_missing_inputs_default_to_zero(healthy):
+    some = healthy.engine.alive_ids()[:10]
+    values = {node_id: 10.0 for node_id in some}
+    result = push_pull_average(healthy.engine, values, rounds=20)
+    expected_mean = 10.0 * len(some) / len(healthy.engine.nodes)
+    assert result.true_mean == pytest.approx(expected_mean)
+
+
+def test_refusing_adversary_slows_but_does_not_bias():
+    """Malicious nodes that refuse to aggregate shrink the participant
+    set but cannot shift the honest mean (honest_only=True)."""
+    overlay = build_secure_overlay(
+        n=100,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        malicious=20,
+        attack_start=10_000,  # passive: just refuse aggregation
+        seed=122,
+    )
+    overlay.run(15)
+    values = {
+        node_id: float(index)
+        for index, node_id in enumerate(overlay.engine.alive_ids())
+    }
+    result = push_pull_average(
+        overlay.engine, values, rounds=25, honest_only=True
+    )
+    honest = overlay.engine.legit_ids
+    honest_mean = sum(values[node_id] for node_id in honest) / len(honest)
+    assert result.true_mean == pytest.approx(honest_mean)
+    assert result.max_error() < 1.0
+
+
+def test_all_equal_inputs_stay_equal(healthy):
+    values = {node_id: 42.0 for node_id in healthy.engine.alive_ids()}
+    result = push_pull_average(healthy.engine, values, rounds=10)
+    assert result.max_error() < 1e-9

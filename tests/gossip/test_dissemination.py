@@ -1,0 +1,47 @@
+"""Tests for epidemic dissemination over the overlay."""
+
+import pytest
+
+from repro.core.config import SecureCyclonConfig
+from repro.cyclon.config import CyclonConfig
+from repro.experiments.scenarios import build_cyclon_overlay, build_secure_overlay
+from repro.gossip.dissemination import disseminate
+from repro.metrics.links import malicious_link_fraction
+
+
+def test_full_coverage_on_healthy_overlay():
+    overlay = build_secure_overlay(
+        n=80, config=SecureCyclonConfig(view_length=8, swap_length=3), seed=3
+    )
+    overlay.run(15)
+    origin = next(iter(overlay.engine.legit_ids))
+    result = disseminate(overlay.engine, origin, fanout=5)
+    # Push gossip with finite fanout reaches (nearly) everyone fast.
+    assert result.coverage(80) >= 0.95
+    assert result.rounds < 15
+    assert result.per_round_coverage[-1] == result.coverage(80)
+
+
+def test_origin_must_be_alive():
+    overlay = build_secure_overlay(
+        n=20, config=SecureCyclonConfig(view_length=5, swap_length=3), seed=3
+    )
+    with pytest.raises(ValueError):
+        disseminate(overlay.engine, "ghost")
+
+
+def test_hijacked_overlay_censors_broadcasts():
+    """After a successful hub attack, malicious hubs swallow traffic."""
+    overlay = build_cyclon_overlay(
+        n=80,
+        config=CyclonConfig(view_length=10, swap_length=3),
+        malicious=10,
+        attack_start=10,
+        seed=3,
+    )
+    overlay.run(80)
+    assert malicious_link_fraction(overlay.engine) > 0.9
+    origin = next(iter(overlay.engine.legit_ids))
+    result = disseminate(overlay.engine, origin, fanout=4)
+    # Nearly everything dies inside the malicious quorum.
+    assert result.coverage(80) < 0.5

@@ -1,0 +1,71 @@
+"""Extended dissemination tests: fanout, flooding model cross-check,
+per-round coverage, and behaviour with the attack defeated."""
+
+import pytest
+
+from repro.analysis.flooding import flood_rounds_to_cover
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+from repro.gossip.dissemination import disseminate
+
+
+@pytest.fixture(scope="module")
+def healthy():
+    overlay = build_secure_overlay(
+        n=120,
+        config=SecureCyclonConfig(view_length=12, swap_length=3),
+        seed=111,
+    )
+    overlay.run(15)
+    return overlay
+
+
+def test_coverage_grows_monotonically(healthy):
+    origin = healthy.engine.alive_ids()[0]
+    result = disseminate(healthy.engine, origin, fanout=3)
+    coverage = result.per_round_coverage
+    assert coverage == sorted(coverage)
+
+
+def test_higher_fanout_is_never_slower(healthy):
+    origin = healthy.engine.alive_ids()[0]
+    slow = disseminate(healthy.engine, origin, fanout=1, max_rounds=40)
+    fast = disseminate(healthy.engine, origin, fanout=6, max_rounds=40)
+    assert fast.rounds <= slow.rounds
+    assert fast.coverage(120) >= 0.99
+
+
+def test_rounds_match_epidemic_model(healthy):
+    """The measured broadcast should finish within a small factor of
+    the mean-field push model in repro.analysis.flooding."""
+    origin = healthy.engine.alive_ids()[0]
+    fanout = 4
+    result = disseminate(healthy.engine, origin, fanout=fanout)
+    predicted = flood_rounds_to_cover(120, fanout)
+    assert result.coverage(120) > 0.99
+    assert result.rounds <= 3 * predicted + 2
+
+
+def test_defeated_attack_restores_dissemination():
+    """After SecureCyclon purges the hub party, broadcasts reach every
+    honest node again — the application-level payoff of Fig 5."""
+    overlay = build_secure_overlay(
+        n=120,
+        config=SecureCyclonConfig(view_length=12, swap_length=3),
+        malicious=12,
+        attack_start=10,
+        seed=112,
+    )
+    overlay.run(45)  # attack + purge + healing
+    engine = overlay.engine
+    origin = next(iter(engine.legit_ids))
+    result = disseminate(engine, origin, fanout=3)
+    honest = engine.legit_ids
+    assert len(result.reached & honest) / len(honest) > 0.95
+
+
+def test_rounds_capped_by_max_rounds(healthy):
+    origin = healthy.engine.alive_ids()[0]
+    result = disseminate(healthy.engine, origin, fanout=1, max_rounds=2)
+    assert result.rounds <= 2
+    assert result.coverage(120) < 1.0

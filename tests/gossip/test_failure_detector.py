@@ -1,0 +1,125 @@
+"""Tests for the heartbeat-gossip failure detector."""
+
+import pytest
+
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+from repro.gossip.failure_detector import FailureDetector
+
+
+@pytest.fixture
+def converged_overlay():
+    overlay = build_secure_overlay(
+        n=80,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        seed=41,
+    )
+    overlay.run(15)
+    return overlay
+
+
+def test_suspect_after_validation(converged_overlay):
+    with pytest.raises(ValueError):
+        FailureDetector(converged_overlay.engine, suspect_after=1)
+
+
+def test_rounds_validation(converged_overlay):
+    detector = FailureDetector(converged_overlay.engine, suspect_after=5)
+    with pytest.raises(ValueError):
+        detector.run(-1)
+
+
+def test_no_false_positives_on_healthy_overlay(converged_overlay):
+    # Heartbeats propagate epidemically in ~log2(n) rounds; the timeout
+    # must exceed that latency or live nodes look stale.
+    detector = FailureDetector(converged_overlay.engine, suspect_after=10)
+    result = detector.run(30)
+    assert result.false_positives(crashed=set()) == set()
+
+
+def test_crashed_node_is_suspected(converged_overlay):
+    engine = converged_overlay.engine
+    detector = FailureDetector(engine, suspect_after=10)
+    detector.run(10)  # seed the tables while everyone is alive
+
+    victim = engine.alive_ids()[0]
+    engine.remove_node(victim)
+    result = detector.run(15)
+
+    suspected_somewhere = set()
+    for suspects in result.suspicions.values():
+        suspected_somewhere |= suspects
+    assert victim in suspected_somewhere
+
+
+def test_crashed_node_eventually_suspected_by_all(converged_overlay):
+    engine = converged_overlay.engine
+    detector = FailureDetector(engine, suspect_after=10)
+    detector.run(10)
+    victim = engine.alive_ids()[0]
+    engine.remove_node(victim)
+    # Keep the overlay gossiping so views stay fresh for the detector.
+    converged_overlay.run(5)
+    result = detector.run(30)
+    assert victim in result.suspected_by_all({victim})
+
+
+def test_live_nodes_are_never_suspected_alongside_crash(converged_overlay):
+    engine = converged_overlay.engine
+    detector = FailureDetector(engine, suspect_after=10)
+    detector.run(10)
+    victim = engine.alive_ids()[0]
+    engine.remove_node(victim)
+    result = detector.run(30)
+    assert result.false_positives({victim}) == set()
+
+
+def test_detection_round_is_recorded(converged_overlay):
+    engine = converged_overlay.engine
+    detector = FailureDetector(engine, suspect_after=10)
+    detector.run(10)
+    victim = engine.alive_ids()[0]
+    engine.remove_node(victim)
+    result = detector.run(25)
+    first = result.detection_round(victim)
+    assert first is not None
+    # Cannot be suspected before the timeout has elapsed post-crash.
+    assert first >= 10
+
+
+def test_detection_round_none_for_live_node(converged_overlay):
+    detector = FailureDetector(converged_overlay.engine, suspect_after=5)
+    result = detector.run(10)
+    alive = converged_overlay.engine.alive_ids()[0]
+    assert result.detection_round(alive) is None
+
+
+def test_multiple_crashes_all_detected(converged_overlay):
+    engine = converged_overlay.engine
+    detector = FailureDetector(engine, suspect_after=10)
+    detector.run(10)
+    victims = set(engine.alive_ids()[:5])
+    for victim in victims:
+        engine.remove_node(victim)
+    converged_overlay.run(3)
+    result = detector.run(30)
+    suspected_somewhere = set()
+    for suspects in result.suspicions.values():
+        suspected_somewhere |= suspects
+    assert victims <= suspected_somewhere
+    assert result.false_positives(victims) == set()
+
+
+def test_honest_only_excludes_malicious_monitors():
+    overlay = build_secure_overlay(
+        n=60,
+        config=SecureCyclonConfig(view_length=8, swap_length=3),
+        malicious=6,
+        attack_start=1000,  # never actually attack
+        seed=43,
+    )
+    overlay.run(10)
+    detector = FailureDetector(overlay.engine, suspect_after=5)
+    result = detector.run(5)
+    malicious = overlay.engine.malicious_ids
+    assert not (set(result.suspicions) & malicious)

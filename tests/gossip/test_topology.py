@@ -1,0 +1,88 @@
+"""Tests for structured-overlay construction over peer sampling."""
+
+import pytest
+
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+from repro.gossip.topology import RingDistance, TopologyBuilder
+
+
+@pytest.fixture(scope="module")
+def healthy():
+    overlay = build_secure_overlay(
+        n=80,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        seed=141,
+    )
+    overlay.run(15)
+    return overlay
+
+
+def test_k_validation(healthy):
+    with pytest.raises(ValueError):
+        TopologyBuilder(healthy.engine, k=0)
+
+
+def test_rounds_validation(healthy):
+    builder = TopologyBuilder(healthy.engine, k=4)
+    with pytest.raises(ValueError):
+        builder.run(-1)
+
+
+def test_ring_distance_is_symmetric_and_bounded():
+    distance = RingDistance()
+    assert distance("a", "b") == distance("b", "a")
+    assert distance("a", "a") == 0
+    assert 0 <= distance("a", "b") <= RingDistance.SPACE // 2
+
+
+def test_neighbors_never_include_self(healthy):
+    result = TopologyBuilder(healthy.engine, k=4).run(8)
+    for node_id, neighbors in result.neighbors.items():
+        assert node_id not in neighbors
+        assert len(neighbors) <= 4
+
+
+def test_ring_converges_on_healthy_overlay(healthy):
+    """The §I overlay-construction application: with live uniform
+    views feeding the candidate stream, nodes find their true ring
+    neighbors within a few rounds."""
+    distance = RingDistance()
+    builder = TopologyBuilder(healthy.engine, k=4, distance=distance)
+    # Interleave proximity rounds with overlay cycles so the random
+    # candidate stream keeps refreshing, as a real deployment would.
+    for _ in range(6):
+        healthy.run(1)
+        result = builder.run(1)
+    result = builder.run(4)
+    assert result.ring_accuracy(distance) > 0.9
+
+
+def test_more_rounds_never_hurt_accuracy(healthy):
+    distance = RingDistance()
+    builder = TopologyBuilder(healthy.engine, k=4, distance=distance)
+    early = builder.run(2).ring_accuracy(distance)
+    late = builder.run(8).ring_accuracy(distance)
+    assert late >= early - 0.05
+
+
+def test_zero_rounds_yields_empty_topology(healthy):
+    result = TopologyBuilder(healthy.engine, k=4).run(0)
+    assert result.rounds == 0
+    assert all(not neighbors for neighbors in result.neighbors.values())
+
+
+def test_honest_only_excludes_attackers():
+    overlay = build_secure_overlay(
+        n=60,
+        config=SecureCyclonConfig(view_length=8, swap_length=3),
+        malicious=6,
+        attack_start=10_000,
+        seed=142,
+    )
+    overlay.run(10)
+    result = TopologyBuilder(overlay.engine, k=3).run(5)
+    malicious = overlay.engine.malicious_ids
+    assert not (set(result.neighbors) & malicious)
+    for neighbors in result.neighbors.values():
+        assert not (set(neighbors) & malicious)

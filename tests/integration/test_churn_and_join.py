@@ -1,0 +1,109 @@
+"""Churn, joins, bootstrap and failure-injection scenarios (§V-A)."""
+
+import pytest
+
+from repro.bootstrap import bootstrap_joiner
+from repro.core.config import SecureCyclonConfig
+from repro.core.node import SecureCyclonNode
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.graphstats import largest_component_fraction
+from repro.metrics.links import view_fill_fraction
+from repro.sim.channel import DropPolicy
+from repro.sim.engine import SimConfig
+
+
+def test_overlay_survives_crashes():
+    overlay = build_secure_overlay(
+        n=80, config=SecureCyclonConfig(view_length=10, swap_length=3), seed=21
+    )
+    overlay.run(15)
+    # Crash a quarter of the population abruptly.
+    victims = list(overlay.engine.alive_ids())[:20]
+    for victim in victims:
+        overlay.engine.remove_node(victim)
+    overlay.run(25)
+    assert largest_component_fraction(overlay.engine) == 1.0
+    assert view_fill_fraction(overlay.engine) > 0.7
+
+
+def test_joiner_bootstraps_and_integrates():
+    overlay = build_secure_overlay(
+        n=60, config=SecureCyclonConfig(view_length=8, swap_length=3), seed=22
+    )
+    overlay.run(10)
+    engine = overlay.engine
+
+    keypair = engine.registry.new_keypair(engine.rng_hub.stream("joiner"))
+    address = engine.network.reserve_address(keypair.public)
+    joiner = SecureCyclonNode(
+        keypair=keypair,
+        address=address,
+        config=SecureCyclonConfig(view_length=8, swap_length=3),
+        clock=engine.clock,
+        registry=engine.registry,
+        rng=engine.rng_hub.stream("joiner-rng"),
+        trace=engine.trace,
+    )
+    joiner.bind_network(engine.network)
+    donors = engine.legit_nodes()
+    acquired = bootstrap_joiner(
+        joiner, donors, links=4, rng=engine.rng_hub.stream("boot-join")
+    )
+    assert acquired == 4
+    engine.add_node(joiner)
+    overlay.run(25)
+    # The joiner's view fills and other nodes learn of it.
+    assert len(joiner.view) >= 6
+    from repro.metrics.degree import indegree_counts
+
+    assert indegree_counts(engine)[joiner.node_id] > 0
+
+
+def test_donors_keep_non_swappable_copies():
+    overlay = build_secure_overlay(
+        n=30, config=SecureCyclonConfig(view_length=6, swap_length=3), seed=23
+    )
+    overlay.run(5)
+    engine = overlay.engine
+    keypair = engine.registry.new_keypair(engine.rng_hub.stream("j2"))
+    joiner = SecureCyclonNode(
+        keypair=keypair,
+        address=engine.network.reserve_address(keypair.public),
+        config=SecureCyclonConfig(view_length=6, swap_length=3),
+        clock=engine.clock,
+        registry=engine.registry,
+        rng=engine.rng_hub.stream("j2-rng"),
+    )
+    donors = engine.legit_nodes()[:3]
+    before = sum(node.view.non_swappable_count() for node in donors)
+    acquired = bootstrap_joiner(
+        joiner, donors, links=3, rng=engine.rng_hub.stream("j2-boot")
+    )
+    after = sum(node.view.non_swappable_count() for node in donors)
+    assert after - before == acquired
+
+
+def test_lossy_network_keeps_overlay_healthy():
+    """10 % message loss: exchanges abort, §V-A repair keeps views full."""
+    overlay = build_secure_overlay(
+        n=60,
+        config=SecureCyclonConfig(view_length=8, swap_length=3),
+        seed=24,
+        sim_config=SimConfig(
+            seed=24, drop_policy=DropPolicy(request_loss=0.05, reply_loss=0.05)
+        ),
+    )
+    overlay.run(40)
+    assert largest_component_fraction(overlay.engine) == 1.0
+    assert view_fill_fraction(overlay.engine) > 0.6
+    # No honest node was ever accused of anything despite the chaos.
+    assert overlay.engine.trace.count("secure.violation_found") == 0
+
+
+def test_no_false_positives_over_long_honest_run():
+    overlay = build_secure_overlay(
+        n=50, config=SecureCyclonConfig(view_length=8, swap_length=3), seed=25
+    )
+    overlay.run(60)
+    assert overlay.engine.trace.count("secure.violation_found") == 0
+    assert overlay.engine.trace.count("secure.blacklisted") == 0

@@ -1,0 +1,173 @@
+"""Determinism and token-conservation invariants over whole runs.
+
+The simulator promises bit-for-bit reproducibility per seed — every
+experiment in EXPERIMENTS.md leans on that — and SecureCyclon's
+equilibrium arithmetic (§II-B) leans on descriptors being conserved
+tokens.  These tests check both over full end-to-end runs, including
+adversarial ones.
+"""
+
+import pytest
+
+from repro.core.config import SecureCyclonConfig
+from repro.cyclon.config import CyclonConfig
+from repro.experiments.scenarios import (
+    build_cyclon_overlay,
+    build_secure_overlay,
+)
+from repro.metrics.degree import indegree_counts
+from repro.metrics.links import malicious_link_fraction, view_targets
+
+
+def _secure_fingerprint(overlay):
+    """A structural digest: per-node sorted neighbor lists + flags."""
+    digest = []
+    for node_id in sorted(overlay.engine.nodes, key=repr):
+        node = overlay.engine.nodes[node_id]
+        entries = sorted(
+            (repr(entry.creator), entry.timestamp, entry.non_swappable)
+            for entry in node.view
+        )
+        digest.append((repr(node_id), tuple(entries)))
+    return tuple(digest)
+
+
+def test_same_seed_same_secure_overlay():
+    fingerprints = []
+    for _ in range(2):
+        overlay = build_secure_overlay(
+            n=60,
+            config=SecureCyclonConfig(view_length=8, swap_length=3),
+            seed=71,
+        )
+        overlay.run(25)
+        fingerprints.append(_secure_fingerprint(overlay))
+    assert fingerprints[0] == fingerprints[1]
+
+
+def test_same_seed_same_attack_trajectory():
+    series = []
+    for _ in range(2):
+        overlay = build_secure_overlay(
+            n=60,
+            config=SecureCyclonConfig(view_length=8, swap_length=3),
+            malicious=8,
+            attack_start=10,
+            seed=72,
+        )
+        trajectory = []
+        for _cycle in range(30):
+            overlay.run(1)
+            trajectory.append(malicious_link_fraction(overlay.engine))
+        series.append(tuple(trajectory))
+    assert series[0] == series[1]
+
+
+def test_different_seeds_differ():
+    fingerprints = []
+    for seed in (73, 74):
+        overlay = build_secure_overlay(
+            n=60,
+            config=SecureCyclonConfig(view_length=8, swap_length=3),
+            seed=seed,
+        )
+        overlay.run(10)
+        fingerprints.append(_secure_fingerprint(overlay))
+    assert fingerprints[0] != fingerprints[1]
+
+
+def test_cyclon_runs_are_deterministic_too():
+    digests = []
+    for _ in range(2):
+        overlay = build_cyclon_overlay(
+            n=60,
+            config=CyclonConfig(view_length=8, swap_length=3),
+            seed=75,
+        )
+        overlay.run(25)
+        digest = tuple(
+            (repr(nid), tuple(sorted(map(repr, view_targets(node)))))
+            for nid, node in sorted(
+                overlay.engine.nodes.items(), key=lambda kv: repr(kv[0])
+            )
+        )
+        digests.append(digest)
+    assert digests[0] == digests[1]
+
+
+def test_cyclon_total_links_conserved():
+    """Fail-free legacy Cyclon conserves the total link count exactly:
+    redeem + replace keeps n·ℓ directed edges forever (§II-B)."""
+    overlay = build_cyclon_overlay(
+        n=80, config=CyclonConfig(view_length=10, swap_length=4), seed=76
+    )
+    expected = 80 * 10
+    for _ in range(5):
+        overlay.run(5)
+        total = sum(
+            len(list(node.view)) for node in overlay.engine.nodes.values()
+        )
+        assert total == expected
+
+
+def test_cyclon_indegree_sum_equals_link_count():
+    overlay = build_cyclon_overlay(
+        n=80, config=CyclonConfig(view_length=10, swap_length=3), seed=77
+    )
+    overlay.run(20)
+    counts = indegree_counts(overlay.engine)
+    assert sum(counts.values()) == 80 * 10
+
+
+def test_secure_descriptor_population_is_stable():
+    """SecureCyclon tokens are minted once per node per cycle and die on
+    redemption; in the steady state the standing population per node
+    hovers around ℓ (the §II-B equilibrium), so the overlay-wide view
+    occupancy stays within a few percent of n·ℓ."""
+    n, view_length = 80, 10
+    overlay = build_secure_overlay(
+        n=n,
+        config=SecureCyclonConfig(view_length=view_length, swap_length=3),
+        seed=78,
+    )
+    overlay.run(30)
+    total = sum(len(node.view) for node in overlay.engine.nodes.values())
+    assert total == pytest.approx(n * view_length, rel=0.05)
+
+
+def test_no_honest_node_ever_blacklisted_under_every_attacker():
+    """The zero-false-positives guarantee, end to end: whatever the
+    adversary does, proofs only ever name actual violators."""
+    from repro.adversary.cloning import CloningAttacker
+    from repro.adversary.frequency import FrequencyAttacker
+    from repro.adversary.replay import ReplayAttacker
+    from repro.adversary.stealth import StealthBiasAttacker
+
+    for attacker_cls, kwargs in (
+        (None, {}),  # scenario default: SecureHubAttacker
+        (CloningAttacker, {"age_range": (2, 8)}),
+        (FrequencyAttacker, {"burst": 3}),
+        (ReplayAttacker, {}),
+        (StealthBiasAttacker, {}),
+    ):
+        build_kwargs = dict(
+            n=60,
+            config=SecureCyclonConfig(view_length=8, swap_length=3),
+            malicious=8,
+            attack_start=8,
+            seed=79,
+        )
+        if attacker_cls is not None:
+            build_kwargs["attacker_cls"] = attacker_cls
+            build_kwargs["attacker_kwargs"] = kwargs
+        overlay = build_secure_overlay(**build_kwargs)
+        overlay.run(35)
+        honest_ids = {
+            node.node_id for node in overlay.engine.legit_nodes()
+        }
+        for node in overlay.engine.legit_nodes():
+            blamed = set(node.blacklist.members())
+            assert not (blamed & honest_ids), (
+                f"honest node blacklisted under "
+                f"{attacker_cls.__name__ if attacker_cls else 'hub'}"
+            )

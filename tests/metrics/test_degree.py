@@ -1,0 +1,56 @@
+"""Unit tests for indegree metrics."""
+
+from repro.cyclon.config import CyclonConfig
+from repro.experiments.scenarios import build_cyclon_overlay
+from repro.metrics.degree import (
+    indegree_counts,
+    indegree_histogram,
+    indegree_statistics,
+)
+
+
+def converged_overlay(n=100, view_length=8):
+    overlay = build_cyclon_overlay(
+        n=n,
+        config=CyclonConfig(view_length=view_length, swap_length=3),
+        seed=3,
+    )
+    overlay.run(25)
+    return overlay
+
+
+def test_counts_sum_to_total_links():
+    overlay = converged_overlay()
+    counts = indegree_counts(overlay.engine)
+    total_links = sum(
+        len(node.view) for node in overlay.engine.nodes.values()
+    )
+    assert sum(counts.values()) == total_links
+    assert set(counts) == set(overlay.engine.nodes)
+
+
+def test_histogram_matches_counts():
+    overlay = converged_overlay()
+    counts = indegree_counts(overlay.engine)
+    histogram = dict(indegree_histogram(overlay.engine))
+    assert sum(histogram.values()) == len(counts)
+    for indegree, node_count in histogram.items():
+        assert node_count == sum(
+            1 for value in counts.values() if value == indegree
+        )
+
+
+def test_converged_indegrees_hug_the_outdegree():
+    """The Fig 2 property: mean ≈ ℓ with small deviation."""
+    overlay = converged_overlay(n=150, view_length=10)
+    stats = indegree_statistics(overlay.engine)
+    assert abs(stats["mean"] - 10) < 0.5
+    assert stats["stddev"] < 4.0
+    assert stats["min"] > 0  # no node is left behind
+
+
+def test_empty_engine():
+    from repro.sim.engine import Engine
+
+    stats = indegree_statistics(Engine())
+    assert stats == {"min": 0.0, "max": 0.0, "mean": 0.0, "stddev": 0.0}

@@ -1,0 +1,45 @@
+"""Unit tests for detection-ratio analysis."""
+
+from repro.adversary.cloning import CloneEvent
+from repro.core.descriptor import DescriptorId
+from repro.metrics.detection import (
+    detected_identities,
+    detection_ratio_by_age,
+    overall_detection_ratio,
+)
+from repro.sim.trace import EventTrace
+
+
+def identity(keypairs, index, stamp):
+    return DescriptorId(creator=keypairs[index].public, timestamp=stamp)
+
+
+def test_detected_identities_reads_trace(keypairs):
+    trace = EventTrace()
+    ident = identity(keypairs, 0, 1.0)
+    trace.emit(3, "secure.violation_found", node="x", identity=ident)
+    trace.emit(4, "secure.blacklisted", node="x")  # no identity field
+    assert detected_identities(trace) == {ident}
+
+
+def test_ratio_by_age_buckets(keypairs):
+    detected = {identity(keypairs, 0, 1.0)}
+    events = [
+        CloneEvent(identity=identity(keypairs, 0, 1.0), age_at_duplication=2, cycle=5),
+        CloneEvent(identity=identity(keypairs, 0, 2.0), age_at_duplication=2, cycle=6),
+        CloneEvent(identity=identity(keypairs, 0, 3.0), age_at_duplication=4, cycle=7),
+    ]
+    rows = detection_ratio_by_age(events, detected, [2, 4, 6])
+    assert rows[0] == (2, 0.5, 2)
+    assert rows[1] == (4, 0.0, 1)
+    assert rows[2] == (6, 0.0, 0)
+
+
+def test_overall_ratio(keypairs):
+    detected = {identity(keypairs, 0, 1.0)}
+    events = [
+        CloneEvent(identity=identity(keypairs, 0, 1.0), age_at_duplication=2, cycle=5),
+        CloneEvent(identity=identity(keypairs, 0, 2.0), age_at_duplication=3, cycle=6),
+    ]
+    assert overall_detection_ratio(events, detected) == 0.5
+    assert overall_detection_ratio([], detected) == 0.0

@@ -1,0 +1,59 @@
+"""Unit tests for overlay-graph statistics."""
+
+from repro.core.config import SecureCyclonConfig
+from repro.cyclon.config import CyclonConfig
+from repro.experiments.scenarios import build_cyclon_overlay, build_secure_overlay
+from repro.metrics.graphstats import (
+    build_overlay_graph,
+    eclipsed_fraction,
+    largest_component_fraction,
+    overlay_statistics,
+)
+
+
+def test_overlay_graph_edges_match_views():
+    overlay = build_cyclon_overlay(
+        n=30, config=CyclonConfig(view_length=5, swap_length=3), seed=2
+    )
+    overlay.run(5)
+    graph = build_overlay_graph(overlay.engine)
+    total_links = sum(len(n.view) for n in overlay.engine.nodes.values())
+    assert graph.number_of_edges() == total_links
+    assert graph.number_of_nodes() == 30
+
+
+def test_converged_overlay_is_one_component():
+    overlay = build_cyclon_overlay(
+        n=60, config=CyclonConfig(view_length=6, swap_length=3), seed=2
+    )
+    overlay.run(20)
+    assert largest_component_fraction(overlay.engine) == 1.0
+
+
+def test_random_graph_like_statistics():
+    overlay = build_cyclon_overlay(
+        n=100, config=CyclonConfig(view_length=8, swap_length=3), seed=2
+    )
+    overlay.run(30)
+    stats = overlay_statistics(overlay.engine)
+    assert stats["nodes"] == 100
+    assert stats["largest_component"] == 1.0
+    # Random-graph-like: low clustering, short paths.
+    assert stats["clustering"] < 0.4
+    assert 1.0 < stats["mean_shortest_path_sample"] < 5.0
+
+
+def test_eclipsed_fraction_zero_without_malicious():
+    overlay = build_secure_overlay(
+        n=30, config=SecureCyclonConfig(view_length=5, swap_length=3), seed=2
+    )
+    overlay.run(5)
+    assert eclipsed_fraction(overlay.engine) == 0.0
+
+
+def test_empty_engine_statistics():
+    from repro.sim.engine import Engine
+
+    stats = overlay_statistics(Engine())
+    assert stats["nodes"] == 0.0
+    assert largest_component_fraction(Engine()) == 0.0

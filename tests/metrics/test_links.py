@@ -1,0 +1,62 @@
+"""Unit tests for link-composition metrics."""
+
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.links import (
+    blacklisted_malicious_fraction,
+    malicious_link_fraction,
+    non_swappable_fraction,
+    view_fill_fraction,
+    view_targets,
+)
+
+
+def test_honest_overlay_has_no_malicious_links():
+    overlay = build_secure_overlay(
+        n=40, config=SecureCyclonConfig(view_length=6, swap_length=3), seed=1
+    )
+    overlay.run(5)
+    assert malicious_link_fraction(overlay.engine) == 0.0
+    assert non_swappable_fraction(overlay.engine) == 0.0
+    assert blacklisted_malicious_fraction(overlay.engine) == 0.0
+    assert 0.9 <= view_fill_fraction(overlay.engine) <= 1.0
+
+
+def test_malicious_fraction_counts_only_legit_views():
+    overlay = build_secure_overlay(
+        n=40,
+        config=SecureCyclonConfig(view_length=6, swap_length=3),
+        malicious=10,
+        attack_start=1000,
+        seed=1,
+    )
+    overlay.run(5)
+    fraction = malicious_link_fraction(overlay.engine)
+    # Pre-attack, representation tracks the population share (25%).
+    assert 0.05 <= fraction <= 0.5
+
+
+def test_view_targets_works_for_both_protocols():
+    from repro.cyclon.config import CyclonConfig
+    from repro.experiments.scenarios import build_cyclon_overlay
+
+    secure = build_secure_overlay(
+        n=20, config=SecureCyclonConfig(view_length=5, swap_length=3), seed=1
+    )
+    cyclon = build_cyclon_overlay(
+        n=20, config=CyclonConfig(view_length=5, swap_length=3), seed=1
+    )
+    for overlay in (secure, cyclon):
+        node = next(iter(overlay.engine.legit_nodes()))
+        targets = view_targets(node)
+        assert len(targets) == 5
+        assert node.node_id not in targets
+
+
+def test_empty_engine_metrics_are_zero():
+    from repro.sim.engine import Engine
+
+    engine = Engine()
+    assert malicious_link_fraction(engine) == 0.0
+    assert non_swappable_fraction(engine) == 0.0
+    assert view_fill_fraction(engine) == 0.0

@@ -1,0 +1,41 @@
+"""Unit tests for series helpers."""
+
+import pytest
+
+from repro.metrics.series import Series, mean, percentile
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    assert mean([]) == 0.0
+
+
+def test_percentile_interpolates():
+    values = [0.0, 10.0, 20.0, 30.0]
+    assert percentile(values, 0.0) == 0.0
+    assert percentile(values, 1.0) == 30.0
+    assert percentile(values, 0.5) == 15.0
+    assert percentile([], 0.5) == 0.0
+    assert percentile([7.0], 0.9) == 7.0
+
+
+def test_series_accessors():
+    series = Series(label="x")
+    series.append(0, 1.0)
+    series.append(10, 3.0)
+    series.append(20, 2.0)
+    assert series.xs == [0, 10, 20]
+    assert series.ys == [1.0, 3.0, 2.0]
+    assert series.max_y() == 3.0
+    assert series.min_y() == 1.0
+    assert series.final_y() == 2.0
+    assert series.y_at(11) == 3.0
+    assert series.window_mean(5, 25) == 2.5
+
+
+def test_empty_series():
+    series = Series(label="empty")
+    assert series.max_y() == 0.0
+    assert series.final_y() == 0.0
+    assert series.y_at(5) == 0.0
+    assert series.window_mean(0, 10) == 0.0

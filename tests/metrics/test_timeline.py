@@ -1,0 +1,83 @@
+"""Tests for the attack-timeline reporter."""
+
+import pytest
+
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.timeline import attack_timeline
+
+
+@pytest.fixture(scope="module")
+def attacked():
+    overlay = build_secure_overlay(
+        n=60,
+        config=SecureCyclonConfig(view_length=8, swap_length=3),
+        malicious=8,
+        attack_start=8,
+        seed=151,
+    )
+    overlay.run(30)
+    return overlay
+
+
+@pytest.fixture(scope="module")
+def honest():
+    overlay = build_secure_overlay(
+        n=50,
+        config=SecureCyclonConfig(view_length=8, swap_length=3),
+        seed=152,
+    )
+    overlay.run(20)
+    return overlay
+
+
+def test_milestones_exist_under_attack(attacked):
+    timeline = attack_timeline(attacked.engine)
+    assert timeline.first_violation_found is not None
+    assert timeline.first_blacklisting is not None
+    assert timeline.full_blacklist_cycle is not None
+    assert timeline.violations_found > 0
+    assert timeline.blacklist_adoptions > 0
+
+
+def test_milestones_are_ordered(attacked):
+    timeline = attack_timeline(attacked.engine)
+    assert (
+        timeline.first_violation_found
+        <= timeline.first_blacklisting
+        <= timeline.full_blacklist_cycle
+    )
+
+
+def test_attack_cannot_be_proven_before_it_starts(attacked):
+    timeline = attack_timeline(attacked.engine)
+    assert timeline.first_violation_found >= 8  # attack_start
+
+
+def test_detection_kinds_are_counted(attacked):
+    timeline = attack_timeline(attacked.engine)
+    assert sum(timeline.detections_by_kind.values()) == (
+        timeline.violations_found
+    )
+    assert "cloning" in timeline.detections_by_kind
+
+
+def test_honest_run_has_empty_timeline(honest):
+    timeline = attack_timeline(honest.engine)
+    assert timeline.first_violation_found is None
+    assert timeline.first_blacklisting is None
+    assert timeline.full_blacklist_cycle is None
+    assert timeline.violations_found == 0
+    assert timeline.blacklist_adoptions == 0
+
+
+def test_render_is_a_table(attacked):
+    text = attack_timeline(attacked.engine).render(title="T")
+    assert text.startswith("T\n")
+    assert "first violation proven (cycle)" in text
+    assert "detections: cloning" in text
+
+
+def test_render_shows_dashes_for_missing(honest):
+    text = attack_timeline(honest.engine).render()
+    assert "-" in text

@@ -1,0 +1,79 @@
+"""Property-based tests for cache invariants (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.descriptor import mint
+from repro.core.redemption import RedemptionCache
+from repro.core.samples import SampleCache
+from repro.crypto.registry import KeyRegistry
+from repro.sim.network import NetworkAddress
+
+_REGISTRY = KeyRegistry()
+_RNG = random.Random(5)
+_KEYPAIRS = [_REGISTRY.new_keypair(_RNG) for _ in range(4)]
+_ADDRESS = NetworkAddress(host=1, port=1)
+PERIOD = 10.0
+
+
+def make_descriptor(creator: int, stamp_slot: int):
+    return mint(_KEYPAIRS[creator], _ADDRESS, stamp_slot * PERIOD).transfer(
+        _KEYPAIRS[creator], _KEYPAIRS[3].public
+    )
+
+
+@given(
+    events=st.lists(
+        st.tuples(
+            st.integers(0, 2),  # creator
+            st.integers(0, 15),  # timestamp slot
+            st.integers(0, 30),  # observation cycle
+        ),
+        max_size=50,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_sample_cache_size_is_bounded_by_horizon(events):
+    horizon = 5
+    cache = SampleCache(horizon_cycles=horizon, period_seconds=PERIOD)
+    events = sorted(events, key=lambda event: event[2])
+    for creator, slot, cycle in events:
+        cache.expire(cycle)
+        cache.observe(make_descriptor(creator, slot), cycle)
+        # At most one entry per distinct identity observed within the
+        # horizon window — i.e. never more than what arrived recently.
+        assert len(cache) <= 3 * 16  # creators x timestamp slots hard cap
+    final_cycle = max((cycle for _, _, cycle in events), default=0)
+    cache.expire(final_cycle + horizon + 1)
+    assert len(cache) == 0
+
+
+@given(
+    adds=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 40)), max_size=40
+    ),
+    retention=st.integers(1, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_redemption_cache_never_holds_expired_entries(adds, retention):
+    cache = RedemptionCache(retention_cycles=retention)
+    adds = sorted(adds, key=lambda add: add[1])
+    added = []
+    for slot, cycle in adds:
+        descriptor = (
+            mint(_KEYPAIRS[0], _ADDRESS, slot * PERIOD)
+            .transfer(_KEYPAIRS[0], _KEYPAIRS[1].public)
+            .redeem(_KEYPAIRS[1])
+        )
+        cache.expire(cycle)
+        cache.add(descriptor, cycle)
+        added.append(cycle)
+        # Invariant: only entries added within the retention window may
+        # remain (several redemptions per cycle are legal).
+        in_window = sum(1 for c in added if c > cycle - retention)
+        assert len(cache) <= in_window
+    if adds:
+        last = adds[-1][1]
+        cache.expire(last + retention)
+        assert len(cache) == 0

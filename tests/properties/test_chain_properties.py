@@ -1,0 +1,107 @@
+"""Property-based tests for ownership chains (hypothesis).
+
+The chain machinery is the security core of SecureCyclon; these
+properties pin down the invariants the paper's argument relies on:
+
+* any two honestly derived copies of one descriptor are compatible;
+* any double transfer forks, and the fork is attributed to the owner
+  that double-transferred — never to anyone else;
+* chain verification accepts every honestly built chain.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chain import ChainRelation, compare_chains
+from repro.core.descriptor import mint, verify_descriptor
+from repro.crypto.registry import KeyRegistry
+from repro.sim.network import NetworkAddress
+
+_REGISTRY = KeyRegistry()
+_RNG = random.Random(20240612)
+_KEYPAIRS = [_REGISTRY.new_keypair(_RNG) for _ in range(8)]
+_ADDRESS = NetworkAddress(host=1, port=1)
+
+
+def build_chain(path):
+    """Honestly transfer a descriptor along ``path`` (list of indices)."""
+    descriptor = mint(_KEYPAIRS[path[0]], _ADDRESS, 0.0)
+    current = path[0]
+    for nxt in path[1:]:
+        descriptor = descriptor.transfer(
+            _KEYPAIRS[current], _KEYPAIRS[nxt].public
+        )
+        current = nxt
+    return descriptor
+
+
+paths = st.lists(
+    st.integers(min_value=0, max_value=7), min_size=1, max_size=6
+)
+
+
+@given(path=paths)
+@settings(max_examples=60, deadline=None)
+def test_honest_chains_always_verify(path):
+    descriptor = build_chain(path)
+    assert verify_descriptor(descriptor, _REGISTRY)
+
+
+@given(path=paths, extra=st.lists(st.integers(0, 7), max_size=3))
+@settings(max_examples=60, deadline=None)
+def test_prefix_copies_are_compatible(path, extra):
+    base = build_chain(path)
+    longer = base
+    current = path[-1]
+    for nxt in extra:
+        longer = longer.transfer(_KEYPAIRS[current], _KEYPAIRS[nxt].public)
+        current = nxt
+    comparison = compare_chains(base, longer)
+    assert comparison.relation in (
+        ChainRelation.EQUAL,
+        ChainRelation.PREFIX,
+    )
+    assert not comparison.is_violation
+    assert not compare_chains(longer, base).is_violation
+
+
+@given(
+    path=paths,
+    branch_a=st.integers(0, 7),
+    branch_b=st.integers(0, 7),
+    extend_a=st.lists(st.integers(0, 7), max_size=2),
+    extend_b=st.lists(st.integers(0, 7), max_size=2),
+)
+@settings(max_examples=80, deadline=None)
+def test_double_transfer_always_blames_the_double_spender(
+    path, branch_a, branch_b, extend_a, extend_b
+):
+    base = build_chain(path)
+    spender = path[-1]
+    if branch_a == branch_b:
+        branch_b = (branch_b + 1) % 8
+    copy_a = base.transfer(_KEYPAIRS[spender], _KEYPAIRS[branch_a].public)
+    copy_b = base.transfer(_KEYPAIRS[spender], _KEYPAIRS[branch_b].public)
+    # Extend both branches honestly: the fork point must not move.
+    current = branch_a
+    for nxt in extend_a:
+        copy_a = copy_a.transfer(_KEYPAIRS[current], _KEYPAIRS[nxt].public)
+        current = nxt
+    current = branch_b
+    for nxt in extend_b:
+        copy_b = copy_b.transfer(_KEYPAIRS[current], _KEYPAIRS[nxt].public)
+        current = nxt
+
+    comparison = compare_chains(copy_a, copy_b)
+    assert comparison.relation is ChainRelation.FORK
+    assert comparison.is_violation
+    assert comparison.culprit == _KEYPAIRS[spender].public
+    assert comparison.fork_index == len(path) - 1
+
+
+@given(path=paths)
+@settings(max_examples=40, deadline=None)
+def test_comparison_is_reflexive_and_symmetric(path):
+    descriptor = build_chain(path)
+    assert compare_chains(descriptor, descriptor).relation is ChainRelation.EQUAL

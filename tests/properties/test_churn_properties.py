@@ -1,0 +1,56 @@
+"""Property tests for churn schedules."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.sim.churn import CRASH, JOIN, LEAVE, ChurnEvent, ChurnSchedule
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    cycles=st.integers(min_value=0, max_value=200),
+    join_rate=st.floats(min_value=0.0, max_value=1.0),
+    leave_rate=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_random_churn_events_stay_in_range(seed, cycles, join_rate, leave_rate):
+    rng = random.Random(seed)
+    schedule = ChurnSchedule.random_churn(
+        rng, cycles, join_rate, leave_rate, candidate_ids=["a", "b", "c"]
+    )
+    seen = 0
+    for cycle in range(cycles + 10):
+        for event in schedule.events_at(cycle):
+            seen += 1
+            assert 0 <= event.cycle < cycles
+            assert event.action in (JOIN, LEAVE, CRASH)
+            if event.action == LEAVE:
+                assert event.node_id in ("a", "b", "c")
+    assert seen == len(schedule)
+    assert seen <= 2 * cycles
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    cycles=st.integers(min_value=50, max_value=200),
+)
+def test_zero_rates_schedule_nothing(seed, cycles):
+    rng = random.Random(seed)
+    schedule = ChurnSchedule.random_churn(
+        rng, cycles, join_rate=0.0, leave_rate=0.0, candidate_ids=["x"]
+    )
+    assert len(schedule) == 0
+
+
+@given(
+    cycles=st.lists(
+        st.integers(min_value=0, max_value=100), min_size=1, max_size=30
+    )
+)
+def test_events_are_retrievable_by_cycle(cycles):
+    schedule = ChurnSchedule(
+        ChurnEvent(cycle=cycle, action=JOIN) for cycle in cycles
+    )
+    for cycle in set(cycles):
+        assert len(schedule.events_at(cycle)) == cycles.count(cycle)
+    assert len(schedule) == len(cycles)

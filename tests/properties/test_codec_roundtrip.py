@@ -1,0 +1,145 @@
+"""Property-based round-trip tests for the whole-message codec."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import (
+    decode_message,
+    encode_message,
+    encoded_message_size,
+)
+from repro.core.descriptor import mint
+from repro.core.exchange import (
+    BulkSwapMessage,
+    BulkSwapReply,
+    GossipAccept,
+    GossipOpen,
+    GossipReject,
+    ProofFlood,
+    TransferMessage,
+    TransferReply,
+)
+from repro.core.proofs import build_cloning_proof
+from repro.crypto.registry import KeyRegistry
+from repro.errors import DescriptorError
+from repro.sim.network import NetworkAddress
+
+_REGISTRY = KeyRegistry()
+_RNG = random.Random(7)
+_KEYPAIRS = [_REGISTRY.new_keypair(_RNG) for _ in range(5)]
+
+
+@st.composite
+def descriptors(draw):
+    creator = draw(st.integers(0, 4))
+    timestamp = draw(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+    )
+    descriptor = mint(
+        _KEYPAIRS[creator],
+        NetworkAddress(
+            host=draw(st.integers(0, 2**32 - 1)),
+            port=draw(st.integers(0, 2**16 - 1)),
+        ),
+        timestamp,
+    )
+    current = creator
+    for nxt in draw(st.lists(st.integers(0, 4), max_size=4)):
+        descriptor = descriptor.transfer(
+            _KEYPAIRS[current], _KEYPAIRS[nxt].public
+        )
+        current = nxt
+    return descriptor
+
+
+@st.composite
+def proofs(draw):
+    base = draw(descriptors())
+    owner_index = next(
+        index
+        for index, keypair in enumerate(_KEYPAIRS)
+        if keypair.public == base.current_owner
+    )
+    owner = _KEYPAIRS[owner_index]
+    branch_a = base.transfer(owner, _KEYPAIRS[(owner_index + 1) % 5].public)
+    branch_b = base.transfer(owner, _KEYPAIRS[(owner_index + 2) % 5].public)
+    proof = build_cloning_proof(branch_a, branch_b)
+    assert proof is not None
+    return proof
+
+
+@st.composite
+def messages(draw):
+    kind = draw(st.integers(1, 8))
+    if kind == 1:
+        return GossipOpen(
+            redemption=draw(descriptors()),
+            non_swappable=draw(st.booleans()),
+            samples=tuple(draw(st.lists(descriptors(), max_size=3))),
+            proofs=tuple(draw(st.lists(proofs(), max_size=2))),
+        )
+    if kind == 2:
+        return GossipAccept(
+            samples=tuple(draw(st.lists(descriptors(), max_size=3))),
+            proofs=tuple(draw(st.lists(proofs(), max_size=2))),
+        )
+    if kind == 3:
+        return GossipReject(
+            reason=draw(st.text(max_size=30)),
+            proofs=tuple(draw(st.lists(proofs(), max_size=2))),
+        )
+    if kind == 4:
+        return TransferMessage(
+            descriptor=draw(descriptors()),
+            round_index=draw(st.integers(0, 2**16 - 1)),
+        )
+    if kind == 5:
+        return TransferReply(
+            descriptor=draw(st.one_of(st.none(), descriptors()))
+        )
+    if kind == 6:
+        return BulkSwapMessage(
+            descriptors=tuple(draw(st.lists(descriptors(), max_size=4)))
+        )
+    if kind == 7:
+        return BulkSwapReply(
+            descriptors=tuple(draw(st.lists(descriptors(), max_size=4)))
+        )
+    return ProofFlood(proof=draw(proofs()))
+
+
+@given(message=messages())
+@settings(max_examples=120, deadline=None)
+def test_message_roundtrip(message):
+    data = encode_message(message)
+    decoded = decode_message(data)
+    assert decoded == message
+    assert encoded_message_size(message) == len(data)
+
+
+@given(message=messages(), flip=st.data())
+@settings(max_examples=60, deadline=None)
+def test_truncated_messages_are_rejected(message, flip):
+    data = encode_message(message)
+    if len(data) < 2:
+        return
+    cut = flip.draw(st.integers(min_value=1, max_value=len(data) - 1))
+    with pytest.raises(DescriptorError):
+        decode_message(data[:cut])
+
+
+def test_unknown_type_code_rejected():
+    with pytest.raises(DescriptorError):
+        decode_message(b"\xff")
+
+
+def test_non_message_rejected_on_encode():
+    with pytest.raises(DescriptorError):
+        encode_message(object())
+
+
+def test_empty_bytes_rejected():
+    with pytest.raises(DescriptorError):
+        decode_message(b"")

@@ -1,0 +1,77 @@
+"""Property-based tests for the frequency check.
+
+The invariant from §IV-B: for any set of descriptors by one creator,
+the cache must flag a violation iff some *pair* of distinct timestamps
+lies closer than the gossip period — never for a legally spaced
+history, always for an over-minted one.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.proofs import FrequencyProof
+from repro.core.samples import SampleCache
+from repro.crypto.registry import KeyRegistry
+from repro.core.descriptor import mint
+from repro.sim.network import NetworkAddress
+
+PERIOD = 10.0
+
+_REGISTRY = KeyRegistry()
+_RNG = random.Random(3)
+_CREATOR = _REGISTRY.new_keypair(_RNG)
+_HOLDER = _REGISTRY.new_keypair(_RNG)
+_ADDRESS = NetworkAddress(host=1, port=1)
+
+
+def observe_all(timestamps):
+    cache = SampleCache(horizon_cycles=1000, period_seconds=PERIOD)
+    proofs = []
+    for cycle, stamp in enumerate(timestamps):
+        descriptor = mint(_CREATOR, _ADDRESS, stamp).transfer(
+            _CREATOR, _HOLDER.public
+        )
+        proofs.extend(
+            p
+            for p in cache.observe(descriptor, cycle)
+            if isinstance(p, FrequencyProof)
+        )
+    return proofs
+
+
+@given(
+    count=st.integers(min_value=1, max_value=12),
+    start=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_legal_cadence_never_flagged(count, start):
+    timestamps = [start + i * PERIOD for i in range(count)]
+    assert observe_all(timestamps) == []
+
+
+@given(
+    stamps=st.lists(
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+        min_size=2,
+        max_size=10,
+        unique=True,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_violation_flagged_iff_some_pair_is_too_close(stamps):
+    # The spec predicate: closer than the period minus the documented
+    # nanosecond slack (see proofs.FREQUENCY_SLACK_SECONDS).
+    has_close_pair = any(
+        0 < abs(a - b) < PERIOD - 1e-9
+        for i, a in enumerate(stamps)
+        for b in stamps[i + 1 :]
+    )
+    proofs = observe_all(stamps)
+    if has_close_pair:
+        assert proofs, stamps
+        for proof in proofs:
+            assert proof.culprit == _CREATOR.public
+            assert proof.validate(_REGISTRY, PERIOD)
+    else:
+        assert proofs == [], stamps

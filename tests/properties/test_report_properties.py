@@ -1,0 +1,91 @@
+"""Property tests for the text-rendering helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.experiments.plotting import ascii_chart
+from repro.experiments.report import format_table, series_table
+from repro.metrics.series import Series
+
+cell = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+        max_size=12,
+    ),
+)
+
+
+@given(
+    headers=st.lists(
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Lu")),
+            min_size=1,
+            max_size=10,
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    row_count=st.integers(min_value=0, max_value=8),
+    data=st.data(),
+)
+def test_format_table_lines_are_aligned(headers, row_count, data):
+    rows = [
+        [data.draw(cell) for _ in headers] for _ in range(row_count)
+    ]
+    table = format_table(headers, rows)
+    lines = table.splitlines()
+    assert len(lines) == 2 + row_count  # header + rule + rows
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # perfectly rectangular
+
+
+@given(
+    points=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=500),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_series_table_contains_every_x(points):
+    series = Series(label="s")
+    for x, y in points:
+        series.append(float(x), y)
+    table = series_table("t", [series])
+    for x, _ in points:
+        assert str(x) in table
+
+
+@given(
+    series_count=st.integers(min_value=1, max_value=6),
+    length=st.integers(min_value=1, max_value=40),
+    width=st.integers(min_value=10, max_value=120),
+    height=st.integers(min_value=4, max_value=40),
+    data=st.data(),
+)
+def test_ascii_chart_never_crashes_and_respects_width(
+    series_count, length, width, height, data
+):
+    series_list = []
+    for index in range(series_count):
+        series = Series(label=f"s{index}")
+        for x in range(length):
+            series.append(
+                float(x),
+                data.draw(
+                    st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+                ),
+            )
+        series_list.append(series)
+    chart = ascii_chart(
+        series_list, width=width, height=height, y_min=-1000.0, y_max=1000.0
+    )
+    plot_lines = [line for line in chart.splitlines() if "|" in line]
+    assert len(plot_lines) == height
+    for line in plot_lines:
+        assert len(line.split("|", 1)[1]) == width
+    for index in range(series_count):
+        assert f"s{index}" in chart

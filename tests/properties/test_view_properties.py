@@ -1,0 +1,85 @@
+"""Property-based tests for view invariants under random operations."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.descriptor import mint
+from repro.core.view import SecureView
+from repro.crypto.registry import KeyRegistry
+from repro.sim.network import NetworkAddress
+
+_REGISTRY = KeyRegistry()
+_RNG = random.Random(7)
+_KEYPAIRS = [_REGISTRY.new_keypair(_RNG) for _ in range(6)]
+_OWNER = _KEYPAIRS[5]
+_ADDRESS = NetworkAddress(host=1, port=1)
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.integers(0, 5),  # creator (5 = owner: must be rejected)
+            st.integers(0, 6),  # timestamp slot
+            st.booleans(),  # non_swappable
+        ),
+        st.tuples(st.just("pop"), st.integers(1, 3)),
+        st.tuples(st.just("purge"), st.integers(0, 5)),
+    ),
+    max_size=40,
+)
+
+
+def check_invariants(view):
+    entries = list(view)
+    assert len(entries) <= view.capacity
+    identities = [entry.descriptor.identity for entry in entries]
+    assert len(identities) == len(set(identities)), "duplicate identity"
+    assert all(entry.creator != view.owner_id for entry in entries)
+    assert (
+        view.swappable_count() + view.non_swappable_count() == len(entries)
+    )
+
+
+@given(ops=operations)
+@settings(max_examples=80, deadline=None)
+def test_view_invariants_hold_under_any_operation_sequence(ops):
+    view = SecureView(owner_id=_OWNER.public, capacity=5)
+    rng = random.Random(42)
+    for op in ops:
+        if op[0] == "insert":
+            _, creator, stamp, non_swappable = op
+            descriptor = mint(
+                _KEYPAIRS[creator], _ADDRESS, stamp * 10.0
+            ).transfer(_KEYPAIRS[creator], _OWNER.public)
+            view.insert(descriptor, non_swappable=non_swappable)
+        elif op[0] == "pop":
+            popped = view.pop_random_swappable(op[1], rng)
+            assert all(not entry.non_swappable for entry in popped)
+        elif op[0] == "purge":
+            view.purge_creator(_KEYPAIRS[op[1]].public)
+        check_invariants(view)
+
+
+@given(ops=operations)
+@settings(max_examples=40, deadline=None)
+def test_oldest_is_always_the_minimum_timestamp(ops):
+    view = SecureView(owner_id=_OWNER.public, capacity=5)
+    rng = random.Random(1)
+    for op in ops:
+        if op[0] == "insert":
+            _, creator, stamp, non_swappable = op
+            descriptor = mint(
+                _KEYPAIRS[creator], _ADDRESS, stamp * 10.0
+            ).transfer(_KEYPAIRS[creator], _OWNER.public)
+            view.insert(descriptor, non_swappable=non_swappable)
+        elif op[0] == "pop":
+            view.pop_random_swappable(op[1], rng)
+        elif op[0] == "purge":
+            view.purge_creator(_KEYPAIRS[op[1]].public)
+        oldest = view.oldest()
+        if len(view):
+            assert oldest.timestamp == min(e.timestamp for e in view)
+        else:
+            assert oldest is None

@@ -1,0 +1,92 @@
+"""Property-based round-trip tests for the wire codec."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.descriptor import TransferKind, mint, verify_descriptor
+from repro.core.proofs import build_cloning_proof
+from repro.core.wire import (
+    decode_descriptor,
+    decode_proof,
+    descriptor_bits,
+    encode_descriptor,
+    encode_proof,
+    encoded_descriptor_size,
+)
+from repro.crypto.registry import KeyRegistry
+from repro.sim.network import NetworkAddress
+
+_REGISTRY = KeyRegistry()
+_RNG = random.Random(99)
+_KEYPAIRS = [_REGISTRY.new_keypair(_RNG) for _ in range(6)]
+
+
+@st.composite
+def descriptors(draw):
+    creator = draw(st.integers(0, 5))
+    host = draw(st.integers(0, 2**32 - 1))
+    port = draw(st.integers(0, 2**16 - 1))
+    timestamp = draw(
+        st.floats(
+            min_value=-1e6,
+            max_value=1e6,
+            allow_nan=False,
+            allow_infinity=False,
+        )
+    )
+    descriptor = mint(
+        _KEYPAIRS[creator], NetworkAddress(host=host, port=port), timestamp
+    )
+    hops = draw(st.lists(st.integers(0, 5), max_size=5))
+    current = creator
+    for nxt in hops:
+        descriptor = descriptor.transfer(
+            _KEYPAIRS[current], _KEYPAIRS[nxt].public
+        )
+        current = nxt
+    if draw(st.booleans()) and descriptor.hops:
+        descriptor = descriptor.redeem(
+            _KEYPAIRS[current], non_swappable=draw(st.booleans())
+        )
+    return descriptor
+
+
+@given(descriptor=descriptors())
+@settings(max_examples=80, deadline=None)
+def test_descriptor_roundtrip(descriptor):
+    decoded = decode_descriptor(encode_descriptor(descriptor))
+    assert decoded == descriptor
+    assert decoded.identity == descriptor.identity
+    assert decoded.current_owner == descriptor.current_owner
+    # Signatures survive, so verification still passes.
+    assert verify_descriptor(decoded, _REGISTRY) == verify_descriptor(
+        descriptor, _REGISTRY
+    )
+
+
+@given(descriptor=descriptors())
+@settings(max_examples=40, deadline=None)
+def test_encoded_size_tracks_budget(descriptor):
+    budget_bytes = descriptor_bits(descriptor) // 8
+    measured = encoded_descriptor_size(descriptor)
+    # One kind byte per hop plus fixed framing (~16 bytes).
+    overhead = measured - budget_bytes
+    assert 0 <= overhead <= 16 + len(descriptor.hops)
+
+
+@given(spender=st.integers(0, 3), a=st.integers(0, 5), b=st.integers(0, 5))
+@settings(max_examples=40, deadline=None)
+def test_proof_roundtrip(spender, a, b):
+    if a == b:
+        b = (b + 1) % 6
+    base = mint(
+        _KEYPAIRS[4], NetworkAddress(host=1, port=1), 0.0
+    ).transfer(_KEYPAIRS[4], _KEYPAIRS[spender].public)
+    proof = build_cloning_proof(
+        base.transfer(_KEYPAIRS[spender], _KEYPAIRS[a].public),
+        base.transfer(_KEYPAIRS[spender], _KEYPAIRS[b].public),
+    )
+    decoded = decode_proof(encode_proof(proof))
+    assert decoded.culprit == proof.culprit
+    assert decoded.validate(_REGISTRY, 10.0)

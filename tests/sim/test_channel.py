@@ -1,0 +1,63 @@
+"""Unit tests for channels and drop policies."""
+
+import random
+
+import pytest
+
+from repro.sim.channel import Channel, DropPolicy, MessageDropped
+
+
+def make_channel(policy=None, reply="pong"):
+    log = []
+
+    def deliver(payload):
+        log.append(payload)
+        return reply
+
+    channel = Channel(
+        initiator_id="a",
+        partner_id="b",
+        deliver=deliver,
+        rng=random.Random(0),
+        policy=policy,
+        sizer=lambda payload: len(str(payload)),
+    )
+    return channel, log
+
+
+def test_request_roundtrip():
+    channel, log = make_channel()
+    assert channel.request("ping") == "pong"
+    assert log == ["ping"]
+    assert channel.requests_sent == 1
+    assert channel.replies_received == 1
+
+
+def test_traffic_accounting():
+    channel, _ = make_channel()
+    channel.request("ping")
+    assert channel.bytes_sent == len("ping")
+    assert channel.bytes_received == len("pong")
+
+
+def test_request_loss_marks_undelivered():
+    channel, log = make_channel(policy=DropPolicy(request_loss=1.0))
+    with pytest.raises(MessageDropped) as excinfo:
+        channel.request("ping")
+    assert excinfo.value.delivered is False
+    assert log == []  # the partner never saw it
+
+
+def test_reply_loss_marks_delivered():
+    channel, log = make_channel(policy=DropPolicy(reply_loss=1.0))
+    with pytest.raises(MessageDropped) as excinfo:
+        channel.request("ping")
+    assert excinfo.value.delivered is True
+    assert log == ["ping"]  # the partner processed the request
+
+
+def test_drop_policy_validates_probabilities():
+    with pytest.raises(ValueError):
+        DropPolicy(request_loss=1.5)
+    with pytest.raises(ValueError):
+        DropPolicy(reply_loss=-0.1)

@@ -1,0 +1,50 @@
+"""Unit tests for churn schedules."""
+
+import random
+
+import pytest
+
+from repro.sim.churn import CRASH, JOIN, LEAVE, ChurnEvent, ChurnSchedule
+
+
+def test_fluent_builders():
+    schedule = ChurnSchedule().join(1).leave(2, "a").crash(2, "b")
+    assert len(schedule) == 3
+    assert [e.action for e in schedule.events_at(2)] == [LEAVE, CRASH]
+    assert schedule.events_at(1)[0].action == JOIN
+    assert schedule.events_at(99) == []
+
+
+def test_invalid_action_rejected():
+    with pytest.raises(ValueError):
+        ChurnEvent(cycle=0, action="explode")
+
+
+def test_negative_cycle_rejected():
+    with pytest.raises(ValueError):
+        ChurnEvent(cycle=-1, action=JOIN)
+
+
+def test_random_churn_rates():
+    rng = random.Random(0)
+    schedule = ChurnSchedule.random_churn(
+        rng, cycles=200, join_rate=0.5, leave_rate=0.5, candidate_ids=["x", "y"]
+    )
+    joins = sum(
+        1
+        for cycle in range(200)
+        for event in schedule.events_at(cycle)
+        if event.action == JOIN
+    )
+    leaves = len(schedule) - joins
+    # Bernoulli(0.5) over 200 cycles: both should land near 100.
+    assert 60 <= joins <= 140
+    assert 60 <= leaves <= 140
+
+
+def test_random_churn_without_candidates_never_leaves():
+    rng = random.Random(0)
+    schedule = ChurnSchedule.random_churn(
+        rng, cycles=50, join_rate=0.0, leave_rate=1.0, candidate_ids=[]
+    )
+    assert len(schedule) == 0

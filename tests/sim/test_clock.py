@@ -1,0 +1,43 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+def test_initial_state():
+    clock = SimClock(period_seconds=10.0)
+    assert clock.cycle == 0
+    assert clock.now() == 0.0
+
+
+def test_advance_moves_wall_clock():
+    clock = SimClock(period_seconds=10.0)
+    clock.advance()
+    assert clock.cycle == 1
+    assert clock.now() == 10.0
+    clock.advance(4)
+    assert clock.now() == 50.0
+
+
+def test_timestamp_cycle_roundtrip():
+    clock = SimClock(period_seconds=7.5)
+    for cycle in (0, 1, 13, 400):
+        assert clock.cycle_of_timestamp(clock.timestamp_for_cycle(cycle)) == cycle
+
+
+def test_invalid_period_rejected():
+    with pytest.raises(SimulationError):
+        SimClock(period_seconds=0)
+
+
+def test_negative_advance_rejected():
+    clock = SimClock()
+    with pytest.raises(SimulationError):
+        clock.advance(-1)
+
+
+def test_negative_start_cycle_rejected():
+    with pytest.raises(SimulationError):
+        SimClock(start_cycle=-2)

@@ -1,0 +1,132 @@
+"""Unit tests for the simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.churn import ChurnSchedule
+from repro.sim.engine import Engine, ProtocolNode, SimConfig
+from repro.sim.observers import Observer
+
+
+class CountingNode(ProtocolNode):
+    def __init__(self, node_id, malicious=False):
+        self.node_id = node_id
+        self.malicious = malicious
+        self.begin_calls = []
+        self.run_calls = 0
+
+    @property
+    def is_malicious(self):
+        return self.malicious
+
+    def begin_cycle(self, cycle):
+        self.begin_calls.append(cycle)
+
+    def run_cycle(self, network):
+        self.run_calls += 1
+
+    def receive(self, sender_id, payload):
+        return None
+
+
+class RecordingObserver(Observer):
+    def __init__(self):
+        self.started = False
+        self.cycles = []
+        self.finished = False
+
+    def on_start(self, engine):
+        self.started = True
+
+    def on_cycle_end(self, engine, cycle):
+        self.cycles.append(cycle)
+
+    def on_finish(self, engine):
+        self.finished = True
+
+
+def test_every_node_activated_once_per_cycle():
+    engine = Engine(SimConfig(seed=1))
+    nodes = [CountingNode(i) for i in range(5)]
+    for node in nodes:
+        engine.add_node(node)
+    engine.run(3)
+    for node in nodes:
+        assert node.begin_calls == [0, 1, 2]
+        assert node.run_calls == 3
+    assert engine.clock.cycle == 3
+
+
+def test_duplicate_node_id_rejected():
+    engine = Engine()
+    engine.add_node(CountingNode("a"))
+    with pytest.raises(SimulationError):
+        engine.add_node(CountingNode("a"))
+
+
+def test_observer_hooks_fire():
+    engine = Engine()
+    engine.add_node(CountingNode("a"))
+    observer = RecordingObserver()
+    engine.add_observer(observer)
+    engine.run(2)
+    assert observer.started and observer.finished
+    assert observer.cycles == [0, 1]
+
+
+def test_malicious_and_legit_partition():
+    engine = Engine()
+    engine.add_node(CountingNode("good"))
+    engine.add_node(CountingNode("evil", malicious=True))
+    assert engine.malicious_ids == {"evil"}
+    assert engine.legit_ids == {"good"}
+    assert [n.node_id for n in engine.legit_nodes()] == ["good"]
+
+
+def test_churn_leave_and_join():
+    joined = []
+
+    def join_factory(engine):
+        node = CountingNode(f"new-{len(joined)}")
+        joined.append(node)
+        return node
+
+    churn = ChurnSchedule().leave(1, "a").join(2)
+    engine = Engine(churn=churn, join_factory=join_factory)
+    engine.add_node(CountingNode("a"))
+    engine.add_node(CountingNode("b"))
+    engine.run(3)
+    assert "a" not in engine.nodes
+    assert joined and joined[0].node_id in engine.nodes
+    assert engine.trace.count("churn.leave") == 1
+    assert engine.trace.count("churn.join") == 1
+
+
+def test_join_without_factory_is_an_error():
+    engine = Engine(churn=ChurnSchedule().join(0))
+    with pytest.raises(SimulationError):
+        engine.run(1)
+
+
+def test_negative_cycles_rejected():
+    with pytest.raises(SimulationError):
+        Engine().run(-1)
+
+
+def test_determinism_same_seed():
+    def build_and_run(seed):
+        engine = Engine(SimConfig(seed=seed))
+        nodes = [CountingNode(i) for i in range(10)]
+        for node in nodes:
+            engine.add_node(node)
+        order = []
+
+        class OrderSpy(Observer):
+            def on_cycle_end(self, engine, cycle):
+                order.append(tuple(engine.alive_ids()))
+
+        engine.add_observer(OrderSpy())
+        engine.run(2)
+        return order
+
+    assert build_and_run(9) == build_and_run(9)

@@ -1,0 +1,32 @@
+"""Unit tests for observers."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.observers import SeriesObserver
+from tests.sim.test_engine import CountingNode
+
+
+def test_series_observer_samples_every_cycle():
+    engine = Engine()
+    engine.add_node(CountingNode("a"))
+    observer = SeriesObserver({"alive": lambda e: float(len(e.nodes))})
+    engine.add_observer(observer)
+    engine.run(3)
+    assert observer.series["alive"] == [(0, 1.0), (1, 1.0), (2, 1.0)]
+    assert observer.values("alive") == [1.0, 1.0, 1.0]
+    assert observer.cycles("alive") == [0, 1, 2]
+
+
+def test_series_observer_sampling_interval():
+    engine = Engine()
+    engine.add_node(CountingNode("a"))
+    observer = SeriesObserver({"alive": lambda e: 1.0}, every=2)
+    engine.add_observer(observer)
+    engine.run(5)
+    assert observer.cycles("alive") == [0, 2, 4]
+
+
+def test_invalid_interval_rejected():
+    with pytest.raises(ValueError):
+        SeriesObserver({}, every=0)

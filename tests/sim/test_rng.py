@@ -1,0 +1,40 @@
+"""Unit tests for the RNG hub."""
+
+import pytest
+
+from repro.sim.rng import RngHub
+
+
+def test_streams_are_memoised():
+    hub = RngHub(1)
+    assert hub.stream("a") is hub.stream("a")
+
+
+def test_streams_are_independent_of_each_other():
+    hub = RngHub(1)
+    a_first = hub.stream("a").random()
+    # Drawing from "b" must not perturb "a"'s sequence.
+    hub2 = RngHub(1)
+    hub2.stream("b").random()
+    a_second = hub2.stream("a").random()
+    assert a_first == a_second
+
+
+def test_same_seed_same_streams():
+    assert RngHub(5).stream("x").random() == RngHub(5).stream("x").random()
+
+
+def test_different_seeds_differ():
+    assert RngHub(5).stream("x").random() != RngHub(6).stream("x").random()
+
+
+def test_spawn_creates_independent_hub():
+    hub = RngHub(5)
+    child = hub.spawn("child")
+    assert child.master_seed != hub.master_seed
+    assert child.stream("x").random() != hub.stream("x").random()
+
+
+def test_seed_must_be_int():
+    with pytest.raises(TypeError):
+        RngHub("not-an-int")

@@ -1,0 +1,34 @@
+"""Unit tests for the event trace."""
+
+from repro.sim.trace import EventTrace
+
+
+def test_emit_and_query():
+    trace = EventTrace()
+    trace.emit(0, "secure.blacklisted", node="a", culprit="b")
+    trace.emit(1, "secure.idle", node="c")
+    assert len(trace) == 2
+    assert trace.count("secure.blacklisted") == 1
+    assert trace.first("secure.blacklisted").detail["culprit"] == "b"
+    assert trace.first("missing") is None
+
+
+def test_prefix_matching():
+    trace = EventTrace()
+    trace.emit(0, "churn.join")
+    trace.emit(0, "churn.leave")
+    trace.emit(0, "churnfake")
+    assert trace.count("churn") == 2
+
+
+def test_disabled_trace_is_noop():
+    trace = EventTrace(enabled=False)
+    trace.emit(0, "anything")
+    assert len(trace) == 0
+
+
+def test_clear():
+    trace = EventTrace()
+    trace.emit(0, "x")
+    trace.clear()
+    assert len(trace) == 0

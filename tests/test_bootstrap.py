@@ -1,0 +1,75 @@
+"""Unit tests for the bootstrap module."""
+
+import random
+
+import pytest
+
+from repro.bootstrap import bootstrap_joiner, random_targets
+from repro.core.config import SecureCyclonConfig
+from repro.core.node import SecureCyclonNode
+from repro.experiments.scenarios import build_secure_overlay
+
+
+def test_random_targets_excludes_and_bounds():
+    rng = random.Random(0)
+    ids = list(range(10))
+    targets = random_targets(ids, 5, exclude=3, rng=rng)
+    assert len(targets) == 5
+    assert 3 not in targets
+    # Requesting more than available caps at the pool size.
+    assert len(random_targets(ids, 50, exclude=3, rng=rng)) == 9
+
+
+def make_joiner(engine, name):
+    keypair = engine.registry.new_keypair(engine.rng_hub.stream(name))
+    node = SecureCyclonNode(
+        keypair=keypair,
+        address=engine.network.reserve_address(keypair.public),
+        config=SecureCyclonConfig(view_length=6, swap_length=3),
+        clock=engine.clock,
+        registry=engine.registry,
+        rng=engine.rng_hub.stream(f"{name}-rng"),
+    )
+    return node
+
+
+def test_joiner_acquires_valid_owned_links():
+    overlay = build_secure_overlay(
+        n=20, config=SecureCyclonConfig(view_length=6, swap_length=3), seed=71
+    )
+    overlay.run(3)
+    engine = overlay.engine
+    joiner = make_joiner(engine, "j")
+    acquired = bootstrap_joiner(
+        joiner, engine.legit_nodes(), links=3, rng=random.Random(1)
+    )
+    assert acquired == 3
+    for entry in joiner.view:
+        assert entry.descriptor.current_owner == joiner.node_id
+        assert not entry.non_swappable  # the joiner's links are real
+
+
+def test_joiner_with_no_donors():
+    overlay = build_secure_overlay(
+        n=5, config=SecureCyclonConfig(view_length=3, swap_length=2), seed=71
+    )
+    engine = overlay.engine
+    joiner = make_joiner(engine, "j2")
+    assert bootstrap_joiner(joiner, [], links=3, rng=random.Random(1)) == 0
+    assert len(joiner.view) == 0
+
+
+def test_donated_links_remain_usable_for_gossip():
+    """The joiner can actually redeem a donated token."""
+    overlay = build_secure_overlay(
+        n=20, config=SecureCyclonConfig(view_length=6, swap_length=3), seed=72
+    )
+    overlay.run(3)
+    engine = overlay.engine
+    joiner = make_joiner(engine, "j3")
+    joiner.bind_network(engine.network)
+    bootstrap_joiner(joiner, engine.legit_nodes(), links=3, rng=random.Random(2))
+    engine.add_node(joiner)
+    joiner.begin_cycle(engine.clock.cycle)
+    joiner.run_cycle(engine.network)  # must not raise; view refreshes
+    assert len(joiner.view) >= 3

@@ -1,0 +1,31 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            if obj is errors.ReproError:
+                continue
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_hierarchy_relationships():
+    assert issubclass(errors.SignatureError, errors.CryptoError)
+    assert issubclass(errors.UnknownKeyError, errors.CryptoError)
+    assert issubclass(errors.DescriptorError, errors.ProtocolError)
+    assert issubclass(errors.RedemptionError, errors.ProtocolError)
+    assert issubclass(errors.ExchangeAborted, errors.ProtocolError)
+    assert issubclass(errors.ChannelDropped, errors.ChannelError)
+    assert issubclass(errors.PeerUnreachable, errors.ChannelError)
+
+
+def test_catching_the_base_catches_everything():
+    with pytest.raises(errors.ReproError):
+        raise errors.PeerUnreachable("gone")
+    with pytest.raises(errors.ReproError):
+        raise errors.ConfigError("bad")

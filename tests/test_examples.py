@@ -1,0 +1,61 @@
+"""The examples are part of the public surface — keep them honest.
+
+Every example must compile, carry a run-documented docstring, expose a
+``main()`` and the ``__main__`` guard; the quickstart (the one a new
+user runs first) is additionally executed end to end.
+"""
+
+import ast
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable minimum; we ship more
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=lambda path: path.name
+)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(
+        str(path), cfile=str(tmp_path / "out.pyc"), doraise=True
+    )
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=lambda path: path.name
+)
+def test_example_structure(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    docstring = ast.get_docstring(tree)
+    assert docstring, f"{path.name} lacks a docstring"
+    assert "Run:" in docstring, f"{path.name} docstring lacks a Run: line"
+    function_names = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in function_names, f"{path.name} lacks a main()"
+    source = path.read_text(encoding="utf-8")
+    assert '__name__ == "__main__"' in source or (
+        "__name__ == '__main__'" in source
+    ), f"{path.name} lacks the __main__ guard"
+
+
+def test_quickstart_runs_end_to_end():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "samples these peers" in completed.stdout
