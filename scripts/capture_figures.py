@@ -1,0 +1,54 @@
+"""Capture the seeded smoke-scale figure series for equivalence checks.
+
+Renders fig2/fig3/fig5/fig6/fig7 at SMOKE scale with a fixed seed and
+writes the text to a directory.  Run it before and after a hot-path
+change and diff the outputs: they must be byte-identical, because every
+optimisation of the simulation core is required to preserve RNG stream
+consumption (see PERFORMANCE.md).
+
+Usage: PYTHONPATH=src python scripts/capture_figures.py OUTDIR
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.experiments import (
+    fig2_indegree,
+    fig3_cyclon_takeover,
+    fig5_hub_defense,
+    fig6_depletion,
+    fig7_redemption,
+)
+from repro.experiments.scale import Scale
+
+
+def main(outdir: str) -> None:
+    out = pathlib.Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    captures = {
+        "fig2": lambda: fig2_indegree.render(
+            fig2_indegree.run_fig2(scale=Scale.SMOKE, seed=1)
+        ),
+        "fig3": lambda: fig3_cyclon_takeover.render(
+            fig3_cyclon_takeover.run_fig3(scale=Scale.SMOKE, seed=1)
+        ),
+        "fig5": lambda: fig5_hub_defense.render(
+            fig5_hub_defense.run_fig5(scale=Scale.SMOKE, seed=1)
+        ),
+        "fig6": lambda: fig6_depletion.render(
+            fig6_depletion.run_fig6(scale=Scale.SMOKE, seed=1)
+        ),
+        "fig7": lambda: fig7_redemption.render(
+            fig7_redemption.run_fig7(scale=Scale.SMOKE, seed=1)
+        ),
+    }
+    for name, capture in captures.items():
+        text = capture()
+        (out / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"captured {name} -> {out / (name + '.txt')}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figure-captures")

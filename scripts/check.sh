@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests + a budgeted smoke-scale benchmark.
+#
+#   scripts/check.sh            # tests + perf guard
+#   SKIP_PERF=1 scripts/check.sh  # tests only
+#
+# The perf guard reruns the 200-node full-cycle benchmark and fails if
+# it regresses more than 20% against the most recent entry recorded in
+# BENCH_core.json (see benchmarks/baseline.py).  The comparison uses
+# the *min* statistic: on shared CI hardware scheduling noise only ever
+# adds time, so the min is the stable signal.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+if [[ "${SKIP_PERF:-0}" == "1" ]]; then
+    echo "== perf guard skipped (SKIP_PERF=1) =="
+    exit 0
+fi
+
+echo "== perf guard (budget: <=1.2x of BENCH_core.json) =="
+python - <<'PY'
+import json
+import pathlib
+import sys
+import time
+
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scale import Scale, run_scale_stress
+from repro.experiments.scenarios import build_secure_overlay
+
+BUDGET = 1.20
+WALL_CLOCK_BUDGET_S = 120.0
+
+bench_path = pathlib.Path("BENCH_core.json")
+if not bench_path.exists():
+    sys.exit("BENCH_core.json missing; run benchmarks/baseline.py first")
+data = json.loads(bench_path.read_text())
+entries = data["entries"]
+label, entry = list(entries.items())[-1]
+recorded = entry["metrics"]["full_cycle_200_nodes_ms"]["min"]
+
+started = time.perf_counter()
+
+overlay = build_secure_overlay(
+    n=200, config=SecureCyclonConfig(view_length=20, swap_length=3), seed=1
+)
+overlay.run(3)
+times = []
+for _ in range(5):
+    t0 = time.perf_counter()
+    overlay.run(1)
+    times.append((time.perf_counter() - t0) * 1e3)
+measured = min(times)
+
+ratio = measured / recorded
+print(f"full cycle: {measured:.1f} ms vs recorded [{label}] {recorded:.1f} ms "
+      f"(x{ratio:.2f}, budget x{BUDGET})")
+
+report = run_scale_stress(scale=Scale.SMOKE, seed=7)
+print(report.render())
+
+elapsed = time.perf_counter() - started
+print(f"perf guard wall clock: {elapsed:.1f}s (budget {WALL_CLOCK_BUDGET_S:.0f}s)")
+if elapsed > WALL_CLOCK_BUDGET_S:
+    sys.exit("perf guard exceeded its wall-clock budget")
+if ratio > BUDGET:
+    sys.exit(f"full-cycle benchmark regressed: x{ratio:.2f} > x{BUDGET}")
+print("perf guard OK")
+PY

@@ -16,20 +16,26 @@ from repro.crypto.keys import PublicKey
 
 
 class Blacklist:
-    """Set of proven violators, keyed by public key."""
+    """Set of proven violators, keyed by public key.
+
+    ``by_culprit`` is the underlying proof map, exposed as a public
+    attribute: hot protocol paths test membership on every received
+    descriptor, and a direct ``in`` on the (never-replaced) dict avoids
+    a method call per check.  Treat it as read-only outside this class.
+    """
 
     def __init__(self) -> None:
-        self._proofs: Dict[PublicKey, ViolationProof] = {}
+        self.by_culprit: Dict[PublicKey, ViolationProof] = {}
         self._proofs_tuple: tuple = ()
 
     def __len__(self) -> int:
-        return len(self._proofs)
+        return len(self.by_culprit)
 
     def __contains__(self, public: PublicKey) -> bool:
-        return public in self._proofs
+        return public in self.by_culprit
 
     def is_blacklisted(self, public: PublicKey) -> bool:
-        return public in self._proofs
+        return public in self.by_culprit
 
     def add(self, proof: ViolationProof) -> bool:
         """Record ``proof``; True iff its culprit is newly blacklisted.
@@ -37,14 +43,14 @@ class Blacklist:
         The "already discovered" test is the paper's guard against
         re-flooding known proofs (§IV-C DoS discussion).
         """
-        if proof.culprit in self._proofs:
+        if proof.culprit in self.by_culprit:
             return False
-        self._proofs[proof.culprit] = proof
+        self.by_culprit[proof.culprit] = proof
         self._proofs_tuple = self._proofs_tuple + (proof,)
         return True
 
     def proof_for(self, public: PublicKey) -> Optional[ViolationProof]:
-        return self._proofs.get(public)
+        return self.by_culprit.get(public)
 
     def proofs(self) -> List[ViolationProof]:
         """All retained proofs (piggybacked on gossip for catch-up)."""
@@ -55,4 +61,4 @@ class Blacklist:
         return self._proofs_tuple
 
     def members(self) -> Iterable[PublicKey]:
-        return self._proofs.keys()
+        return self.by_culprit.keys()

@@ -56,11 +56,14 @@ class ChainComparison:
 def _hops_equal(a: OwnershipHop, b: OwnershipHop) -> bool:
     """Hop equality for chain comparison.
 
-    Signatures are deterministic in our scheme, so (owner, kind) decides
-    equality for verified chains; comparing signatures too would only
-    matter for unverified garbage, which callers reject earlier.
+    Hop objects are minted once per transfer and shared by every
+    descendant chain, so in-memory copies of the same lineage compare
+    by identity almost always.  Signatures are deterministic in our
+    scheme, so (owner, kind) decides equality for verified chains;
+    comparing signatures too would only matter for unverified garbage,
+    which callers reject earlier.
     """
-    return a.owner == b.owner and a.kind == b.kind
+    return a is b or (a.owner == b.owner and a.kind == b.kind)
 
 
 def _is_sanctioned_fork(
@@ -91,10 +94,21 @@ def compare_chains(
             f"{first.identity!r} vs {second.identity!r}"
         )
 
-    shorter = min(len(first.hops), len(second.hops))
+    first_hops = first.hops
+    second_hops = second.hops
+    shorter = min(len(first_hops), len(second_hops))
+    # Shared-lineage fast path: a hop object lives in exactly one
+    # lineage, so identical objects at the last common index certify
+    # the whole common prefix without walking it.
+    if shorter and first_hops[shorter - 1] is second_hops[shorter - 1]:
+        if len(first_hops) == len(second_hops):
+            return ChainComparison(relation=ChainRelation.EQUAL)
+        if len(first_hops) < len(second_hops):
+            return ChainComparison(relation=ChainRelation.PREFIX)
+        return ChainComparison(relation=ChainRelation.EXTENSION)
     for index in range(shorter):
-        hop_a = first.hops[index]
-        hop_b = second.hops[index]
+        hop_a = first_hops[index]
+        hop_b = second_hops[index]
         if _hops_equal(hop_a, hop_b):
             continue
         owners = first.owners()

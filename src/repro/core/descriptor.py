@@ -25,10 +25,11 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass, field
-from typing import Tuple
+from itertools import islice
+from typing import Optional, Tuple
 
 from repro.crypto.keys import KeyPair, PublicKey
-from repro.crypto.signing import Signature, sign, verify
+from repro.crypto.signing import Signature, _compute_mac, verify
 from repro.errors import DescriptorError
 from repro.sim.network import NetworkAddress
 
@@ -51,13 +52,19 @@ class TransferKind(enum.Enum):
 TERMINAL_KINDS = (TransferKind.REDEEM, TransferKind.NONSWAP_REDEEM)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OwnershipHop:
     """One link of the chain: ``owner`` received the descriptor.
 
     ``signature`` was produced by the *previous* owner (the creator for
     the first hop) over the descriptor digest up to and including this
     hop, so the chain cannot be truncated, reordered or grafted.
+
+    Hop objects are created exactly once, by :meth:`SecureDescriptor.
+    transfer`, and shared by every descendant chain — two chains that
+    contain the *same hop object* at the same position are therefore
+    guaranteed to agree on the whole prefix up to it, which the chain
+    comparison exploits.
     """
 
     owner: PublicKey
@@ -65,7 +72,7 @@ class OwnershipHop:
     signature: Signature
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DescriptorId:
     """The identity of a descriptor: its creator and birth timestamp.
 
@@ -75,6 +82,7 @@ class DescriptorId:
 
     creator: PublicKey
     timestamp: float
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         # Identities key the sample caches of every node; cache the hash.
@@ -83,15 +91,22 @@ class DescriptorId:
         )
 
     def __hash__(self) -> int:
-        return self._hash  # type: ignore[attr-defined]
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DescriptorId({self.creator.hex()}@{self.timestamp:g})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SecureDescriptor:
-    """An enhanced descriptor: node info plus the chain of ownership."""
+    """An enhanced descriptor: node info plus the chain of ownership.
+
+    Slotted, with the lazily computed digests and the verification memo
+    declared as slots: the simulation reads these fields for every
+    received descriptor, and a slot load is the cheapest attribute
+    access Python offers.  The ``_``-prefixed fields are caches, not
+    state — they never influence equality or hashing.
+    """
 
     creator: PublicKey
     address: NetworkAddress
@@ -100,6 +115,20 @@ class SecureDescriptor:
     # Pre-computed (creator, timestamp) pair — the descriptor's identity.
     # Eager because it is read on every cache lookup in the simulation.
     identity: DescriptorId = field(
+        init=False, compare=False, repr=False, default=None
+    )
+    _base_digest: Optional[bytes] = field(
+        init=False, compare=False, repr=False, default=None
+    )
+    _chain_digest: Optional[bytes] = field(
+        init=False, compare=False, repr=False, default=None
+    )
+    _attested_digest: Optional[bytes] = field(
+        init=False, compare=False, repr=False, default=None
+    )
+    # The registry this descriptor last verified against (see
+    # verify_descriptor) — propagated to children on transfer.
+    _verified_by: object = field(
         init=False, compare=False, repr=False, default=None
     )
 
@@ -146,20 +175,26 @@ class SecureDescriptor:
 
     def base_digest(self) -> bytes:
         """Digest of the birth fields (creator, address, timestamp)."""
-        hasher = hashlib.sha256()
-        hasher.update(self.creator.digest)
-        hasher.update(self.address.host.to_bytes(4, "big"))
-        hasher.update(self.address.port.to_bytes(2, "big"))
-        hasher.update(repr(self.timestamp).encode("ascii"))
-        return hasher.digest()
+        cached = self._base_digest
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256(
+            self.creator.digest
+            + self.address.host.to_bytes(4, "big")
+            + self.address.port.to_bytes(2, "big")
+            + repr(self.timestamp).encode("ascii")
+        ).digest()
+        object.__setattr__(self, "_base_digest", digest)
+        return digest
 
     def chain_digest(self) -> bytes:
         """Running digest over the birth fields and every hop.
 
         Cached: descriptors are immutable and every transfer extends
-        the digest of its parent.
+        the digest of its parent, so in a live simulation the full walk
+        below only runs for descriptors rebuilt from the wire.
         """
-        cached = self.__dict__.get("_chain_digest")
+        cached = self._chain_digest
         if cached is not None:
             return cached
         digest = self.base_digest()
@@ -167,6 +202,29 @@ class SecureDescriptor:
             digest = _extend_digest(digest, hop.owner, hop.kind)
         object.__setattr__(self, "_chain_digest", digest)
         return digest
+
+    def attested_digest(self) -> bytes:
+        """Running digest over the chain *including* each hop signature.
+
+        Two descriptors share an attested digest iff they carry the same
+        birth fields, the same hop sequence *and* the same signature
+        MACs, so an attested digest uniquely fingerprints a fully
+        attested chain (collision resistance of SHA-256 is assumed, as
+        everywhere in the idealised crypto layer).  Prefix-trust
+        verification keys on this digest: see :func:`verify_descriptor`.
+        Incremental like :meth:`chain_digest` — each transfer extends
+        the cached parent state.
+        """
+        cached = self._attested_digest
+        if cached is not None:
+            return cached
+        attested = self.base_digest()
+        for hop in self.hops:
+            attested = _extend_attested(
+                attested, hop.owner, hop.kind, hop.signature.mac
+            )
+        object.__setattr__(self, "_attested_digest", attested)
+        return attested
 
     # ------------------------------------------------------------------
     # transfers
@@ -184,32 +242,50 @@ class SecureDescriptor:
         API-level embodiment of "only the owner can transfer".  Terminal
         kinds must target the creator, and nothing may follow them.
         """
-        if owner_keypair.public != self.current_owner:
+        hops = self.hops
+        last_hop = hops[-1] if hops else None
+        owner = last_hop.owner if last_hop is not None else self.creator
+        if owner_keypair.public.digest != owner.digest:
             raise DescriptorError(
                 f"{owner_keypair.public.hex()} is not the current owner "
-                f"({self.current_owner.hex()})"
+                f"({owner.hex()})"
             )
-        if self.is_spent:
+        if last_hop is not None and last_hop.kind in TERMINAL_KINDS:
             raise DescriptorError("descriptor already redeemed")
         if kind in TERMINAL_KINDS and new_owner != self.creator:
             raise DescriptorError("redemption hops must target the creator")
         new_digest = _extend_digest(self.chain_digest(), new_owner, kind)
-        signature = sign(owner_keypair, new_digest)
-        hop = OwnershipHop(owner=new_owner, kind=kind, signature=signature)
-        child = SecureDescriptor(
-            creator=self.creator,
-            address=self.address,
-            timestamp=self.timestamp,
-            hops=self.hops + (hop,),
-        )
-        object.__setattr__(child, "_chain_digest", new_digest)
+        # Inlined sign() and direct slot assembly: one transfer per
+        # descriptor per cycle makes this the hottest signing site.
+        fill = object.__setattr__
+        signature = object.__new__(Signature)
+        fill(signature, "signer", owner_keypair.public)
+        fill(signature, "mac", _compute_mac(owner_keypair.seed, new_digest))
+        hop = object.__new__(OwnershipHop)
+        fill(hop, "owner", new_owner)
+        fill(hop, "kind", kind)
+        fill(hop, "signature", signature)
+        # Transfers are the single hottest allocation site of the
+        # simulation, so the child is assembled directly instead of
+        # going through the dataclass __init__/__post_init__ (which
+        # would re-derive the identity the parent already carries).
+        child = object.__new__(SecureDescriptor)
+        fill(child, "creator", self.creator)
+        fill(child, "address", self.address)
+        fill(child, "timestamp", self.timestamp)
+        fill(child, "hops", hops + (hop,))
+        fill(child, "identity", self.identity)
+        fill(child, "_base_digest", self._base_digest)
+        fill(child, "_chain_digest", new_digest)
+        # The attested digest is only consulted by full (non-memoised)
+        # verification, which the memo below makes rare — computing it
+        # lazily there beats one eager hash per transfer here.
+        fill(child, "_attested_digest", None)
         # The new hop was signed here and now with the genuine owner
         # key, so a child of a verified parent is verified by
         # construction — propagate the memo instead of re-running the
         # whole chain of HMACs at the receiver.
-        verified_by = self.__dict__.get("_verified_by")
-        if verified_by is not None:
-            object.__setattr__(child, "_verified_by", verified_by)
+        fill(child, "_verified_by", self._verified_by)
         return child
 
     def redeem(
@@ -228,14 +304,25 @@ class SecureDescriptor:
         return f"SecureDescriptor({path}@{self.timestamp:g})"
 
 
+# Hop kinds are a tiny closed set; pre-encode their wire bytes so the
+# per-hop digest extension is a single one-shot hash call.
+_KIND_BYTES = {kind: kind.value.encode("ascii") for kind in TransferKind}
+
+
 def _extend_digest(
     digest: bytes, owner: PublicKey, kind: TransferKind
 ) -> bytes:
-    hasher = hashlib.sha256()
-    hasher.update(digest)
-    hasher.update(owner.digest)
-    hasher.update(kind.value.encode("ascii"))
-    return hasher.digest()
+    return hashlib.sha256(
+        digest + owner.digest + _KIND_BYTES[kind]
+    ).digest()
+
+
+def _extend_attested(
+    attested: bytes, owner: PublicKey, kind: TransferKind, mac: bytes
+) -> bytes:
+    return hashlib.sha256(
+        attested + owner.digest + _KIND_BYTES[kind] + mac
+    ).digest()
 
 
 def mint(
@@ -251,36 +338,73 @@ def mint(
 # chain verification (memoised per registry)
 # ----------------------------------------------------------------------
 
+# Upper bound on the registry-level prefix-trust cache.  Each entry is
+# a 32-byte digest plus bytes-object and dict-slot overhead — roughly
+# 150 B all-in — so a full cache is on the order of 40 MB.  Eviction
+# drops the oldest eighth.
+_TRUSTED_CACHE_MAX = 1 << 18
+
 
 def verify_descriptor(descriptor: SecureDescriptor, registry) -> bool:
     """Check every hop signature and the structural chain rules.
 
     Structural rules: terminal hops target the creator and appear only
-    in final position.  Verification is memoised on the descriptor (per
-    registry) because descriptors are immutable and shared: in a large
-    simulation the same descriptor object is observed by many nodes,
-    and re-running the HMACs would dominate the run time without
-    changing any outcome.
+    in final position.  Two memo layers keep repeated verification off
+    the hot path:
+
+    * **per-object memo** — descriptors are immutable and shared, so a
+      successful verification is recorded on the object (``_verified_by``)
+      and every later sighting of the same object is O(1);
+    * **prefix-trust cache** — the registry remembers the *attested
+      digest* (chain content + signature MACs) of every chain it has
+      fully verified.  Verifying a descriptor whose chain extends an
+      already-trusted chain — e.g. one rebuilt from the wire, or a
+      longer copy of a cached sample — only runs the signature HMACs
+      for the new suffix hops instead of re-walking from the creator.
+      Structural rules and signer-continuity are still checked on every
+      hop (they are cheap equality tests), so a forged hop can never
+      hide behind a trusted prefix.
     """
-    if descriptor.__dict__.get("_verified_by") is registry:
+    if descriptor._verified_by is registry:
         return True
 
+    hops = descriptor.hops
+    creator = descriptor.creator
     digest = descriptor.base_digest()
-    signer = descriptor.creator
-    for index, hop in enumerate(descriptor.hops):
-        if hop.kind in TERMINAL_KINDS:
-            if index != len(descriptor.hops) - 1:
-                return False
-            if hop.owner != descriptor.creator:
-                return False
-        digest = _extend_digest(digest, hop.owner, hop.kind)
+    attested = digest
+    trusted = getattr(registry, "trusted_chain_digests", None)
+    last = len(hops) - 1
+    signer = creator
+    # Pass 1: structural checks, digest extension, deepest trusted prefix.
+    digests: list = []
+    suffix_start = 0
+    for index, hop in enumerate(hops):
+        kind = hop.kind
+        if kind in TERMINAL_KINDS and (index != last or hop.owner != creator):
+            return False
         if hop.signature.signer != signer:
             return False
-        if not verify(registry, hop.signature, digest):
-            return False
+        digest = _extend_digest(digest, hop.owner, kind)
+        digests.append(digest)
+        attested = _extend_attested(attested, hop.owner, kind, hop.signature.mac)
+        if trusted is not None and attested in trusted:
+            suffix_start = index + 1
         signer = hop.owner
+    # Pass 2: HMAC-verify only the hops past the deepest trusted prefix.
+    for index in range(suffix_start, len(hops)):
+        if not verify(registry, hops[index].signature, digests[index]):
+            return False
 
+    if descriptor._chain_digest is None:
+        object.__setattr__(descriptor, "_chain_digest", digest)
+    if descriptor._attested_digest is None:
+        object.__setattr__(descriptor, "_attested_digest", attested)
     object.__setattr__(descriptor, "_verified_by", registry)
+    if trusted is not None and hops:
+        trusted[attested] = None
+        if len(trusted) > _TRUSTED_CACHE_MAX:
+            for stale in list(islice(iter(trusted), _TRUSTED_CACHE_MAX // 8)):
+                del trusted[stale]
     return True
 
 

@@ -23,7 +23,7 @@ from repro.core.descriptor import SecureDescriptor
 from repro.core.proofs import ViolationProof
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipOpen:
     """Initiator→partner: redemption token, samples, known proofs."""
 
@@ -33,7 +33,7 @@ class GossipOpen:
     proofs: Tuple[ViolationProof, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipAccept:
     """Partner→initiator: exchange granted; partner's samples and proofs."""
 
@@ -41,7 +41,7 @@ class GossipAccept:
     proofs: Tuple[ViolationProof, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipReject:
     """Partner→initiator: exchange refused.
 
@@ -53,7 +53,7 @@ class GossipReject:
     proofs: Tuple[ViolationProof, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransferMessage:
     """Initiator→partner: one descriptor whose ownership was transferred."""
 
@@ -61,28 +61,28 @@ class TransferMessage:
     round_index: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransferReply:
     """Partner→initiator: the counter-transfer for this round (or None)."""
 
     descriptor: Optional[SecureDescriptor] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BulkSwapMessage:
     """Initiator→partner: all swapped descriptors at once (no tit-for-tat)."""
 
     descriptors: Tuple[SecureDescriptor, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BulkSwapReply:
     """Partner→initiator: all counter-swapped descriptors at once."""
 
     descriptors: Tuple[SecureDescriptor, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProofFlood:
     """One-way flooded violation proof (paper §IV-C)."""
 

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from repro.core.blacklist import Blacklist
 from repro.core.config import SecureCyclonConfig
 from repro.core.descriptor import (
+    TERMINAL_KINDS,
     SecureDescriptor,
     TransferKind,
     mint,
@@ -94,6 +95,12 @@ class SecureCyclonNode(ProtocolNode):
         self._tolerance_cached = config.effective_timestamp_tolerance(
             clock.period_seconds
         )
+        # Hot-path aliases: descriptor vetting runs for every sample in
+        # every message, so per-descriptor method calls and config
+        # attribute chains are hoisted once here.  The blacklist dict is
+        # never replaced, only mutated, so the alias stays valid.
+        self._blacklist_map = self.blacklist.by_culprit
+        self._drop_chains = config.drop_chains_through_blacklisted
         self._last_mint_cycle: Optional[int] = None
         self._sessions: Dict[PublicKey, _PartnerSession] = {}
         # §V-A restrictions on non-swappable redemptions we accept.
@@ -180,11 +187,15 @@ class SecureCyclonNode(ProtocolNode):
             self._initiate_bulk_swap(channel, partner_id, network)
 
     def receive(self, sender_id: Any, payload: Any) -> Any:
-        """Dispatch an incoming request/response message to its handler."""
-        if isinstance(payload, GossipOpen):
-            return self._handle_open(sender_id, payload)
+        """Dispatch an incoming request/response message to its handler.
+
+        Transfer rounds outnumber dialogue openings roughly
+        ``swap_length`` to one, so they are dispatched first.
+        """
         if isinstance(payload, TransferMessage):
             return self._handle_transfer(sender_id, payload)
+        if isinstance(payload, GossipOpen):
+            return self._handle_open(sender_id, payload)
         if isinstance(payload, BulkSwapMessage):
             return self._handle_bulk_swap(sender_id, payload)
         raise TypeError(f"unexpected payload {type(payload).__name__}")
@@ -294,7 +305,7 @@ class SecureCyclonNode(ProtocolNode):
         """
         if not self._validate_incoming_transfer(descriptor, sender_id):
             return False
-        if not self._observe(descriptor, network):
+        if not self._observe_validated(descriptor, network):
             return not self.blacklist.is_blacklisted(sender_id)
         self.view.insert(descriptor, non_swappable=False)
         return True
@@ -382,8 +393,9 @@ class SecureCyclonNode(ProtocolNode):
         )
         if final.kind is not expected_kind:
             return "redeem-kind-mismatch"
-        owners = redemption.owners()
-        if owners[-2] != sender_id:
+        hops = redemption.hops
+        redeemer = hops[-2].owner if len(hops) > 1 else redemption.creator
+        if redeemer != sender_id:
             return "not-the-owner"
         if opening.non_swappable:
             # §V-A: at most one non-swappable redemption per descriptor,
@@ -419,7 +431,7 @@ class SecureCyclonNode(ProtocolNode):
         ):
             self._emit("secure.stale_fresh_descriptor", sender=sender_id)
             return TransferReply(descriptor=None)
-        if not self._observe(descriptor, network):
+        if not self._observe_validated(descriptor, network):
             return TransferReply(descriptor=None)
 
         counter: Optional[SecureDescriptor] = None
@@ -449,7 +461,7 @@ class SecureCyclonNode(ProtocolNode):
             if index == 0 and descriptor.creator == sender_id:
                 if not self._fresh_descriptor_ok(descriptor, sender_id):
                     continue
-            if not self._observe(descriptor, network):
+            if not self._observe_validated(descriptor, network):
                 continue
             accepted.append(descriptor)
 
@@ -479,20 +491,31 @@ class SecureCyclonNode(ProtocolNode):
         self, descriptor: SecureDescriptor, sender_id: PublicKey
     ) -> bool:
         """Structural checks on a descriptor transferred to this node."""
-        if descriptor.creator == self.node_id:
+        # Key equality is digest equality; the raw byte comparisons keep
+        # this per-transfer gauntlet at C speed.
+        my_digest = self.node_id.digest
+        if descriptor.creator.digest == my_digest:
             # Our own descriptor coming home as a swap is useless: views
             # hold no self-links.  Not a violation, just dropped.
             return False
-        if not verify_descriptor(descriptor, self.registry):
+        registry = self.registry
+        if descriptor._verified_by is not registry and not verify_descriptor(
+            descriptor, registry
+        ):
             return False
-        if descriptor.is_spent:
+        hops = descriptor.hops
+        if not hops or hops[-1].owner.digest != my_digest:
+            # A hopless descriptor is owned by its creator, which the
+            # first check proved is not this node.
             return False
-        if descriptor.current_owner != self.node_id:
+        if hops[-1].kind in TERMINAL_KINDS:  # spent: already redeemed
             return False
-        owners = descriptor.owners()
-        if owners[-2] != sender_id:
+        # The previous owner (second-to-last link of the ownership
+        # sequence) must be the node that handed the descriptor over.
+        previous = hops[-2].owner if len(hops) > 1 else descriptor.creator
+        if previous.digest != sender_id.digest:
             return False
-        if descriptor.timestamp > self.clock.now() + self._tolerance():
+        if descriptor.timestamp > self.clock.now_s + self._tolerance_cached:
             return False
         return True
 
@@ -517,35 +540,59 @@ class SecureCyclonNode(ProtocolNode):
     def _samples_payload(self) -> Tuple[SecureDescriptor, ...]:
         """Copies of the current view plus the redemption cache (§IV-B,
         §V-C) — sent with the first message in each direction."""
-        return tuple(self.view.descriptors()) + tuple(
-            self.redemption_cache.contents()
-        )
+        return (*self.view.descriptors(), *self.redemption_cache.contents())
 
     def _observe_all(self, descriptors, network) -> None:
-        for descriptor in descriptors:
-            self._observe(descriptor, network)
+        self.sample_cache.observe_stream(
+            descriptors,
+            self.current_cycle,
+            self.registry,
+            self._blacklist_map,
+            self.clock.now_s + self._tolerance_cached,
+            self._drop_chains,
+            self._adopt_proof,
+            network,
+        )
 
     def _observe(self, descriptor: SecureDescriptor, network) -> bool:
         """Run the §IV-B checks on one received descriptor.
 
         Returns True if the descriptor is acceptable for further use
         (its creator is not blacklisted and it verified).
+
+        This is the reference form of the vetting pipeline.  The hot
+        paths use :meth:`_observe_validated` (when the chain and
+        timestamp were already checked) and
+        ``SampleCache.observe_stream`` (whole sample batches); any
+        change to the rules here must be mirrored there.
         """
-        if not verify_descriptor(descriptor, self.registry):
+        registry = self.registry
+        if descriptor._verified_by is not registry and not verify_descriptor(
+            descriptor, registry
+        ):
             return False
-        if descriptor.timestamp > self.clock.now() + self._tolerance():
+        if descriptor.timestamp > self.clock.now_s + self._tolerance_cached:
             return False
-        if self.blacklist.is_blacklisted(descriptor.creator):
+        return self._observe_validated(descriptor, network)
+
+    def _observe_validated(self, descriptor: SecureDescriptor, network) -> bool:
+        """The tail of :meth:`_observe` for descriptors whose chain and
+        timestamp were already checked (e.g. right after
+        :meth:`_validate_incoming_transfer`, which performs the same
+        verification and timestamp tests)."""
+        blacklisted = self._blacklist_map
+        creator = descriptor.creator
+        if creator in blacklisted:
             return False
-        if self.config.drop_chains_through_blacklisted and any(
-            self.blacklist.is_blacklisted(owner)
-            for owner in descriptor.owners()
+        if self._drop_chains and any(
+            owner in blacklisted for owner in descriptor.owners()
         ):
             return False
         proofs = self.sample_cache.observe(descriptor, self.current_cycle)
-        for proof in proofs:
-            self._adopt_proof(proof, network, already_validated=True)
-        return not self.blacklist.is_blacklisted(descriptor.creator)
+        if proofs:
+            for proof in proofs:
+                self._adopt_proof(proof, network, already_validated=True)
+        return creator not in blacklisted
 
     def _ingest_proofs(self, proofs, network) -> None:
         for proof in proofs:

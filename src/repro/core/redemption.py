@@ -31,6 +31,9 @@ class RedemptionCache:
             raise ValueError("retention_cycles must be >= 0")
         self._retention = retention_cycles
         self._entries: Deque[Tuple[int, SecureDescriptor]] = deque()
+        # contents() is called twice per gossip exchange; the rendered
+        # list is cached until the cache next mutates.
+        self._contents_cache: Optional[List[SecureDescriptor]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -44,10 +47,18 @@ class RedemptionCache:
         if self._retention == 0:
             return
         self._entries.append((cycle, descriptor))
+        self._contents_cache = None
 
     def contents(self) -> List[SecureDescriptor]:
-        """Current cache contents, oldest first (sent as gossip samples)."""
-        return [descriptor for _, descriptor in self._entries]
+        """Current cache contents, oldest first (sent as gossip samples).
+
+        Returns a cached list; callers must treat it as read-only.
+        """
+        cached = self._contents_cache
+        if cached is None:
+            cached = [descriptor for _, descriptor in self._entries]
+            self._contents_cache = cached
+        return cached
 
     def find(self, identity: DescriptorId) -> Optional[SecureDescriptor]:
         """The cached redemption of ``identity``, if still retained."""
@@ -62,4 +73,6 @@ class RedemptionCache:
         while self._entries and self._entries[0][0] <= cycle - self._retention:
             self._entries.popleft()
             dropped += 1
+        if dropped:
+            self._contents_cache = None
         return dropped

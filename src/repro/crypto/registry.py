@@ -22,6 +22,13 @@ class KeyRegistry:
 
     def __init__(self) -> None:
         self._seeds: Dict[PublicKey, bytes] = {}
+        # Prefix-trust cache for ownership-chain verification: attested
+        # digests (chain content + signature MACs) of chains this
+        # registry has fully verified.  A dict doubles as an
+        # insertion-ordered set so the verifier can evict the oldest
+        # entries when the cache grows past its bound.  See
+        # repro.core.descriptor.verify_descriptor.
+        self.trusted_chain_digests: Dict[bytes, None] = {}
 
     def __len__(self) -> int:
         return len(self._seeds)

@@ -10,7 +10,7 @@ signature that verifies.
 from __future__ import annotations
 
 import hashlib
-import hmac
+import hmac  # compare_digest; also the historical MAC implementation
 from dataclasses import dataclass
 
 from repro.crypto.keys import KeyPair, PublicKey
@@ -20,7 +20,7 @@ SIGNATURE_BITS = 256
 """Wire size of a signature, as budgeted by the paper (§VI-A)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Signature:
     """A detached signature by ``signer`` over some message bytes."""
 
@@ -37,7 +37,13 @@ class Signature:
 
 
 def _compute_mac(seed: bytes, message: bytes) -> bytes:
-    return hmac.new(seed, message, hashlib.sha256).digest()
+    # Keyed BLAKE2b as the MAC PRF: one-shot, ~3x faster than
+    # HMAC-SHA256 for these 32-byte messages, and signing happens once
+    # per descriptor hop — one of the most frequently executed crypto
+    # calls in a simulation.  Any deterministic keyed PRF satisfies the
+    # idealised-signature contract (the seed never leaves the registry,
+    # so only the key holder can produce a verifying MAC).
+    return hashlib.blake2b(message, key=seed, digest_size=32).digest()
 
 
 def sign(keypair: KeyPair, message: bytes) -> Signature:

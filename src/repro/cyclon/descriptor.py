@@ -16,7 +16,7 @@ from typing import Any
 from repro.sim.network import NetworkAddress
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CyclonDescriptor:
     """An unauthenticated link to ``node_id``.
 

@@ -1,17 +1,46 @@
-"""The Cyclon partial view: a bounded list of descriptors.
+"""The Cyclon partial view: a bounded, indexed set of descriptors.
 
 Invariants maintained by this class and checked in tests:
 
 * at most ``capacity`` (ℓ) entries;
 * at most one entry per target node ID;
 * never an entry pointing at the view's owner.
+
+Internally the view is *not* a plain list of descriptors.  Ageing every
+entry each cycle (the start-of-cycle housekeeping of §II-B) would cost
+N×ℓ descriptor allocations per simulated cycle, and membership tests,
+removals and the oldest-entry scan would all be O(ℓ) with attribute
+comparisons.  Instead the view keeps:
+
+* an **epoch counter** — ``increment_ages`` is O(1): it bumps the epoch
+  and every entry's effective age becomes ``stored age + (epoch −
+  stored-at epoch)``.  Descriptor objects with the correct age are
+  materialised lazily, only when an entry is handed out, and the
+  materialisation is cached per epoch;
+* a **node-ID index** — ``contains_id``/``entry_for``/``remove`` are
+  O(1) dictionary operations;
+* a **maintained oldest pointer** — ``oldest()`` reuses the previous
+  answer unless a mutation invalidated it, and a recomputation is a
+  scan over plain integers rather than descriptor attributes.
+
+The observable behaviour (entry order, RNG consumption, tie-breaking)
+is bit-for-bit identical to the original list implementation; the
+property tests in ``tests/properties/test_indexed_view_equivalence.py``
+check the two against each other under randomised operation sequences.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Optional
+from dataclasses import replace
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.cyclon.descriptor import CyclonDescriptor
+
+# Internal entry record layout (a list, for cheap in-place mutation):
+# [descriptor-as-of-epoch, epoch-at-materialisation].  The entry's
+# effective age at view epoch E is  descriptor.age + (E - record[1]).
+_DESC = 0
+_EPOCH = 1
 
 
 class CyclonView:
@@ -22,66 +51,138 @@ class CyclonView:
             raise ValueError("view capacity must be >= 1")
         self.owner_id = owner_id
         self.capacity = capacity
-        self._entries: List[CyclonDescriptor] = []
+        self._records: List[list] = []
+        self._by_id: Dict[Any, list] = {}
+        self._epoch = 0
+        # Cached oldest record; None means "unknown, recompute".
+        self._oldest_record: Optional[list] = None
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+
+    def _materialize(self, record: list) -> CyclonDescriptor:
+        """The record's descriptor carrying its current effective age."""
+        behind = self._epoch - record[_EPOCH]
+        if behind:
+            record[_DESC] = replace(
+                record[_DESC], age=record[_DESC].age + behind
+            )
+            record[_EPOCH] = self._epoch
+        return record[_DESC]
+
+    def _effective_age(self, record: list) -> int:
+        return record[_DESC].age + (self._epoch - record[_EPOCH])
+
+    def _rank(self, record: list) -> int:
+        """Age-ordering key, constant under epoch advancement."""
+        return record[_DESC].age - record[_EPOCH]
+
+    def _find_oldest(self) -> Optional[list]:
+        """First record (in view order) with the maximal effective age.
+
+        Tie-break rule, pinned deterministically: among entries of equal
+        age the one at the earliest view position wins — i.e. the entry
+        that has survived in the view the longest.  (The original list
+        implementation inherited exactly this behaviour from ``max``;
+        it is now part of the documented contract, because experiment
+        trajectories depend on it.)
+        """
+        records = self._records
+        if not records:
+            return None
+        best = records[0]
+        best_rank = best[_DESC].age - best[_EPOCH]
+        for record in records:
+            rank = record[_DESC].age - record[_EPOCH]
+            if rank > best_rank:
+                best = record
+                best_rank = rank
+        return best
+
+    def _drop_record(self, record: list) -> None:
+        """Remove ``record`` from the list, the index and the caches."""
+        self._records.remove(record)
+        del self._by_id[record[_DESC].node_id]
+        if self._oldest_record is record:
+            self._oldest_record = None
 
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._records)
 
     def __iter__(self) -> Iterator[CyclonDescriptor]:
-        return iter(self._entries)
+        for record in list(self._records):
+            yield self._materialize(record)
 
     @property
     def free_slots(self) -> int:
-        return self.capacity - len(self._entries)
+        return self.capacity - len(self._records)
 
     def contains_id(self, node_id: Any) -> bool:
-        return any(entry.node_id == node_id for entry in self._entries)
+        return node_id in self._by_id
 
     def entry_for(self, node_id: Any) -> Optional[CyclonDescriptor]:
-        for entry in self._entries:
-            if entry.node_id == node_id:
-                return entry
-        return None
+        record = self._by_id.get(node_id)
+        if record is None:
+            return None
+        return self._materialize(record)
 
     def neighbor_ids(self) -> List[Any]:
-        return [entry.node_id for entry in self._entries]
+        return [record[_DESC].node_id for record in self._records]
 
     def oldest(self) -> Optional[CyclonDescriptor]:
-        """The entry with the highest age (ties broken arbitrarily)."""
-        if not self._entries:
+        """The entry with the highest age.
+
+        Ties break to the earliest view position (the longest-surviving
+        entry) — see :meth:`_find_oldest` for why the rule is pinned.
+        """
+        record = self._oldest_record
+        if record is None:
+            record = self._find_oldest()
+            self._oldest_record = record
+        if record is None:
             return None
-        return max(self._entries, key=lambda entry: entry.age)
+        return self._materialize(record)
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
 
     def increment_ages(self) -> None:
-        """Age every entry by one cycle (start-of-cycle housekeeping)."""
-        self._entries = [entry.aged() for entry in self._entries]
+        """Age every entry by one cycle (start-of-cycle housekeeping).
+
+        O(1): entries materialise their new age lazily on access.
+        """
+        self._epoch += 1
 
     def remove(self, descriptor: CyclonDescriptor) -> bool:
         """Remove the entry for ``descriptor.node_id``; True if present."""
-        for index, entry in enumerate(self._entries):
-            if entry.node_id == descriptor.node_id:
-                del self._entries[index]
-                return True
-        return False
+        record = self._by_id.get(descriptor.node_id)
+        if record is None:
+            return False
+        self._drop_record(record)
+        return True
 
     def pop_random(self, count: int, rng) -> List[CyclonDescriptor]:
         """Remove and return up to ``count`` uniformly random entries."""
-        count = min(count, len(self._entries))
+        records = self._records
+        count = min(count, len(records))
         if count == 0:
             return []
-        chosen_indices = rng.sample(range(len(self._entries)), count)
-        chosen = [self._entries[i] for i in chosen_indices]
+        chosen_indices = rng.sample(range(len(records)), count)
+        chosen = [records[i] for i in chosen_indices]
         for index in sorted(chosen_indices, reverse=True):
-            del self._entries[index]
-        return chosen
+            del records[index]
+        oldest = self._oldest_record
+        for record in chosen:
+            del self._by_id[record[_DESC].node_id]
+            if record is oldest:
+                self._oldest_record = None
+        return [self._materialize(record) for record in chosen]
 
     def insert(self, descriptor: CyclonDescriptor) -> bool:
         """Insert ``descriptor`` respecting the view invariants.
@@ -91,15 +192,23 @@ class CyclonView:
         """
         if descriptor.node_id == self.owner_id:
             return False
-        for index, entry in enumerate(self._entries):
-            if entry.node_id == descriptor.node_id:
-                if descriptor.age < entry.age:
-                    self._entries[index] = descriptor
-                    return True
-                return False
-        if len(self._entries) >= self.capacity:
+        existing = self._by_id.get(descriptor.node_id)
+        if existing is not None:
+            if descriptor.age < self._effective_age(existing):
+                existing[_DESC] = descriptor
+                existing[_EPOCH] = self._epoch
+                if self._oldest_record is existing:
+                    self._oldest_record = None
+                return True
             return False
-        self._entries.append(descriptor)
+        if len(self._records) >= self.capacity:
+            return False
+        record = [descriptor, self._epoch]
+        self._records.append(record)
+        self._by_id[descriptor.node_id] = record
+        oldest = self._oldest_record
+        if oldest is not None and self._rank(record) > self._rank(oldest):
+            self._oldest_record = record
         return True
 
     def replace_oldest_if_younger(self, descriptor: CyclonDescriptor) -> bool:
@@ -114,13 +223,18 @@ class CyclonView:
         """
         if descriptor.node_id == self.owner_id:
             return False
-        if self.contains_id(descriptor.node_id):
+        if descriptor.node_id in self._by_id:
             return False
-        oldest = self.oldest()
-        if oldest is None or descriptor.age >= oldest.age:
+        record = self._oldest_record
+        if record is None:
+            record = self._find_oldest()
+            self._oldest_record = record
+        if record is None or descriptor.age >= self._effective_age(record):
             return False
-        self.remove(oldest)
-        self._entries.append(descriptor)
+        self._drop_record(record)
+        new_record = [descriptor, self._epoch]
+        self._records.append(new_record)
+        self._by_id[descriptor.node_id] = new_record
         return True
 
     def fill_from(self, leftovers: Iterable[CyclonDescriptor]) -> int:

@@ -74,6 +74,10 @@ class Channel:
         self._deliver = deliver
         self._rng = rng
         self._policy = policy or DropPolicy()
+        # Loss probabilities hoisted out of the per-message path (the
+        # policy is immutable for the channel's lifetime).
+        self._request_loss = self._policy.request_loss
+        self._reply_loss = self._policy.reply_loss
         self._sizer = sizer
         self._stats = stats
         self.requests_sent = 0
@@ -94,10 +98,10 @@ class Channel:
             self.bytes_sent += size
             if self._stats is not None:
                 self._stats.record_dialogue_traffic(sent=size)
-        if self._rng.random() < self._policy.request_loss:
+        if self._rng.random() < self._request_loss:
             raise MessageDropped("request", delivered=False)
         reply = self._deliver(payload)
-        if self._rng.random() < self._policy.reply_loss:
+        if self._rng.random() < self._reply_loss:
             raise MessageDropped("reply", delivered=True)
         self.replies_received += 1
         if self._sizer is not None and reply is not None:

@@ -27,6 +27,11 @@ class SimClock:
             raise SimulationError("start cycle must be non-negative")
         self._period = float(period_seconds)
         self._cycle = int(start_cycle)
+        # Wall-clock reading, maintained eagerly: protocol code checks
+        # timestamps against "now" for every received descriptor, so
+        # the current time is kept as a plain attribute instead of
+        # being recomputed per call.
+        self.now_s = self._cycle * self._period
 
     @property
     def cycle(self) -> int:
@@ -40,7 +45,7 @@ class SimClock:
 
     def now(self) -> float:
         """Current wall-clock time in seconds since simulation start."""
-        return self._cycle * self._period
+        return self.now_s
 
     def timestamp_for_cycle(self, cycle: int) -> float:
         """Wall-clock timestamp at the start of ``cycle``."""
@@ -55,4 +60,5 @@ class SimClock:
         if cycles < 0:
             raise SimulationError("cannot advance the clock backwards")
         self._cycle += cycles
+        self.now_s = self._cycle * self._period
         return self._cycle

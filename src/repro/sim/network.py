@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.errors import PeerUnreachable
@@ -136,9 +137,9 @@ class Network:
         """
         partner = self.node(partner_id)
         self.dialogues_opened += 1
-
-        def deliver(payload: Any) -> Any:
-            return partner.receive(initiator_id, payload)
+        # functools.partial instead of a closure: one Python frame less
+        # on every message delivery.
+        deliver = partial(partner.receive, initiator_id)
 
         return Channel(
             initiator_id=initiator_id,

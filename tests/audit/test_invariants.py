@@ -137,11 +137,11 @@ def test_mint_rate_fires_on_burst(overlay):
 def test_blacklist_fires_on_false_positive(overlay):
     nodes = overlay.engine.legit_nodes()
     accuser, framed = nodes[0], nodes[1]
-    accuser.blacklist._proofs[framed.node_id] = None  # no proof either
+    accuser.blacklist.by_culprit[framed.node_id] = None  # no proof either
     try:
         findings = list(check_blacklists(overlay.engine))
         messages = " | ".join(f.message for f in findings)
         assert "false positive" in messages
         assert "lacks a valid proof" in messages
     finally:
-        del accuser.blacklist._proofs[framed.node_id]
+        del accuser.blacklist.by_culprit[framed.node_id]

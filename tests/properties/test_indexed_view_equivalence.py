@@ -1,0 +1,359 @@
+"""Equivalence of the indexed views against the original list scans.
+
+The dict-indexed ``CyclonView``/``SecureView`` (with O(1) ageing and a
+maintained oldest pointer) must be *observably identical* to the plain
+list implementations they replaced: same return values, same entry
+order, same RNG consumption, same tie-breaking.  These tests drive
+both implementations with the same randomised operation sequences and
+compare them step by step — plus the documented invariants: at most
+``capacity`` entries, one entry per target/identity, no self-links.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.descriptor import mint
+from repro.core.view import SecureView
+from repro.crypto.registry import KeyRegistry
+from repro.cyclon.descriptor import CyclonDescriptor
+from repro.cyclon.view import CyclonView
+from repro.sim.network import NetworkAddress
+
+_ADDRESS = NetworkAddress(host=1, port=1)
+_OWNER_ID = "owner"
+
+
+class ListCyclonView:
+    """Reference: the original list-scan CyclonView, verbatim semantics."""
+
+    def __init__(self, owner_id, capacity):
+        self.owner_id = owner_id
+        self.capacity = capacity
+        self._entries = []
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def contains_id(self, node_id):
+        return any(e.node_id == node_id for e in self._entries)
+
+    def entry_for(self, node_id):
+        for e in self._entries:
+            if e.node_id == node_id:
+                return e
+        return None
+
+    def neighbor_ids(self):
+        return [e.node_id for e in self._entries]
+
+    def oldest(self):
+        if not self._entries:
+            return None
+        return max(self._entries, key=lambda e: e.age)
+
+    def increment_ages(self):
+        self._entries = [e.aged() for e in self._entries]
+
+    def remove(self, descriptor):
+        for i, e in enumerate(self._entries):
+            if e.node_id == descriptor.node_id:
+                del self._entries[i]
+                return True
+        return False
+
+    def pop_random(self, count, rng):
+        count = min(count, len(self._entries))
+        if count == 0:
+            return []
+        chosen_indices = rng.sample(range(len(self._entries)), count)
+        chosen = [self._entries[i] for i in chosen_indices]
+        for i in sorted(chosen_indices, reverse=True):
+            del self._entries[i]
+        return chosen
+
+    def insert(self, descriptor):
+        if descriptor.node_id == self.owner_id:
+            return False
+        for i, e in enumerate(self._entries):
+            if e.node_id == descriptor.node_id:
+                if descriptor.age < e.age:
+                    self._entries[i] = descriptor
+                    return True
+                return False
+        if len(self._entries) >= self.capacity:
+            return False
+        self._entries.append(descriptor)
+        return True
+
+    def replace_oldest_if_younger(self, descriptor):
+        if descriptor.node_id == self.owner_id:
+            return False
+        if self.contains_id(descriptor.node_id):
+            return False
+        oldest = self.oldest()
+        if oldest is None or descriptor.age >= oldest.age:
+            return False
+        self.remove(oldest)
+        self._entries.append(descriptor)
+        return True
+
+
+cyclon_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=6),
+        ),
+        st.tuples(
+            st.just("replace_oldest"),
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=6),
+        ),
+        st.tuples(st.just("remove"), st.integers(min_value=0, max_value=9)),
+        st.tuples(st.just("pop"), st.integers(min_value=0, max_value=4)),
+        st.tuples(st.just("age")),
+        st.tuples(st.just("oldest")),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _snapshot(view):
+    return [(d.node_id, d.age) for d in view]
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=cyclon_ops, rng_seed=st.integers(min_value=0, max_value=2**16))
+def test_cyclon_view_matches_list_reference(ops, rng_seed):
+    indexed = CyclonView(_OWNER_ID, capacity=5)
+    reference = ListCyclonView(_OWNER_ID, capacity=5)
+    rng_a = random.Random(rng_seed)
+    rng_b = random.Random(rng_seed)
+
+    for op in ops:
+        kind = op[0]
+        if kind == "insert":
+            d = CyclonDescriptor(node_id=op[1], address=_ADDRESS, age=op[2])
+            assert indexed.insert(d) == reference.insert(d)
+        elif kind == "replace_oldest":
+            d = CyclonDescriptor(node_id=op[1], address=_ADDRESS, age=op[2])
+            assert indexed.replace_oldest_if_younger(
+                d
+            ) == reference.replace_oldest_if_younger(d)
+        elif kind == "remove":
+            d = CyclonDescriptor(node_id=op[1], address=_ADDRESS, age=0)
+            assert indexed.remove(d) == reference.remove(d)
+        elif kind == "pop":
+            got = indexed.pop_random(op[1], rng_a)
+            want = reference.pop_random(op[1], rng_b)
+            assert [(d.node_id, d.age) for d in got] == [
+                (d.node_id, d.age) for d in want
+            ]
+        elif kind == "age":
+            indexed.increment_ages()
+            reference.increment_ages()
+        elif kind == "oldest":
+            got = indexed.oldest()
+            want = reference.oldest()
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert (got.node_id, got.age) == (want.node_id, want.age)
+
+        # Same observable state after every operation.
+        assert _snapshot(indexed) == _snapshot(reference)
+        # Documented invariants.
+        assert len(indexed) <= indexed.capacity
+        ids = indexed.neighbor_ids()
+        assert len(ids) == len(set(ids))
+        assert _OWNER_ID not in ids
+        # RNG streams consumed identically.
+        assert rng_a.getstate() == rng_b.getstate()
+
+
+def test_cyclon_oldest_tie_break_is_first_position():
+    """Pinned rule: among equal ages the earliest view position wins."""
+    view = CyclonView(_OWNER_ID, capacity=4)
+    view.insert(CyclonDescriptor(node_id="a", address=_ADDRESS, age=3))
+    view.insert(CyclonDescriptor(node_id="b", address=_ADDRESS, age=3))
+    view.insert(CyclonDescriptor(node_id="c", address=_ADDRESS, age=1))
+    assert view.oldest().node_id == "a"
+    # Removing the winner promotes the next earliest among the tied.
+    view.remove(CyclonDescriptor(node_id="a", address=_ADDRESS, age=3))
+    assert view.oldest().node_id == "b"
+    # Ageing preserves the rule (all ages move together).
+    view.increment_ages()
+    assert view.oldest().node_id == "b"
+
+
+class ListSecureView:
+    """Reference: the original list-scan SecureView, verbatim semantics."""
+
+    def __init__(self, owner_id, capacity):
+        self.owner_id = owner_id
+        self.capacity = capacity
+        self._entries = []
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def descriptors(self):
+        return [e.descriptor for e in self._entries]
+
+    def contains_creator(self, creator):
+        return any(e.creator == creator for e in self._entries)
+
+    def non_swappable_count(self):
+        return sum(1 for e in self._entries if e.non_swappable)
+
+    def oldest(self):
+        if not self._entries:
+            return None
+        return min(self._entries, key=lambda e: e.timestamp)
+
+    def insert(self, descriptor, non_swappable=False):
+        from repro.core.view import ViewEntry
+
+        if descriptor.creator == self.owner_id:
+            return False
+        candidate = ViewEntry(descriptor=descriptor, non_swappable=non_swappable)
+        identity = descriptor.identity
+        for i, e in enumerate(self._entries):
+            if e.descriptor.identity != identity:
+                continue
+            if e.non_swappable and not candidate.non_swappable:
+                self._entries[i] = candidate
+                return True
+            return False
+        if len(self._entries) >= self.capacity:
+            return False
+        self._entries.append(candidate)
+        return True
+
+    def remove_identity(self, identity):
+        for i, e in enumerate(self._entries):
+            if e.descriptor.identity == identity:
+                return self._entries.pop(i)
+        return None
+
+    def pop_random_swappable(self, count, rng, exclude_creator=None):
+        swappable = [
+            i
+            for i, e in enumerate(self._entries)
+            if not e.non_swappable
+            and (exclude_creator is None or e.creator != exclude_creator)
+        ]
+        count = min(count, len(swappable))
+        if count == 0:
+            return []
+        chosen = rng.sample(swappable, count)
+        picked = [self._entries[i] for i in chosen]
+        for i in sorted(chosen, reverse=True):
+            del self._entries[i]
+        return picked
+
+    def purge_creator(self, creator):
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if e.creator != creator]
+        return before - len(self._entries)
+
+
+_REGISTRY = KeyRegistry()
+_SEED_RNG = random.Random(13)
+_KEYPAIRS = [_REGISTRY.new_keypair(_SEED_RNG) for _ in range(5)]
+_VIEW_OWNER = _REGISTRY.new_keypair(_SEED_RNG)
+# A pool of descriptors owned by the view's owner (as SecureView holds).
+_POOL = [
+    mint(_KEYPAIRS[i % 5], _ADDRESS, float(i) * 10.0).transfer(
+        _KEYPAIRS[i % 5], _VIEW_OWNER.public
+    )
+    for i in range(12)
+]
+
+secure_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.integers(min_value=0, max_value=11),
+            st.booleans(),
+        ),
+        st.tuples(st.just("remove"), st.integers(min_value=0, max_value=11)),
+        st.tuples(
+            st.just("pop"),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=5),
+        ),
+        st.tuples(st.just("purge"), st.integers(min_value=0, max_value=4)),
+        st.tuples(st.just("oldest")),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+def _secure_snapshot(view):
+    return [
+        (e.descriptor.identity, e.non_swappable) for e in view
+    ]
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=secure_ops, rng_seed=st.integers(min_value=0, max_value=2**16))
+def test_secure_view_matches_list_reference(ops, rng_seed):
+    indexed = SecureView(_VIEW_OWNER.public, capacity=5)
+    reference = ListSecureView(_VIEW_OWNER.public, capacity=5)
+    rng_a = random.Random(rng_seed)
+    rng_b = random.Random(rng_seed)
+
+    for op in ops:
+        kind = op[0]
+        if kind == "insert":
+            d = _POOL[op[1]]
+            assert indexed.insert(d, non_swappable=op[2]) == reference.insert(
+                d, non_swappable=op[2]
+            )
+        elif kind == "remove":
+            identity = _POOL[op[1]].identity
+            got = indexed.remove_identity(identity)
+            want = reference.remove_identity(identity)
+            assert (got is None) == (want is None)
+        elif kind == "pop":
+            exclude = (
+                _KEYPAIRS[op[2]].public if op[2] < len(_KEYPAIRS) else None
+            )
+            got = indexed.pop_random_swappable(
+                op[1], rng_a, exclude_creator=exclude
+            )
+            want = reference.pop_random_swappable(
+                op[1], rng_b, exclude_creator=exclude
+            )
+            assert [
+                (e.descriptor.identity, e.non_swappable) for e in got
+            ] == [(e.descriptor.identity, e.non_swappable) for e in want]
+        elif kind == "purge":
+            creator = _KEYPAIRS[op[1]].public
+            assert indexed.purge_creator(creator) == reference.purge_creator(
+                creator
+            )
+        elif kind == "oldest":
+            got = indexed.oldest()
+            want = reference.oldest()
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert got.descriptor.identity == want.descriptor.identity
+
+        assert _secure_snapshot(indexed) == _secure_snapshot(reference)
+        assert len(indexed) <= indexed.capacity
+        identities = [e.descriptor.identity for e in indexed]
+        assert len(identities) == len(set(identities))
+        assert all(e.creator != _VIEW_OWNER.public for e in indexed)
+        assert indexed.non_swappable_count() == reference.non_swappable_count()
+        assert rng_a.getstate() == rng_b.getstate()
