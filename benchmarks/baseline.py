@@ -124,9 +124,48 @@ def bench_full_cycle(rounds: int) -> dict:
     }
 
 
+def bench_event_cycle(rounds: int) -> dict:
+    """The same 200-node workload under the event-driven runtime.
+
+    Latency, jitter, and timeouts are all active so the number prices
+    the full event-queue machinery (heap churn, leg sampling, timer
+    rescheduling), not just a degenerate zero-latency walk.  Tracking
+    it next to ``full_cycle_200_nodes_ms`` keeps the event runtime's
+    overhead over the cycle loop honest across revisions.
+    """
+    from repro.sim.latency import LognormalLatency
+    from repro.sim.scheduler import EventScheduler, PeriodJitter
+
+    overlay = build_secure_overlay(
+        n=200,
+        config=SecureCyclonConfig(view_length=20, swap_length=3),
+        seed=1,
+        runtime=EventScheduler(
+            latency=LognormalLatency(median_s=0.5, sigma=0.5),
+            jitter=PeriodJitter(mode="uniform", spread=0.1),
+            timeout_s=5.0,
+        ),
+    )
+    overlay.run(3)  # warm up
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        overlay.run(1)
+        times.append(time.perf_counter() - start)
+    return {
+        "event_cycle_200_nodes_ms": {
+            "mean": round(statistics.mean(times) * 1e3, 3),
+            "min": round(min(times) * 1e3, 3),
+            "max": round(max(times) * 1e3, 3),
+            "rounds": rounds,
+        }
+    }
+
+
 def record(label: str, rounds: int, output: pathlib.Path) -> dict:
     metrics = bench_micro()
     metrics.update(bench_full_cycle(rounds))
+    metrics.update(bench_event_cycle(rounds))
     entry = {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "metrics": metrics,

@@ -18,6 +18,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+# The equivalence suite is part of tier-1 above; the dedicated step
+# keeps the runtime-refactor safety net visible (and failing loudly by
+# name) even if the tests move or tier-1 collection changes.
+echo "== scheduler equivalence (CycleScheduler bit-for-bit vs golden; EventScheduler statistics) =="
+python -m pytest -q tests/properties/test_scheduler_equivalence.py
+
 if [[ "${SKIP_PERF:-0}" == "1" ]]; then
     echo "== perf guard skipped (SKIP_PERF=1) =="
     exit 0

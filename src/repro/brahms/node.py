@@ -15,7 +15,7 @@ from typing import Any, List, Tuple
 from repro.brahms.config import BrahmsConfig
 from repro.brahms.sampler import SamplerArray
 from repro.errors import PeerUnreachable
-from repro.sim.channel import MessageDropped
+from repro.sim.channel import MessageDropped, MessageTimeout
 from repro.sim.engine import ProtocolNode
 from repro.sim.network import Network
 
@@ -53,6 +53,7 @@ class BrahmsNode(ProtocolNode):
         self.view: List[Any] = []
         self.samplers = SamplerArray(config.sampler_size, rng)
         self.current_cycle = 0
+        self.timeouts_observed = 0
         self._pushes_received: List[Any] = []
         self._pulled: List[Any] = []
 
@@ -84,6 +85,11 @@ class BrahmsNode(ProtocolNode):
             try:
                 channel = network.connect(self.node_id, target)
                 reply = channel.request(BrahmsPullRequest())
+            except MessageTimeout:
+                # Brahms simply forgoes the pull; counted so event-mode
+                # experiments can report timeout pressure per node.
+                self.timeouts_observed += 1
+                continue
             except (PeerUnreachable, MessageDropped):
                 continue
             if isinstance(reply, BrahmsPullReply):

@@ -40,13 +40,13 @@ from repro.core.exchange import (
     TransferMessage,
     TransferReply,
 )
-from repro.core.proofs import ViolationProof
+from repro.core.proofs import ViolationProof, timestamps_conflict
 from repro.core.redemption import RedemptionCache
 from repro.core.samples import SampleCache
 from repro.core.view import SecureView, ViewEntry
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.errors import PeerUnreachable
-from repro.sim.channel import MessageDropped
+from repro.sim.channel import MessageDropped, MessageTimeout
 from repro.sim.clock import SimClock
 from repro.sim.engine import ProtocolNode
 from repro.sim.network import Network, NetworkAddress
@@ -102,6 +102,7 @@ class SecureCyclonNode(ProtocolNode):
         self._blacklist_map = self.blacklist.by_culprit
         self._drop_chains = config.drop_chains_through_blacklisted
         self._last_mint_cycle: Optional[int] = None
+        self._last_mint_time_s: Optional[float] = None
         self._sessions: Dict[PublicKey, _PartnerSession] = {}
         # §V-A restrictions on non-swappable redemptions we accept.
         self._nonswap_redeemed_identities: Set[float] = set()
@@ -124,6 +125,14 @@ class SecureCyclonNode(ProtocolNode):
     def run_cycle(self, network: Network) -> None:
         """Initiate one gossip exchange by redeeming the oldest view entry."""
         self._network_for_flood = network
+        if not self._may_mint_now():
+            # Event runtime: a jittered timer fired early enough that a
+            # fresh mint would violate the §IV-B frequency rule.  Sit
+            # this activation out *before* redeeming anything, so no
+            # token is wasted.  Never triggers under the cycle runtime
+            # (activations there are exactly one period apart).
+            self._emit("secure.mint_rate_limited")
+            return
         entry = self.view.oldest()
         if entry is None:
             self._emit("secure.idle")
@@ -160,10 +169,21 @@ class SecureCyclonNode(ProtocolNode):
         )
         try:
             reply = channel.request(opening)
-        except MessageDropped:
-            # The signed redemption may or may not have arrived; either
-            # way the token is spent and the cycle is skipped.
-            self._emit("secure.open_dropped", partner=partner_id)
+        except MessageDropped as failure:
+            # Lost, or (event runtime) timed out — §V-A by timing: when
+            # ``delivered`` is True the partner *did* process the
+            # redemption and the token is spent on both sides even
+            # though the initiator saw nothing back; otherwise the
+            # token is still spent locally (the signed redemption hop
+            # exists).  Either way the cycle is skipped.
+            if isinstance(failure, MessageTimeout):
+                self._emit(
+                    "secure.open_timeout",
+                    partner=partner_id,
+                    delivered=failure.delivered,
+                )
+            else:
+                self._emit("secure.open_dropped", partner=partner_id)
             return
 
         if isinstance(reply, GossipReject):
@@ -210,6 +230,23 @@ class SecureCyclonNode(ProtocolNode):
     # initiator side
     # ------------------------------------------------------------------
 
+    def _may_mint_now(self) -> bool:
+        """Whether a fresh mint at the current instant is §IV-B-legal.
+
+        Guards both hazards of desynchronised timers: a second mint in
+        the same cycle (the classic guard) and two mints whose
+        timestamps are closer than one period (what honest peers would
+        prosecute as a frequency violation).
+        """
+        if self._last_mint_cycle == self.current_cycle:
+            return False
+        last = self._last_mint_time_s
+        if last is None:
+            return True
+        return not timestamps_conflict(
+            self.clock.now_s, last, self.clock.period_seconds
+        )
+
     def mint_fresh_descriptor(self) -> SecureDescriptor:
         """Mint this cycle's fresh self-descriptor (at most one per cycle)."""
         if self._last_mint_cycle == self.current_cycle:
@@ -217,6 +254,7 @@ class SecureCyclonNode(ProtocolNode):
                 "honest nodes mint at most one descriptor per cycle"
             )
         self._last_mint_cycle = self.current_cycle
+        self._last_mint_time_s = self.clock.now()
         return mint(self.keypair, self.address, self.clock.now())
 
     def _pop_outgoing(
@@ -253,8 +291,20 @@ class SecureCyclonNode(ProtocolNode):
                 reply = channel.request(
                     TransferMessage(descriptor=outgoing, round_index=round_index)
                 )
-            except MessageDropped:
-                self._emit("secure.round_dropped", partner=partner_id)
+            except MessageDropped as failure:
+                # A lost or delivered-but-unanswered round: the partner
+                # may hold our descriptor while we hold nothing new;
+                # tit-for-tat accounting is identical on both paths
+                # (the transferred list already tracks what must be
+                # repaired non-swappably).
+                if isinstance(failure, MessageTimeout):
+                    self._emit(
+                        "secure.round_timeout",
+                        partner=partner_id,
+                        delivered=failure.delivered,
+                    )
+                else:
+                    self._emit("secure.round_dropped", partner=partner_id)
                 break
             if not isinstance(reply, TransferReply) or reply.descriptor is None:
                 # Partner quit halfway: stop sending (tit-for-tat).
@@ -282,8 +332,15 @@ class SecureCyclonNode(ProtocolNode):
         )
         try:
             reply = channel.request(BulkSwapMessage(descriptors=outgoing))
-        except MessageDropped:
-            self._emit("secure.bulk_dropped", partner=partner_id)
+        except MessageDropped as failure:
+            if isinstance(failure, MessageTimeout):
+                self._emit(
+                    "secure.bulk_timeout",
+                    partner=partner_id,
+                    delivered=failure.delivered,
+                )
+            else:
+                self._emit("secure.bulk_dropped", partner=partner_id)
             self._repair_with_non_swappables(transferred)
             return
         if isinstance(reply, BulkSwapReply):

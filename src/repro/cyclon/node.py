@@ -17,7 +17,7 @@ from repro.cyclon.config import CyclonConfig
 from repro.cyclon.descriptor import CyclonDescriptor
 from repro.cyclon.view import CyclonView
 from repro.errors import PeerUnreachable
-from repro.sim.channel import MessageDropped
+from repro.sim.channel import MessageDropped, MessageTimeout
 from repro.sim.engine import ProtocolNode
 from repro.sim.network import Network, NetworkAddress
 
@@ -81,11 +81,20 @@ class CyclonNode(ProtocolNode):
         outgoing = self._select_outgoing()
         try:
             reply = channel.request(CyclonRequest(tuple(outgoing)))
-        except MessageDropped:
-            # Whether or not the partner processed the request, classic
-            # Cyclon lets the initiator retain what it sent (§II-B).
+        except MessageDropped as failure:
+            # Lost or (event runtime) too late — the same partial
+            # failure either way: whether or not the partner processed
+            # the request, classic Cyclon lets the initiator retain
+            # what it sent (§II-B).  Only the trace distinguishes.
             self.view.fill_from(d for d in outgoing if d.node_id != self.node_id)
-            self._emit("cyclon.exchange_dropped", partner=oldest.node_id)
+            if isinstance(failure, MessageTimeout):
+                self._emit(
+                    "cyclon.exchange_timeout",
+                    partner=oldest.node_id,
+                    delivered=failure.delivered,
+                )
+            else:
+                self._emit("cyclon.exchange_dropped", partner=oldest.node_id)
             return
         self._integrate(reply.descriptors, sent=outgoing)
 

@@ -15,6 +15,7 @@ import time
 from repro.experiments import (
     churn_recovery,
     eclipse_experiment,
+    latency_sweep,
     loss_sweep,
     stealth_experiment,
     violations_matrix,
@@ -39,6 +40,7 @@ EXPERIMENTS = {
     "violations": (violations_matrix.run_violations, violations_matrix.render),
     "churn": (churn_recovery.run_churn_recovery, churn_recovery.render),
     "loss": (loss_sweep.run_loss_sweep, loss_sweep.render),
+    "latency": (latency_sweep.run_latency_sweep, latency_sweep.render),
 }
 
 

@@ -1,0 +1,228 @@
+"""Extension experiment — SecureCyclon off the lock-step path.
+
+The paper's evaluation (and Figs 2/3/5) runs on the PeerNet/PeerSim
+cycle model: instantaneous messages, perfectly synchronous periods.
+This sweep re-runs the two headline shapes under the event-driven
+runtime with increasingly hostile timing — rising per-link latency
+(heavy-tailed lognormal legs), desynchronised gossip periods (uniform
+timer jitter), and a finite dialogue timeout that converts slow round
+trips into §V-A partial failures:
+
+* a fig2-style panel: the indegree distribution of an honest Cyclon
+  overlay must stay concentrated around the configured outdegree;
+* a fig5-style panel: a SecureCyclon overlay under the hub attack must
+  still collapse the malicious-link fraction after the attack starts,
+  because violation proofs do not depend on synchrony.
+
+Expected shape: both guarantees degrade gracefully — higher latency
+costs some exchanges (timeouts) and therefore convergence speed, but
+neither the indegree concentration nor the blacklisting defence relies
+on the lock-step schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import SecureCyclonConfig
+from repro.cyclon.config import CyclonConfig
+from repro.experiments.plotting import chart_panel
+from repro.experiments.report import format_table, series_table
+from repro.experiments.runner import run_with_probes
+from repro.experiments.scale import Scale, pick, resolve_scale
+from repro.experiments.scenarios import (
+    build_cyclon_overlay,
+    build_secure_overlay,
+)
+from repro.metrics.degree import indegree_statistics
+from repro.metrics.links import (
+    blacklisted_malicious_fraction,
+    malicious_link_fraction,
+)
+from repro.metrics.series import Series
+from repro.sim.latency import LognormalLatency
+from repro.sim.scheduler import EventScheduler, PeriodJitter
+
+
+@dataclass
+class LatencyRow:
+    """One latency level's outcome across both panels."""
+
+    label: str
+    latency_ratio: float  # median leg latency / gossip period
+    jitter_spread: float
+    indegree_mean: float
+    indegree_stddev: float
+    view_length: int
+    timeouts: int
+    final_malicious: float
+    blacklist_progress: float
+
+
+@dataclass
+class LatencySweep:
+    """The full sweep: summary rows plus the fig5-style series."""
+
+    nodes: int
+    cycles: int
+    attack_start: int
+    rows: List[LatencyRow]
+    takeover_series: List[Series]
+
+
+def _event_scheduler(
+    latency_ratio: float, jitter_spread: float, period_s: float
+) -> EventScheduler:
+    """The sweep's runtime for one level (fresh scheduler per overlay)."""
+    latency = (
+        LognormalLatency(median_s=latency_ratio * period_s, sigma=0.5)
+        if latency_ratio > 0
+        else None
+    )
+    jitter = (
+        PeriodJitter(mode="uniform", spread=jitter_spread)
+        if jitter_spread > 0
+        else PeriodJitter()
+    )
+    # Half a period of patience: an exchange that cannot finish within
+    # it is cut short exactly like a §V-A loss.
+    return EventScheduler(
+        latency=latency, jitter=jitter, timeout_s=period_s / 2
+    )
+
+
+def run_latency_sweep(
+    scale: Optional[Scale] = None, seed: int = 42
+) -> LatencySweep:
+    """Run the latency/jitter sweep at the given scale."""
+    scale = resolve_scale(scale)
+    nodes, view_length = pick(scale, (60, 8), (1000, 20), (1000, 20))
+    cycles = pick(scale, 24, 60, 100)
+    attack_start = pick(scale, 8, 20, 30)
+    malicious = max(2, nodes // 25)
+    every = 2
+    levels = pick(
+        scale,
+        [(0.0, 0.0), (0.1, 0.2)],
+        [(0.0, 0.0), (0.02, 0.1), (0.1, 0.2), (0.3, 0.3)],
+        [(0.0, 0.0), (0.02, 0.1), (0.1, 0.2), (0.3, 0.3), (0.45, 0.3)],
+    )
+    period_s = 10.0
+
+    rows: List[LatencyRow] = []
+    takeover_series: List[Series] = []
+    for latency_ratio, jitter_spread in levels:
+        label = f"lat {latency_ratio:.0%}, jit {jitter_spread:.0%}"
+
+        # Fig2-style panel: honest Cyclon indegree concentration.
+        honest = build_cyclon_overlay(
+            n=nodes,
+            config=CyclonConfig(view_length=view_length, swap_length=3),
+            seed=seed,
+            runtime=_event_scheduler(latency_ratio, jitter_spread, period_s),
+        )
+        honest.run(cycles)
+        stats = indegree_statistics(honest.engine)
+        timeouts = honest.engine.trace.count("cyclon.exchange_timeout")
+
+        # Fig5-style panel: hub attack against SecureCyclon.
+        attacked = build_secure_overlay(
+            n=nodes,
+            config=SecureCyclonConfig(view_length=view_length, swap_length=3),
+            malicious=malicious,
+            attack_start=attack_start,
+            seed=seed,
+            runtime=_event_scheduler(latency_ratio, jitter_spread, period_s),
+        )
+        result = run_with_probes(
+            attacked,
+            cycles,
+            {"malicious_links": malicious_link_fraction},
+            every=every,
+        )
+        series = result["malicious_links"]
+        series.label = label
+        takeover_series.append(series)
+
+        rows.append(
+            LatencyRow(
+                label=label,
+                latency_ratio=latency_ratio,
+                jitter_spread=jitter_spread,
+                indegree_mean=stats["mean"],
+                indegree_stddev=stats["stddev"],
+                view_length=view_length,
+                timeouts=timeouts,
+                final_malicious=series.ys[-1] if series.ys else 0.0,
+                blacklist_progress=blacklisted_malicious_fraction(
+                    attacked.engine
+                ),
+            )
+        )
+    return LatencySweep(
+        nodes=nodes,
+        cycles=cycles,
+        attack_start=attack_start,
+        rows=rows,
+        takeover_series=takeover_series,
+    )
+
+
+def render(sweep: LatencySweep) -> str:
+    """Summary table plus the fig5-style takeover series and chart."""
+    blocks = [
+        format_table(
+            [
+                "latency/period",
+                "jitter",
+                "indegree mean",
+                "indegree stddev",
+                "outdegree",
+                "timeouts",
+                "final malicious links",
+                "blacklist progress",
+            ],
+            [
+                (
+                    f"{row.latency_ratio:.0%}",
+                    f"{row.jitter_spread:.0%}",
+                    row.indegree_mean,
+                    row.indegree_stddev,
+                    row.view_length,
+                    row.timeouts,
+                    row.final_malicious,
+                    row.blacklist_progress,
+                )
+                for row in sweep.rows
+            ],
+        )
+    ]
+    blocks.append(
+        series_table(
+            f"Hub attack under latency (event runtime, {sweep.nodes} nodes, "
+            f"attack at cycle {sweep.attack_start}) — "
+            "% of legitimate links pointing at attackers",
+            sweep.takeover_series,
+        )
+    )
+    blocks.append(
+        chart_panel(
+            "[chart] malicious-link fraction vs cycle",
+            sweep.takeover_series,
+        )
+    )
+    header = (
+        "Latency sweep — SecureCyclon guarantees off the lock-step path\n"
+        f"({sweep.nodes} nodes, {sweep.cycles} cycles, lognormal legs, "
+        "uniform timer jitter, timeout = period/2)\n"
+    )
+    return header + "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(render(run_latency_sweep()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

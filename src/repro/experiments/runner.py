@@ -4,9 +4,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
-from repro.experiments.scenarios import Overlay
+from repro.experiments.scenarios import Overlay, Runtime
 from repro.metrics.series import Series
 from repro.sim.observers import SeriesObserver
+from repro.sim.scheduler import make_scheduler
 
 
 def run_with_probes(
@@ -14,9 +15,18 @@ def run_with_probes(
     cycles: int,
     probes: Dict[str, Callable[[Any], float]],
     every: int = 1,
+    runtime: Optional[Runtime] = None,
 ) -> Dict[str, Series]:
     """Run ``overlay`` for ``cycles``, sampling ``probes`` every
-    ``every`` cycles; returns one :class:`Series` per probe."""
+    ``every`` cycles; returns one :class:`Series` per probe.
+
+    ``runtime`` optionally swaps the overlay's scheduler before the run
+    — the same knob the scenario builders take, for callers that built
+    the overlay elsewhere.  Probes sample at cycle boundaries under
+    both runtimes, so the resulting series are directly comparable.
+    """
+    if runtime is not None:
+        overlay.engine.use_scheduler(make_scheduler(runtime))
     observer = SeriesObserver(probes, every=every)
     overlay.engine.add_observer(observer)
     overlay.run(cycles)

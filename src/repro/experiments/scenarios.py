@@ -8,7 +8,7 @@ build on top of them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Type
+from typing import Any, Dict, List, Optional, Type, Union
 
 from repro.adversary.coordinator import MaliciousCoordinator
 from repro.adversary.hub import CyclonHubAttacker, SecureHubAttacker
@@ -18,6 +18,11 @@ from repro.core.node import SecureCyclonNode
 from repro.cyclon.config import CyclonConfig
 from repro.cyclon.node import CyclonNode
 from repro.sim.engine import Engine, SimConfig
+from repro.sim.scheduler import Scheduler, make_scheduler
+
+#: What the ``runtime=`` knob accepts: a runtime name ("cycle"/"event")
+#: or a pre-configured :class:`~repro.sim.scheduler.Scheduler`.
+Runtime = Union[str, Scheduler]
 
 
 @dataclass
@@ -54,10 +59,14 @@ def build_cyclon_overlay(
     seed: int = 42,
     attacker_cls: Type[CyclonHubAttacker] = CyclonHubAttacker,
     sim_config: Optional[SimConfig] = None,
+    runtime: Runtime = "cycle",
 ) -> Overlay:
     """A bootstrapped legacy-Cyclon overlay, optionally with attackers."""
     config = config or CyclonConfig()
-    engine = Engine(sim_config or SimConfig(seed=seed))
+    engine = Engine(
+        sim_config or SimConfig(seed=seed),
+        scheduler=make_scheduler(runtime),
+    )
     coordinator = MaliciousCoordinator(
         attack_start_cycle=attack_start,
         rng=engine.rng_hub.stream("adversary"),
@@ -110,10 +119,14 @@ def build_secure_overlay(
     attacker_cls: Type[SecureCyclonNode] = SecureHubAttacker,
     attacker_kwargs: Optional[Dict[str, Any]] = None,
     sim_config: Optional[SimConfig] = None,
+    runtime: Runtime = "cycle",
 ) -> Overlay:
     """A bootstrapped SecureCyclon overlay, optionally with attackers."""
     config = config or SecureCyclonConfig()
-    engine = Engine(sim_config or SimConfig(seed=seed))
+    engine = Engine(
+        sim_config or SimConfig(seed=seed),
+        scheduler=make_scheduler(runtime),
+    )
     coordinator = MaliciousCoordinator(
         attack_start_cycle=attack_start,
         rng=engine.rng_hub.stream("adversary"),

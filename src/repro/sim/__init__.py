@@ -1,18 +1,26 @@
-"""Cycle-driven peer-to-peer simulation substrate.
+"""Peer-to-peer simulation substrate with pluggable runtimes.
 
 This package is the Python equivalent of the PeerNet/PeerSim environment
-the paper used for its evaluation (§VI).  It follows the same
-cycle-driven model:
+the paper used for its evaluation (§VI), generalised over *time*.  One
+:class:`~repro.sim.engine.Engine` owns the universe (nodes, network,
+clock, trace, observers); a :class:`~repro.sim.scheduler.Scheduler`
+decides how it advances:
 
-* time advances in *cycles*; each alive node initiates at most one gossip
-  exchange per cycle (paper §II-A);
-* within a cycle, nodes are activated in a random order drawn from a
-  deterministic, seeded RNG;
-* an exchange is a synchronous dialogue over a :class:`~repro.sim.channel.Channel`
-  whose individual messages may be dropped to model lossy networks and
-  unresponsive peers;
-* observers sample the global state at the end of every cycle — this is
-  how the paper's figures are produced.
+* :class:`~repro.sim.scheduler.CycleScheduler` (default) — the paper's
+  lock-step model: time advances in *cycles*; each alive node initiates
+  at most one gossip exchange per cycle (§II-A), in a random order drawn
+  from a deterministic, seeded RNG;
+* :class:`~repro.sim.scheduler.EventScheduler` — a latency-aware event
+  queue: per-node activation timers (with optional period jitter),
+  per-link message delays from a :class:`~repro.sim.latency.LatencyModel`,
+  dialogue timeouts, and delayed (possibly reordered) one-way pushes.
+
+An exchange is a synchronous dialogue over a
+:class:`~repro.sim.channel.Channel` whose individual messages may be
+dropped — or, under the event runtime, arrive too late — to model lossy
+networks and unresponsive peers.  Observers sample the global state at
+the end of every cycle (both runtimes) and, under the event runtime, at
+wall-clock instants between cycle boundaries.
 
 Nothing in this package knows about Cyclon or SecureCyclon; protocol
 logic lives in :mod:`repro.cyclon` and :mod:`repro.core` and plugs in via
@@ -20,28 +28,58 @@ the :class:`~repro.sim.engine.ProtocolNode` interface.
 """
 
 from repro.sim.clock import SimClock
-from repro.sim.channel import Channel, DropPolicy
+from repro.sim.channel import Channel, DropPolicy, MessageDropped, MessageTimeout
 from repro.sim.engine import Engine, ProtocolNode, SimConfig
+from repro.sim.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LinkTiming,
+    LognormalLatency,
+    TwoClusterLatency,
+    UniformLatency,
+)
 from repro.sim.network import Network, NetworkAddress
-from repro.sim.observers import Observer, SeriesObserver
+from repro.sim.observers import Observer, SeriesObserver, TimedSeriesObserver
 from repro.sim.rng import RngHub
-from repro.sim.churn import ChurnSchedule, ChurnEvent
+from repro.sim.churn import ChurnSchedule, ChurnEvent, TimedChurnEvent
+from repro.sim.scheduler import (
+    CycleScheduler,
+    EventScheduler,
+    PeriodJitter,
+    Scheduler,
+    make_scheduler,
+)
 from repro.sim.trace import EventTrace, TraceEvent
 
 __all__ = [
     "SimClock",
     "Channel",
     "DropPolicy",
+    "MessageDropped",
+    "MessageTimeout",
     "Engine",
     "ProtocolNode",
     "SimConfig",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LognormalLatency",
+    "TwoClusterLatency",
+    "LinkTiming",
     "Network",
     "NetworkAddress",
     "Observer",
     "SeriesObserver",
+    "TimedSeriesObserver",
     "RngHub",
     "ChurnSchedule",
     "ChurnEvent",
+    "TimedChurnEvent",
+    "Scheduler",
+    "CycleScheduler",
+    "EventScheduler",
+    "PeriodJitter",
+    "make_scheduler",
     "EventTrace",
     "TraceEvent",
 ]

@@ -7,6 +7,13 @@ the two views asymmetric (§V-A case 2).  :class:`Channel` therefore
 distinguishes, on a drop, whether the request was delivered before the
 failure — callers use this to decide whether a descriptor they sent must
 be considered spent.
+
+Under the event-driven runtime the same asymmetry arises from *time*
+instead of loss: each message leg is priced by a
+:class:`~repro.sim.latency.LinkTiming` and a round trip that exceeds the
+dialogue timeout raises :class:`MessageTimeout` — a subclass of
+:class:`MessageDropped`, because to the protocol a too-late reply and a
+lost reply are the same partial failure.
 """
 
 from __future__ import annotations
@@ -25,16 +32,57 @@ class DropPolicy:
     ``reply_loss`` to partner→initiator replies.  Both default to zero,
     matching the paper's evaluation setting where losses come from the
     adversary rather than the network.
+
+    ``burst_length`` switches on correlated (bursty) loss: after any
+    drop, the loss probability of the next ``burst_length`` messages is
+    multiplied by ``burst_factor`` (capped at 1.0), modelling the
+    real-world pattern where congestion events cluster drops together.
+    A drop during a burst re-arms the full burst window.  The burst
+    state is shared per network, so bursts correlate across links the
+    way a congested backbone does.
     """
 
     request_loss: float = 0.0
     reply_loss: float = 0.0
+    burst_length: int = 0
+    burst_factor: float = 2.0
 
     def __post_init__(self) -> None:
         for name in ("request_loss", "reply_loss"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {value}")
+        if self.burst_length < 0:
+            raise ValueError("burst_length must be non-negative")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1.0")
+
+
+class BurstState:
+    """Mutable burst-loss bookkeeping shared by all channels of a network.
+
+    Kept out of the (frozen, shareable) :class:`DropPolicy` so policy
+    objects stay value-like.  ``remaining`` counts how many upcoming
+    messages still fall inside the current burst window.
+    """
+
+    __slots__ = ("length", "factor", "remaining")
+
+    def __init__(self, policy: DropPolicy) -> None:
+        self.length = policy.burst_length
+        self.factor = policy.burst_factor
+        self.remaining = 0
+
+    def effective(self, base_loss: float) -> float:
+        """Loss probability for the next message, consuming burst budget."""
+        if self.remaining <= 0:
+            return base_loss
+        self.remaining -= 1
+        return min(1.0, base_loss * self.factor)
+
+    def on_drop(self) -> None:
+        """A drop happened: (re-)arm the burst window."""
+        self.remaining = self.length
 
 
 class MessageDropped(ChannelDropped):
@@ -50,6 +98,26 @@ class MessageDropped(ChannelDropped):
         self.delivered = delivered
 
 
+class MessageTimeout(MessageDropped):
+    """The initiator gave up waiting for this round trip.
+
+    Subclasses :class:`MessageDropped` because the protocol-visible
+    outcome is identical to a loss in the same direction: ``delivered``
+    says whether the request leg arrived before the deadline (if it did,
+    the partner processed the message and the §V-A case-2 asymmetry
+    applies — anything the initiator sent must be considered spent).
+    ``elapsed_s`` is the virtual time the failed round trip consumed.
+    """
+
+    def __init__(self, direction: str, delivered: bool, elapsed_s: float) -> None:
+        ChannelDropped.__init__(
+            self, f"message timed out ({direction}, {elapsed_s:.3f}s)"
+        )
+        self.direction = direction
+        self.delivered = delivered
+        self.elapsed_s = elapsed_s
+
+
 class Channel:
     """One dialogue between an initiator and a partner node.
 
@@ -57,6 +125,13 @@ class Channel:
     returns its reply; the engine wires it to the partner's ``receive``
     method.  The channel tracks message and byte counts so experiments
     can report network costs (paper §VI-A).
+
+    ``timing`` (a :class:`~repro.sim.latency.LinkTiming`, event runtime
+    only) prices every leg and enforces the dialogue timeout;
+    ``burst_state`` (shared per network) correlates drops when the drop
+    policy's burst mode is on.  Both default to ``None``, in which case
+    the channel behaves — including its RNG consumption — exactly like
+    the classic instantaneous channel.
     """
 
     def __init__(
@@ -68,6 +143,8 @@ class Channel:
         policy: Optional[DropPolicy] = None,
         sizer: Optional[Callable[[Any], int]] = None,
         stats: Optional[Any] = None,
+        timing: Optional[Any] = None,
+        burst_state: Optional[BurstState] = None,
     ) -> None:
         self.initiator_id = initiator_id
         self.partner_id = partner_id
@@ -80,17 +157,40 @@ class Channel:
         self._reply_loss = self._policy.reply_loss
         self._sizer = sizer
         self._stats = stats
+        self._timing = timing
+        self._burst = burst_state
         self.requests_sent = 0
         self.replies_received = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        # Virtual time consumed by this dialogue's legs — a diagnostic
+        # statistic (like the byte counters above), not fed back into
+        # the event clock: dialogues do not delay their node's next
+        # activation timer.
+        self.elapsed_s = 0.0
+
+    def _loses(self, base_loss: float) -> bool:
+        """Draw the loss decision for one message, burst-aware.
+
+        Exactly one RNG draw per message, burst or not — the classic
+        channel drew unconditionally, and bit-for-bit equivalence of the
+        cycle runtime depends on consuming its streams identically.
+        """
+        burst = self._burst
+        loss = base_loss if burst is None else burst.effective(base_loss)
+        if self._rng.random() < loss:
+            if burst is not None:
+                burst.on_drop()
+            return True
+        return False
 
     def request(self, payload: Any) -> Any:
         """Send ``payload`` and wait for the partner's reply.
 
         Raises :class:`MessageDropped` if either direction loses the
-        message; ``delivered`` on the exception says whether the partner
-        processed the request.
+        message, or :class:`MessageTimeout` if latency pushes the round
+        trip past the dialogue timeout; ``delivered`` on the exception
+        says whether the partner processed the request.
         """
         self.requests_sent += 1
         if self._sizer is not None:
@@ -98,11 +198,35 @@ class Channel:
             self.bytes_sent += size
             if self._stats is not None:
                 self._stats.record_dialogue_traffic(sent=size)
-        if self._rng.random() < self._request_loss:
+        if self._loses(self._request_loss):
             raise MessageDropped("request", delivered=False)
+        timing = self._timing
+        request_s = 0.0
+        if timing is not None:
+            request_s = timing.sample(self.initiator_id, self.partner_id)
+            timeout_s = timing.timeout_s
+            if timeout_s is not None and request_s > timeout_s:
+                # The request is still in flight when the initiator
+                # gives up; the partner never acts on it.
+                self.elapsed_s += timeout_s
+                raise MessageTimeout(
+                    "request", delivered=False, elapsed_s=timeout_s
+                )
         reply = self._deliver(payload)
-        if self._rng.random() < self._reply_loss:
+        if self._loses(self._reply_loss):
             raise MessageDropped("reply", delivered=True)
+        if timing is not None:
+            reply_s = timing.sample(self.partner_id, self.initiator_id)
+            round_trip_s = request_s + reply_s
+            timeout_s = timing.timeout_s
+            if timeout_s is not None and round_trip_s > timeout_s:
+                # §V-A case 2 by timing: the partner processed the
+                # request but the reply arrives too late to matter.
+                self.elapsed_s += timeout_s
+                raise MessageTimeout(
+                    "reply", delivered=True, elapsed_s=timeout_s
+                )
+            self.elapsed_s += round_trip_s
         self.replies_received += 1
         if self._sizer is not None and reply is not None:
             size = self._sizer(reply)

@@ -21,6 +21,30 @@ _VALID_ACTIONS = (JOIN, LEAVE, CRASH)
 
 
 @dataclass(frozen=True)
+class TimedChurnEvent:
+    """One membership change pinned to a wall-clock instant.
+
+    The event runtime executes these at ``time_s`` regardless of cycle
+    boundaries — a node can crash mid-gossip-period, which is exactly
+    the desynchronised failure mode the cycle model cannot express.
+    The cycle runtime ignores timed events (its clock never visits the
+    instants between boundaries).
+    """
+
+    time_s: float
+    action: str
+    node_id: Any = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _VALID_ACTIONS:
+            raise ValueError(
+                f"action must be one of {_VALID_ACTIONS}, got {self.action!r}"
+            )
+        if self.time_s < 0:
+            raise ValueError("time must be non-negative")
+
+
+@dataclass(frozen=True)
 class ChurnEvent:
     """One membership change.
 
@@ -49,11 +73,15 @@ class ChurnSchedule:
 
     def __init__(self, events: Optional[Iterable[ChurnEvent]] = None) -> None:
         self._by_cycle: Dict[int, List[ChurnEvent]] = {}
+        self._timed: List[TimedChurnEvent] = []
         for event in events or ():
             self.add(event)
 
     def add(self, event: ChurnEvent) -> None:
         self._by_cycle.setdefault(event.cycle, []).append(event)
+
+    def add_timed(self, event: TimedChurnEvent) -> None:
+        self._timed.append(event)
 
     def join(self, cycle: int, node_id: Any = None) -> "ChurnSchedule":
         """Fluent helper: schedule a join at ``cycle``."""
@@ -70,12 +98,43 @@ class ChurnSchedule:
         self.add(ChurnEvent(cycle=cycle, action=CRASH, node_id=node_id))
         return self
 
+    def join_at(self, time_s: float, node_id: Any = None) -> "ChurnSchedule":
+        """Fluent helper: schedule a join at wall-clock ``time_s``."""
+        self.add_timed(TimedChurnEvent(time_s=time_s, action=JOIN, node_id=node_id))
+        return self
+
+    def leave_at(self, time_s: float, node_id: Any) -> "ChurnSchedule":
+        """Fluent helper: schedule a graceful leave at ``time_s``."""
+        self.add_timed(
+            TimedChurnEvent(time_s=time_s, action=LEAVE, node_id=node_id)
+        )
+        return self
+
+    def crash_at(self, time_s: float, node_id: Any) -> "ChurnSchedule":
+        """Fluent helper: schedule a crash at wall-clock ``time_s``."""
+        self.add_timed(
+            TimedChurnEvent(time_s=time_s, action=CRASH, node_id=node_id)
+        )
+        return self
+
     def events_at(self, cycle: int) -> List[ChurnEvent]:
         """Events scheduled for ``cycle`` (possibly empty)."""
         return list(self._by_cycle.get(cycle, ()))
 
+    def timed_events_between(
+        self, start_s: float, end_s: float
+    ) -> List[TimedChurnEvent]:
+        """Timed events with ``start_s <= time_s < end_s``, time order."""
+        matched = [
+            event for event in self._timed if start_s <= event.time_s < end_s
+        ]
+        matched.sort(key=lambda event: event.time_s)
+        return matched
+
     def __len__(self) -> int:
-        return sum(len(events) for events in self._by_cycle.values())
+        return len(self._timed) + sum(
+            len(events) for events in self._by_cycle.values()
+        )
 
     @staticmethod
     def random_churn(

@@ -8,6 +8,8 @@ configurable gossip period (the paper suggests real periods of 10–60 s).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import SimulationError
 
 
@@ -61,4 +63,20 @@ class SimClock:
             raise SimulationError("cannot advance the clock backwards")
         self._cycle += cycles
         self.now_s = self._cycle * self._period
+        return self._cycle
+
+    def advance_to(self, time_s: float, cycle: Optional[int] = None) -> int:
+        """Advance to an absolute wall-clock reading (event runtime).
+
+        The cycle counter follows as ``floor(time_s / period)``, so
+        protocol code that thinks in cycles (frequency checks, cache
+        horizons) keeps working when time moves continuously between
+        cycle boundaries.  Callers sitting exactly on a boundary they
+        computed as ``cycle * period`` pass ``cycle`` explicitly to
+        sidestep float division jitter.  Returns the new cycle.
+        """
+        if time_s < self.now_s:
+            raise SimulationError("cannot advance the clock backwards")
+        self.now_s = float(time_s)
+        self._cycle = int(time_s // self._period) if cycle is None else cycle
         return self._cycle

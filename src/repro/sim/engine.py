@@ -1,17 +1,25 @@
-"""The cycle-driven simulation engine.
+"""The simulation engine: universe state plus a pluggable runtime.
 
 One :class:`Engine` owns a complete simulated universe: the key registry,
 the clock, the network directory, the event trace, and every protocol
-node.  Its ``run`` loop reproduces the PeerNet/PeerSim cycle model used
-by the paper: per cycle, every alive node is activated exactly once, in
-a freshly shuffled order, and initiates at most one gossip exchange.
+node.  *How* that universe advances belongs to a
+:class:`~repro.sim.scheduler.Scheduler`: the default
+:class:`~repro.sim.scheduler.CycleScheduler` reproduces the PeerNet/
+PeerSim cycle model used by the paper (per cycle, every alive node is
+activated exactly once, in a freshly shuffled order, and initiates at
+most one gossip exchange), while the
+:class:`~repro.sim.scheduler.EventScheduler` drives the same universe
+through a latency-aware event queue.  ``Engine.run`` still counts in
+cycles either way, so every experiment and metric works unchanged under
+both runtimes.
 """
 
 from __future__ import annotations
 
 import gc
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set
 
 from repro.crypto.registry import KeyRegistry
 from repro.errors import SimulationError
@@ -21,6 +29,7 @@ from repro.sim.clock import SimClock
 from repro.sim.network import Network
 from repro.sim.observers import Observer
 from repro.sim.rng import RngHub
+from repro.sim.scheduler import CycleScheduler, Scheduler
 from repro.sim.trace import EventTrace
 
 
@@ -85,8 +94,10 @@ class Engine:
         config: Optional[SimConfig] = None,
         churn: Optional[ChurnSchedule] = None,
         join_factory: Optional[Callable[["Engine"], ProtocolNode]] = None,
+        scheduler: Optional[Scheduler] = None,
     ) -> None:
         self.config = config or SimConfig()
+        self.scheduler = scheduler or CycleScheduler()
         self.rng_hub = RngHub(self.config.seed)
         self.registry = KeyRegistry()
         self.clock = SimClock(period_seconds=self.config.period_seconds)
@@ -175,67 +186,77 @@ class Engine:
     # run loop
     # ------------------------------------------------------------------
 
+    def use_scheduler(self, scheduler: Scheduler) -> None:
+        """Swap the runtime that drives this universe.
+
+        Switch *between* ``run`` calls, not during one.  Switching from
+        the event runtime mid-simulation leaves its in-flight messages
+        undelivered (they live in the scheduler's queue).
+        """
+        # Unbind any event-runtime hooks; an event scheduler re-installs
+        # its own on the next run, and the cycle runtime needs the
+        # synchronous (hook-free) network paths.
+        self.network.set_link_timing(None)
+        self.network.use_transport(None)
+        self.scheduler = scheduler
+
     def run(self, cycles: int) -> None:
-        """Advance the simulation by ``cycles`` cycles."""
+        """Advance the simulation by ``cycles`` cycles.
+
+        The unit stays *cycles* under every runtime: the cycle scheduler
+        executes that many lock-step rounds, the event scheduler runs
+        its queue until the wall clock reaches ``cycles`` gossip
+        periods.
+        """
         if cycles < 0:
             raise SimulationError("cycles must be non-negative")
+        with self._tuned_gc():
+            for observer in self._observers:
+                observer.on_start(self)
+            self.scheduler.run(self, cycles)
+            for observer in self._observers:
+                observer.on_finish(self)
+
+    @contextmanager
+    def _tuned_gc(self) -> Iterator[None]:
+        """Scope the raised gen-0 GC threshold to one ``run`` call.
+
+        The ``finally`` matters: an observer or protocol exception must
+        not leak a 400k gen-0 threshold into the caller's process.
+        """
         threshold0 = self.config.gc_generation0_threshold
         previous_thresholds = None
         if threshold0 is not None and gc.isenabled():
             previous_thresholds = gc.get_threshold()
             gc.set_threshold(threshold0, *previous_thresholds[1:])
         try:
-            for observer in self._observers:
-                observer.on_start(self)
-            for _ in range(cycles):
-                self._run_one_cycle()
-            for observer in self._observers:
-                observer.on_finish(self)
+            yield
         finally:
             if previous_thresholds is not None:
                 gc.set_threshold(*previous_thresholds)
 
-    def _run_one_cycle(self) -> None:
-        cycle = self.clock.cycle
-        self._apply_churn(cycle)
-
-        # One shuffled order buffer, reused across cycles: refilled from
-        # the alive list (attachment order, matching ``list(self.nodes)``)
-        # so each shuffle starts from the same arrangement — and thus
-        # produces the same permutation — as a freshly built list would.
-        order = self._order_buffer
-        order[:] = self._alive_list
-        nodes_get = self.nodes.get
-        self._order_rng.shuffle(order)
-        for node_id in order:
-            node = nodes_get(node_id)
-            if node is not None:
-                node.begin_cycle(cycle)
-
-        self._order_rng.shuffle(order)
-        for node_id in order:
-            node = nodes_get(node_id)
-            if node is not None:
-                node.run_cycle(self.network)
-
-        for observer in self._observers:
-            observer.on_cycle_end(self, cycle)
-        self.clock.advance()
+    # ------------------------------------------------------------------
+    # churn (invoked by schedulers)
+    # ------------------------------------------------------------------
 
     def _apply_churn(self, cycle: int) -> None:
         for event in self._churn.events_at(cycle):
-            if event.action == JOIN:
-                if self._join_factory is None:
-                    raise SimulationError(
-                        "churn schedule contains joins but no join_factory "
-                        "was provided"
-                    )
-                node = self._join_factory(self)
-                self.add_node(node)
-                self.trace.emit(cycle, "churn.join", node=node.node_id)
-            elif event.action in (LEAVE, CRASH):
-                if event.node_id in self.nodes:
-                    self.remove_node(event.node_id)
-                    self.trace.emit(
-                        cycle, f"churn.{event.action}", node=event.node_id
-                    )
+            self._apply_churn_event(event, cycle)
+
+    def _apply_churn_event(self, event: Any, cycle: int) -> None:
+        """Execute one churn event (cycle-based or timed)."""
+        if event.action == JOIN:
+            if self._join_factory is None:
+                raise SimulationError(
+                    "churn schedule contains joins but no join_factory "
+                    "was provided"
+                )
+            node = self._join_factory(self)
+            self.add_node(node)
+            self.trace.emit(cycle, "churn.join", node=node.node_id)
+        elif event.action in (LEAVE, CRASH):
+            if event.node_id in self.nodes:
+                self.remove_node(event.node_id)
+                self.trace.emit(
+                    cycle, f"churn.{event.action}", node=event.node_id
+                )

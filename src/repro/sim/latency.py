@@ -1,0 +1,157 @@
+"""Per-link message latency models for the event-driven runtime.
+
+The paper's evaluation inherits PeerNet/PeerSim's lock-step cycle model,
+where message transmission is instantaneous and every exchange is atomic
+within its cycle.  Real deployments are nothing like that: latency is
+heterogeneous across links, heavy-tailed within a link, and a reply that
+arrives after the initiator's patience ran out is indistinguishable from
+a lost reply — which is exactly the §V-A case-2 partial failure.
+
+A :class:`LatencyModel` answers one question — how long does *this*
+message from ``src`` to ``dst`` take? — and the event scheduler samples
+it once per message leg.  Four shapes cover the scenarios the ROADMAP
+asks for:
+
+* :class:`ConstantLatency` — every leg takes the same time; the control
+  condition (zero keeps the event runtime equivalent to the cycle one);
+* :class:`UniformLatency` — bounded symmetric spread;
+* :class:`LognormalLatency` — the classic heavy-tailed internet RTT
+  shape: most legs fast, a long tail of stragglers;
+* :class:`TwoClusterLatency` — a WAN/LAN topology: nodes live in one of
+  two sites, intra-site legs are fast, cross-site legs are slow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import SimulationError
+
+
+class LatencyModel:
+    """Interface: one-way message latency for a (src, dst) leg."""
+
+    def sample(self, rng, src: Any = None, dst: Any = None) -> float:
+        """Seconds this leg takes; must be >= 0."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantLatency(LatencyModel):
+    """Every leg takes exactly ``delay_s`` seconds."""
+
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise SimulationError("latency must be non-negative")
+
+    def sample(self, rng, src: Any = None, dst: Any = None) -> float:
+        return self.delay_s
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Legs take Uniform(``low_s``, ``high_s``) seconds."""
+
+    low_s: float
+    high_s: float
+
+    def __post_init__(self) -> None:
+        if self.low_s < 0 or self.high_s < self.low_s:
+            raise SimulationError("need 0 <= low_s <= high_s")
+
+    def sample(self, rng, src: Any = None, dst: Any = None) -> float:
+        return rng.uniform(self.low_s, self.high_s)
+
+
+@dataclass(frozen=True)
+class LognormalLatency(LatencyModel):
+    """Heavy-tailed legs: ``exp(N(ln(median_s), sigma))`` seconds.
+
+    ``median_s`` is the median leg latency (the lognormal's scale) and
+    ``sigma`` the shape; ``sigma`` around 0.5 gives a realistic internet
+    tail where p99 is ~3x the median.
+    """
+
+    median_s: float
+    sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.median_s <= 0:
+            raise SimulationError("median latency must be positive")
+        if self.sigma < 0:
+            raise SimulationError("sigma must be non-negative")
+
+    def sample(self, rng, src: Any = None, dst: Any = None) -> float:
+        if self.sigma == 0:
+            return self.median_s
+        return rng.lognormvariate(math.log(self.median_s), self.sigma)
+
+
+@dataclass
+class TwoClusterLatency(LatencyModel):
+    """Two sites (e.g. two data centres): LAN within, WAN across.
+
+    Nodes are assigned to a site on first sight, by a Bernoulli draw
+    with ``site_a_fraction``; the assignment is memoised so a node's
+    site is stable for the simulation's lifetime.  ``spread`` adds a
+    +/- fraction of uniform noise to each leg so same-class legs are
+    not perfectly synchronous.
+    """
+
+    lan_s: float = 0.002
+    wan_s: float = 0.080
+    site_a_fraction: float = 0.5
+    spread: float = 0.1
+    _site_of: Dict[Any, bool] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.lan_s < 0 or self.wan_s < 0:
+            raise SimulationError("latency must be non-negative")
+        if not 0.0 <= self.site_a_fraction <= 1.0:
+            raise SimulationError("site_a_fraction must be a probability")
+        if not 0.0 <= self.spread < 1.0:
+            raise SimulationError("spread must be in [0, 1)")
+
+    def site(self, rng, node_id: Any) -> bool:
+        """The (memoised) site of ``node_id``; True means site A."""
+        site = self._site_of.get(node_id)
+        if site is None:
+            site = rng.random() < self.site_a_fraction
+            self._site_of[node_id] = site
+        return site
+
+    def sample(self, rng, src: Any = None, dst: Any = None) -> float:
+        same = self.site(rng, src) == self.site(rng, dst)
+        base = self.lan_s if same else self.wan_s
+        if self.spread:
+            base *= 1.0 + rng.uniform(-self.spread, self.spread)
+        return base
+
+
+class LinkTiming:
+    """A latency model bound to its RNG stream plus a dialogue timeout.
+
+    This is what the network hands to every :class:`~repro.sim.channel.Channel`
+    in event mode; channels use it to price each message leg and decide
+    whether the round trip timed out.  ``timeout_s`` of ``None`` means
+    initiators wait forever (latency then only delays one-way pushes).
+    """
+
+    __slots__ = ("model", "timeout_s", "rng")
+
+    def __init__(
+        self, model: LatencyModel, rng, timeout_s: Optional[float] = None
+    ) -> None:
+        if timeout_s is not None and timeout_s <= 0:
+            raise SimulationError("timeout must be positive (or None)")
+        self.model = model
+        self.timeout_s = timeout_s
+        self.rng = rng
+
+    def sample(self, src: Any, dst: Any) -> float:
+        """One leg's latency in seconds."""
+        return self.model.sample(self.rng, src, dst)

@@ -15,7 +15,7 @@ from functools import partial
 from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.errors import PeerUnreachable
-from repro.sim.channel import Channel, DropPolicy
+from repro.sim.channel import BurstState, Channel, DropPolicy
 
 
 @dataclass(frozen=True, order=True)
@@ -52,6 +52,21 @@ class Network:
     ) -> None:
         self._rng = rng
         self._drop_policy = drop_policy or DropPolicy()
+        # Burst state exists only when the policy asks for correlated
+        # loss; channels and pushes then share it so drops cluster
+        # network-wide.  ``None`` keeps the classic uncorrelated path.
+        self._burst_state = (
+            BurstState(self._drop_policy)
+            if self._drop_policy.burst_length > 0
+            else None
+        )
+        # Event-runtime hooks, both installed by the scheduler: a
+        # LinkTiming that prices dialogue legs and enforces timeouts,
+        # and a transport that carries one-way pushes through the event
+        # queue (delayed, possibly reordered) instead of delivering
+        # them synchronously.
+        self._timing = None
+        self._transport = None
         self._sizer = sizer
         self._nodes: Dict[Any, Any] = {}
         self._addresses: Dict[Any, NetworkAddress] = {}
@@ -125,6 +140,22 @@ class Network:
         return len(self._nodes)
 
     # ------------------------------------------------------------------
+    # runtime wiring (event scheduler)
+    # ------------------------------------------------------------------
+
+    def set_link_timing(self, timing: Optional[Any]) -> None:
+        """Install (or clear, with ``None``) per-leg latency pricing."""
+        self._timing = timing
+
+    def use_transport(self, transport: Optional[Any]) -> None:
+        """Route one-way pushes through ``transport.schedule_push``.
+
+        Passing ``None`` restores the synchronous drain used by the
+        cycle runtime.
+        """
+        self._transport = transport
+
+    # ------------------------------------------------------------------
     # communication
     # ------------------------------------------------------------------
 
@@ -149,6 +180,8 @@ class Network:
             policy=self._drop_policy,
             sizer=self._sizer,
             stats=self,
+            timing=self._timing,
+            burst_state=self._burst_state,
         )
 
     def record_dialogue_traffic(self, sent: int = 0, received: int = 0) -> None:
@@ -171,8 +204,20 @@ class Network:
         self.pushes_sent += 1
         if self._sizer is not None:
             self.push_bytes += self._sizer(payload)
-        if self._rng.random() < self._drop_policy.request_loss:
+        loss = self._drop_policy.request_loss
+        burst = self._burst_state
+        if burst is not None:
+            loss = burst.effective(loss)
+        if self._rng.random() < loss:
+            if burst is not None:
+                burst.on_drop()
             return False
+        if self._transport is not None:
+            # Event runtime: the push rides the event queue with its own
+            # sampled delay, so floods spread over virtual time and may
+            # arrive reordered relative to their sends.
+            self._transport.schedule_push(sender_id, target_id, payload)
+            return True
         self._push_queue.append((sender_id, target_id, payload))
         if self._draining:
             return True
@@ -186,3 +231,15 @@ class Network:
         finally:
             self._draining = False
         return True
+
+    def deliver_push(self, sender_id: Any, target_id: Any, payload: Any) -> None:
+        """Hand a transport-delayed push to its (still alive) target.
+
+        Called by the event scheduler when a push's delivery time comes
+        up.  A handler that re-floods goes back through :meth:`push`,
+        which re-enqueues on the transport — no recursion, mirroring the
+        iterative drain of the synchronous path.
+        """
+        node = self._nodes.get(target_id)
+        if node is not None:
+            node.receive_push(sender_id, payload)

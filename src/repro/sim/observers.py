@@ -20,6 +20,16 @@ class Observer:
     def on_cycle_end(self, engine: Any, cycle: int) -> None:
         """Called after every cycle completes."""
 
+    def on_time_sample(self, engine: Any, time_s: float) -> None:
+        """Called by the event runtime at its sampling instants.
+
+        The cycle runtime never calls this (its clock only visits
+        boundaries, where :meth:`on_cycle_end` already fires); the
+        event runtime calls it every ``sample_every_s`` seconds, which
+        lets observers see state mid-period — between the activations
+        the cycle model would have fused into one atomic step.
+        """
+
     def on_finish(self, engine: Any) -> None:
         """Called once after the last cycle."""
 
@@ -56,3 +66,29 @@ class SeriesObserver(Observer):
     def cycles(self, name: str) -> List[int]:
         """Just the sampled cycle numbers of one series."""
         return [cycle for cycle, _ in self.series[name]]
+
+
+class TimedSeriesObserver(Observer):
+    """Wall-clock twin of :class:`SeriesObserver` (event runtime only).
+
+    Records ``(time_s, value)`` pairs at every sampling instant the
+    event scheduler announces through :meth:`Observer.on_time_sample`.
+    The sampling cadence belongs to the scheduler (``sample_every_s``),
+    not the observer — all timed observers of an engine share it.
+    """
+
+    def __init__(self, probes: Dict[str, Callable[[Any], float]]) -> None:
+        self._probes = dict(probes)
+        self.series: Dict[str, List[tuple]] = {name: [] for name in probes}
+
+    def on_time_sample(self, engine: Any, time_s: float) -> None:
+        for name, probe in self._probes.items():
+            self.series[name].append((time_s, probe(engine)))
+
+    def values(self, name: str) -> List[float]:
+        """Just the values of one series, in time order."""
+        return [value for _, value in self.series[name]]
+
+    def times(self, name: str) -> List[float]:
+        """Just the sampled instants of one series."""
+        return [time_s for time_s, _ in self.series[name]]

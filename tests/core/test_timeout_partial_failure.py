@@ -1,0 +1,139 @@
+"""The §V-A partial-failure matrix under the event runtime's timeouts.
+
+The paper enumerates what a lost message costs each side of a gossip
+exchange; the existing drop-path tests (``tests/integration/
+test_titfortat_fairness.py``) cover losses injected by the
+:class:`~repro.sim.channel.DropPolicy`.  Under the event runtime the
+same matrix is produced by *timing*: a round trip that exceeds the
+dialogue timeout raises :class:`~repro.sim.channel.MessageTimeout`, and
+
+* request leg timed out (``delivered=False``) — the partner never saw
+  the redemption; the initiator's token is nevertheless spent locally
+  (mirrors 100 % request loss: at most the redeemed descriptor is lost
+  per cycle);
+* request delivered, reply timed out (``delivered=True``) — the §V-A
+  case-2 asymmetry: the partner processed the redemption, so the sent
+  descriptor is marked spent on *both* sides, exactly like the
+  drop-path reply-loss case.
+"""
+
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.links import view_fill_fraction
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.scheduler import EventScheduler
+
+
+class AlternatingLatency(LatencyModel):
+    """Request legs fast, reply legs slow, by strict alternation.
+
+    The synchronous dialogue samples legs in request/reply order (and a
+    request that beats the deadline always reaches the reply sample),
+    so alternation prices every odd leg as a reply.  Only valid while
+    nothing else samples the model — honest overlays flood no pushes.
+    """
+
+    def __init__(self, request_s, reply_s):
+        self.request_s = request_s
+        self.reply_s = reply_s
+        self._count = 0
+
+    def sample(self, rng, src=None, dst=None):
+        value = self.request_s if self._count % 2 == 0 else self.reply_s
+        self._count += 1
+        return value
+
+
+def _overlay(n, scheduler, seed):
+    return build_secure_overlay(
+        n=n,
+        config=SecureCyclonConfig(view_length=6, swap_length=3),
+        seed=seed,
+        runtime=scheduler,
+    )
+
+
+def test_request_timeout_costs_at_most_the_redeemed_token():
+    """Mirror of ``test_request_loss_costs_at_most_the_redeemed_token``:
+    with every request leg past the deadline, each initiator loses
+    exactly its redeemed descriptor per cycle and nothing else."""
+    scheduler = EventScheduler(
+        latency=ConstantLatency(delay_s=9.0), timeout_s=5.0
+    )
+    overlay = _overlay(30, scheduler, seed=63)
+    before = {
+        node.node_id: len(node.view)
+        for node in overlay.engine.nodes.values()
+    }
+    overlay.engine.run(1)
+    engine = overlay.engine
+    for node in engine.nodes.values():
+        assert before[node.node_id] - len(node.view) <= 1
+    timeouts = engine.trace.of_kind("secure.open_timeout")
+    assert timeouts
+    assert all(event.detail["delivered"] is False for event in timeouts)
+
+
+def test_reply_timeout_marks_sent_descriptor_spent_on_both_sides():
+    """§V-A case 2 by timing: the partner processed the redemption, so
+    the initiator's token is spent even though it saw nothing back."""
+    scheduler = EventScheduler(
+        latency=AlternatingLatency(request_s=1.0, reply_s=9.0),
+        timeout_s=5.0,
+    )
+    overlay = _overlay(12, scheduler, seed=61)
+    engine = overlay.engine
+    before = {
+        node.node_id: len(node.view) for node in engine.nodes.values()
+    }
+    redeemed_before = sum(
+        len(node._redeemed_own_timestamps)
+        for node in engine.nodes.values()
+    )
+    engine.run(1)
+
+    timeouts = engine.trace.of_kind("secure.open_timeout")
+    assert timeouts
+    # The request leg always beat the deadline: every timeout is the
+    # asymmetric delivered-but-unanswered case.
+    assert all(event.detail["delivered"] is True for event in timeouts)
+    # The partner side recorded the redemption — the spent token can
+    # never be redeemed again anywhere, despite the initiator never
+    # seeing an acknowledgement.
+    redeemed_after = sum(
+        len(node._redeemed_own_timestamps)
+        for node in engine.nodes.values()
+    )
+    assert redeemed_after > redeemed_before
+    # The initiator's cost is bounded exactly like the drop path's:
+    # at most the one redeemed descriptor per cycle.
+    for node in engine.nodes.values():
+        assert before[node.node_id] - len(node.view) <= 1
+
+
+def test_sustained_reply_timeouts_drain_exactly_one_token_per_cycle():
+    """Every exchange dying at the open (reply always late) costs each
+    node exactly its redeemed token per cycle — no more (nothing else
+    is exposed) and no less (the token is spent at the partner): after
+    three cycles a six-slot view is exactly half empty."""
+    scheduler = EventScheduler(
+        latency=AlternatingLatency(request_s=1.0, reply_s=9.0),
+        timeout_s=5.0,
+    )
+    overlay = _overlay(24, scheduler, seed=71)
+    overlay.run(3)
+    assert view_fill_fraction(overlay.engine) == 0.5
+
+
+def test_generous_timeout_is_a_no_op():
+    """Control: same latency with patience to spare — no timeouts, and
+    the overlay converges as healthily as the instantaneous runtime."""
+    scheduler = EventScheduler(
+        latency=ConstantLatency(delay_s=1.0), timeout_s=60.0
+    )
+    overlay = _overlay(24, scheduler, seed=71)
+    overlay.run(12)
+    engine = overlay.engine
+    assert engine.trace.count("secure.open_timeout") == 0
+    assert engine.trace.count("secure.round_timeout") == 0
+    assert view_fill_fraction(engine) > 0.85

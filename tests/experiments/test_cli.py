@@ -18,6 +18,7 @@ def test_every_figure_is_wired():
         "violations",
         "churn",
         "loss",
+        "latency",
     }
 
 

@@ -1,0 +1,37 @@
+"""Smoke-scale run of the latency sweep (event runtime end-to-end)."""
+
+from repro.experiments import latency_sweep
+from repro.experiments.scale import Scale
+
+
+def test_latency_sweep_smoke():
+    sweep = latency_sweep.run_latency_sweep(scale=Scale.SMOKE, seed=7)
+    assert len(sweep.rows) == 2
+    baseline, stressed = sweep.rows
+
+    # Control level: no latency, no jitter, hence no timeouts.
+    assert baseline.latency_ratio == 0.0
+    assert baseline.timeouts == 0
+
+    # Fig2-style guarantee: indegree stays concentrated around the
+    # outdegree at every level, lock-step or not.
+    for row in sweep.rows:
+        assert abs(row.indegree_mean - row.view_length) < 1.5
+        assert row.indegree_stddev < row.view_length
+
+    # The stressed level actually exercises the timeout path.
+    assert stressed.timeouts > 0
+
+    # Fig5-style guarantee: the hub attack still collapses — proofs
+    # spread and attackers end (mostly) blacklisted at both levels.
+    for row in sweep.rows:
+        assert row.blacklist_progress > 0.5
+        assert row.final_malicious < 0.05
+
+
+def test_latency_sweep_render_mentions_the_runtime():
+    sweep = latency_sweep.run_latency_sweep(scale=Scale.SMOKE, seed=7)
+    text = latency_sweep.render(sweep)
+    assert "event runtime" in text
+    assert "[chart]" in text
+    assert "timeouts" in text

@@ -1,13 +1,20 @@
-"""Unit tests for channels and drop policies."""
+"""Unit tests for channels, drop policies, bursts, and timeouts."""
 
 import random
 
 import pytest
 
-from repro.sim.channel import Channel, DropPolicy, MessageDropped
+from repro.sim.channel import (
+    BurstState,
+    Channel,
+    DropPolicy,
+    MessageDropped,
+    MessageTimeout,
+)
+from repro.sim.latency import ConstantLatency, LinkTiming
 
 
-def make_channel(policy=None, reply="pong"):
+def make_channel(policy=None, reply="pong", timing=None, burst_state=None, seed=0):
     log = []
 
     def deliver(payload):
@@ -18,9 +25,11 @@ def make_channel(policy=None, reply="pong"):
         initiator_id="a",
         partner_id="b",
         deliver=deliver,
-        rng=random.Random(0),
+        rng=random.Random(seed),
         policy=policy,
         sizer=lambda payload: len(str(payload)),
+        timing=timing,
+        burst_state=burst_state,
     )
     return channel, log
 
@@ -61,3 +70,118 @@ def test_drop_policy_validates_probabilities():
         DropPolicy(request_loss=1.5)
     with pytest.raises(ValueError):
         DropPolicy(reply_loss=-0.1)
+    with pytest.raises(ValueError):
+        DropPolicy(burst_length=-1)
+    with pytest.raises(ValueError):
+        DropPolicy(burst_factor=0.5)
+
+
+# ----------------------------------------------------------------------
+# correlated (burst) loss
+# ----------------------------------------------------------------------
+
+
+def test_burst_state_doubles_loss_for_n_messages_after_a_drop():
+    policy = DropPolicy(request_loss=0.3, burst_length=3, burst_factor=2.0)
+    state = BurstState(policy)
+    assert state.effective(0.3) == 0.3  # no drop yet: base probability
+    state.on_drop()
+    # The next three messages ride the burst at doubled probability...
+    assert [state.effective(0.3) for _ in range(3)] == [0.6, 0.6, 0.6]
+    # ...and the fourth is back to the base rate.
+    assert state.effective(0.3) == 0.3
+
+
+def test_burst_effective_probability_is_capped_at_one():
+    policy = DropPolicy(request_loss=0.7, burst_length=1, burst_factor=3.0)
+    state = BurstState(policy)
+    state.on_drop()
+    assert state.effective(0.7) == 1.0
+
+
+def test_burst_rearms_on_drop_within_burst():
+    policy = DropPolicy(request_loss=0.5, burst_length=2)
+    state = BurstState(policy)
+    state.on_drop()
+    state.effective(0.5)  # one burst slot consumed
+    state.on_drop()  # drop inside the burst: window restarts
+    assert state.remaining == 2
+
+
+def test_channel_drops_cluster_under_burst_policy():
+    """With burst mode on, drops arrive in runs: the conditional
+    probability of a drop right after a drop exceeds the base rate."""
+    policy = DropPolicy(request_loss=0.2, burst_length=5, burst_factor=4.0)
+    state = BurstState(policy)
+    channel, _ = make_channel(policy=policy, burst_state=state, seed=7)
+    outcomes = []
+    for _ in range(4000):
+        try:
+            channel.request("ping")
+            outcomes.append(False)
+        except MessageDropped:
+            outcomes.append(True)
+    drops = outcomes.count(True)
+    after_drop = [b for a, b in zip(outcomes, outcomes[1:]) if a]
+    assert drops / len(outcomes) > 0.25  # bursts push loss above base
+    assert sum(after_drop) / len(after_drop) > 2 * 0.2
+
+
+def test_channel_without_burst_state_keeps_independent_drops():
+    policy = DropPolicy(request_loss=0.2)
+    channel, _ = make_channel(policy=policy, seed=7)
+    outcomes = []
+    for _ in range(4000):
+        try:
+            channel.request("ping")
+            outcomes.append(False)
+        except MessageDropped:
+            outcomes.append(True)
+    assert outcomes.count(True) / len(outcomes) == pytest.approx(0.2, abs=0.03)
+
+
+# ----------------------------------------------------------------------
+# latency and timeouts
+# ----------------------------------------------------------------------
+
+
+def _timing(delay_s, timeout_s):
+    return LinkTiming(
+        model=ConstantLatency(delay_s=delay_s),
+        rng=random.Random(1),
+        timeout_s=timeout_s,
+    )
+
+
+def test_fast_legs_complete_and_account_elapsed_time():
+    channel, log = make_channel(timing=_timing(0.5, timeout_s=2.0))
+    assert channel.request("ping") == "pong"
+    assert log == ["ping"]
+    assert channel.elapsed_s == pytest.approx(1.0)  # both legs
+
+
+def test_request_leg_timeout_is_undelivered():
+    channel, log = make_channel(timing=_timing(3.0, timeout_s=2.0))
+    with pytest.raises(MessageTimeout) as excinfo:
+        channel.request("ping")
+    assert excinfo.value.delivered is False
+    assert log == []  # the partner never saw the request
+    assert isinstance(excinfo.value, MessageDropped)  # protocol-compatible
+
+
+def test_round_trip_timeout_is_delivered():
+    # Each leg beats the deadline but the round trip does not: the
+    # partner processed the request, the reply arrives too late —
+    # the §V-A case-2 asymmetry produced by timing.
+    channel, log = make_channel(timing=_timing(1.2, timeout_s=2.0))
+    with pytest.raises(MessageTimeout) as excinfo:
+        channel.request("ping")
+    assert excinfo.value.delivered is True
+    assert log == ["ping"]
+    assert excinfo.value.elapsed_s == pytest.approx(2.0)
+
+
+def test_no_timeout_means_unbounded_patience():
+    channel, log = make_channel(timing=_timing(500.0, timeout_s=None))
+    assert channel.request("ping") == "pong"
+    assert channel.elapsed_s == pytest.approx(1000.0)

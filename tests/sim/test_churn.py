@@ -4,7 +4,14 @@ import random
 
 import pytest
 
-from repro.sim.churn import CRASH, JOIN, LEAVE, ChurnEvent, ChurnSchedule
+from repro.sim.churn import (
+    CRASH,
+    JOIN,
+    LEAVE,
+    ChurnEvent,
+    ChurnSchedule,
+    TimedChurnEvent,
+)
 
 
 def test_fluent_builders():
@@ -48,3 +55,33 @@ def test_random_churn_without_candidates_never_leaves():
         rng, cycles=50, join_rate=0.0, leave_rate=1.0, candidate_ids=[]
     )
     assert len(schedule) == 0
+
+
+def test_timed_events_are_windowed_and_sorted():
+    schedule = (
+        ChurnSchedule()
+        .crash_at(25.0, "b")
+        .leave_at(5.0, "a")
+        .join_at(15.0)
+    )
+    assert len(schedule) == 3
+    window = schedule.timed_events_between(0.0, 20.0)
+    assert [event.time_s for event in window] == [5.0, 15.0]
+    assert [event.action for event in window] == [LEAVE, JOIN]
+    # Half-open: an event exactly at the window end stays out.
+    assert schedule.timed_events_between(0.0, 25.0) == window
+    assert schedule.timed_events_between(25.0, 30.0)[0].node_id == "b"
+
+
+def test_timed_event_validation():
+    with pytest.raises(ValueError):
+        TimedChurnEvent(time_s=-1.0, action=CRASH, node_id="a")
+    with pytest.raises(ValueError):
+        TimedChurnEvent(time_s=1.0, action="explode")
+
+
+def test_timed_and_cycle_events_coexist():
+    schedule = ChurnSchedule().leave(2, "a").crash_at(31.0, "b")
+    assert len(schedule) == 2
+    assert schedule.events_at(2)[0].node_id == "a"
+    assert schedule.timed_events_between(30.0, 40.0)[0].node_id == "b"

@@ -41,3 +41,23 @@ def test_negative_advance_rejected():
 def test_negative_start_cycle_rejected():
     with pytest.raises(SimulationError):
         SimClock(start_cycle=-2)
+
+
+def test_advance_to_moves_continuous_time_and_derives_cycle():
+    clock = SimClock(period_seconds=10.0)
+    assert clock.advance_to(25.0) == 2
+    assert clock.now() == 25.0
+    assert clock.cycle == 2
+
+
+def test_advance_to_accepts_explicit_cycle_pin():
+    clock = SimClock(period_seconds=10.0)
+    assert clock.advance_to(30.0, cycle=3) == 3
+    assert clock.cycle == 3
+
+
+def test_advance_to_rejects_going_backwards():
+    clock = SimClock(period_seconds=10.0)
+    clock.advance_to(15.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(14.9)

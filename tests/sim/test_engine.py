@@ -1,5 +1,7 @@
 """Unit tests for the simulation engine."""
 
+import gc
+
 import pytest
 
 from repro.errors import SimulationError
@@ -111,6 +113,36 @@ def test_join_without_factory_is_an_error():
 def test_negative_cycles_rejected():
     with pytest.raises(SimulationError):
         Engine().run(-1)
+
+
+def test_gc_threshold_restored_when_observer_raises():
+    """The tuned gen-0 threshold is scoped with try/finally: a crashing
+    observer (or protocol) must not leak a 400k threshold."""
+
+    class Exploding(Observer):
+        def on_cycle_end(self, engine, cycle):
+            raise RuntimeError("boom")
+
+    before = gc.get_threshold()
+    engine = Engine(SimConfig(gc_generation0_threshold=400_000))
+    engine.add_node(CountingNode("a"))
+    engine.add_observer(Exploding())
+    with pytest.raises(RuntimeError):
+        engine.run(1)
+    assert gc.get_threshold() == before
+
+
+def test_gc_threshold_restored_when_protocol_raises():
+    class Exploding(CountingNode):
+        def run_cycle(self, network):
+            raise ValueError("protocol bug")
+
+    before = gc.get_threshold()
+    engine = Engine(SimConfig(gc_generation0_threshold=400_000))
+    engine.add_node(Exploding("a"))
+    with pytest.raises(ValueError):
+        engine.run(1)
+    assert gc.get_threshold() == before
 
 
 def test_determinism_same_seed():

@@ -1,0 +1,91 @@
+"""Unit tests for the latency models and link timing."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LinkTiming,
+    LognormalLatency,
+    TwoClusterLatency,
+    UniformLatency,
+)
+
+
+def test_constant_latency():
+    model = ConstantLatency(delay_s=0.25)
+    rng = random.Random(0)
+    assert model.sample(rng) == 0.25
+    with pytest.raises(SimulationError):
+        ConstantLatency(delay_s=-1.0)
+
+
+def test_uniform_latency_bounds():
+    model = UniformLatency(low_s=0.1, high_s=0.5)
+    rng = random.Random(1)
+    samples = [model.sample(rng) for _ in range(200)]
+    assert all(0.1 <= s <= 0.5 for s in samples)
+    assert max(samples) - min(samples) > 0.1  # actually spread out
+    with pytest.raises(SimulationError):
+        UniformLatency(low_s=0.5, high_s=0.1)
+
+
+def test_lognormal_latency_median_and_tail():
+    model = LognormalLatency(median_s=0.1, sigma=0.5)
+    rng = random.Random(2)
+    samples = sorted(model.sample(rng) for _ in range(2000))
+    median = samples[len(samples) // 2]
+    assert median == pytest.approx(0.1, rel=0.15)
+    assert samples[-1] > 2 * median  # heavy tail exists
+    assert all(s > 0 for s in samples)
+    assert LognormalLatency(median_s=0.1, sigma=0.0).sample(rng) == 0.1
+    with pytest.raises(SimulationError):
+        LognormalLatency(median_s=0.0)
+
+
+def test_two_cluster_latency_is_stable_per_pair():
+    model = TwoClusterLatency(
+        lan_s=0.002, wan_s=0.08, site_a_fraction=0.5, spread=0.0
+    )
+    rng = random.Random(3)
+    nodes = list(range(40))
+    first = {
+        (a, b): model.sample(rng, a, b)
+        for a in nodes[:10]
+        for b in nodes[10:20]
+    }
+    # Site assignment is memoised: re-sampling the same pair gives the
+    # same class of latency (exactly equal with spread=0).
+    for (a, b), latency in first.items():
+        assert model.sample(rng, a, b) == latency
+        assert latency in (0.002, 0.08)
+    # With a balanced split both classes should occur.
+    values = set(first.values())
+    assert values == {0.002, 0.08}
+
+
+def test_two_cluster_spread_wobbles_but_keeps_classes_apart():
+    model = TwoClusterLatency(lan_s=0.002, wan_s=0.08, spread=0.2)
+    rng = random.Random(4)
+    samples = [model.sample(rng, a, b) for a in range(10) for b in range(10)]
+    assert all(s <= 0.002 * 1.2 + 1e-12 or s >= 0.08 * 0.8 - 1e-12 for s in samples)
+
+
+def test_link_timing_binds_model_rng_and_timeout():
+    timing = LinkTiming(
+        model=ConstantLatency(delay_s=0.5),
+        rng=random.Random(5),
+        timeout_s=2.0,
+    )
+    assert timing.sample("a", "b") == 0.5
+    assert timing.timeout_s == 2.0
+    with pytest.raises(SimulationError):
+        LinkTiming(model=ConstantLatency(), rng=random.Random(5), timeout_s=0.0)
+
+
+def test_latency_model_interface_is_abstract():
+    with pytest.raises(NotImplementedError):
+        LatencyModel().sample(random.Random(0))

@@ -1,0 +1,260 @@
+"""Unit tests for the pluggable schedulers (event runtime focus)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.churn import ChurnSchedule
+from repro.sim.engine import Engine, ProtocolNode, SimConfig
+from repro.sim.latency import ConstantLatency
+from repro.sim.observers import Observer, TimedSeriesObserver
+from repro.sim.scheduler import (
+    CycleScheduler,
+    EventScheduler,
+    PeriodJitter,
+    Scheduler,
+    make_scheduler,
+)
+
+
+class TimestampingNode(ProtocolNode):
+    """Records the wall-clock instants of its activations."""
+
+    def __init__(self, node_id, engine):
+        self.node_id = node_id
+        self.engine = engine
+        self.activations = []
+        self.begin_cycles = []
+        self.pushes = []
+
+    def begin_cycle(self, cycle):
+        self.begin_cycles.append(cycle)
+
+    def run_cycle(self, network):
+        self.activations.append(self.engine.clock.now_s)
+
+    def receive(self, sender_id, payload):
+        return None
+
+    def receive_push(self, sender_id, payload):
+        self.pushes.append((self.engine.clock.now_s, sender_id, payload))
+
+
+def build_event_engine(n=4, scheduler=None, **engine_kwargs):
+    engine = Engine(
+        SimConfig(seed=2),
+        scheduler=scheduler or EventScheduler(),
+        **engine_kwargs,
+    )
+    nodes = [TimestampingNode(i, engine) for i in range(n)]
+    for node in nodes:
+        engine.add_node(node)
+    return engine, nodes
+
+
+def test_default_scheduler_is_cycle():
+    assert isinstance(Engine().scheduler, CycleScheduler)
+
+
+def test_make_scheduler_resolves_names_and_instances():
+    assert isinstance(make_scheduler("cycle"), CycleScheduler)
+    assert isinstance(make_scheduler("event"), EventScheduler)
+    scheduler = EventScheduler()
+    assert make_scheduler(scheduler) is scheduler
+    with pytest.raises(SimulationError):
+        make_scheduler("fiber")
+    with pytest.raises(SimulationError):
+        make_scheduler(scheduler, timeout_s=1.0)
+
+
+def test_event_run_activates_each_node_once_per_period():
+    engine, nodes = build_event_engine(n=5)
+    engine.run(3)
+    assert engine.clock.cycle == 3
+    assert engine.clock.now_s == pytest.approx(30.0)
+    for node in nodes:
+        assert len(node.activations) == 3
+        # Strict timers: consecutive activations exactly a period apart,
+        # staggered somewhere inside the first period.
+        assert 0.0 <= node.activations[0] < 10.0
+        for earlier, later in zip(node.activations, node.activations[1:]):
+            assert later - earlier == pytest.approx(10.0)
+
+
+def test_event_runs_compose_like_one_long_run():
+    engine_a, nodes_a = build_event_engine()
+    engine_a.run(4)
+    engine_b, nodes_b = build_event_engine()
+    engine_b.run(1)
+    engine_b.run(3)
+    assert [n.activations for n in nodes_a] == [n.activations for n in nodes_b]
+
+
+def test_event_observer_cycle_hooks_fire_per_cycle():
+    class Spy(Observer):
+        def __init__(self):
+            self.cycles = []
+
+        def on_cycle_end(self, engine, cycle):
+            self.cycles.append(cycle)
+
+    engine, _ = build_event_engine()
+    spy = Spy()
+    engine.add_observer(spy)
+    engine.run(3)
+    assert spy.cycles == [0, 1, 2]
+
+
+def test_event_time_sampling_observer():
+    engine, _ = build_event_engine(
+        scheduler=EventScheduler(sample_every_s=2.5)
+    )
+    observer = TimedSeriesObserver({"population": lambda e: len(e.nodes)})
+    engine.add_observer(observer)
+    engine.run(1)
+    # Half-open run window: the sample landing exactly on the final
+    # boundary carries over to the next run (where it fires first).
+    assert observer.times("population") == pytest.approx([2.5, 5.0, 7.5])
+    engine.run(1)
+    assert observer.times("population") == pytest.approx(
+        [2.5, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5]
+    )
+    assert observer.values("population") == [4] * 7
+
+
+def test_uniform_jitter_changes_intervals_but_keeps_rate():
+    scheduler = EventScheduler(
+        jitter=PeriodJitter(mode="uniform", spread=0.3)
+    )
+    engine, nodes = build_event_engine(scheduler=scheduler)
+    engine.run(20)
+    for node in nodes:
+        intervals = [
+            later - earlier
+            for earlier, later in zip(node.activations, node.activations[1:])
+        ]
+        assert intervals, "node never re-activated"
+        assert any(abs(i - 10.0) > 1e-6 for i in intervals)
+        for interval in intervals:
+            assert 7.0 - 1e-9 <= interval <= 13.0 + 1e-9
+        # Rate preserved on average: ~1 activation per period.
+        assert len(node.activations) == pytest.approx(20, abs=3)
+
+
+def test_poisson_jitter_produces_memoryless_intervals():
+    scheduler = EventScheduler(jitter=PeriodJitter(mode="poisson"))
+    engine, nodes = build_event_engine(n=2, scheduler=scheduler)
+    engine.run(50)
+    intervals = [
+        later - earlier
+        for node in nodes
+        for earlier, later in zip(node.activations, node.activations[1:])
+    ]
+    assert len(set(round(i, 6) for i in intervals)) > len(intervals) // 2
+    mean = sum(intervals) / len(intervals)
+    assert 5.0 < mean < 20.0  # loose CLT bounds around the 10 s period
+
+
+def test_jitter_validation():
+    with pytest.raises(SimulationError):
+        PeriodJitter(mode="gaussian")
+    with pytest.raises(SimulationError):
+        PeriodJitter(mode="uniform", spread=1.5)
+
+
+def test_pushes_are_delayed_by_latency_and_survive_across_runs():
+    scheduler = EventScheduler(latency=ConstantLatency(delay_s=4.0))
+    engine, nodes = build_event_engine(n=2, scheduler=scheduler)
+
+    class Pusher(TimestampingNode):
+        def run_cycle(self, network):
+            super().run_cycle(network)
+            network.push(self.node_id, 0, "hello")
+
+    pusher = Pusher("pusher", engine)
+    engine.add_node(pusher)
+    engine.run(1)
+    deliveries = nodes[0].pushes
+    assert len(pusher.activations) == 1
+    # Sent at the pusher's activation instant, delivered 4 s later
+    # (possibly in the next run's window — none lost either way).
+    engine.run(1)
+    deliveries = nodes[0].pushes
+    assert len(deliveries) == 2
+    for delivered_at, sender, payload in deliveries:
+        assert payload == "hello"
+        assert sender == "pusher"
+    assert deliveries[0][0] == pytest.approx(pusher.activations[0] + 4.0)
+
+
+def test_timed_churn_fires_between_cycle_boundaries():
+    churn = ChurnSchedule().crash_at(14.5, 1)
+    engine, nodes = build_event_engine(churn=churn)
+    engine.run(3)
+    assert 1 not in engine.nodes
+    # Node 1 was activated in cycle 0 (before 14.5 s it had one or two
+    # activations depending on stagger) and never after the crash.
+    assert all(at < 14.5 for at in nodes[1].activations)
+    assert engine.trace.count("churn.crash") == 1
+
+
+def test_cycle_churn_applies_at_boundaries_in_event_mode():
+    joined = []
+
+    def join_factory(engine):
+        node = TimestampingNode(f"new-{len(joined)}", engine)
+        joined.append(node)
+        return node
+
+    churn = ChurnSchedule().leave(1, 0).join(2)
+    engine, nodes = build_event_engine(
+        churn=churn, join_factory=join_factory
+    )
+    engine.run(4)
+    assert 0 not in engine.nodes
+    assert all(at < 10.0 for at in nodes[0].activations)
+    assert joined and joined[0].node_id in engine.nodes
+    # Joined at the cycle-2 boundary (20 s): activated in cycles 2, 3.
+    assert len(joined[0].activations) == 2
+    assert all(at >= 20.0 for at in joined[0].activations)
+
+
+def test_event_scheduler_refuses_second_engine():
+    scheduler = EventScheduler()
+    engine_a, _ = build_event_engine(scheduler=scheduler)
+    engine_a.run(1)
+    engine_b = Engine(SimConfig(seed=3), scheduler=scheduler)
+    engine_b.add_node(TimestampingNode(0, engine_b))
+    with pytest.raises(SimulationError):
+        engine_b.run(1)
+
+
+def test_use_scheduler_switches_runtime():
+    engine, nodes = build_event_engine(scheduler=CycleScheduler())
+    engine.run(2)
+    engine.use_scheduler(EventScheduler())
+    engine.run(2)
+    assert engine.clock.cycle == 4
+    assert engine.clock.now_s == pytest.approx(40.0)
+    for node in nodes:
+        assert len(node.activations) == 4
+        # Cycle-mode activations sit exactly on boundaries; the event
+        # ones are staggered inside (20 s, 40 s).
+        assert node.activations[:2] == [0.0, 10.0]
+        assert all(20.0 <= at < 40.0 for at in node.activations[2:])
+
+
+def test_switching_back_to_cycle_unbinds_event_hooks():
+    scheduler = EventScheduler(latency=ConstantLatency(delay_s=1.0))
+    engine, nodes = build_event_engine(n=2, scheduler=scheduler)
+    engine.run(1)
+    engine.use_scheduler(CycleScheduler())
+    engine.run(1)
+    # Under the cycle runtime pushes are synchronous again: a push sent
+    # now is delivered immediately, not parked in the event heap.
+    engine.network.push(0, 1, "sync")
+    assert nodes[1].pushes and nodes[1].pushes[-1][2] == "sync"
+
+
+def test_scheduler_interface_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Scheduler().run(None, 1)
