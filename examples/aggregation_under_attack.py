@@ -7,15 +7,18 @@ the sampling layer: on a hijacked overlay the estimates converge slowly
 and unevenly because most links dead-end in censoring hubs.
 
 Run:  python examples/aggregation_under_attack.py
+      (REPRO_SCALE=smoke shrinks the overlay for a quick run)
 """
 
 from repro import CyclonConfig, SecureCyclonConfig
 from repro.experiments.scenarios import build_cyclon_overlay, build_secure_overlay
 from repro.gossip.aggregation import push_pull_average
+from repro.experiments.scale import Scale, resolve_scale
 
-NODES = 150
-VIEW = 10
-MALICIOUS = 10
+SMOKE = resolve_scale() is Scale.SMOKE
+NODES = 40 if SMOKE else 150
+VIEW = 8 if SMOKE else 10
+MALICIOUS = 4 if SMOKE else 10
 
 
 def run_aggregation(overlay, label):

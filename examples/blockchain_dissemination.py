@@ -12,16 +12,19 @@ example measures block-broadcast coverage on three overlays:
    were blacklisted, so dissemination is unharmed.
 
 Run:  python examples/blockchain_dissemination.py
+      (REPRO_SCALE=smoke shrinks the overlay for a quick run)
 """
 
 from repro import CyclonConfig, SecureCyclonConfig
 from repro.experiments.scenarios import build_cyclon_overlay, build_secure_overlay
 from repro.gossip.dissemination import disseminate
 from repro.metrics.links import malicious_link_fraction
+from repro.experiments.scale import Scale, resolve_scale
 
-NODES = 200
-VIEW = 12
-MALICIOUS = 12
+SMOKE = resolve_scale() is Scale.SMOKE
+NODES = 50 if SMOKE else 200
+VIEW = 8 if SMOKE else 12
+MALICIOUS = 5 if SMOKE else 12
 
 
 def broadcast_coverage(overlay, blocks=5, fanout=4):

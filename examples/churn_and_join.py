@@ -6,6 +6,7 @@ crashes at once, new nodes join via the non-swappable bootstrap, and
 the overlay stays connected with full views throughout.
 
 Run:  python examples/churn_and_join.py
+      (REPRO_SCALE=smoke shrinks the overlay for a quick run)
 """
 
 from repro import SecureCyclonConfig, build_secure_overlay
@@ -13,6 +14,13 @@ from repro.bootstrap import bootstrap_joiner
 from repro.core.node import SecureCyclonNode
 from repro.metrics.graphstats import largest_component_fraction
 from repro.metrics.links import non_swappable_fraction, view_fill_fraction
+from repro.experiments.scale import Scale, resolve_scale
+
+SMOKE = resolve_scale() is Scale.SMOKE
+NODES = 60 if SMOKE else 200
+CRASHES = 15 if SMOKE else 50
+JOINERS = 4 if SMOKE else 10
+SETTLE_CYCLES = 8 if SMOKE else 20
 
 
 def report(overlay, label):
@@ -50,28 +58,28 @@ def join_one(overlay, name):
 
 def main() -> None:
     overlay = build_secure_overlay(
-        n=200,
+        n=NODES,
         config=SecureCyclonConfig(view_length=12, swap_length=3),
         seed=37,
     )
-    overlay.run(20)
+    overlay.run(SETTLE_CYCLES)
     report(overlay, "converged overlay")
 
-    # Catastrophic failure: 50 nodes crash simultaneously.
-    for victim in list(overlay.engine.alive_ids())[:50]:
+    # Catastrophic failure: a quarter of the overlay crashes at once.
+    for victim in list(overlay.engine.alive_ids())[:CRASHES]:
         overlay.engine.remove_node(victim)
-    report(overlay, "right after 50 crashes")
-    overlay.run(20)
-    report(overlay, "20 cycles later (healed)")
+    report(overlay, f"right after {CRASHES} crashes")
+    overlay.run(SETTLE_CYCLES)
+    report(overlay, f"{SETTLE_CYCLES} cycles later (healed)")
 
-    # Ten newcomers join through the §V-A bootstrap.
+    # Newcomers join through the §V-A bootstrap.
     joiners = []
-    for index in range(10):
+    for index in range(JOINERS):
         node, acquired = join_one(overlay, f"joiner-{index}")
         joiners.append(node)
-    print(f"\n10 joiners bootstrapped with ~4 donated links each")
-    overlay.run(20)
-    report(overlay, "20 cycles after the joins")
+    print(f"\n{JOINERS} joiners bootstrapped with ~4 donated links each")
+    overlay.run(SETTLE_CYCLES)
+    report(overlay, f"{SETTLE_CYCLES} cycles after the joins")
     fills = [len(node.view) / node.view.capacity for node in joiners]
     print(
         f"joiners' own view fill after integration: "

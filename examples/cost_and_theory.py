@@ -9,6 +9,7 @@ Walks through `repro.analysis` next to a live overlay:
 * the global audit certifying the run obeyed the protocol.
 
 Run:  python examples/cost_and_theory.py
+      (REPRO_SCALE=smoke shrinks the overlay for a quick run)
 """
 
 from repro import SecureCyclonConfig, audit_engine, build_secure_overlay
@@ -20,9 +21,11 @@ from repro.analysis import (
 )
 from repro.analysis.indegree import empirical_moments
 from repro.metrics.degree import indegree_counts
+from repro.experiments.scale import Scale, resolve_scale
 
-NODES = 300
-VIEW = 20
+SMOKE = resolve_scale() is Scale.SMOKE
+NODES = 60 if SMOKE else 300
+VIEW = 10 if SMOKE else 20
 SWAP = 3
 
 

@@ -9,15 +9,18 @@ overlay under a hub attack, where detection visibly degrades: the
 application-level reason peer sampling must be dependable.
 
 Run:  python examples/failure_detector.py
+      (REPRO_SCALE=smoke shrinks the overlay for a quick run)
 """
 
 from repro import SecureCyclonConfig, build_secure_overlay
 from repro.gossip.failure_detector import FailureDetector
+from repro.experiments.scale import Scale, resolve_scale
 
-NODES = 150
-VIEW = 12
-SUSPECT_AFTER = 10
-CRASHES = 10
+SMOKE = resolve_scale() is Scale.SMOKE
+NODES = 40 if SMOKE else 150
+VIEW = 8 if SMOKE else 12
+SUSPECT_AFTER = 6 if SMOKE else 10
+CRASHES = 4 if SMOKE else 10
 
 
 def detection_report(overlay, label):

@@ -8,6 +8,7 @@ Cyclon is fully captured; SecureCyclon detects the cloned descriptors,
 floods the proofs, and evicts every attacker.
 
 Run:  python examples/hub_attack_demo.py
+      (REPRO_SCALE=smoke shrinks the overlay for a quick run)
 """
 
 from repro import CyclonConfig, SecureCyclonConfig
@@ -17,13 +18,15 @@ from repro.metrics.links import (
     blacklisted_malicious_fraction,
     malicious_link_fraction,
 )
+from repro.experiments.scale import Scale, resolve_scale
 
-NODES = 250
-VIEW = 15
-MALICIOUS = 15
-ATTACK_START = 15
-TOTAL_CYCLES = 75
-REPORT_EVERY = 15
+SMOKE = resolve_scale() is Scale.SMOKE
+NODES = 50 if SMOKE else 250
+VIEW = 10 if SMOKE else 15
+MALICIOUS = 5 if SMOKE else 15
+ATTACK_START = 6 if SMOKE else 15
+TOTAL_CYCLES = 24 if SMOKE else 75
+REPORT_EVERY = 6 if SMOKE else 15
 
 
 def main() -> None:

@@ -7,20 +7,27 @@ uniformly random set of live peers — plus the overlay-health numbers
 the paper cares about.
 
 Run:  python examples/quickstart.py
+      (REPRO_SCALE=smoke shrinks the overlay for a quick run)
 """
 
 from repro import SecureCyclonConfig, build_secure_overlay
 from repro.metrics.degree import indegree_statistics
 from repro.metrics.graphstats import overlay_statistics
 from repro.metrics.links import view_fill_fraction
+from repro.experiments.scale import Scale, resolve_scale
+
+SMOKE = resolve_scale() is Scale.SMOKE
+NODES = 60 if SMOKE else 300
+VIEW = 10 if SMOKE else 20
+CYCLES = 12 if SMOKE else 30
 
 
 def main() -> None:
-    config = SecureCyclonConfig(view_length=20, swap_length=3)
-    overlay = build_secure_overlay(n=300, config=config, seed=7)
+    config = SecureCyclonConfig(view_length=VIEW, swap_length=3)
+    overlay = build_secure_overlay(n=NODES, config=config, seed=7)
 
-    print("Running 30 cycles of SecureCyclon over 300 nodes...")
-    overlay.run(30)
+    print(f"Running {CYCLES} cycles of SecureCyclon over {NODES} nodes...")
+    overlay.run(CYCLES)
 
     node = overlay.engine.legit_nodes()[0]
     print(f"\nNode {node.node_id.hex()} currently samples these peers:")

@@ -1,36 +1,30 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests + a budgeted smoke-scale benchmark.
+# CI gate: a budgeted smoke-scale benchmark + tier-1 tests + docs
+# consistency + example smoke-runs.
 #
-#   scripts/check.sh            # tests + perf guard
-#   SKIP_PERF=1 scripts/check.sh  # tests only
+#   scripts/check.sh              # perf guard + tests + docs + examples
+#   SKIP_PERF=1 scripts/check.sh  # skip the perf guard
 #
 # The perf guard reruns the 200-node full-cycle benchmark and fails if
-# it regresses more than 20% against the most recent entry recorded in
-# BENCH_core.json (see benchmarks/baseline.py).  The comparison uses
-# the *min* statistic: on shared CI hardware scheduling noise only ever
-# adds time, so the min is the stable signal.
+# it regresses more than 30% against the most recent entry recorded in
+# BENCH_core.json (see benchmarks/baseline.py).  It runs FIRST, in a
+# fresh process on a cold box: measuring right after the test suite
+# inflates the number up to ~1.45x from burst/thermal throttling alone
+# (calibration data in PERFORMANCE.md), which would force a uselessly
+# loose budget.  The comparison uses the *min* statistic: on shared CI
+# hardware scheduling noise only ever adds time, so the min is the
+# stable signal.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1 tests =="
-python -m pytest -x -q
-
-# The equivalence suite is part of tier-1 above; the dedicated step
-# keeps the runtime-refactor safety net visible (and failing loudly by
-# name) even if the tests move or tier-1 collection changes.
-echo "== scheduler equivalence (CycleScheduler bit-for-bit vs golden; EventScheduler statistics) =="
-python -m pytest -q tests/properties/test_scheduler_equivalence.py
-
 if [[ "${SKIP_PERF:-0}" == "1" ]]; then
     echo "== perf guard skipped (SKIP_PERF=1) =="
-    exit 0
-fi
-
-echo "== perf guard (budget: <=1.2x of BENCH_core.json) =="
-python - <<'PY'
+else
+    echo "== perf guard (budget: <=1.3x of BENCH_core.json; runs first, on a cold box) =="
+    python - <<'PY'
 import json
 import pathlib
 import sys
@@ -40,7 +34,11 @@ from repro.core.config import SecureCyclonConfig
 from repro.experiments.scale import Scale, run_scale_stress
 from repro.experiments.scenarios import build_secure_overlay
 
-BUDGET = 1.20
+# 1.3x absorbs machine drift between the recording and this box (the
+# same revision measured within ~1.15x of its fresh recording when
+# cold) while still catching real regressions — the seed -> optimized
+# delta this gate exists to protect was 2.1x.
+BUDGET = 1.30
 WALL_CLOCK_BUDGET_S = 120.0
 
 bench_path = pathlib.Path("BENCH_core.json")
@@ -79,3 +77,42 @@ if ratio > BUDGET:
     sys.exit(f"full-cycle benchmark regressed: x{ratio:.2f} > x{BUDGET}")
 print("perf guard OK")
 PY
+fi
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+# Docs gate: every experiment registered in the CLI must appear in the
+# README's experiment table — an experiment nobody can discover from
+# the front page is an experiment that silently rots.
+echo "== docs: README experiment table covers the CLI =="
+python - <<'PY'
+import pathlib
+import sys
+
+from repro.experiments.__main__ import EXPERIMENTS
+
+readme = pathlib.Path("README.md").read_text(encoding="utf-8")
+missing = [name for name in sorted(EXPERIMENTS) if f"`{name}`" not in readme]
+if missing:
+    sys.exit(
+        "README.md experiment table is missing CLI-registered "
+        f"experiment(s): {', '.join(missing)}"
+    )
+print(f"all {len(EXPERIMENTS)} registered experiments documented")
+PY
+
+# Example gate: every example must actually run end to end at reduced
+# scale (the examples honor REPRO_SCALE=smoke).
+echo "== examples smoke-run (REPRO_SCALE=smoke) =="
+for example in examples/*.py; do
+    printf '  %s ... ' "$example"
+    REPRO_SCALE=smoke timeout 300 python "$example" > /dev/null
+    echo ok
+done
+
+# The equivalence suite is part of tier-1 above; the dedicated step
+# keeps the runtime-refactor safety net visible (and failing loudly by
+# name) even if the tests move or tier-1 collection changes.
+echo "== scheduler equivalence (CycleScheduler bit-for-bit vs golden; EventScheduler statistics) =="
+python -m pytest -q tests/properties/test_scheduler_equivalence.py

@@ -30,9 +30,11 @@ from repro.experiments.scenarios import (
     build_cyclon_overlay,
     build_secure_overlay,
 )
+from repro.sim.clock import ClockDrift, DriftPlan
 from repro.sim.engine import Engine, SimConfig
+from repro.sim.retry import RetryPolicy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SecureCyclonConfig",
@@ -42,7 +44,10 @@ __all__ = [
     "Overlay",
     "build_cyclon_overlay",
     "build_secure_overlay",
+    "ClockDrift",
+    "DriftPlan",
     "Engine",
+    "RetryPolicy",
     "SimConfig",
     "audit_engine",
     "__version__",

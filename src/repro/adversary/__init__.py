@@ -26,6 +26,12 @@ Attackers:
   without ever committing a provable violation.
 * :class:`~repro.adversary.replay.ReplayAttacker` — re-redeems spent
   descriptors (rejected via the creator's redemption record).
+* :class:`~repro.adversary.timing.StallAttacker` /
+  :class:`~repro.adversary.timing.TimeoutInducer` — timing attackers
+  for the event runtime: protocol-legal content, adversarial message
+  timing (stalled or never-arriving replies).  See
+  ``docs/ADVERSARIES.md`` for the full catalogue with knobs and the
+  experiment that exercises each attacker.
 """
 
 from repro.adversary.coordinator import MaliciousCoordinator
@@ -40,6 +46,12 @@ from repro.adversary.partner import (
 )
 from repro.adversary.replay import ReplayAttacker
 from repro.adversary.stealth import StealthBiasAttacker
+from repro.adversary.timing import (
+    StallAttacker,
+    TimeoutInducer,
+    TimingAttacker,
+    TimingStrategy,
+)
 
 __all__ = [
     "MaliciousCoordinator",
@@ -53,6 +65,10 @@ __all__ = [
     "FrequencyAttacker",
     "EclipseAttacker",
     "ReplayAttacker",
+    "StallAttacker",
     "StealthBiasAttacker",
+    "TimeoutInducer",
+    "TimingAttacker",
+    "TimingStrategy",
     "eclipse_pressure",
 ]

@@ -1,0 +1,214 @@
+"""Timing-aware adversaries: attack *when*, not *what* (paper §II-C, §V-A).
+
+Every attacker in this suite so far weaponises message *content* —
+forged views, cloned descriptors, over-minting.  The event runtime
+(PR 2) opened a second dimension the paper's attack model grants for
+free: an adversary controls when its own messages leave, and "slow" is
+indistinguishable from "malicious" to the waiting peer.  This module
+weaponises that freedom and nothing else: every byte a timing attacker
+sends is protocol-legal, so no violation proof can ever name it —
+timing attacks sit with the stealth bias on the *rule-abiding* side of
+the paper's guarantee, and the defence is economic (timeouts, retries),
+not forensic (blacklisting).
+
+Two attacks, one mechanism:
+
+* :class:`StallAttacker` — answers honestly but holds every reply to a
+  legitimate node until *just under* the victim's dialogue timeout.
+  Each exchange with it succeeds, yet burns a full timeout budget of
+  the victim's patience (``Network.dialogue_seconds`` prices the
+  damage).  With ``margin_s <= 0`` the reply lands *at or past* the
+  deadline instead: the dialogue dies as a §V-A case-2 partial failure
+  (``MessageTimeout(delivered=True)``) — the spent-descriptor
+  asymmetry, reproducible on demand.
+
+* :class:`TimeoutInducer` — answers colleagues at honest speed and
+  legitimate nodes *never* (in time).  Every honest-initiated dialogue
+  with it times out after the partner has already processed the
+  redemption: the victim's token is spent on both sides and nothing
+  comes back.  A link-depletion variant (Fig 6) built from silence
+  instead of protocol refusal — and, unlike the depletion attacker,
+  invisible to the tit-for-tat countermeasure, because the exchange
+  never reaches the rounds where tit-for-tat lives.
+
+The mechanism is the :class:`TimingStrategy` hook on
+:class:`~repro.sim.latency.LinkTiming`: the event scheduler consults
+the strategy registered for a leg's *sender* after drawing the honest
+latency sample, so attackers re-price their own legs without touching
+the shared latency RNG stream (honest legs stay bit-identical to an
+attacker-free run).  Wiring happens in the scenario builders via
+``EventScheduler.register_timing_strategy``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.core.node import SecureCyclonNode
+from repro.sim.latency import LEG_REPLY
+
+
+class TimingStrategy:
+    """Re-prices message legs sent by one (malicious) node.
+
+    ``shape`` receives the honestly sampled latency for a leg this
+    node is about to send and returns the latency that actually
+    applies.  ``leg`` is one of the :mod:`~repro.sim.latency` leg
+    labels (``request``/``reply``/``push``); ``timeout_s`` is the
+    network-wide dialogue timeout (``None`` when initiators wait
+    forever — most timing attacks are toothless then and should fall
+    back to the honest sample).
+    """
+
+    def shape(
+        self,
+        base_s: float,
+        src: Any,
+        dst: Any,
+        leg: str,
+        timeout_s: Optional[float],
+    ) -> float:
+        return base_s
+
+
+class StallReplies(TimingStrategy):
+    """Hold replies to victims at ``timeout - margin_s`` seconds.
+
+    A positive ``margin_s`` keeps every reply *just* inside the
+    deadline: dialogues succeed but each round trip costs the victim
+    nearly its whole timeout budget.  ``margin_s <= 0`` pushes the
+    reply onto (or past) the deadline, turning every dialogue into the
+    §V-A case-2 delivered-but-unanswered partial failure.
+
+    ``spare`` exempts colleague ids; ``active`` gates the behaviour on
+    the coordinator's attack schedule (inactive → honest sample).
+    """
+
+    def __init__(
+        self,
+        spare: Callable[[Any], bool],
+        margin_s: float = 0.05,
+        active: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.spare = spare
+        self.margin_s = margin_s
+        self.active = active
+
+    def shape(self, base_s, src, dst, leg, timeout_s):
+        if timeout_s is None or leg != LEG_REPLY:
+            return base_s
+        if self.active is not None and not self.active():
+            return base_s
+        if self.spare(dst):
+            return base_s
+        # Never *shorten* the leg: an honest sample already past the
+        # stall point stands (the attacker cannot beat physics).
+        return max(base_s, timeout_s - self.margin_s)
+
+
+class SilentToVictims(TimingStrategy):
+    """Replies to victims arrive only after every deadline has passed.
+
+    The sent reply is protocol-legal; it is simply priced beyond the
+    dialogue timeout (``timeout * silence_factor``), so to the victim
+    the attacker looks like a peer that went quiet after processing
+    the request.  Colleagues are answered at the honest sample.
+    """
+
+    def __init__(
+        self,
+        spare: Callable[[Any], bool],
+        silence_factor: float = 4.0,
+        active: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        if silence_factor <= 1.0:
+            raise ValueError("silence_factor must exceed 1.0")
+        self.spare = spare
+        self.silence_factor = silence_factor
+        self.active = active
+
+    def shape(self, base_s, src, dst, leg, timeout_s):
+        if timeout_s is None or leg != LEG_REPLY:
+            return base_s
+        if self.active is not None and not self.active():
+            return base_s
+        if self.spare(dst):
+            return base_s
+        return max(base_s, timeout_s * self.silence_factor)
+
+
+class TimingAttacker(SecureCyclonNode):
+    """Base for colluding nodes whose only weapon is message timing.
+
+    Protocol content stays bit-for-bit honest — these attackers run the
+    unmodified :class:`~repro.core.node.SecureCyclonNode` exchange code
+    — so they can never be blacklisted; the subclass supplies the
+    :class:`TimingStrategy` that re-prices their outgoing legs.  Like
+    every member of the malicious party they skip the voluntary
+    security duties: flooded proofs are swallowed, not forwarded.
+    """
+
+    def __init__(
+        self, *args, coordinator: MaliciousCoordinator, **kwargs
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.coordinator = coordinator
+        #: Consumed by the scenario builders: registered with the event
+        #: scheduler's link timing under this node's id.
+        self.timing_strategy = self._build_strategy()
+
+    @property
+    def is_malicious(self) -> bool:
+        return True
+
+    def _attacking(self) -> bool:
+        return self.coordinator.is_attacking(self.current_cycle)
+
+    def _build_strategy(self) -> TimingStrategy:
+        raise NotImplementedError
+
+    def receive_push(self, sender_id: Any, payload: Any) -> None:
+        """Swallow proof floods (§IV: attackers skip security duties)."""
+        del sender_id, payload
+
+
+class StallAttacker(TimingAttacker):
+    """Stalls replies to legitimate nodes just under their timeout.
+
+    ``margin_s`` is the headroom left before the deadline; at or below
+    zero the attacker crosses the boundary and forces the §V-A
+    spent-descriptor asymmetry on every dialogue instead.
+    """
+
+    def __init__(self, *args, margin_s: float = 0.05, **kwargs) -> None:
+        self.margin_s = margin_s
+        super().__init__(*args, **kwargs)
+
+    def _build_strategy(self) -> TimingStrategy:
+        return StallReplies(
+            spare=self.coordinator.is_member,
+            margin_s=self.margin_s,
+            active=self._attacking,
+        )
+
+
+class TimeoutInducer(TimingAttacker):
+    """Answers colleagues fast and legitimate nodes never (in time).
+
+    Converts every honest-initiated dialogue with it into a timeout
+    that has already spent the victim's redeemed descriptor — link
+    depletion by silence.  As an initiator it gossips honestly,
+    harvesting fresh tokens to keep the victims coming.
+    """
+
+    def __init__(self, *args, silence_factor: float = 4.0, **kwargs) -> None:
+        self.silence_factor = silence_factor
+        super().__init__(*args, **kwargs)
+
+    def _build_strategy(self) -> TimingStrategy:
+        return SilentToVictims(
+            spare=self.coordinator.is_member,
+            silence_factor=self.silence_factor,
+            active=self._attacking,
+        )

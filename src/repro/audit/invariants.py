@@ -137,8 +137,19 @@ def check_chain_consistency(engine) -> Iterator[Finding]:
 def check_mint_rate(engine) -> Iterator[Finding]:
     """No honest creator has two circulating descriptors closer than
     the gossip period (the frequency invariant, §IV-B), and no honest
-    node's own bookkeeping shows more than one mint per cycle."""
+    node's own bookkeeping shows more than one mint per cycle.
+
+    The enforced window is the *effective* frequency period the nodes
+    themselves live by: under clock drift, configs relax every
+    frequency predicate by ``frequency_tolerance_seconds``
+    (``SecureCyclonConfig.effective_frequency_period``), and a global
+    audit judging nodes by a stricter rule than the one they enforce
+    on each other would report false violations for honest
+    slow-clocked minters.
+    """
     period = engine.clock.period_seconds
+    for node in _honest_secure_nodes(engine):
+        period = min(period, node._freq_period)
     by_creator: Dict[Any, List[float]] = {}
     malicious = engine.malicious_ids
     for identity in _circulating_copies(engine):

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.sim.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,30 @@ class SecureCyclonConfig:
         blacklisting, purging, or flooding happens.  Used by the Fig 7
         experiment, which measures raw detection ratios and therefore
         must keep cloners alive after their first offence.
+    ``retry``
+        What an initiator does when a dialogue *opening* times out
+        under the event runtime (:class:`~repro.sim.retry.RetryPolicy`:
+        none/immediate/backoff).  Each retry redeems the next oldest
+        view entry — the timed-out redemption is spent and never
+        re-sent — and only un-opened dialogues retry, so the cycle's
+        single fresh mint cannot be duplicated.  Inert under the cycle
+        runtime (no timeouts there).
+    ``frequency_tolerance_seconds``
+        Slack subtracted from the gossip period in *every* frequency
+        predicate this node evaluates: the §IV-B self-guard before
+        minting, the sample-cache cross-check, and relayed-proof
+        validation.  Two mints conflict only when their timestamps are
+        closer than ``period - tolerance``.  Needed once per-node clock
+        drift exists (:class:`~repro.sim.clock.ClockDrift`): a slightly
+        slow clock stamps honest once-per-period mints fractionally
+        under one period apart, and without slack honest nodes would
+        either throttle themselves or — worse — be provably
+        incriminated by their own honest timestamps.  Size it to the
+        deployment's drift bound (``>= 2 * max drift offset over one
+        period``); the flip side is that attackers may legally mint
+        every ``period - tolerance`` seconds, so keep it small.  Must
+        stay below one period.  The default of zero preserves the
+        paper's exact predicate.
     """
 
     view_length: int = 20
@@ -53,6 +78,8 @@ class SecureCyclonConfig:
     non_swappable_swap_limit: Optional[int] = None
     drop_chains_through_blacklisted: bool = False
     blacklist_enabled: bool = True
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    frequency_tolerance_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.view_length < 1:
@@ -81,6 +108,8 @@ class SecureCyclonConfig:
             and self.non_swappable_swap_limit < 0
         ):
             raise ConfigError("non_swappable_swap_limit must be >= 0")
+        if self.frequency_tolerance_seconds < 0:
+            raise ConfigError("frequency_tolerance_seconds must be >= 0")
 
     @property
     def effective_sample_horizon(self) -> int:
@@ -94,3 +123,19 @@ class SecureCyclonConfig:
         if self.timestamp_tolerance_seconds is not None:
             return self.timestamp_tolerance_seconds
         return period_seconds
+
+    def effective_frequency_period(self, period_seconds: float) -> float:
+        """The drift-tolerant period used by every frequency predicate.
+
+        Raises :class:`~repro.errors.ConfigError` when the configured
+        slack swallows the whole period — a predicate over a
+        non-positive window would let attackers mint freely.
+        """
+        effective = period_seconds - self.frequency_tolerance_seconds
+        if effective <= 0:
+            raise ConfigError(
+                "frequency_tolerance_seconds "
+                f"({self.frequency_tolerance_seconds}) must stay below "
+                f"the gossip period ({period_seconds})"
+            )
+        return effective

@@ -50,6 +50,7 @@ from repro.sim.channel import MessageDropped, MessageTimeout
 from repro.sim.clock import SimClock
 from repro.sim.engine import ProtocolNode
 from repro.sim.network import Network, NetworkAddress
+from repro.sim.retry import drive_attempts
 
 
 @dataclass
@@ -84,9 +85,16 @@ class SecureCyclonNode(ProtocolNode):
         self.trace = trace
 
         self.view = SecureView(self.node_id, config.view_length)
+        # Drift-tolerant frequency window: every frequency predicate
+        # this node evaluates (self-guard, sample cross-check, relayed
+        # proof validation) uses the same effective period, so what the
+        # node refuses to do is exactly what it would prosecute.
+        self._freq_period = config.effective_frequency_period(
+            clock.period_seconds
+        )
         self.sample_cache = SampleCache(
             horizon_cycles=config.effective_sample_horizon,
-            period_seconds=clock.period_seconds,
+            period_seconds=self._freq_period,
         )
         self.redemption_cache = RedemptionCache(config.redemption_cache_cycles)
         self.blacklist = Blacklist()
@@ -123,7 +131,15 @@ class SecureCyclonNode(ProtocolNode):
         self.redemption_cache.expire(cycle)
 
     def run_cycle(self, network: Network) -> None:
-        """Initiate one gossip exchange by redeeming the oldest view entry."""
+        """Initiate one gossip exchange by redeeming the oldest view entry.
+
+        When the dialogue *opening* times out (event runtime only), the
+        configured :class:`~repro.sim.retry.RetryPolicy` may re-initiate
+        with the next oldest entry — immediately, or after a scheduled
+        backoff.  Only un-opened dialogues retry: once the opening
+        succeeded, this activation's single fresh mint may already
+        exist, and a second exchange could not mint legally.
+        """
         self._network_for_flood = network
         if not self._may_mint_now():
             # Event runtime: a jittered timer fired early enough that a
@@ -133,23 +149,40 @@ class SecureCyclonNode(ProtocolNode):
             # (activations there are exactly one period apart).
             self._emit("secure.mint_rate_limited")
             return
+        drive_attempts(
+            policy=self.config.retry,
+            attempt=lambda: self._gossip_once(network),
+            network=network,
+            node_id=self.node_id,
+            emit=self._emit,
+            prefix="secure",
+            # Deferred backoff attempts re-check the §IV-B mint guard
+            # at fire time: the node's next regular activation may
+            # have minted in the meantime.
+            pre_fire=self._may_mint_now,
+        )
+
+    def _gossip_once(self, network: Network) -> bool:
+        """One full exchange attempt; True iff the opening timed out
+        (the only failure a :class:`~repro.sim.retry.RetryPolicy` may
+        retry)."""
         entry = self.view.oldest()
         if entry is None:
             self._emit("secure.idle")
-            return
+            return False
         self.view.remove_entry(entry)
         partner_id = entry.creator
         if self.blacklist.is_blacklisted(partner_id):
             # Should not normally happen (views are purged on blacklist),
             # but races with purging are handled defensively.
             self._emit("secure.skip_blacklisted", partner=partner_id)
-            return
+            return False
         try:
             channel = network.connect(self.node_id, partner_id)
         except PeerUnreachable:
             # §V-A case 1: drop the descriptor, skip the cycle.
             self._emit("secure.partner_unreachable", partner=partner_id)
-            return
+            return False
 
         redemption = entry.descriptor.redeem(
             self.keypair, non_swappable=entry.non_swappable
@@ -175,36 +208,38 @@ class SecureCyclonNode(ProtocolNode):
             # redemption and the token is spent on both sides even
             # though the initiator saw nothing back; otherwise the
             # token is still spent locally (the signed redemption hop
-            # exists).  Either way the cycle is skipped.
+            # exists).  Either way this attempt is over; a timeout may
+            # be retried with a *different* token, never this one.
             if isinstance(failure, MessageTimeout):
                 self._emit(
                     "secure.open_timeout",
                     partner=partner_id,
                     delivered=failure.delivered,
                 )
-            else:
-                self._emit("secure.open_dropped", partner=partner_id)
-            return
+                return True
+            self._emit("secure.open_dropped", partner=partner_id)
+            return False
 
         if isinstance(reply, GossipReject):
             self._ingest_proofs(reply.proofs, network)
             self._emit(
                 "secure.open_rejected", partner=partner_id, reason=reply.reason
             )
-            return
+            return False
         if not isinstance(reply, GossipAccept):
             self._emit("secure.bad_reply", partner=partner_id)
-            return
+            return False
 
         self._ingest_proofs(reply.proofs, network)
         self._observe_all(reply.samples, network)
         if self.blacklist.is_blacklisted(partner_id):
-            return
+            return False
 
         if self.config.tit_for_tat:
             self._initiate_tit_for_tat(channel, partner_id, network)
         else:
             self._initiate_bulk_swap(channel, partner_id, network)
+        return False
 
     def receive(self, sender_id: Any, payload: Any) -> Any:
         """Dispatch an incoming request/response message to its handler.
@@ -244,7 +279,7 @@ class SecureCyclonNode(ProtocolNode):
         if last is None:
             return True
         return not timestamps_conflict(
-            self.clock.now_s, last, self.clock.period_seconds
+            self.clock.now_s, last, self._freq_period
         )
 
     def mint_fresh_descriptor(self) -> SecureDescriptor:
@@ -663,7 +698,7 @@ class SecureCyclonNode(ProtocolNode):
         if proof.culprit in self.blacklist:
             return
         if not already_validated and not proof.validate(
-            self.registry, self.clock.period_seconds
+            self.registry, self._freq_period
         ):
             return
         if already_validated:

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.sim.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -14,10 +15,16 @@ class CyclonConfig:
     ``view_length`` is ℓ, the fixed number of neighbors each node keeps;
     ``swap_length`` is s, the number of descriptors exchanged per gossip.
     The paper's experiments use ℓ ∈ {20, 50} and s ∈ {3, 5, 8, 10}.
+
+    ``retry`` governs what an initiator does when a shuffle times out
+    under the event runtime (:class:`~repro.sim.retry.RetryPolicy`); a
+    retry initiates a fresh shuffle with the next oldest neighbor.
+    Inert under the cycle runtime, which has no timeouts.
     """
 
     view_length: int = 20
     swap_length: int = 3
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.view_length < 1:

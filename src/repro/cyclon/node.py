@@ -20,6 +20,7 @@ from repro.errors import PeerUnreachable
 from repro.sim.channel import MessageDropped, MessageTimeout
 from repro.sim.engine import ProtocolNode
 from repro.sim.network import Network, NetworkAddress
+from repro.sim.retry import drive_attempts
 
 
 @dataclass(frozen=True)
@@ -65,10 +66,29 @@ class CyclonNode(ProtocolNode):
         self.view.increment_ages()
 
     def run_cycle(self, network: Network) -> None:
-        """Initiate one classic Cyclon shuffle with the oldest neighbor."""
+        """Initiate one classic Cyclon shuffle with the oldest neighbor.
+
+        A shuffle that times out (event runtime) may be retried with
+        the next oldest neighbor, per the configured
+        :class:`~repro.sim.retry.RetryPolicy` — immediately or after a
+        scheduled backoff.  Cyclon has no minting rule, so a retried
+        shuffle simply runs the protocol again against a new partner.
+        """
+        drive_attempts(
+            policy=self.config.retry,
+            attempt=lambda: self._shuffle_once(network),
+            network=network,
+            node_id=self.node_id,
+            emit=self._emit,
+            prefix="cyclon",
+        )
+
+    def _shuffle_once(self, network: Network) -> bool:
+        """One shuffle attempt; True iff the exchange timed out (the
+        only failure a retry policy may re-attempt)."""
         oldest = self.view.oldest()
         if oldest is None:
-            return
+            return False
         self.view.remove(oldest)
         try:
             channel = network.connect(self.node_id, oldest.node_id)
@@ -76,7 +96,7 @@ class CyclonNode(ProtocolNode):
             # Paper §V-A case 1: drop the unreachable neighbor's
             # descriptor and skip this cycle.
             self._emit("cyclon.partner_unreachable", partner=oldest.node_id)
-            return
+            return False
 
         outgoing = self._select_outgoing()
         try:
@@ -93,10 +113,11 @@ class CyclonNode(ProtocolNode):
                     partner=oldest.node_id,
                     delivered=failure.delivered,
                 )
-            else:
-                self._emit("cyclon.exchange_dropped", partner=oldest.node_id)
-            return
+                return True
+            self._emit("cyclon.exchange_dropped", partner=oldest.node_id)
+            return False
         self._integrate(reply.descriptors, sent=outgoing)
+        return False
 
     def receive(self, sender_id: Any, payload: Any) -> Any:
         """Answer an incoming Cyclon shuffle request."""

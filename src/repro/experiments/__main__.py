@@ -18,6 +18,7 @@ from repro.experiments import (
     latency_sweep,
     loss_sweep,
     stealth_experiment,
+    timing_attack,
     violations_matrix,
     fig2_indegree,
     fig3_cyclon_takeover,
@@ -41,6 +42,7 @@ EXPERIMENTS = {
     "churn": (churn_recovery.run_churn_recovery, churn_recovery.render),
     "loss": (loss_sweep.run_loss_sweep, loss_sweep.render),
     "latency": (latency_sweep.run_latency_sweep, latency_sweep.render),
+    "timing_attack": (timing_attack.run_timing_attack, timing_attack.render),
 }
 
 

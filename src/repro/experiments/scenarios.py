@@ -17,8 +17,9 @@ from repro.core.config import SecureCyclonConfig
 from repro.core.node import SecureCyclonNode
 from repro.cyclon.config import CyclonConfig
 from repro.cyclon.node import CyclonNode
+from repro.sim.clock import DriftedClock, DriftPlan
 from repro.sim.engine import Engine, SimConfig
-from repro.sim.scheduler import Scheduler, make_scheduler
+from repro.sim.scheduler import EventScheduler, Scheduler, make_scheduler
 
 #: What the ``runtime=`` knob accepts: a runtime name ("cycle"/"event")
 #: or a pre-configured :class:`~repro.sim.scheduler.Scheduler`.
@@ -120,12 +121,24 @@ def build_secure_overlay(
     attacker_kwargs: Optional[Dict[str, Any]] = None,
     sim_config: Optional[SimConfig] = None,
     runtime: Runtime = "cycle",
+    drift: Optional[DriftPlan] = None,
 ) -> Overlay:
-    """A bootstrapped SecureCyclon overlay, optionally with attackers."""
+    """A bootstrapped SecureCyclon overlay, optionally with attackers.
+
+    ``drift`` gives every node an independent
+    :class:`~repro.sim.clock.ClockDrift` drawn from the plan; nodes
+    then mint and verify timestamps through their own skewed clock.
+    Attackers that carry a ``timing_strategy``
+    (:class:`~repro.adversary.timing.TimingAttacker` subclasses) are
+    automatically registered with the event scheduler's link timing —
+    they require ``runtime`` to be an
+    :class:`~repro.sim.scheduler.EventScheduler` to have any effect.
+    """
     config = config or SecureCyclonConfig()
+    scheduler = make_scheduler(runtime)
     engine = Engine(
         sim_config or SimConfig(seed=seed),
-        scheduler=make_scheduler(runtime),
+        scheduler=scheduler,
     )
     coordinator = MaliciousCoordinator(
         attack_start_cycle=attack_start,
@@ -139,17 +152,23 @@ def build_secure_overlay(
     malicious_ids = _choose_malicious(
         node_ids, malicious, engine.rng_hub.stream("malicious-choice")
     )
+    drift_rng = (
+        engine.rng_hub.stream("clock-drift") if drift is not None else None
+    )
 
     malicious_nodes = []
     for index, keypair in enumerate(keypairs):
         node_id = keypair.public
         address = engine.network.reserve_address(node_id)
         rng = engine.rng_hub.stream(f"node-{index}")
+        clock = engine.clock
+        if drift_rng is not None:
+            clock = DriftedClock(engine.clock, drift.draw(drift_rng))
         common = dict(
             keypair=keypair,
             address=address,
             config=config,
-            clock=engine.clock,
+            clock=clock,
             registry=engine.registry,
             rng=rng,
             trace=engine.trace,
@@ -164,6 +183,12 @@ def build_secure_overlay(
             node = SecureCyclonNode(**common)
         node.bind_network(engine.network)
         engine.add_node(node)
+
+    if isinstance(scheduler, EventScheduler):
+        for node in malicious_nodes:
+            strategy = getattr(node, "timing_strategy", None)
+            if strategy is not None:
+                scheduler.register_timing_strategy(node.node_id, strategy)
 
     coordinator.note_legit_population(
         [node_id for node_id in node_ids if node_id not in malicious_ids]

@@ -1,0 +1,251 @@
+"""Extension experiment — attack timing as a weapon (event runtime).
+
+The paper's attack model (§II-C) grants adversaries every protocol
+freedom, and the event runtime added one the cycle model cannot
+express: *when* a message leaves its sender.  This experiment runs the
+timing-adversary suite (:mod:`repro.adversary.timing`) against a
+SecureCyclon overlay under realistic latency and a dialogue timeout,
+and compares it with the strongest content-side rule-abiding strategy
+(the stealth bias of the ``stealth`` experiment):
+
+* ``stealth``      — content bias, honest timing: the baseline;
+* ``stall``        — replies held just *under* the victims' timeout:
+                     every dialogue succeeds but burns nearly a full
+                     timeout budget (watch the waiting-time column);
+* ``stall-edge``   — the same attacker at the boundary (negative
+                     margin): every dialogue becomes the §V-A case-2
+                     spent-descriptor asymmetry;
+* ``induce``       — colleagues answered fast, honest nodes never:
+                     link depletion by silence;
+* ``induce+retry`` — the same attack with the honest side's
+                     :class:`~repro.sim.retry.RetryPolicy` switched to
+                     ``immediate``: a timed-out opening re-redeems the
+                     next oldest entry, recovering most of the lost
+                     gossip opportunities.
+
+Expected shape: the timing attackers are never blacklisted (their
+content is protocol-legal — like the stealth bias, they live on the
+rule-abiding side of the paper's guarantee), yet ``stall-edge`` and
+``induce`` visibly depress honest view fill while ``stall`` quietly
+multiplies the time victims spend waiting.  Retrying claws back most
+of the depletion at the price of extra redeemed tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.adversary.stealth import StealthBiasAttacker
+from repro.adversary.timing import StallAttacker, TimeoutInducer
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.plotting import chart_panel
+from repro.experiments.report import format_table, series_table
+from repro.experiments.runner import run_with_probes
+from repro.experiments.scale import Scale, pick, resolve_scale
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.links import (
+    blacklisted_malicious_fraction,
+    malicious_link_fraction,
+    view_fill_fraction,
+)
+from repro.metrics.series import Series
+from repro.sim.latency import LognormalLatency
+from repro.sim.retry import RetryPolicy
+from repro.sim.scheduler import EventScheduler, PeriodJitter
+
+
+@dataclass
+class TimingRow:
+    """One attacker mode's outcome."""
+
+    label: str
+    view_fill_final: float
+    view_fill_min: float  # post-attack minimum: the depletion dip
+    malicious_final: float
+    open_timeouts: int
+    round_timeouts: int
+    retries: int
+    waiting_hours: float  # virtual time initiators spent on round trips
+    blacklisted: float
+
+
+@dataclass
+class TimingAttackResult:
+    """The full comparison: summary rows plus view-fill series."""
+
+    nodes: int
+    cycles: int
+    attack_start: int
+    malicious: int
+    timeout_s: float
+    rows: List[TimingRow]
+    fill_series: List[Series]
+
+
+#: label -> (attacker class, attacker kwargs, honest retry policy)
+#:
+#: The ``stall`` margin must absorb the *request* leg too — the victim
+#: times the whole round trip, and an attacker only controls its own
+#: reply — so it is sized to the latency model's tail (p99 of the
+#: lognormal legs) and the mode burns ~70% of each timeout budget
+#: while staying (almost always) inside the deadline.  ``stall-edge``
+#: deliberately crosses it on every dialogue instead.
+_MODES: List[Tuple[str, Type, Dict, RetryPolicy]] = [
+    ("stealth", StealthBiasAttacker, {}, RetryPolicy()),
+    ("stall", StallAttacker, {"margin_s": 1.5}, RetryPolicy()),
+    ("stall-edge", StallAttacker, {"margin_s": -0.01}, RetryPolicy()),
+    ("induce", TimeoutInducer, {}, RetryPolicy()),
+    (
+        "induce+retry",
+        TimeoutInducer,
+        {},
+        RetryPolicy(mode="immediate", max_retries=2),
+    ),
+]
+
+
+def _event_runtime(period_s: float) -> EventScheduler:
+    """The comparison's runtime: mild latency, jitter, period/2 patience."""
+    return EventScheduler(
+        latency=LognormalLatency(median_s=0.05 * period_s, sigma=0.5),
+        jitter=PeriodJitter(mode="uniform", spread=0.1),
+        timeout_s=period_s / 2,
+    )
+
+
+def run_timing_attack(
+    scale: Optional[Scale] = None, seed: int = 42
+) -> TimingAttackResult:
+    """Run the timing-adversary comparison at the given scale."""
+    scale = resolve_scale(scale)
+    nodes, view_length = pick(scale, (40, 8), (300, 20), (1000, 20))
+    cycles = pick(scale, 12, 40, 50)
+    attack_start = pick(scale, 4, 12, 15)
+    malicious = max(2, nodes // 10)
+    every = 2
+    period_s = 10.0
+
+    rows: List[TimingRow] = []
+    fill_series: List[Series] = []
+    for label, attacker_cls, attacker_kwargs, retry in _MODES:
+        config = SecureCyclonConfig(
+            view_length=view_length, swap_length=3, retry=retry
+        )
+        overlay = build_secure_overlay(
+            n=nodes,
+            config=config,
+            malicious=malicious,
+            attack_start=attack_start,
+            seed=seed,
+            attacker_cls=attacker_cls,
+            attacker_kwargs=attacker_kwargs,
+            runtime=_event_runtime(period_s),
+        )
+        result = run_with_probes(
+            overlay,
+            cycles,
+            {
+                "view_fill": view_fill_fraction,
+                "malicious_links": malicious_link_fraction,
+            },
+            every=every,
+        )
+        series = result["view_fill"]
+        series.label = label
+        fill_series.append(series)
+        engine = overlay.engine
+        post_attack = [
+            y for x, y in zip(series.xs, series.ys) if x >= attack_start
+        ]
+        rows.append(
+            TimingRow(
+                label=label,
+                view_fill_final=series.ys[-1] if series.ys else 0.0,
+                view_fill_min=min(post_attack) if post_attack else 0.0,
+                malicious_final=(
+                    result["malicious_links"].ys[-1]
+                    if result["malicious_links"].ys
+                    else 0.0
+                ),
+                open_timeouts=engine.trace.count("secure.open_timeout"),
+                round_timeouts=engine.trace.count("secure.round_timeout"),
+                retries=engine.trace.count("secure.retry_immediate"),
+                waiting_hours=engine.network.dialogue_seconds / 3600.0,
+                blacklisted=blacklisted_malicious_fraction(engine),
+            )
+        )
+    return TimingAttackResult(
+        nodes=nodes,
+        cycles=cycles,
+        attack_start=attack_start,
+        malicious=malicious,
+        timeout_s=period_s / 2,
+        rows=rows,
+        fill_series=fill_series,
+    )
+
+
+def render(result: TimingAttackResult) -> str:
+    """Summary table plus the honest view-fill series and chart."""
+    blocks = [
+        format_table(
+            [
+                "mode",
+                "final view fill",
+                "min fill post-attack (%)",
+                "final malicious links",
+                "open timeouts",
+                "round timeouts",
+                "retries",
+                "waiting (virtual h)",
+                "blacklisted",
+            ],
+            [
+                (
+                    row.label,
+                    row.view_fill_final,
+                    100.0 * row.view_fill_min,
+                    row.malicious_final,
+                    row.open_timeouts,
+                    row.round_timeouts,
+                    row.retries,
+                    row.waiting_hours,
+                    row.blacklisted,
+                )
+                for row in result.rows
+            ],
+        )
+    ]
+    blocks.append(
+        series_table(
+            f"Honest view fill under timing attacks (event runtime, "
+            f"{result.nodes} nodes, {result.malicious} attackers from "
+            f"cycle {result.attack_start}, timeout {result.timeout_s:.0f}s)",
+            result.fill_series,
+        )
+    )
+    blocks.append(
+        chart_panel(
+            "[chart] honest view fill vs cycle",
+            result.fill_series,
+            x_label="time (cycles)",
+            y_label="fill",
+        )
+    )
+    header = (
+        "Timing attacks — stall, boundary stall, and induced timeouts vs "
+        "the stealth baseline\n"
+        f"({result.nodes} nodes, {result.cycles} cycles, lognormal legs, "
+        "uniform jitter, timeout = period/2; timing attackers are "
+        "content-honest and never blacklistable)\n"
+    )
+    return header + "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(render(run_timing_attack()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -169,6 +169,19 @@ class Channel:
         # activation timer.
         self.elapsed_s = 0.0
 
+    def _spend_time(self, seconds: float) -> None:
+        """Account virtual time one round trip consumed (event runtime).
+
+        Accumulated per dialogue (``elapsed_s``) and network-wide
+        (``Network.dialogue_seconds``) so experiments can price the
+        *waiting* an adversary inflicts — a stalled reply that lands
+        just inside the deadline burns almost a full timeout budget
+        without ever registering as a failure.
+        """
+        self.elapsed_s += seconds
+        if self._stats is not None:
+            self._stats.record_dialogue_time(seconds)
+
     def _loses(self, base_loss: float) -> bool:
         """Draw the loss decision for one message, burst-aware.
 
@@ -198,35 +211,61 @@ class Channel:
             self.bytes_sent += size
             if self._stats is not None:
                 self._stats.record_dialogue_traffic(sent=size)
-        if self._loses(self._request_loss):
-            raise MessageDropped("request", delivered=False)
         timing = self._timing
+        if self._loses(self._request_loss):
+            # In a timed network the initiator only *learns* about the
+            # loss by waiting out its whole patience: observationally
+            # the failure IS a timeout, so it is charged and raised as
+            # one (and is therefore retryable, like any timeout — the
+            # node must not branch on drop-vs-late information it could
+            # never observe).  Without a timeout the classic drop
+            # surfaces unchanged.
+            if timing is not None and timing.timeout_s is not None:
+                timeout_s = timing.timeout_s
+                self._spend_time(timeout_s)
+                raise MessageTimeout(
+                    "request", delivered=False, elapsed_s=timeout_s
+                )
+            raise MessageDropped("request", delivered=False)
         request_s = 0.0
         if timing is not None:
-            request_s = timing.sample(self.initiator_id, self.partner_id)
+            request_s = timing.sample(
+                self.initiator_id, self.partner_id, leg="request"
+            )
             timeout_s = timing.timeout_s
             if timeout_s is not None and request_s > timeout_s:
                 # The request is still in flight when the initiator
                 # gives up; the partner never acts on it.
-                self.elapsed_s += timeout_s
+                self._spend_time(timeout_s)
                 raise MessageTimeout(
                     "request", delivered=False, elapsed_s=timeout_s
                 )
         reply = self._deliver(payload)
         if self._loses(self._reply_loss):
+            # Same unification as a lost request: with a timeout
+            # configured the missing reply is experienced as (and
+            # raised as) a timeout, full patience charged.
+            if timing is not None and timing.timeout_s is not None:
+                timeout_s = timing.timeout_s
+                self._spend_time(timeout_s)
+                raise MessageTimeout(
+                    "reply", delivered=True, elapsed_s=timeout_s
+                )
             raise MessageDropped("reply", delivered=True)
         if timing is not None:
-            reply_s = timing.sample(self.partner_id, self.initiator_id)
+            reply_s = timing.sample(
+                self.partner_id, self.initiator_id, leg="reply"
+            )
             round_trip_s = request_s + reply_s
             timeout_s = timing.timeout_s
             if timeout_s is not None and round_trip_s > timeout_s:
                 # §V-A case 2 by timing: the partner processed the
                 # request but the reply arrives too late to matter.
-                self.elapsed_s += timeout_s
+                self._spend_time(timeout_s)
                 raise MessageTimeout(
                     "reply", delivered=True, elapsed_s=timeout_s
                 )
-            self.elapsed_s += round_trip_s
+            self._spend_time(round_trip_s)
         self.replies_received += 1
         if self._sizer is not None and reply is not None:
             size = self._sizer(reply)

@@ -4,10 +4,19 @@ The paper uses *cycles* as the unit of protocol time and wall-clock
 timestamps inside descriptors (§II-A, §IV-A).  :class:`SimClock` provides
 both: a cycle counter, and a wall-clock reading derived from it through a
 configurable gossip period (the paper suggests real periods of 10–60 s).
+
+Real deployments add one more wrinkle: no two wall clocks agree.
+:class:`ClockDrift` models a node's deviation from true time (constant
+skew plus linear drift) and :class:`DriftedClock` presents the shared
+simulation clock *through* that deviation — descriptor timestamps, the
+§IV-B frequency self-guard, and timestamp-acceptance checks of a
+drifting node all read its local perception of time, while cycle
+numbers (pure protocol bookkeeping) stay global.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import SimulationError
@@ -80,3 +89,116 @@ class SimClock:
         self.now_s = float(time_s)
         self._cycle = int(time_s // self._period) if cycle is None else cycle
         return self._cycle
+
+
+@dataclass(frozen=True)
+class ClockDrift:
+    """A node's wall-clock deviation from true simulation time.
+
+    ``skew_s`` is a constant offset (the clock was set wrong);
+    ``rate`` is linear drift in seconds gained per second of true time
+    (the crystal runs fast for positive values, slow for negative).
+    A perceived reading is ``true + skew_s + rate * true``.
+
+    ``rate`` must stay above -1: a clock that runs backwards would let
+    perceived time decrease while true time advances, and every
+    monotonicity assumption in the protocol (mint spacing, cache
+    horizons) would silently break.
+    """
+
+    skew_s: float = 0.0
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= -1.0:
+            raise SimulationError("drift rate must be > -1 (clock must run forwards)")
+
+    @property
+    def is_zero(self) -> bool:
+        return self.skew_s == 0.0 and self.rate == 0.0
+
+    def perceive(self, true_s: float) -> float:
+        """The drifting clock's reading at true time ``true_s``."""
+        return true_s + self.skew_s + self.rate * true_s
+
+    def offset_at(self, true_s: float) -> float:
+        """How far the perceived reading deviates at ``true_s``."""
+        return self.skew_s + self.rate * true_s
+
+
+@dataclass(frozen=True)
+class DriftPlan:
+    """A population-level drift envelope for scenario builders.
+
+    Each node draws an independent :class:`ClockDrift` with skew in
+    ``[-max_skew_s, +max_skew_s]`` and rate in ``[-max_rate, +max_rate]``
+    (uniform).  ``bound_at(horizon_s)`` is the worst-case deviation any
+    one clock reaches by ``horizon_s`` — size the protocol's timestamp
+    and frequency tolerances from it (two drifting clocks can disagree
+    by up to twice this bound).
+    """
+
+    max_skew_s: float = 0.0
+    max_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_skew_s < 0:
+            raise SimulationError("max_skew_s must be non-negative")
+        if not 0.0 <= self.max_rate < 1.0:
+            raise SimulationError("max_rate must be in [0, 1)")
+
+    def draw(self, rng) -> ClockDrift:
+        """One node's drift, sampled from the envelope."""
+        return ClockDrift(
+            skew_s=rng.uniform(-self.max_skew_s, self.max_skew_s),
+            rate=rng.uniform(-self.max_rate, self.max_rate),
+        )
+
+    def bound_at(self, horizon_s: float) -> float:
+        """Max |perceived - true| any drawn clock shows by ``horizon_s``."""
+        return self.max_skew_s + self.max_rate * max(0.0, horizon_s)
+
+
+class DriftedClock:
+    """A node-local view of the shared :class:`SimClock`.
+
+    Presents the same interface protocol nodes consume (``now_s``,
+    ``now()``, ``cycle``, ``period_seconds``) but filters wall-clock
+    readings through a :class:`ClockDrift`.  The cycle counter is *not*
+    drifted: cycles are protocol bookkeeping driven by the engine, not
+    something a node measures off its own crystal.
+
+    Drifted clocks are read-only — only the engine advances time, and
+    it does so on the underlying shared clock.
+    """
+
+    __slots__ = ("_base", "drift")
+
+    def __init__(self, base: SimClock, drift: ClockDrift) -> None:
+        self._base = base
+        self.drift = drift
+
+    @property
+    def now_s(self) -> float:
+        return self.drift.perceive(self._base.now_s)
+
+    def now(self) -> float:
+        return self.now_s
+
+    @property
+    def cycle(self) -> int:
+        return self._base.cycle
+
+    @property
+    def period_seconds(self) -> float:
+        return self._base.period_seconds
+
+    def timestamp_for_cycle(self, cycle: int) -> float:
+        return self.drift.perceive(self._base.timestamp_for_cycle(cycle))
+
+    def cycle_of_timestamp(self, timestamp: float) -> int:
+        # Inverse of timestamp_for_cycle: a *perceived* reading maps
+        # back through the drift before the cycle division, keeping the
+        # round-trip invariant the un-drifted clock pins.
+        true_s = (timestamp - self.drift.skew_s) / (1.0 + self.drift.rate)
+        return self._base.cycle_of_timestamp(true_s)

@@ -132,6 +132,14 @@ class TwoClusterLatency(LatencyModel):
         return base
 
 
+#: Message-leg labels passed to :meth:`LinkTiming.sample`: the two legs
+#: of a dialogue round trip, and a one-way push.  Timing strategies use
+#: them to treat e.g. replies differently from requests.
+LEG_REQUEST = "request"
+LEG_REPLY = "reply"
+LEG_PUSH = "push"
+
+
 class LinkTiming:
     """A latency model bound to its RNG stream plus a dialogue timeout.
 
@@ -139,9 +147,19 @@ class LinkTiming:
     in event mode; channels use it to price each message leg and decide
     whether the round trip timed out.  ``timeout_s`` of ``None`` means
     initiators wait forever (latency then only delays one-way pushes).
+
+    **Timing strategies.**  A node controls *when its own messages
+    leave*: holding a reply back is indistinguishable, to the waiting
+    peer, from a slow link.  ``register_strategy`` binds a
+    :class:`~repro.adversary.timing.TimingStrategy` to a sender id;
+    every leg that sender transmits is then re-priced by the strategy
+    (``shape``) after the honest latency sample is drawn.  The base
+    sample is always drawn first, strategy or not, so registering
+    attackers never perturbs the shared latency RNG stream and every
+    honest leg in a run stays bit-identical to the attacker-free run.
     """
 
-    __slots__ = ("model", "timeout_s", "rng")
+    __slots__ = ("model", "timeout_s", "rng", "_strategies")
 
     def __init__(
         self, model: LatencyModel, rng, timeout_s: Optional[float] = None
@@ -151,7 +169,19 @@ class LinkTiming:
         self.model = model
         self.timeout_s = timeout_s
         self.rng = rng
+        self._strategies: Dict[Any, Any] = {}
 
-    def sample(self, src: Any, dst: Any) -> float:
-        """One leg's latency in seconds."""
-        return self.model.sample(self.rng, src, dst)
+    def register_strategy(self, sender_id: Any, strategy: Any) -> None:
+        """Let ``strategy`` re-price every leg sent by ``sender_id``."""
+        self._strategies[sender_id] = strategy
+
+    def unregister_strategy(self, sender_id: Any) -> None:
+        self._strategies.pop(sender_id, None)
+
+    def sample(self, src: Any, dst: Any, leg: str = LEG_PUSH) -> float:
+        """One leg's latency in seconds (possibly strategy-shaped)."""
+        base = self.model.sample(self.rng, src, dst)
+        strategy = self._strategies.get(src)
+        if strategy is None:
+            return base
+        return strategy.shape(base, src, dst, leg, self.timeout_s)

@@ -76,6 +76,9 @@ class Network:
         self.push_bytes = 0
         self.dialogue_bytes_forward = 0  # initiator -> partner
         self.dialogue_bytes_backward = 0  # partner -> initiator
+        # Virtual seconds initiators spent waiting on round trips
+        # (event runtime only) — the stall attack's damage surface.
+        self.dialogue_seconds = 0.0
         # One-way deliveries are queued and drained iteratively: a
         # receive_push handler that re-floods (proof dissemination is a
         # BFS over the overlay) must not recurse through the network,
@@ -155,6 +158,22 @@ class Network:
         """
         self._transport = transport
 
+    def call_later(self, delay_s: float, callback: Callable[[], None]) -> bool:
+        """Defer ``callback()`` by ``delay_s`` of virtual time.
+
+        The protocol-side door to the event queue: retry backoff
+        (see :class:`~repro.sim.retry.RetryPolicy`) schedules its
+        re-attempt through here.  Returns ``True`` when the deferral
+        was scheduled; ``False`` under the cycle runtime, where no
+        event queue exists — callers must then either act immediately
+        or not at all (for retries this cannot matter: the cycle
+        runtime has no timeouts, so nothing ever asks to retry).
+        """
+        if self._transport is None:
+            return False
+        self._transport.call_later(delay_s, callback)
+        return True
+
     # ------------------------------------------------------------------
     # communication
     # ------------------------------------------------------------------
@@ -189,15 +208,25 @@ class Network:
         self.dialogue_bytes_forward += sent
         self.dialogue_bytes_backward += received
 
+    def record_dialogue_time(self, seconds: float) -> None:
+        """Accumulate virtual waiting time across all dialogues."""
+        self.dialogue_seconds += seconds
+
     def push(self, sender_id: Any, target_id: Any, payload: Any) -> bool:
         """Deliver a one-way message (no reply expected).
 
         Returns ``True`` if the message was accepted for delivery,
         ``False`` if the target was unreachable or the message was
         dropped.  Used for proof flooding, where senders neither wait
-        nor retry.  Deliveries triggered from inside a ``receive_push``
-        handler are queued and drained iteratively (breadth-first), so
-        network-wide floods cannot overflow the call stack.
+        for acknowledgements nor retry: retries are a *dialogue*
+        concept (:class:`~repro.sim.retry.RetryPolicy` re-initiates
+        timed-out exchange openings), while a push is fire-and-forget
+        on every runtime — a lost push is lost for good, and no layer
+        of the stack re-sends it (asserted by
+        ``tests/sim/test_push_semantics.py``).  Deliveries triggered
+        from inside a ``receive_push`` handler are queued and drained
+        iteratively (breadth-first), so network-wide floods cannot
+        overflow the call stack.
         """
         if target_id not in self._nodes:
             return False
@@ -238,7 +267,9 @@ class Network:
         Called by the event scheduler when a push's delivery time comes
         up.  A handler that re-floods goes back through :meth:`push`,
         which re-enqueues on the transport — no recursion, mirroring the
-        iterative drain of the synchronous path.
+        iterative drain of the synchronous path.  A target that died
+        while the push was in flight silently swallows it; like every
+        push, the message is not retried (see :meth:`push`).
         """
         node = self._nodes.get(target_id)
         if node is not None:

@@ -1,0 +1,154 @@
+"""Retry policies for timed-out gossip dialogues.
+
+Under the event-driven runtime a dialogue can die by *timing*: the
+round trip exceeds the initiator's patience and raises
+:class:`~repro.sim.channel.MessageTimeout`.  The §V-A accounting makes
+the failed attempt safe (the redeemed descriptor is spent, nothing else
+is exposed), but the initiator still lost its gossip opportunity for
+the period.  A :class:`RetryPolicy` decides what it does next:
+
+``none``
+    Give up for this activation — the paper's behaviour, and the
+    default everywhere.
+``immediate``
+    Re-initiate right away, up to ``max_retries`` times, each attempt
+    redeeming the *next* oldest view entry.  The timed-out redemption
+    is never re-sent: it was recorded spent the moment it was signed,
+    so a retry that reused it would be rejected (and, worse, a
+    delivered-but-unanswered one would be a provable replay).
+``backoff``
+    Schedule the re-attempt ``backoff_s`` seconds of virtual time
+    later through the event queue (doubling on consecutive timeouts),
+    so a congested partner is not hammered at the very instant it is
+    slow.  Requires the event runtime; under the cycle runtime there
+    are no timeouts, so the policy is inert there by construction.
+
+Retries apply only to dialogues that died *before* they were
+established (the opening round trip).  A timeout in a later transfer
+round is never retried: the initiator has already minted its one fresh
+descriptor for the cycle, and re-entering the exchange path would mint
+a second — a §IV-B frequency violation an honest node must not risk.
+That restriction is what makes the no-double-spend and no-double-mint
+guarantees of retrying provable (see ``tests/core/test_retry_policy.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigError
+
+RETRY_MODES = ("none", "immediate", "backoff")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """What an initiator does after a dialogue opening times out."""
+
+    mode: str = "none"
+    max_retries: int = 1
+    backoff_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in RETRY_MODES:
+            raise ConfigError(
+                f"unknown retry mode {self.mode!r}; expected one of "
+                f"{', '.join(RETRY_MODES)}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if self.backoff_s <= 0:
+            raise ConfigError("backoff_s must be positive")
+
+    @property
+    def retries(self) -> int:
+        """Retry attempts this policy grants (0 when mode is ``none``)."""
+        return 0 if self.mode == "none" else self.max_retries
+
+    @property
+    def immediate_attempts(self) -> int:
+        """Total same-instant attempts an activation may make.
+
+        ``immediate`` grants its retries in the same activation;
+        ``none`` and ``backoff`` make exactly one attempt now (backoff
+        defers its retries through the event queue instead).
+        """
+        return 1 + (self.max_retries if self.mode == "immediate" else 0)
+
+
+def drive_attempts(
+    policy: RetryPolicy,
+    attempt: Callable[[], bool],
+    network: Any,
+    node_id: Any,
+    emit: Callable[..., None],
+    prefix: str,
+    pre_fire: Optional[Callable[[], bool]] = None,
+) -> None:
+    """Run one activation's dialogue attempts under ``policy``.
+
+    The one retry driver both protocol nodes share (SecureCyclon and
+    legacy Cyclon differ only in their trace ``prefix`` and in the
+    secure node's ``pre_fire`` mint guard).  ``attempt()`` makes one
+    full exchange attempt and returns True iff it died of a retryable
+    timeout.  Immediate retries loop here and now; backoff retries are
+    deferred through ``network.call_later`` with doubling delays, and
+    each deferred attempt re-checks liveness and ``pre_fire`` at fire
+    time (the node may have been churned out, or — for SecureCyclon —
+    its next regular activation may have minted in the meantime, and
+    retrying then would risk the very §IV-B frequency violation the
+    guard exists to prevent).
+
+    Emitted trace events (all under ``prefix``): ``retry_immediate``,
+    ``retry_scheduled``, ``retry_backoff``, ``retry_rate_limited``.
+    """
+    for index in range(policy.immediate_attempts):
+        if index:
+            emit(f"{prefix}.retry_immediate", attempt=index)
+        if not attempt():
+            return
+    if policy.mode == "backoff" and policy.max_retries > 0:
+        _schedule_backoff(
+            policy.backoff_s,
+            policy.max_retries,
+            attempt,
+            network,
+            node_id,
+            emit,
+            prefix,
+            pre_fire,
+        )
+
+
+def _schedule_backoff(
+    delay_s: float,
+    retries_left: int,
+    attempt: Callable[[], bool],
+    network: Any,
+    node_id: Any,
+    emit: Callable[..., None],
+    prefix: str,
+    pre_fire: Optional[Callable[[], bool]],
+) -> None:
+    def fire() -> None:
+        if not network.is_alive(node_id):
+            return
+        if pre_fire is not None and not pre_fire():
+            emit(f"{prefix}.retry_rate_limited")
+            return
+        emit(f"{prefix}.retry_backoff", delay_s=delay_s)
+        if attempt() and retries_left > 1:
+            _schedule_backoff(
+                delay_s * 2,
+                retries_left - 1,
+                attempt,
+                network,
+                node_id,
+                emit,
+                prefix,
+                pre_fire,
+            )
+
+    if network.call_later(delay_s, fire):
+        emit(f"{prefix}.retry_scheduled", delay_s=delay_s)

@@ -35,12 +35,14 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.latency import LatencyModel, LinkTiming
+from repro.sim.latency import ConstantLatency, LatencyModel, LinkTiming
 
 # Heap tie-break priorities for events that share an instant: boundary
 # housekeeping (churn in, samples out) runs before message deliveries,
 # which land before the activations they might influence; wall-clock
-# sampling observes the dust after it settles.
+# sampling observes the dust after it settles.  Deferred callbacks
+# (retry backoff) share the activation slot — they are activations a
+# node asked for itself.
 _P_BOUNDARY = 0
 _P_TIMED_CHURN = 1
 _P_DELIVERY = 2
@@ -52,6 +54,7 @@ _K_CHURN = "churn"
 _K_DELIVERY = "delivery"
 _K_ACTIVATE = "activate"
 _K_SAMPLE = "sample"
+_K_CALLBACK = "callback"
 
 
 @dataclass(frozen=True)
@@ -195,6 +198,10 @@ class EventScheduler(Scheduler):
         self._churn_done_cycle = -1
         self._rng = None
         self._timing: Optional[LinkTiming] = None
+        # Per-sender timing strategies registered before the scheduler
+        # attached (wiring happens at build time, attachment at the
+        # first run); handed to the LinkTiming when it exists.
+        self._pending_strategies: dict = {}
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -222,6 +229,46 @@ class EventScheduler(Scheduler):
             (sender_id, target_id, payload),
         )
 
+    def call_later(self, delay_s: float, callback: Any) -> None:
+        """Run ``callback()`` after ``delay_s`` of virtual time.
+
+        The protocol-facing deferral primitive (exposed through
+        :meth:`~repro.sim.network.Network.call_later`): retry backoff
+        schedules its re-attempt here so "wait, then try again" costs
+        virtual time instead of happening in the same instant.
+        Callbacks scheduled past the current run's horizon stay queued
+        and fire in the next ``run``, like any other future event.
+        """
+        if delay_s < 0:
+            raise SimulationError("callback delay must be non-negative")
+        self._push_event(
+            self._engine.clock.now_s + delay_s,
+            _P_ACTIVATE,
+            _K_CALLBACK,
+            callback,
+        )
+
+    def register_timing_strategy(self, sender_id: Any, strategy: Any) -> None:
+        """Bind a per-sender :class:`~repro.adversary.timing.TimingStrategy`.
+
+        Takes effect immediately if the scheduler is already attached to
+        an engine, otherwise at attachment.  Strategies require link
+        timing; the scheduler builds it whenever latency, a timeout, or
+        at least one strategy is configured — including here, when a
+        strategy arrives after an attach that needed no timing yet.
+        """
+        self._pending_strategies[sender_id] = strategy
+        if self._timing is not None:
+            self._timing.register_strategy(sender_id, strategy)
+        elif self._engine is not None:
+            self._timing = LinkTiming(
+                model=self.latency or ConstantLatency(0.0),
+                rng=self._engine.rng_hub.stream("event-latency"),
+                timeout_s=self.timeout_s,
+            )
+            self._timing.register_strategy(sender_id, strategy)
+            self._engine.network.set_link_timing(self._timing)
+
     def _schedule_activation(self, node_id: Any, time_s: float) -> None:
         self._pending_activation.add(node_id)
         self._push_event(time_s, _P_ACTIVATE, _K_ACTIVATE, node_id)
@@ -243,12 +290,22 @@ class EventScheduler(Scheduler):
         if self._engine is None:
             self._engine = engine
             self._rng = engine.rng_hub.stream("event-scheduler")
-            if self.latency is not None:
+            # Link timing exists whenever anything needs per-leg pricing:
+            # a latency model, a dialogue timeout (so stalled legs can
+            # expire even on otherwise-instant links), or a registered
+            # timing strategy.  A missing model means instant legs.
+            if (
+                self.latency is not None
+                or self.timeout_s is not None
+                or self._pending_strategies
+            ):
                 self._timing = LinkTiming(
-                    model=self.latency,
+                    model=self.latency or ConstantLatency(0.0),
                     rng=engine.rng_hub.stream("event-latency"),
                     timeout_s=self.timeout_s,
                 )
+                for sender_id, strategy in self._pending_strategies.items():
+                    self._timing.register_strategy(sender_id, strategy)
             self._timed_churn_horizon_s = engine.clock.now_s
         elif self._engine is not engine:
             raise SimulationError(
@@ -312,6 +369,8 @@ class EventScheduler(Scheduler):
                 clock.advance_to(time_s)
             if kind == _K_ACTIVATE:
                 self._dispatch_activation(data, time_s, period)
+            elif kind == _K_CALLBACK:
+                data()
             elif kind == _K_DELIVERY:
                 sender_id, target_id, payload = data
                 engine.network.deliver_push(sender_id, target_id, payload)

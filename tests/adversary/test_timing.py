@@ -1,0 +1,198 @@
+"""The timing-adversary suite: stalls, induced timeouts, and the hook.
+
+Covers three layers: the :class:`TimingStrategy` shaping rules in
+isolation, the :class:`~repro.sim.latency.LinkTiming` hook's RNG
+neutrality (registering attackers must not perturb honest legs), and
+the end-to-end attacks on an event-runtime SecureCyclon overlay.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary.timing import (
+    SilentToVictims,
+    StallAttacker,
+    StallReplies,
+    TimeoutInducer,
+)
+from repro.core.config import SecureCyclonConfig
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.links import view_fill_fraction
+from repro.sim.latency import ConstantLatency, LinkTiming, UniformLatency
+from repro.sim.scheduler import EventScheduler
+
+
+def _overlay(attacker_cls, *, n=30, timeout_s=5.0, margin=None, cycles_kw=None):
+    kwargs = {}
+    if margin is not None:
+        kwargs["margin_s"] = margin
+    return build_secure_overlay(
+        n=n,
+        config=SecureCyclonConfig(view_length=6, swap_length=3),
+        malicious=3,
+        attack_start=0,
+        seed=11,
+        attacker_cls=attacker_cls,
+        attacker_kwargs=kwargs,
+        runtime=EventScheduler(
+            latency=ConstantLatency(delay_s=0.2), timeout_s=timeout_s
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# strategy shaping rules
+# ----------------------------------------------------------------------
+
+
+def test_stall_strategy_holds_replies_to_victims_only():
+    strategy = StallReplies(spare=lambda dst: dst == "colleague", margin_s=1.0)
+    assert strategy.shape(0.1, "me", "victim", "reply", 5.0) == 4.0
+    assert strategy.shape(0.1, "me", "colleague", "reply", 5.0) == 0.1
+    # Requests and pushes leave at the honest sample.
+    assert strategy.shape(0.1, "me", "victim", "request", 5.0) == 0.1
+    assert strategy.shape(0.1, "me", "victim", "push", 5.0) == 0.1
+    # Without a timeout there is no budget to burn.
+    assert strategy.shape(0.1, "me", "victim", "reply", None) == 0.1
+
+
+def test_stall_strategy_never_shortens_a_leg():
+    strategy = StallReplies(spare=lambda dst: False, margin_s=1.0)
+    assert strategy.shape(9.0, "me", "victim", "reply", 5.0) == 9.0
+
+
+def test_stall_strategy_respects_attack_gate():
+    gate = {"on": False}
+    strategy = StallReplies(
+        spare=lambda dst: False, margin_s=1.0, active=lambda: gate["on"]
+    )
+    assert strategy.shape(0.1, "me", "victim", "reply", 5.0) == 0.1
+    gate["on"] = True
+    assert strategy.shape(0.1, "me", "victim", "reply", 5.0) == 4.0
+
+
+def test_silence_strategy_prices_replies_past_every_deadline():
+    strategy = SilentToVictims(spare=lambda dst: False, silence_factor=4.0)
+    assert strategy.shape(0.1, "me", "victim", "reply", 5.0) == 20.0
+    assert strategy.shape(0.1, "me", "victim", "request", 5.0) == 0.1
+    assert strategy.shape(0.1, "me", "victim", "reply", None) == 0.1
+    with pytest.raises(ValueError):
+        SilentToVictims(spare=lambda dst: False, silence_factor=1.0)
+
+
+# ----------------------------------------------------------------------
+# the LinkTiming hook
+# ----------------------------------------------------------------------
+
+
+def test_registering_a_strategy_does_not_perturb_honest_legs():
+    """The honest sample is always drawn first, so a run with attackers
+    consumes the latency stream identically to one without."""
+    model = UniformLatency(low_s=0.0, high_s=1.0)
+    plain = LinkTiming(model=model, rng=random.Random(5), timeout_s=4.0)
+    hooked = LinkTiming(model=model, rng=random.Random(5), timeout_s=4.0)
+    hooked.register_strategy("attacker", StallReplies(spare=lambda d: False))
+    legs = [("a", "b", "request"), ("b", "a", "reply"), ("c", "d", "push")]
+    for src, dst, leg in legs * 10:
+        assert plain.sample(src, dst, leg) == hooked.sample(src, dst, leg)
+
+
+def test_strategy_shapes_only_its_senders_legs():
+    timing = LinkTiming(
+        model=ConstantLatency(0.1), rng=random.Random(1), timeout_s=5.0
+    )
+    timing.register_strategy(
+        "attacker", StallReplies(spare=lambda d: False, margin_s=1.0)
+    )
+    assert timing.sample("attacker", "victim", leg="reply") == 4.0
+    assert timing.sample("victim", "attacker", leg="reply") == 0.1
+    timing.unregister_strategy("attacker")
+    assert timing.sample("attacker", "victim", leg="reply") == 0.1
+
+
+def test_strategy_registered_after_attach_builds_link_timing():
+    """A scheduler attached without any link timing (no latency, no
+    timeout) still honors a strategy registered later: timing is built
+    on the spot and installed on the network."""
+    from repro.experiments.scenarios import build_secure_overlay as build
+
+    overlay = build(
+        n=8,
+        config=SecureCyclonConfig(view_length=4, swap_length=2),
+        seed=3,
+        runtime=EventScheduler(),
+    )
+    overlay.run(1)  # attach happens here, with no timing needed yet
+    scheduler = overlay.engine.scheduler
+    assert scheduler._timing is None
+    recorder = []
+
+    class Probe:
+        def shape(self, base_s, src, dst, leg, timeout_s):
+            recorder.append((src, dst, leg))
+            return base_s
+
+    sender = next(iter(overlay.engine.nodes))
+    scheduler.register_timing_strategy(sender, Probe())
+    assert scheduler._timing is not None
+    assert overlay.engine.network._timing is scheduler._timing
+    overlay.run(2)
+    assert any(src == sender for src, _, _ in recorder)
+
+
+# ----------------------------------------------------------------------
+# end-to-end attacks
+# ----------------------------------------------------------------------
+
+
+def test_stall_attacker_burns_budget_without_failing_dialogues():
+    """Replies held just under the deadline: no timeouts, but the
+    network-wide waiting time multiplies against the honest control."""
+    control = _overlay(StallAttacker, margin=1.0)
+    # Control: same overlay, attack never starts (attack_start beyond run).
+    control.coordinator.attack_start_cycle = 10**9
+    control.run(6)
+    honest_wait = control.engine.network.dialogue_seconds
+
+    attacked = _overlay(StallAttacker, margin=1.0)
+    attacked.run(6)
+    stalled_wait = attacked.engine.network.dialogue_seconds
+
+    assert attacked.engine.trace.count("secure.open_timeout") == 0
+    assert stalled_wait > honest_wait * 1.5
+    # Content-honest: nobody can ever prove anything against a staller.
+    assert attacked.engine.trace.count("secure.blacklisted") == 0
+
+
+def test_stall_attacker_at_the_boundary_forces_case2_timeouts():
+    """A non-positive margin reproduces the §V-A spent-descriptor
+    asymmetry on demand: delivered=True timeouts, on every dialogue."""
+    overlay = _overlay(StallAttacker, margin=-0.01)
+    overlay.run(6)
+    timeouts = overlay.engine.trace.of_kind("secure.open_timeout")
+    assert timeouts
+    assert all(event.detail["delivered"] is True for event in timeouts)
+    assert overlay.engine.trace.count("secure.blacklisted") == 0
+
+
+def test_timeout_inducer_depletes_victims_and_answers_colleagues():
+    overlay = _overlay(TimeoutInducer)
+    overlay.run(8)
+    engine = overlay.engine
+    timeouts = engine.trace.of_kind("secure.open_timeout")
+    assert timeouts
+    # Victims' redemptions were processed before the silence: their
+    # tokens are spent on both sides (the depletion-by-timing variant).
+    assert all(event.detail["delivered"] is True for event in timeouts)
+    # Attacker-initiated dialogues with honest partners still work:
+    # the inducer gossips honestly as an initiator to harvest tokens.
+    inducer_views = [len(node.view) for node in overlay.malicious_nodes]
+    assert any(length > 0 for length in inducer_views)
+    # Silence is not a violation.
+    assert engine.trace.count("secure.blacklisted") == 0
+    # Honest views end up below the no-attack control's fill.
+    control = _overlay(TimeoutInducer)
+    control.coordinator.attack_start_cycle = 10**9
+    control.run(8)
+    assert view_fill_fraction(engine) < view_fill_fraction(control.engine)

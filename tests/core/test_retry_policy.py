@@ -1,0 +1,200 @@
+"""Retry-after-timeout: safe re-attempts of timed-out dialogue openings.
+
+The §V-A accounting makes a timed-out opening safe in isolation; these
+tests prove the *retry* layer keeps it safe:
+
+* a retried dialogue redeems a different descriptor — the timed-out
+  redemption is spent and never re-sent, so no partner ever sees the
+  same token twice (no ``already-redeemed`` rejections);
+* retries never duplicate the cycle's single fresh mint (only
+  un-opened dialogues retry, and backoff re-checks the §IV-B guard);
+* retry combined with per-node clock drift never trips the
+  frequency-violation detector for honest nodes;
+* the policy is inert under the cycle runtime.
+"""
+
+import pytest
+
+from repro.core.config import SecureCyclonConfig
+from repro.errors import ConfigError
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.links import view_fill_fraction
+from repro.sim.clock import DriftPlan
+from repro.sim.retry import RetryPolicy
+from repro.sim.scheduler import EventScheduler, PeriodJitter
+from tests.core.test_timeout_partial_failure import AlternatingLatency
+
+
+def _secure_config(retry, view_length=6):
+    return SecureCyclonConfig(
+        view_length=view_length, swap_length=3, retry=retry
+    )
+
+
+def _reply_timeout_overlay(retry, n=24, seed=71, **config_kwargs):
+    """Every opening's reply times out (delivered=True, token spent)."""
+    scheduler = EventScheduler(
+        latency=AlternatingLatency(request_s=1.0, reply_s=9.0),
+        timeout_s=5.0,
+    )
+    return build_secure_overlay(
+        n=n,
+        config=SecureCyclonConfig(
+            view_length=6, swap_length=3, retry=retry, **config_kwargs
+        ),
+        seed=seed,
+        runtime=scheduler,
+    )
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ConfigError):
+        RetryPolicy(mode="sometimes")
+    with pytest.raises(ConfigError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ConfigError):
+        RetryPolicy(backoff_s=0.0)
+    assert RetryPolicy().retries == 0
+    assert RetryPolicy(mode="immediate", max_retries=3).retries == 3
+
+
+def test_immediate_retry_never_double_spends():
+    """With every reply timing out, each activation burns exactly
+    1 + max_retries distinct tokens — and no partner ever rejects a
+    replayed redemption, because none is ever replayed."""
+    retries = 2
+    overlay = _reply_timeout_overlay(
+        RetryPolicy(mode="immediate", max_retries=retries)
+    )
+    overlay.run(2)
+    engine = overlay.engine
+    timeouts = engine.trace.count("secure.open_timeout")
+    retried = engine.trace.count("secure.retry_immediate")
+    assert retried > 0
+    # A replayed (already spent) redemption would be rejected by the
+    # partner with reason "already-redeemed"; none may exist.
+    rejections = engine.trace.of_kind("secure.open_rejected")
+    assert not [
+        event
+        for event in rejections
+        if event.detail["reason"] == "already-redeemed"
+    ]
+    # Every timed-out attempt redeemed a distinct descriptor: two
+    # cycles of (1 + retries) attempts each drain exactly that many
+    # slots from every six-slot view (floor: views can't go negative).
+    per_cycle = 1 + retries
+    expected_fill = max(0.0, 1.0 - 2 * per_cycle / 6)
+    assert view_fill_fraction(engine) == pytest.approx(expected_fill)
+    # Every attempt (first or retried) shows up as its own timeout.
+    assert timeouts > retried
+
+
+def test_immediate_retry_recovers_lost_exchanges_under_partial_attack():
+    """Against a timeout-inducing minority, retrying restores most of
+    the view fill the no-retry overlay loses."""
+    from repro.adversary.timing import TimeoutInducer
+
+    def overlay_with(retry):
+        return build_secure_overlay(
+            n=30,
+            config=_secure_config(retry),
+            malicious=3,
+            attack_start=0,
+            seed=11,
+            attacker_cls=TimeoutInducer,
+            runtime=EventScheduler(latency=None, timeout_s=5.0),
+        )
+
+    no_retry = overlay_with(RetryPolicy())
+    no_retry.run(8)
+    with_retry = overlay_with(RetryPolicy(mode="immediate", max_retries=2))
+    with_retry.run(8)
+    assert with_retry.engine.trace.count("secure.retry_immediate") > 0
+    assert view_fill_fraction(with_retry.engine) > view_fill_fraction(
+        no_retry.engine
+    )
+
+
+def test_backoff_retry_fires_later_and_is_rate_limit_guarded():
+    overlay = _reply_timeout_overlay(
+        RetryPolicy(mode="backoff", max_retries=1, backoff_s=1.0)
+    )
+    overlay.run(2)
+    engine = overlay.engine
+    assert engine.trace.count("secure.retry_scheduled") > 0
+    fired = engine.trace.count("secure.retry_backoff")
+    limited = engine.trace.count("secure.retry_rate_limited")
+    assert fired + limited > 0
+    # Backoff re-attempts also never replay a redemption.
+    rejections = engine.trace.of_kind("secure.open_rejected")
+    assert not [
+        event
+        for event in rejections
+        if event.detail["reason"] == "already-redeemed"
+    ]
+
+
+def test_retry_never_mints_twice_per_cycle():
+    """The §IV-B frequency rule survives aggressive retrying: honest
+    nodes discover no frequency violation against each other."""
+    overlay = _reply_timeout_overlay(
+        RetryPolicy(mode="immediate", max_retries=3)
+    )
+    overlay.run(3)
+    engine = overlay.engine
+    assert engine.trace.count("secure.violation_found") == 0
+    assert engine.trace.count("secure.blacklisted") == 0
+
+
+def test_retry_plus_drift_trips_no_frequency_detector():
+    """The satellite guarantee: immediate retries + bounded per-node
+    clock drift + timer jitter never incriminate an honest node."""
+    scheduler = EventScheduler(
+        latency=AlternatingLatency(request_s=1.0, reply_s=9.0),
+        timeout_s=5.0,
+        jitter=PeriodJitter(mode="uniform", spread=0.2),
+    )
+    overlay = build_secure_overlay(
+        n=24,
+        config=SecureCyclonConfig(
+            view_length=6,
+            swap_length=3,
+            retry=RetryPolicy(mode="immediate", max_retries=2),
+            frequency_tolerance_seconds=1.0,
+        ),
+        seed=29,
+        runtime=scheduler,
+        drift=DriftPlan(max_skew_s=2.0, max_rate=0.003),
+    )
+    overlay.run(6)
+    engine = overlay.engine
+    assert engine.trace.count("secure.retry_immediate") > 0
+    assert engine.trace.count("secure.violation_found") == 0
+    assert engine.trace.count("secure.blacklisted") == 0
+
+
+def test_retry_is_inert_under_the_cycle_runtime():
+    """The cycle runtime has no timeouts, so an aggressive policy must
+    not change a seeded run at all (golden-series safety)."""
+    plain = build_secure_overlay(
+        n=20, config=_secure_config(RetryPolicy()), seed=5
+    )
+    plain.run(5)
+    retrying = build_secure_overlay(
+        n=20,
+        config=_secure_config(
+            RetryPolicy(mode="immediate", max_retries=3)
+        ),
+        seed=5,
+    )
+    retrying.run(5)
+    assert retrying.engine.trace.count("secure.retry_immediate") == 0
+    plain_views = {
+        nid: list(node.view.neighbor_ids())
+        for nid, node in plain.engine.nodes.items()
+    }
+    retry_views = {
+        nid: list(node.view.neighbor_ids())
+        for nid, node in retrying.engine.nodes.items()
+    }
+    assert plain_views == retry_views

@@ -19,6 +19,7 @@ def test_every_figure_is_wired():
         "churn",
         "loss",
         "latency",
+        "timing_attack",
     }
 
 

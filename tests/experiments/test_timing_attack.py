@@ -1,0 +1,50 @@
+"""Smoke-scale run of the timing-attack comparison."""
+
+from repro.experiments import timing_attack
+from repro.experiments.scale import Scale
+
+
+def test_timing_attack_smoke():
+    result = timing_attack.run_timing_attack(scale=Scale.SMOKE, seed=7)
+    rows = {row.label: row for row in result.rows}
+    assert set(rows) == {
+        "stealth",
+        "stall",
+        "stall-edge",
+        "induce",
+        "induce+retry",
+    }
+
+    # The stealth baseline never touches the timeout path.
+    assert rows["stealth"].open_timeouts == 0
+
+    # Boundary stall and induced silence force the §V-A asymmetry.
+    assert rows["stall-edge"].open_timeouts > 0
+    assert rows["induce"].open_timeouts > 0
+
+    # The sub-deadline stall fails nothing but burns more waiting time
+    # than the baseline.
+    assert rows["stall"].open_timeouts == 0
+    assert rows["stall"].waiting_hours > rows["stealth"].waiting_hours
+
+    # Retrying actually retries.  (The fill-recovery claim is asserted
+    # robustly in tests/core/test_retry_policy.py; at smoke scale the
+    # final-sample fills of these two rows are within noise of full.)
+    assert rows["induce+retry"].retries > 0
+    assert (
+        rows["induce+retry"].view_fill_final
+        >= rows["induce"].view_fill_final - 0.05
+    )
+
+    # Timing attacks are content-legal: nobody is ever blacklisted.
+    for row in result.rows:
+        assert row.blacklisted == 0.0
+
+
+def test_timing_attack_render():
+    result = timing_attack.run_timing_attack(scale=Scale.SMOKE, seed=7)
+    text = timing_attack.render(result)
+    assert "event runtime" in text
+    assert "[chart]" in text
+    assert "stall-edge" in text
+    assert "waiting" in text

@@ -65,6 +65,37 @@ def test_reply_loss_marks_delivered():
     assert log == ["ping"]  # the partner processed the request
 
 
+def test_losses_in_a_timed_network_surface_as_timeouts():
+    """With a dialogue timeout configured, the initiator only learns
+    about a loss by waiting out its patience: both loss directions
+    charge ``timeout_s`` to ``elapsed_s`` and raise
+    :class:`MessageTimeout` — observationally the failure *is* a
+    timeout (and is therefore retryable); the node never branches on
+    drop-vs-late information it could not observe."""
+    timing = LinkTiming(
+        model=ConstantLatency(0.1), rng=random.Random(1), timeout_s=5.0
+    )
+    for policy, delivered in (
+        (DropPolicy(request_loss=1.0), False),
+        (DropPolicy(reply_loss=1.0), True),
+    ):
+        channel, _ = make_channel(policy=policy, timing=timing)
+        with pytest.raises(MessageTimeout) as excinfo:
+            channel.request("ping")
+        assert excinfo.value.delivered is delivered
+        assert channel.elapsed_s == 5.0
+    # Without a timeout there is no bounded wait to charge.
+    untimed = LinkTiming(
+        model=ConstantLatency(0.1), rng=random.Random(1), timeout_s=None
+    )
+    channel, _ = make_channel(
+        policy=DropPolicy(request_loss=1.0), timing=untimed
+    )
+    with pytest.raises(MessageDropped):
+        channel.request("ping")
+    assert channel.elapsed_s == 0.0
+
+
 def test_drop_policy_validates_probabilities():
     with pytest.raises(ValueError):
         DropPolicy(request_loss=1.5)

@@ -1,0 +1,81 @@
+"""One-way pushes are fire-and-forget on every runtime.
+
+``Network.push``'s contract says senders neither wait for
+acknowledgements nor retry — retries exist only for *dialogues*
+(:class:`~repro.sim.retry.RetryPolicy` re-initiates timed-out exchange
+openings).  These tests pin that invariant: a lost push is lost for
+good, and enabling dialogue retries changes no push accounting.
+"""
+
+import random
+
+from repro.sim.channel import DropPolicy
+from repro.sim.network import Network
+
+
+class Recorder:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.pushes = []
+
+    def receive(self, sender_id, payload):
+        return None
+
+    def receive_push(self, sender_id, payload):
+        self.pushes.append((sender_id, payload))
+
+
+def test_dropped_push_is_never_resent():
+    """With certain request loss every push dies, exactly once each:
+    one send attempt per push() call, no hidden re-delivery."""
+    network = Network(
+        rng=random.Random(1), drop_policy=DropPolicy(request_loss=1.0)
+    )
+    target = Recorder("b")
+    network.attach("a", Recorder("a"))
+    network.attach("b", target)
+    for _ in range(10):
+        assert network.push("a", "b", "proof") is False
+    assert network.pushes_sent == 10  # ten attempts, not a single resend
+    assert target.pushes == []
+
+
+def test_push_to_dead_target_is_silently_lost():
+    network = Network(rng=random.Random(2))
+    network.attach("a", Recorder("a"))
+    assert network.push("a", "ghost", "proof") is False
+    assert network.pushes_sent == 0
+
+
+def test_dialogue_retry_policy_does_not_touch_push_accounting():
+    """An aggressive RetryPolicy on the initiating protocol must leave
+    push counts untouched: retries re-open dialogues, never re-push."""
+    from repro.core.config import SecureCyclonConfig
+    from repro.experiments.scenarios import build_secure_overlay
+    from repro.sim.retry import RetryPolicy
+    from repro.sim.scheduler import EventScheduler
+    from tests.core.test_timeout_partial_failure import AlternatingLatency
+
+    def overlay_with(retry):
+        return build_secure_overlay(
+            n=16,
+            config=SecureCyclonConfig(
+                view_length=6, swap_length=3, retry=retry
+            ),
+            seed=13,
+            runtime=EventScheduler(
+                latency=AlternatingLatency(request_s=1.0, reply_s=9.0),
+                timeout_s=5.0,
+            ),
+        )
+
+    plain = overlay_with(RetryPolicy())
+    plain.run(3)
+    retrying = overlay_with(RetryPolicy(mode="immediate", max_retries=3))
+    retrying.run(3)
+    assert retrying.engine.trace.count("secure.retry_immediate") > 0
+    # Honest overlays under pure timeouts flood nothing; more to the
+    # point, retrying must not invent pushes the plain run lacked.
+    assert retrying.engine.network.pushes_sent == (
+        plain.engine.network.pushes_sent
+    )
