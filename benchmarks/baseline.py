@@ -101,11 +101,19 @@ def bench_micro() -> dict:
     }
 
 
-def bench_full_cycle(rounds: int) -> dict:
-    """The 200-node full-cycle benchmark (same shape as pytest's)."""
+def bench_full_cycle(rounds: int, verification: str = "sequential") -> dict:
+    """The 200-node full-cycle benchmark (same shape as pytest's).
+
+    Run once per verification mode: the ``batched`` entry prices the
+    batched kernel end-to-end on the simulation's own traffic (where
+    the per-object memo already carries most repeats), next to the
+    micro-kernels that isolate its cold and fan-out behaviour.
+    """
     overlay = build_secure_overlay(
         n=200,
-        config=SecureCyclonConfig(view_length=20, swap_length=3),
+        config=SecureCyclonConfig(
+            view_length=20, swap_length=3, verification=verification
+        ),
         seed=1,
     )
     overlay.run(3)  # warm up
@@ -114,14 +122,69 @@ def bench_full_cycle(rounds: int) -> dict:
         start = time.perf_counter()
         overlay.run(1)
         times.append(time.perf_counter() - start)
+    suffix = "" if verification == "sequential" else f"_{verification}"
     return {
-        "full_cycle_200_nodes_ms": {
+        f"full_cycle_200_nodes{suffix}_ms": {
             "mean": round(statistics.mean(times) * 1e3, 3),
             "min": round(min(times) * 1e3, 3),
             "max": round(max(times) * 1e3, 3),
             "rounds": rounds,
         }
     }
+
+
+def bench_batch_verification() -> dict:
+    """The batched-verification micro-kernels (see bench_batch_verify)."""
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from bench_batch_verify import bench_cold, bench_fanout
+
+    return {
+        "batch_verify_cold": bench_cold(),
+        "batch_verify_fanout": bench_fanout(),
+    }
+
+
+def bench_paper_scale(include_10k: bool) -> dict:
+    """The 1K×50 (and optionally 10K full-cycle) wall-time runs.
+
+    Each measurement runs in a fresh subprocess: a single process that
+    builds and runs four paper-scale overlays back to back accumulates
+    allocator/GC state that skews the later measurements by double-digit
+    percentages (and the container's thermal throttling adds more — see
+    the calibration note in PERFORMANCE.md).  Fresh processes remove
+    the first effect; the recorded numbers still carry the second, so
+    cross-mode deltas within ~±15% are machine noise, not signal.
+    """
+    import json as json_module
+    import subprocess
+    import sys
+
+    shapes = [(1000, 50)]
+    if include_10k:
+        shapes.append((10000, 5))
+    metrics = {}
+    for nodes, cycles in shapes:
+        for mode in ("sequential", "batched"):
+            script = (
+                "import dataclasses, json\n"
+                "from repro.experiments.scale import measure_paper_scale\n"
+                f"row = measure_paper_scale({nodes}, {cycles}, seed=42, "
+                f"verification={mode!r})\n"
+                "print(json.dumps(dataclasses.asdict(row)))\n"
+            )
+            output = subprocess.check_output(
+                [sys.executable, "-c", script], text=True
+            )
+            row = json_module.loads(output.strip().splitlines()[-1])
+            metrics[f"scale_{nodes}x{cycles}_{mode}"] = {
+                "build_s": row["build_seconds"],
+                "run_s": row["run_seconds"],
+                "per_cycle_ms": row["per_cycle_ms"],
+                "mean_view_fill": row["mean_view_fill"],
+            }
+    return metrics
 
 
 def bench_event_cycle(rounds: int) -> dict:
@@ -162,10 +225,20 @@ def bench_event_cycle(rounds: int) -> dict:
     }
 
 
-def record(label: str, rounds: int, output: pathlib.Path) -> dict:
+def record(
+    label: str,
+    rounds: int,
+    output: pathlib.Path,
+    paper_scale: bool = False,
+    include_10k: bool = False,
+) -> dict:
     metrics = bench_micro()
     metrics.update(bench_full_cycle(rounds))
+    metrics.update(bench_full_cycle(rounds, verification="batched"))
     metrics.update(bench_event_cycle(rounds))
+    metrics.update(bench_batch_verification())
+    if paper_scale:
+        metrics.update(bench_paper_scale(include_10k=include_10k))
     entry = {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "metrics": metrics,
@@ -195,8 +268,24 @@ def main() -> None:
     parser.add_argument(
         "--output", type=pathlib.Path, default=DEFAULT_OUTPUT
     )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="also record the 1Kx50 wall-time runs (minutes)",
+    )
+    parser.add_argument(
+        "--include-10k",
+        action="store_true",
+        help="with --paper-scale: also record the 10K-node full-cycle run",
+    )
     args = parser.parse_args()
-    entry = record(args.label, args.rounds, args.output)
+    entry = record(
+        args.label,
+        args.rounds,
+        args.output,
+        paper_scale=args.paper_scale,
+        include_10k=args.include_10k,
+    )
     print(f"[{args.label}] -> {args.output}")
     print(json.dumps(entry, indent=2))
 

@@ -44,6 +44,7 @@ from repro.core.proofs import ViolationProof, timestamps_conflict
 from repro.core.redemption import RedemptionCache
 from repro.core.samples import SampleCache
 from repro.core.view import SecureView, ViewEntry
+from repro.crypto.batch import VerificationPlan
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.errors import PeerUnreachable
 from repro.sim.channel import MessageDropped, MessageTimeout
@@ -109,6 +110,16 @@ class SecureCyclonNode(ProtocolNode):
         # never replaced, only mutated, so the alias stays valid.
         self._blacklist_map = self.blacklist.by_culprit
         self._drop_chains = config.drop_chains_through_blacklisted
+        # Batched verification (config knob / REPRO_VERIFICATION): a
+        # standalone node owns a private plan; engine-built overlays
+        # rebind the engine-wide shared plan (bind_verification_plan)
+        # so each distinct chain is verified once network-wide per
+        # cycle.  ``None`` selects the sequential path everywhere.
+        self._vplan: Optional[VerificationPlan] = (
+            VerificationPlan(registry)
+            if config.effective_verification() == "batched"
+            else None
+        )
         self._last_mint_cycle: Optional[int] = None
         self._last_mint_time_s: Optional[float] = None
         self._sessions: Dict[PublicKey, _PartnerSession] = {}
@@ -129,6 +140,11 @@ class SecureCyclonNode(ProtocolNode):
         self._sessions.clear()
         self.sample_cache.expire(cycle)
         self.redemption_cache.expire(cycle)
+        if self._vplan is not None:
+            # Idempotent per cycle number: on a shared plan the first
+            # node (or the scheduler) to reach the boundary clears the
+            # digest memo, the rest are no-ops.
+            self._vplan.begin_cycle(cycle)
 
     def run_cycle(self, network: Network) -> None:
         """Initiate one gossip exchange by redeeming the oldest view entry.
@@ -473,7 +489,7 @@ class SecureCyclonNode(ProtocolNode):
         redemption = opening.redemption
         if redemption.creator != self.node_id:
             return "not-my-descriptor"
-        if not verify_descriptor(redemption, self.registry):
+        if not self._verify_chain(redemption):
             return "invalid-chain"
         if not redemption.is_spent:
             return "missing-redeem-hop"
@@ -591,8 +607,8 @@ class SecureCyclonNode(ProtocolNode):
             # hold no self-links.  Not a violation, just dropped.
             return False
         registry = self.registry
-        if descriptor._verified_by is not registry and not verify_descriptor(
-            descriptor, registry
+        if descriptor._verified_by is not registry and not self._verify_chain(
+            descriptor
         ):
             return False
         hops = descriptor.hops
@@ -634,7 +650,35 @@ class SecureCyclonNode(ProtocolNode):
         §V-C) — sent with the first message in each direction."""
         return (*self.view.descriptors(), *self.redemption_cache.contents())
 
+    def _verify_chain(self, descriptor: SecureDescriptor) -> bool:
+        """Chain verification through the configured mode.
+
+        Sequential mode calls :func:`verify_descriptor` directly;
+        batched mode routes through the :class:`VerificationPlan` so
+        single verifications share the cycle's cross-node digest memo
+        with the batched sample streams.  Both compute the identical
+        predicate.
+        """
+        plan = self._vplan
+        if plan is not None:
+            return plan.verify(descriptor)
+        return verify_descriptor(descriptor, self.registry)
+
     def _observe_all(self, descriptors, network) -> None:
+        plan = self._vplan
+        if plan is not None:
+            self.sample_cache.observe_stream_planned(
+                descriptors,
+                self.current_cycle,
+                self.registry,
+                self._blacklist_map,
+                self.clock.now_s + self._tolerance_cached,
+                self._drop_chains,
+                self._adopt_proof,
+                network,
+                plan,
+            )
+            return
         self.sample_cache.observe_stream(
             descriptors,
             self.current_cycle,
@@ -655,12 +699,14 @@ class SecureCyclonNode(ProtocolNode):
         This is the reference form of the vetting pipeline.  The hot
         paths use :meth:`_observe_validated` (when the chain and
         timestamp were already checked) and
-        ``SampleCache.observe_stream`` (whole sample batches); any
-        change to the rules here must be mirrored there.
+        ``SampleCache.observe_stream`` /
+        ``SampleCache.observe_stream_planned`` (whole sample batches,
+        sequential and batched verification respectively); any change
+        to the rules here must be mirrored there.
         """
         registry = self.registry
-        if descriptor._verified_by is not registry and not verify_descriptor(
-            descriptor, registry
+        if descriptor._verified_by is not registry and not self._verify_chain(
+            descriptor
         ):
             return False
         if descriptor.timestamp > self.clock.now_s + self._tolerance_cached:
@@ -738,6 +784,13 @@ class SecureCyclonNode(ProtocolNode):
             )
         self.sample_cache.forget_creator(culprit)
         self._sessions.pop(culprit, None)
+        if self._vplan is not None:
+            # Drop the culprit's chains from the shared digest memo so
+            # no same-cycle batch resolves them from a stale entry
+            # (verdicts are blacklist-independent crypto, so this is
+            # hygiene — every receiver still filters against its own
+            # live blacklist — but it keeps the memo honest).
+            self._vplan.invalidate_creator(culprit)
 
     def _flood(self, proof: ViolationProof, network) -> None:
         """§IV-C: broadcast the proof over our current overlay links."""
@@ -767,6 +820,18 @@ class SecureCyclonNode(ProtocolNode):
         messages; experiments call this once at setup.
         """
         self._network_for_flood = network
+
+    def bind_verification_plan(self, plan: VerificationPlan) -> None:
+        """Adopt a shared batched-verification plan.
+
+        Scenario builders call this on every node of an overlay whose
+        config resolves to ``verification="batched"``, replacing the
+        node's private plan with the engine-wide one so chain verdicts
+        are shared network-wide within a cycle.  Binding a plan opts
+        the node into the batched path regardless of its config — the
+        caller owns that decision.
+        """
+        self._vplan = plan
 
     def _emit(self, kind: str, **detail: Any) -> None:
         if self.trace is not None:

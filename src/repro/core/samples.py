@@ -261,6 +261,61 @@ class SampleCache:
             elif comparison.relation is ChainRelation.PREFIX:
                 by_ts[ts] = descriptor
 
+    def observe_stream_planned(
+        self,
+        descriptors,
+        cycle: int,
+        registry,
+        blacklisted: dict,
+        deadline: float,
+        drop_chains: bool,
+        adopt,
+        network,
+        plan,
+    ) -> None:
+        """:meth:`observe_stream` driven by a batched verification plan.
+
+        Semantically identical to :meth:`observe_stream` — the §IV-B
+        pipeline over ``descriptors`` in order, with proofs adopted
+        *immediately* so later samples in the same batch see their
+        effects (blacklisted creators, purged cache entries).  The only
+        difference is the verification prologue: the whole batch is
+        settled up front by ``plan.verify_batch`` (one flat MAC kernel
+        pass plus the cycle-scoped cross-node digest memo), so the
+        per-descriptor loop tests nothing but the per-object memo the
+        plan filled in.
+
+        Hoisting verification before the loop is behaviour-preserving
+        because chain verification is pure crypto: it consumes no RNG
+        and its verdict cannot depend on anything a mid-batch adoption
+        mutates (blacklists are filtered live on both paths).  After
+        the kernel pass every valid descriptor carries the per-object
+        memo, so :meth:`observe_stream`'s own prologue short-circuits
+        past its ``verify_descriptor`` fallback; chains the kernel
+        rejected stay unverified and the fallback re-derives exactly
+        the same ``False`` — only forged traffic ever pays that
+        (sequentially re-verified on both paths alike).  The
+        equivalence suite drives both entry points over adversarial
+        batches and asserts identical caches, blacklists, and proofs.
+        """
+        pending = [
+            descriptor
+            for descriptor in descriptors
+            if descriptor._verified_by is not registry
+        ]
+        if pending:
+            plan.verify_batch(pending)
+        self.observe_stream(
+            descriptors,
+            cycle,
+            registry,
+            blacklisted,
+            deadline,
+            drop_chains,
+            adopt,
+            network,
+        )
+
     def _neighbor_proofs(
         self, descriptor: SecureDescriptor, by_ts: dict, other_ts: float, proofs
     ):

@@ -34,4 +34,16 @@ __all__ = [
     "Signature",
     "sign",
     "verify",
+    "VerificationPlan",
 ]
+
+
+def __getattr__(name):
+    # Lazy export: repro.crypto.batch depends on the descriptor layer,
+    # which itself imports this package — resolving the plan on first
+    # access keeps the import graph acyclic.
+    if name == "VerificationPlan":
+        from repro.crypto.batch import VerificationPlan
+
+        return VerificationPlan
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.core.config import _validate_verification, resolve_verification
 from repro.errors import ConfigError
 from repro.sim.retry import RetryPolicy
 
@@ -20,13 +22,21 @@ class CyclonConfig:
     under the event runtime (:class:`~repro.sim.retry.RetryPolicy`); a
     retry initiates a fresh shuffle with the next oldest neighbor.
     Inert under the cycle runtime, which has no timeouts.
+
+    ``verification`` mirrors the SecureCyclon knob so harnesses can set
+    one value across both protocol configs (and the
+    ``REPRO_VERIFICATION`` override applies uniformly).  Legacy Cyclon
+    descriptors carry no ownership chains, so the knob is validated but
+    behaviourally inert here — there is nothing to verify.
     """
 
     view_length: int = 20
     swap_length: int = 3
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    verification: Optional[str] = None
 
     def __post_init__(self) -> None:
+        _validate_verification(self.verification)
         if self.view_length < 1:
             raise ConfigError("view_length must be >= 1")
         if self.swap_length < 1:
@@ -36,3 +46,7 @@ class CyclonConfig:
                 f"swap_length ({self.swap_length}) cannot exceed "
                 f"view_length ({self.view_length})"
             )
+
+    def effective_verification(self) -> str:
+        """The resolved verification mode (inert for legacy Cyclon)."""
+        return resolve_verification(self.verification)

@@ -27,9 +27,14 @@ from repro.experiments import (
     fig7_redemption,
     netcost_table,
 )
+from repro.experiments import scale as scale_benchmark
 from repro.experiments.scale import Scale
 
 EXPERIMENTS = {
+    "scale": (
+        scale_benchmark.run_paper_scale,
+        scale_benchmark.render_paper_scale,
+    ),
     "fig2": (fig2_indegree.run_fig2, fig2_indegree.render),
     "fig3": (fig3_cyclon_takeover.run_fig3, fig3_cyclon_takeover.render),
     "fig5": (fig5_hub_defense.run_fig5, fig5_hub_defense.render),

@@ -57,6 +57,142 @@ def pick(scale: Scale, smoke, default, full):
 
 
 # ----------------------------------------------------------------------
+# paper-scale wall-time benchmark (1K / 10K nodes)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PaperScaleRow:
+    """One (overlay size, verification mode) wall-time measurement."""
+
+    nodes: int
+    cycles: int
+    verification: str
+    build_seconds: float
+    run_seconds: float
+    per_cycle_ms: float
+    cycles_per_second: float
+    mean_view_fill: float
+
+
+@dataclass(frozen=True)
+class PaperScaleReport:
+    """Outcome of one :func:`run_paper_scale` sweep.
+
+    The paper evaluates 1K and 10K-node overlays; this harness times
+    exactly those shapes under both verification modes so the recorded
+    numbers in ``BENCH_core.json`` / ``EXPERIMENTS.md`` stay
+    reproducible from one command line.
+    """
+
+    scale: str
+    seed: int
+    rows: tuple
+
+    def render(self) -> str:
+        lines = [
+            f"paper scale [{self.scale}] seed {self.seed}",
+            f"{'nodes':>7}  {'cycles':>6}  {'verification':>12}  "
+            f"{'build s':>8}  {'run s':>8}  {'ms/cycle':>9}  "
+            f"{'cycles/s':>8}  {'view fill':>9}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.nodes:>7}  {row.cycles:>6}  {row.verification:>12}  "
+                f"{row.build_seconds:>8.2f}  {row.run_seconds:>8.2f}  "
+                f"{row.per_cycle_ms:>9.1f}  {row.cycles_per_second:>8.2f}  "
+                f"{row.mean_view_fill:>9.3f}"
+            )
+        return "\n".join(lines)
+
+
+def measure_paper_scale(
+    nodes: int,
+    cycles: int,
+    seed: int = 42,
+    verification: Optional[str] = None,
+) -> PaperScaleRow:
+    """Build and run one overlay shape; returns its wall-time row.
+
+    Tracing is disabled — at 10K nodes a traced full run would spend
+    more memory on the event log than on the overlay itself.
+    """
+    from repro.core.config import SecureCyclonConfig, resolve_verification
+    from repro.experiments.scenarios import build_secure_overlay
+    from repro.metrics.links import view_fill_fraction
+    from repro.sim.engine import SimConfig
+
+    import gc
+    import time
+
+    # Collection barrier: the previous measurement's run leaves a huge
+    # young generation behind (Engine.run raises the gen-0 threshold),
+    # and letting its collection land inside this measurement skews
+    # build/run times by whole seconds at 1K+ nodes.
+    gc.collect()
+    mode = resolve_verification(verification)
+    config = SecureCyclonConfig(
+        view_length=20, swap_length=3, verification=mode
+    )
+    build_started = time.perf_counter()
+    overlay = build_secure_overlay(
+        n=nodes,
+        config=config,
+        seed=seed,
+        sim_config=SimConfig(seed=seed, trace=False),
+    )
+    build_seconds = time.perf_counter() - build_started
+    run_started = time.perf_counter()
+    overlay.run(cycles)
+    run_seconds = time.perf_counter() - run_started
+    return PaperScaleRow(
+        nodes=nodes,
+        cycles=cycles,
+        verification=mode,
+        build_seconds=round(build_seconds, 3),
+        run_seconds=round(run_seconds, 3),
+        per_cycle_ms=round(run_seconds / cycles * 1e3, 2),
+        cycles_per_second=round(cycles / run_seconds, 3),
+        mean_view_fill=round(view_fill_fraction(overlay.engine), 4),
+    )
+
+
+def run_paper_scale(
+    scale: Optional[Scale] = None, seed: int = 42
+) -> PaperScaleReport:
+    """Paper-scale wall-time benchmark: 1K/10K-node overlays under
+    sequential vs batched chain verification.
+
+    ``full`` runs the paper's two sizes — 1000 nodes for 50 cycles and
+    the repo's headline 10 000-node full-cycle run — once per
+    verification mode; ``default`` runs the 1K shape; ``smoke`` a
+    seconds-budget miniature.  Both modes run the same seed, so any
+    behavioural divergence (there must be none) would show up as a
+    different final view fill.
+    """
+    scale = resolve_scale(scale)
+    shapes = pick(
+        scale,
+        [(60, 5)],
+        [(1000, 50)],
+        [(1000, 50), (10000, 5)],
+    )
+    rows = []
+    for nodes, cycles in shapes:
+        for mode in ("sequential", "batched"):
+            rows.append(
+                measure_paper_scale(
+                    nodes, cycles, seed=seed, verification=mode
+                )
+            )
+    return PaperScaleReport(scale=scale.value, seed=seed, rows=tuple(rows))
+
+
+def render_paper_scale(report: PaperScaleReport) -> str:
+    return report.render()
+
+
+# ----------------------------------------------------------------------
 # scale stress scenario
 # ----------------------------------------------------------------------
 
@@ -166,7 +302,7 @@ def run_scale_stress(scale: Optional[Scale] = None, seed: int = 7) -> StressRepo
             trace=engine.trace,
         )
         joiner.bind_network(engine.network)
-        engine.add_node(joiner)
+        engine.add_node(joiner)  # binds the shared verification plan
         bootstrap_joiner(joiner, donors, links=3, rng=churn_rng)
         joined += 1
 

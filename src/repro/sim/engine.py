@@ -123,15 +123,35 @@ class Engine:
         self._malicious_cache: Optional[Set[Any]] = None
         self._legit_cache: Optional[Set[Any]] = None
         self._order_buffer: List[Any] = []
+        # Engine-wide batched-verification plan (repro.crypto.batch):
+        # created lazily on first request and shared by every node the
+        # scenario builder binds it to, so each distinct ownership
+        # chain is verified once network-wide per cycle.  Stays None on
+        # sequential-verification runs; the schedulers reset it at
+        # every cycle boundary when it exists.
+        self._verification_plan: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # membership
     # ------------------------------------------------------------------
 
     def add_node(self, node: ProtocolNode) -> None:
-        """Attach ``node`` to the universe and the network directory."""
+        """Attach ``node`` to the universe and the network directory.
+
+        Nodes configured for batched verification (they carry a private
+        plan) are rebound to the engine-wide shared plan here, so every
+        construction site — scenario builders, churn joiners, ad-hoc
+        experiments — gets network-wide verdict sharing without its own
+        wiring.  Only nodes verifying against this engine's registry
+        qualify; anything else keeps its private plan.
+        """
         if node.node_id in self.nodes:
             raise SimulationError(f"duplicate node id {node.node_id!r}")
+        if (
+            getattr(node, "_vplan", None) is not None
+            and getattr(node, "registry", None) is self.registry
+        ):
+            node.bind_verification_plan(self.verification_plan())
         self.nodes[node.node_id] = node
         self.network.attach(node.node_id, node)
         self._alive_list.append(node.node_id)
@@ -173,6 +193,22 @@ class Engine:
     def legit_nodes(self) -> List[ProtocolNode]:
         """Return all attached nodes that are not flagged malicious."""
         return [node for node in self.nodes.values() if not node.is_malicious]
+
+    # ------------------------------------------------------------------
+    # batched verification
+    # ------------------------------------------------------------------
+
+    def verification_plan(self):
+        """The engine-wide shared verification plan, created on demand.
+
+        Imported lazily: the plan lives in the crypto/descriptor layer,
+        which transitively imports this module.
+        """
+        if self._verification_plan is None:
+            from repro.crypto.batch import VerificationPlan
+
+            self._verification_plan = VerificationPlan(self.registry)
+        return self._verification_plan
 
     # ------------------------------------------------------------------
     # observers

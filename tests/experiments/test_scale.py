@@ -57,3 +57,24 @@ def test_scale_stress_is_deterministic():
     assert first.mean_view_fill == second.mean_view_fill
     assert first.blacklisted_fraction == second.blacklisted_fraction
     assert first.crashed == second.crashed
+
+
+def test_paper_scale_smoke():
+    """Both verification modes complete and agree on overlay health."""
+    from repro.experiments.scale import run_paper_scale
+
+    report = run_paper_scale(scale=Scale.SMOKE, seed=3)
+    assert [row.verification for row in report.rows] == [
+        "sequential",
+        "batched",
+    ]
+    sequential, batched = report.rows
+    assert sequential.nodes == batched.nodes == 60
+    # Same seed, same protocol decisions: the converged health metric
+    # must agree exactly across verification modes.
+    assert sequential.mean_view_fill == batched.mean_view_fill
+    assert sequential.cycles_per_second > 0
+    assert batched.cycles_per_second > 0
+    rendered = report.render()
+    assert "paper scale" in rendered
+    assert "batched" in rendered

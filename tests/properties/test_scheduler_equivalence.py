@@ -63,6 +63,21 @@ def test_cycle_scheduler_matches_pre_refactor_engine(name):
     assert _CAPTURES[name]() + "\n" == expected
 
 
+@pytest.mark.parametrize("name", sorted(_CAPTURES))
+def test_batched_verification_matches_goldens(name, monkeypatch):
+    """``verification=batched`` is bit-for-bit the sequential verifier.
+
+    The batched kernel (``repro.crypto.batch``) replaces *how* chains
+    are verified, never *what* is decided: flipping the whole harness
+    to batched mode via the environment override must reproduce the
+    committed golden series byte for byte — same RNG stream, same
+    accepts, same blacklists, same figures.
+    """
+    monkeypatch.setenv("REPRO_VERIFICATION", "batched")
+    expected = (GOLDEN / f"{name}.txt").read_text(encoding="utf-8")
+    assert _CAPTURES[name]() + "\n" == expected
+
+
 def _converged_stats(runtime):
     overlay = build_cyclon_overlay(
         n=150,
