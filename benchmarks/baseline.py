@@ -101,18 +101,27 @@ def bench_micro() -> dict:
     }
 
 
-def bench_full_cycle(rounds: int, verification: str = "sequential") -> dict:
+def bench_full_cycle(
+    rounds: int,
+    verification: str = "sequential",
+    transport: str = "object",
+) -> dict:
     """The 200-node full-cycle benchmark (same shape as pytest's).
 
-    Run once per verification mode: the ``batched`` entry prices the
-    batched kernel end-to-end on the simulation's own traffic (where
-    the per-object memo already carries most repeats), next to the
-    micro-kernels that isolate its cold and fan-out behaviour.
+    Run once per (verification, transport) combination that matters:
+    the ``batched`` entry prices the batched kernel end-to-end on the
+    simulation's own traffic (where the per-object memo already carries
+    most repeats), and the ``wire`` entries price the same workload
+    with every message re-framed through the codec — the regime where
+    receivers rebuild descriptors from bytes and the batched kernel's
+    network-wide digest memo is the only thing standing between the
+    overlay and per-sighting re-verification.
     """
     overlay = build_secure_overlay(
         n=200,
         config=SecureCyclonConfig(
-            view_length=20, swap_length=3, verification=verification
+            view_length=20, swap_length=3, verification=verification,
+            transport=transport,
         ),
         seed=1,
     )
@@ -123,6 +132,8 @@ def bench_full_cycle(rounds: int, verification: str = "sequential") -> dict:
         overlay.run(1)
         times.append(time.perf_counter() - start)
     suffix = "" if verification == "sequential" else f"_{verification}"
+    if transport != "object":
+        suffix = f"_{transport}{suffix}"
     return {
         f"full_cycle_200_nodes{suffix}_ms": {
             "mean": round(statistics.mean(times) * 1e3, 3),
@@ -166,24 +177,28 @@ def bench_paper_scale(include_10k: bool) -> dict:
         shapes.append((10000, 5))
     metrics = {}
     for nodes, cycles in shapes:
-        for mode in ("sequential", "batched"):
-            script = (
-                "import dataclasses, json\n"
-                "from repro.experiments.scale import measure_paper_scale\n"
-                f"row = measure_paper_scale({nodes}, {cycles}, seed=42, "
-                f"verification={mode!r})\n"
-                "print(json.dumps(dataclasses.asdict(row)))\n"
-            )
-            output = subprocess.check_output(
-                [sys.executable, "-c", script], text=True
-            )
-            row = json_module.loads(output.strip().splitlines()[-1])
-            metrics[f"scale_{nodes}x{cycles}_{mode}"] = {
-                "build_s": row["build_seconds"],
-                "run_s": row["run_seconds"],
-                "per_cycle_ms": row["per_cycle_ms"],
-                "mean_view_fill": row["mean_view_fill"],
-            }
+        for transport in ("object", "wire"):
+            for mode in ("sequential", "batched"):
+                script = (
+                    "import dataclasses, json\n"
+                    "from repro.experiments.scale import measure_paper_scale\n"
+                    f"row = measure_paper_scale({nodes}, {cycles}, seed=42, "
+                    f"verification={mode!r}, transport={transport!r})\n"
+                    "print(json.dumps(dataclasses.asdict(row)))\n"
+                )
+                output = subprocess.check_output(
+                    [sys.executable, "-c", script], text=True
+                )
+                row = json_module.loads(output.strip().splitlines()[-1])
+                key = f"scale_{nodes}x{cycles}"
+                if transport != "object":
+                    key += f"_{transport}"
+                metrics[f"{key}_{mode}"] = {
+                    "build_s": row["build_seconds"],
+                    "run_s": row["run_seconds"],
+                    "per_cycle_ms": row["per_cycle_ms"],
+                    "mean_view_fill": row["mean_view_fill"],
+                }
     return metrics
 
 
@@ -235,6 +250,10 @@ def record(
     metrics = bench_micro()
     metrics.update(bench_full_cycle(rounds))
     metrics.update(bench_full_cycle(rounds, verification="batched"))
+    metrics.update(bench_full_cycle(rounds, transport="wire"))
+    metrics.update(
+        bench_full_cycle(rounds, verification="batched", transport="wire")
+    )
     metrics.update(bench_event_cycle(rounds))
     metrics.update(bench_batch_verification())
     if paper_scale:

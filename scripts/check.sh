@@ -158,4 +158,18 @@ python -m pytest -q tests/properties/test_scheduler_equivalence.py
 # VERIFICATION escape hatch works end to end.)
 echo "== batched-verification equivalence (REPRO_VERIFICATION=batched vs golden) =="
 REPRO_VERIFICATION=batched python -m pytest -q \
-    tests/properties/test_scheduler_equivalence.py -k "golden or pre_refactor"
+    tests/properties/test_scheduler_equivalence.py \
+    -k "batched_verification_matches or pre_refactor"
+
+# And once more with the whole harness flipped to the wire transport:
+# every dialogue leg and push framed through the binary codec, every
+# receiver decoding fresh objects from bytes — still bit-for-bit.
+# Tier-1 already parametrises wire x {sequential,batched} over all
+# five goldens in-file; this step proves the REPRO_TRANSPORT escape
+# hatch end to end, on one legacy-Cyclon and one SecureCyclon golden
+# (wire captures re-verify every received chain, so the full five
+# would add ~6 CI minutes for coverage tier-1 already has).
+echo "== wire-transport equivalence (REPRO_TRANSPORT=wire vs golden) =="
+REPRO_TRANSPORT=wire python -m pytest -q \
+    tests/properties/test_scheduler_equivalence.py \
+    -k "pre_refactor and (fig3 or fig5)"

@@ -38,17 +38,23 @@ from types import CodeType
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
 
-#: Modules the gate measures: the batched kernel and every module the
-#: sequential/batched verification paths run through.
+#: Modules the gate measures: the batched kernel, every module the
+#: sequential/batched verification paths run through, and — since the
+#: transport redesign made the codec load-bearing — the wire layer
+#: (record serialisation, message framing, transport plumbing).
 TARGET_MODULES = [
     "repro/crypto/batch.py",
     "repro/crypto/keys.py",
     "repro/crypto/registry.py",
     "repro/crypto/signing.py",
     "repro/core/chain.py",
+    "repro/core/codec.py",
     "repro/core/descriptor.py",
     "repro/core/proofs.py",
     "repro/core/samples.py",
+    "repro/core/wire.py",
+    "repro/cyclon/codec.py",
+    "repro/sim/transport.py",
 ]
 
 #: Tests that exercise those modules (kept narrow so the stdlib tracer
@@ -59,12 +65,16 @@ TARGET_TESTS = [
     "tests/core/test_descriptor.py",
     "tests/core/test_proofs.py",
     "tests/core/test_samples.py",
+    "tests/core/test_wire.py",
     "tests/properties/test_batched_verification.py",
+    "tests/properties/test_codec_roundtrip.py",
+    "tests/sim/test_transport.py",
 ]
 
-#: Measured 91.6% when the gate landed (stdlib engine); the margin
+#: Measured 91.6% when the gate landed (stdlib engine) and 94.3% after
+#: the transport redesign added the wire layer to the gate; the margin
 #: absorbs executable-line drift, not coverage regressions.
-BASELINE_PERCENT = 90.0
+BASELINE_PERCENT = 93.0
 
 
 def executable_lines(path: pathlib.Path) -> set:

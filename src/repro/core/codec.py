@@ -2,10 +2,11 @@
 
 :mod:`repro.core.wire` serialises the two primitive records (descriptors
 and proofs); this module frames complete dialogue messages so a whole
-SecureCyclon conversation can be moved as bytes.  The simulator itself
-passes Python objects between nodes (channels are in-process), so the
-codec exists for three consumers:
+SecureCyclon conversation can be moved as bytes.  The codec serves:
 
+* the :class:`~repro.sim.transport.WireTransport`, which round-trips
+  every dialogue leg and push through these frames so receivers decode
+  fresh objects from real bytes (``transport="wire"``);
 * the network-cost experiment, which reports *measured* (not budgeted)
   per-message sizes;
 * round-trip property tests, which fuzz the framing;
@@ -14,12 +15,23 @@ codec exists for three consumers:
 Framing: one type byte, then the message's fields in a fixed order,
 with ``u16`` counts for sequences and ``u32`` length prefixes for every
 variable-size record.  Strings are UTF-8 with a ``u16`` length.
+
+Every malformed input — truncated frames, trailing garbage, unknown
+type bytes, corrupt embedded records — raises :class:`~repro.errors.
+CodecError`; decoders never leak ``struct.error``.
+
+The eight SecureCyclon dialogue messages own type bytes 1–8.  Other
+protocol packages register their own messages through
+:func:`register_message_codec` (see :mod:`repro.cyclon.codec` for the
+legacy-Cyclon shuffle messages), so the wire transport can frame every
+conversation the simulator carries without this module importing the
+protocol layers above it.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, List, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.core.exchange import (
     BulkSwapMessage,
@@ -39,7 +51,7 @@ from repro.core.wire import (
     encode_descriptor,
     encode_proof,
 )
-from repro.errors import DescriptorError
+from repro.errors import CodecError, DescriptorError
 
 _TYPE_CODES = {
     GossipOpen: 1,
@@ -52,9 +64,51 @@ _TYPE_CODES = {
     ProofFlood: 8,
 }
 
+#: Extension message types registered by other protocol packages:
+#: ``{type: (code, encode)}`` and ``{code: decode}``.  Codes 1–8 are
+#: reserved for the SecureCyclon dialogue above.
+_EXTENSION_ENCODERS: Dict[type, Tuple[int, Callable[["MessageWriter", Any], None]]] = {}
+_EXTENSION_DECODERS: Dict[int, Callable[["MessageReader"], Any]] = {}
 
-class _Writer:
-    """Accumulates length-prefixed records."""
+
+def register_message_codec(
+    message_type: type,
+    code: int,
+    encode: Callable[["MessageWriter", Any], None],
+    decode: Callable[["MessageReader"], Any],
+) -> None:
+    """Register an extension dialogue message with the framing layer.
+
+    ``encode(writer, message)`` writes the message's fields (the type
+    byte is framed by the codec); ``decode(reader)`` mirrors it and
+    returns the rebuilt message.  ``code`` must be 9–255 and unique.
+    Re-registering the same type with the same code is a no-op, so
+    module-import-time registration stays idempotent under reloads.
+    """
+    if not 9 <= code <= 255:
+        raise CodecError(
+            f"extension type codes must be 9-255 (1-8 are reserved); "
+            f"got {code} for {message_type.__name__}"
+        )
+    existing = _EXTENSION_ENCODERS.get(message_type)
+    if existing is not None and existing[0] == code:
+        return
+    if existing is not None or code in _EXTENSION_DECODERS:
+        raise CodecError(
+            f"conflicting codec registration for {message_type.__name__} "
+            f"(code {code})"
+        )
+    _EXTENSION_ENCODERS[message_type] = (code, encode)
+    _EXTENSION_DECODERS[code] = decode
+
+
+class MessageWriter:
+    """Accumulates length-prefixed records.
+
+    Extension codecs (see :func:`register_message_codec`) write through
+    these primitives only — the storage behind them is not part of the
+    contract.
+    """
 
     def __init__(self) -> None:
         self.parts: List[bytes] = []
@@ -67,6 +121,13 @@ class _Writer:
 
     def u32(self, value: int) -> None:
         self.parts.append(struct.pack(">I", value))
+
+    def i64(self, value: int) -> None:
+        self.parts.append(struct.pack(">q", value))
+
+    def raw(self, data: bytes) -> None:
+        """Append ``data`` verbatim (fixed-width fields; no prefix)."""
+        self.parts.append(data)
 
     def blob(self, data: bytes) -> None:
         self.u32(len(data))
@@ -94,8 +155,8 @@ class _Writer:
         return b"".join(self.parts)
 
 
-class _Reader:
-    """Mirrors :class:`_Writer`."""
+class MessageReader:
+    """Mirrors :class:`MessageWriter`."""
 
     def __init__(self, data: bytes) -> None:
         self.data = data
@@ -116,11 +177,24 @@ class _Reader:
         self.offset += 4
         return value
 
+    def i64(self) -> int:
+        (value,) = struct.unpack_from(">q", self.data, self.offset)
+        self.offset += 8
+        return value
+
+    def fixed(self, size: int) -> bytes:
+        """Read exactly ``size`` bytes (a fixed-width field)."""
+        raw = self.data[self.offset : self.offset + size]
+        if len(raw) != size:
+            raise CodecError("truncated fixed-width field")
+        self.offset += size
+        return raw
+
     def blob(self) -> bytes:
         size = self.u32()
         raw = self.data[self.offset : self.offset + size]
         if len(raw) != size:
-            raise DescriptorError("truncated record")
+            raise CodecError("truncated record")
         self.offset += size
         return raw
 
@@ -128,7 +202,7 @@ class _Reader:
         size = self.u16()
         raw = self.data[self.offset : self.offset + size]
         if len(raw) != size:
-            raise DescriptorError("truncated string")
+            raise CodecError("truncated string")
         self.offset += size
         return raw.decode("utf-8")
 
@@ -143,17 +217,28 @@ class _Reader:
 
     def done(self) -> None:
         if self.offset != len(self.data):
-            raise DescriptorError("trailing bytes after message")
+            raise CodecError("trailing bytes after message")
 
 
 def encode_message(message: Any) -> bytes:
-    """Serialise any dialogue message to bytes."""
+    """Serialise any dialogue message to bytes.
+
+    Raises :class:`~repro.errors.CodecError` for message types neither
+    built in nor registered via :func:`register_message_codec`.
+    """
     code = _TYPE_CODES.get(type(message))
+    writer = MessageWriter()
     if code is None:
-        raise DescriptorError(
-            f"not a dialogue message: {type(message).__name__}"
-        )
-    writer = _Writer()
+        extension = _EXTENSION_ENCODERS.get(type(message))
+        if extension is None:
+            raise CodecError(
+                f"not a dialogue message: {type(message).__name__} "
+                "(register_message_codec adds new message types)"
+            )
+        code, encode = extension
+        writer.u8(code)
+        encode(writer, message)
+        return writer.bytes()
     writer.u8(code)
     if isinstance(message, GossipOpen):
         writer.descriptor(message.redemption)
@@ -181,9 +266,14 @@ def encode_message(message: Any) -> bytes:
 
 
 def decode_message(data: bytes) -> Any:
-    """Inverse of :func:`encode_message`."""
+    """Inverse of :func:`encode_message`.
+
+    Raises :class:`~repro.errors.CodecError` on any malformed input:
+    truncated frames, trailing bytes, unknown type codes, and corrupt
+    embedded descriptor/proof records.
+    """
     try:
-        reader = _Reader(data)
+        reader = MessageReader(data)
         code = reader.u8()
         if code == 1:
             message: Any = GossipOpen(
@@ -216,11 +306,19 @@ def decode_message(data: bytes) -> Any:
         elif code == 8:
             message = ProofFlood(proof=decode_proof(reader.blob()))
         else:
-            raise DescriptorError(f"unknown message type code {code}")
+            decode = _EXTENSION_DECODERS.get(code)
+            if decode is None:
+                raise CodecError(f"unknown message type code {code}")
+            message = decode(reader)
         reader.done()
         return message
-    except (struct.error, ValueError, IndexError) as exc:
-        raise DescriptorError(f"malformed message bytes: {exc}") from exc
+    except CodecError:
+        raise
+    except (struct.error, ValueError, IndexError, KeyError, DescriptorError) as exc:
+        # DescriptorError covers corrupt embedded records surfaced by
+        # decode_descriptor/decode_proof; re-raised as the frame-level
+        # error so callers see one exception type for "bad bytes".
+        raise CodecError(f"malformed message bytes: {exc}") from exc
 
 
 def encoded_message_size(message: Any) -> int:

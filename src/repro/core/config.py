@@ -8,6 +8,7 @@ from typing import Optional
 
 from repro.errors import ConfigError
 from repro.sim.retry import RetryPolicy
+from repro.sim.transport import resolve_transport, validate_transport
 
 #: Accepted values of the ``verification=`` knob.
 VERIFICATION_MODES = ("sequential", "batched")
@@ -120,6 +121,20 @@ class SecureCyclonConfig:
         ``None`` (the default) resolves through the
         ``REPRO_VERIFICATION`` environment variable and falls back to
         sequential.
+    ``transport``
+        How messages cross the simulated network: ``"object"`` passes
+        the sender's Python objects by reference (the classic
+        in-process semantics); ``"wire"`` frames every dialogue leg
+        and push through the binary codec so each receiver decodes
+        fresh objects from real bytes, and traffic accounting switches
+        from budgeted to measured frame sizes.  The codec is lossless
+        and consumes no RNG, so outputs are bit-for-bit identical
+        under both modes (golden-guarded) — what changes is the work:
+        wire mode is where ``verification="batched"`` pays off
+        network-wide, because shared-object identity no longer
+        memoises verification away.  ``None`` (the default) resolves
+        through the ``REPRO_TRANSPORT`` environment variable and falls
+        back to object passing.
     """
 
     view_length: int = 20
@@ -134,9 +149,11 @@ class SecureCyclonConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     frequency_tolerance_seconds: float = 0.0
     verification: Optional[str] = None
+    transport: Optional[str] = None
 
     def __post_init__(self) -> None:
         _validate_verification(self.verification)
+        validate_transport(self.transport)
         if self.view_length < 1:
             raise ConfigError("view_length must be >= 1")
         if self.swap_length < 1:
@@ -174,6 +191,16 @@ class SecureCyclonConfig:
         the golden equivalence guard relies on this.
         """
         return resolve_verification(self.verification)
+
+    def effective_transport(self) -> str:
+        """The resolved transport mode (see
+        :func:`repro.sim.transport.resolve_transport`).
+
+        Resolved at call time, not construction time, so the
+        ``REPRO_TRANSPORT`` override can flip an already-built default
+        config — the golden equivalence guard relies on this.
+        """
+        return resolve_transport(self.transport)
 
     @property
     def effective_sample_horizon(self) -> int:

@@ -11,6 +11,9 @@ from repro.cyclon.config import CyclonConfig
 from repro.cyclon.descriptor import CyclonDescriptor
 from repro.cyclon.view import CyclonView
 from repro.cyclon.node import CyclonNode, CyclonRequest, CyclonReply
+# Imported for its side effect: registers the shuffle messages with the
+# whole-message framing layer so the wire transport can carry them.
+from repro.cyclon import codec as _codec  # noqa: F401
 
 __all__ = [
     "CyclonConfig",

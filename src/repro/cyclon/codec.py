@@ -1,0 +1,142 @@
+"""Wire codec for the legacy-Cyclon shuffle messages.
+
+Registers :class:`~repro.cyclon.node.CyclonRequest` and
+:class:`~repro.cyclon.node.CyclonReply` with the whole-message framing
+layer (:mod:`repro.core.codec`), so the
+:class:`~repro.sim.transport.WireTransport` can round-trip classic
+shuffles through real bytes exactly like SecureCyclon dialogues.
+
+A legacy descriptor is unauthenticated — node ID, address, age — which
+makes the record trivial, except that legacy node IDs are ``Any``: the
+scenario builders use public keys (the paper's §II-A "ID = public key"
+convention), while unit tests use plain ints and strings.  The ID field
+is therefore tagged: ``0`` a 32-byte :class:`~repro.crypto.keys.
+PublicKey` digest, ``1`` a signed 64-bit integer, ``2`` a UTF-8 string.
+Anything else cannot travel a byte-accurate wire and raises
+:class:`~repro.errors.CodecError` at encode time — by design: an ID the
+codec cannot represent is an ID a real deployment could not route.
+
+Imported for its registration side effect by :mod:`repro.cyclon`, so
+any process that can *build* a shuffle message can also frame it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.codec import (
+    MessageReader,
+    MessageWriter,
+    register_message_codec,
+)
+from repro.crypto.keys import PublicKey
+from repro.cyclon.descriptor import CyclonDescriptor
+from repro.cyclon.node import CyclonReply, CyclonRequest
+from repro.errors import CodecError
+from repro.sim.network import NetworkAddress
+
+#: Extension type bytes (1-8 are the SecureCyclon dialogue).
+CYCLON_REQUEST_CODE = 9
+CYCLON_REPLY_CODE = 10
+
+_ID_PUBLIC_KEY = 0
+_ID_INT = 1
+_ID_STR = 2
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+def _write_node_id(writer: MessageWriter, node_id: Any) -> None:
+    if isinstance(node_id, PublicKey):
+        writer.u8(_ID_PUBLIC_KEY)
+        writer.raw(node_id.digest)
+    elif isinstance(node_id, bool):
+        # bool is an int subclass; a True/False node ID is a caller bug,
+        # not something to smuggle through as 1/0.
+        raise CodecError(f"cannot encode node id {node_id!r}")
+    elif isinstance(node_id, int):
+        if not _I64_MIN <= node_id <= _I64_MAX:
+            raise CodecError(f"node id {node_id} does not fit in 64 bits")
+        writer.u8(_ID_INT)
+        writer.i64(node_id)
+    elif isinstance(node_id, str):
+        if len(node_id.encode("utf-8")) > 0xFFFF:
+            raise CodecError("string node id exceeds the u16 length prefix")
+        writer.u8(_ID_STR)
+        writer.string(node_id)
+    else:
+        raise CodecError(
+            f"cannot encode node id of type {type(node_id).__name__}; "
+            "wire-mode legacy Cyclon supports PublicKey, int, and str IDs"
+        )
+
+
+def _read_node_id(reader: MessageReader) -> Any:
+    tag = reader.u8()
+    if tag == _ID_PUBLIC_KEY:
+        return PublicKey(reader.fixed(32))
+    if tag == _ID_INT:
+        return reader.i64()
+    if tag == _ID_STR:
+        return reader.string()
+    raise CodecError(f"unknown node id tag {tag}")
+
+
+def _write_cyclon_descriptor(
+    writer: MessageWriter, descriptor: CyclonDescriptor
+) -> None:
+    _write_node_id(writer, descriptor.node_id)
+    # host/port are range-checked by NetworkAddress; age is only
+    # validated non-negative at construction, so its width is enforced
+    # here — every encode-side rejection must be the typed error, never
+    # a struct.error leaking out of Channel.request.
+    if descriptor.age > 0xFFFFFFFF:
+        raise CodecError(f"descriptor age {descriptor.age} exceeds u32")
+    writer.u32(descriptor.address.host)
+    writer.u16(descriptor.address.port)
+    writer.u32(descriptor.age)
+
+
+def _encode_shuffle(writer: MessageWriter, message: Any) -> None:
+    if len(message.descriptors) > 0xFFFF:
+        raise CodecError("shuffle exceeds the u16 descriptor count")
+    writer.u16(len(message.descriptors))
+    for descriptor in message.descriptors:
+        _write_cyclon_descriptor(writer, descriptor)
+
+
+def _read_cyclon_descriptor(reader: MessageReader) -> CyclonDescriptor:
+    node_id = _read_node_id(reader)
+    host = reader.u32()
+    port = reader.u16()
+    age = reader.u32()
+    return CyclonDescriptor(
+        node_id=node_id,
+        address=NetworkAddress(host=host, port=port),
+        age=age,
+    )
+
+
+def _decode_request(reader: MessageReader) -> CyclonRequest:
+    return CyclonRequest(
+        descriptors=tuple(
+            _read_cyclon_descriptor(reader) for _ in range(reader.u16())
+        )
+    )
+
+
+def _decode_reply(reader: MessageReader) -> CyclonReply:
+    return CyclonReply(
+        descriptors=tuple(
+            _read_cyclon_descriptor(reader) for _ in range(reader.u16())
+        )
+    )
+
+
+register_message_codec(
+    CyclonRequest, CYCLON_REQUEST_CODE, _encode_shuffle, _decode_request
+)
+register_message_codec(
+    CyclonReply, CYCLON_REPLY_CODE, _encode_shuffle, _decode_reply
+)

@@ -8,6 +8,7 @@ from typing import Optional
 from repro.core.config import _validate_verification, resolve_verification
 from repro.errors import ConfigError
 from repro.sim.retry import RetryPolicy
+from repro.sim.transport import resolve_transport, validate_transport
 
 
 @dataclass(frozen=True)
@@ -28,15 +29,23 @@ class CyclonConfig:
     ``REPRO_VERIFICATION`` override applies uniformly).  Legacy Cyclon
     descriptors carry no ownership chains, so the knob is validated but
     behaviourally inert here — there is nothing to verify.
+
+    ``transport`` also mirrors SecureCyclon (one value across both
+    configs; ``REPRO_TRANSPORT`` applies uniformly) and is *not* inert:
+    under ``"wire"`` every shuffle request/reply is framed through the
+    legacy-Cyclon wire codec (:mod:`repro.cyclon.codec`) and receivers
+    rebuild the descriptors from bytes.
     """
 
     view_length: int = 20
     swap_length: int = 3
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     verification: Optional[str] = None
+    transport: Optional[str] = None
 
     def __post_init__(self) -> None:
         _validate_verification(self.verification)
+        validate_transport(self.transport)
         if self.view_length < 1:
             raise ConfigError("view_length must be >= 1")
         if self.swap_length < 1:
@@ -50,3 +59,11 @@ class CyclonConfig:
     def effective_verification(self) -> str:
         """The resolved verification mode (inert for legacy Cyclon)."""
         return resolve_verification(self.verification)
+
+    def effective_transport(self) -> str:
+        """The resolved transport mode (``REPRO_TRANSPORT`` applies).
+
+        Resolved at call time so the environment override can flip an
+        already-built default config, like ``effective_verification``.
+        """
+        return resolve_transport(self.transport)

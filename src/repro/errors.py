@@ -36,6 +36,18 @@ class DescriptorError(ProtocolError):
     """A node descriptor is malformed or failed validation."""
 
 
+class CodecError(DescriptorError):
+    """Bytes received from the wire could not be decoded.
+
+    Subclasses :class:`DescriptorError` because to the protocol a frame
+    that does not parse and a descriptor that does not validate are the
+    same failure: untrusted input that must be rejected.  Raised for
+    truncated input, trailing garbage, unknown type bytes, and any
+    malformed record inside a frame — decoders never leak
+    ``struct.error`` or bare ``ValueError`` to callers.
+    """
+
+
 class RedemptionError(ProtocolError):
     """A descriptor redemption was rejected by the creator."""
 

@@ -8,9 +8,12 @@ environment variable.
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import time
+
+from repro.sim.transport import ENV_TRANSPORT, TRANSPORT_MODES
 
 from repro.experiments import (
     churn_recovery,
@@ -71,6 +74,14 @@ def main(argv=None) -> int:
         "--seed", type=int, default=42, help="simulation master seed"
     )
     parser.add_argument(
+        "--transport",
+        choices=list(TRANSPORT_MODES),
+        default=None,
+        help="override REPRO_TRANSPORT (object/wire): wire mode frames "
+        "every message through the binary codec and reports measured "
+        "traffic; outputs are bit-for-bit identical either way",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=None,
@@ -86,20 +97,38 @@ def main(argv=None) -> int:
             print(f"{name:<12} {summary[0] if summary else ''}")
         return 0
 
-    scale = Scale(args.scale) if args.scale else None
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        run, render = EXPERIMENTS[name]
-        started = time.time()
-        result = run(scale=scale, seed=args.seed)
-        text = render(result)
-        print(text)
-        if args.output is not None:
-            args.output.mkdir(parents=True, exist_ok=True)
-            (args.output / f"{name}.txt").write_text(
-                text + "\n", encoding="utf-8"
-            )
-        print(f"\n[{name} finished in {time.time() - started:.1f}s]\n")
+    # The knob resolves through the environment at config-use time, so
+    # exporting it here uniformly flips every overlay the selected
+    # experiments build — the same mechanism REPRO_TRANSPORT uses.
+    # Restored afterwards: main() is also called in-process (tests,
+    # notebooks), and the flag must not leak into later runs.
+    previous_transport = os.environ.get(ENV_TRANSPORT)
+    if args.transport is not None:
+        os.environ[ENV_TRANSPORT] = args.transport
+    try:
+        scale = Scale(args.scale) if args.scale else None
+        names = (
+            sorted(EXPERIMENTS) if args.experiment == "all"
+            else [args.experiment]
+        )
+        for name in names:
+            run, render = EXPERIMENTS[name]
+            started = time.time()
+            result = run(scale=scale, seed=args.seed)
+            text = render(result)
+            print(text)
+            if args.output is not None:
+                args.output.mkdir(parents=True, exist_ok=True)
+                (args.output / f"{name}.txt").write_text(
+                    text + "\n", encoding="utf-8"
+                )
+            print(f"\n[{name} finished in {time.time() - started:.1f}s]\n")
+    finally:
+        if args.transport is not None:
+            if previous_transport is None:
+                os.environ.pop(ENV_TRANSPORT, None)
+            else:
+                os.environ[ENV_TRANSPORT] = previous_transport
     return 0
 
 

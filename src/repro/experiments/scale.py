@@ -73,6 +73,7 @@ class PaperScaleRow:
     per_cycle_ms: float
     cycles_per_second: float
     mean_view_fill: float
+    transport: str = "object"
 
 
 @dataclass(frozen=True)
@@ -93,12 +94,13 @@ class PaperScaleReport:
         lines = [
             f"paper scale [{self.scale}] seed {self.seed}",
             f"{'nodes':>7}  {'cycles':>6}  {'verification':>12}  "
-            f"{'build s':>8}  {'run s':>8}  {'ms/cycle':>9}  "
-            f"{'cycles/s':>8}  {'view fill':>9}",
+            f"{'transport':>9}  {'build s':>8}  {'run s':>8}  "
+            f"{'ms/cycle':>9}  {'cycles/s':>8}  {'view fill':>9}",
         ]
         for row in self.rows:
             lines.append(
                 f"{row.nodes:>7}  {row.cycles:>6}  {row.verification:>12}  "
+                f"{row.transport:>9}  "
                 f"{row.build_seconds:>8.2f}  {row.run_seconds:>8.2f}  "
                 f"{row.per_cycle_ms:>9.1f}  {row.cycles_per_second:>8.2f}  "
                 f"{row.mean_view_fill:>9.3f}"
@@ -111,16 +113,22 @@ def measure_paper_scale(
     cycles: int,
     seed: int = 42,
     verification: Optional[str] = None,
+    transport: Optional[str] = None,
 ) -> PaperScaleRow:
     """Build and run one overlay shape; returns its wall-time row.
 
-    Tracing is disabled — at 10K nodes a traced full run would spend
-    more memory on the event log than on the overlay itself.
+    ``transport`` selects the message-passing mode (``None`` resolves
+    through ``REPRO_TRANSPORT``); wire mode re-frames every message
+    through the codec, which is the regime where batched verification
+    shows its end-to-end win.  Tracing is disabled — at 10K nodes a
+    traced full run would spend more memory on the event log than on
+    the overlay itself.
     """
     from repro.core.config import SecureCyclonConfig, resolve_verification
     from repro.experiments.scenarios import build_secure_overlay
     from repro.metrics.links import view_fill_fraction
     from repro.sim.engine import SimConfig
+    from repro.sim.transport import resolve_transport
 
     import gc
     import time
@@ -131,8 +139,10 @@ def measure_paper_scale(
     # build/run times by whole seconds at 1K+ nodes.
     gc.collect()
     mode = resolve_verification(verification)
+    transport_mode = resolve_transport(transport)
     config = SecureCyclonConfig(
-        view_length=20, swap_length=3, verification=mode
+        view_length=20, swap_length=3, verification=mode,
+        transport=transport_mode,
     )
     build_started = time.perf_counter()
     overlay = build_secure_overlay(
@@ -154,6 +164,7 @@ def measure_paper_scale(
         per_cycle_ms=round(run_seconds / cycles * 1e3, 2),
         cycles_per_second=round(cycles / run_seconds, 3),
         mean_view_fill=round(view_fill_fraction(overlay.engine), 4),
+        transport=transport_mode,
     )
 
 

@@ -7,7 +7,7 @@ build on top of them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Type, Union
 
 from repro.adversary.coordinator import MaliciousCoordinator
@@ -42,6 +42,25 @@ class Overlay:
         self.engine.run(cycles)
 
 
+def _sim_config_with_transport(
+    sim_config: Optional[SimConfig], protocol_config: Any, seed: int
+) -> SimConfig:
+    """Merge the protocol config's ``transport=`` knob into the sim config.
+
+    An explicit ``SimConfig.transport`` wins; otherwise the protocol
+    config decides (which itself falls back to the ``REPRO_TRANSPORT``
+    environment variable, then to object passing) — so one knob on
+    either config flips the whole overlay, and the env override flips
+    whole harnesses.
+    """
+    sim_config = sim_config or SimConfig(seed=seed)
+    if sim_config.transport is None:
+        sim_config = replace(
+            sim_config, transport=protocol_config.effective_transport()
+        )
+    return sim_config
+
+
 def _choose_malicious(node_ids: List[Any], count: int, rng) -> set:
     if count <= 0:
         return set()
@@ -65,7 +84,7 @@ def build_cyclon_overlay(
     """A bootstrapped legacy-Cyclon overlay, optionally with attackers."""
     config = config or CyclonConfig()
     engine = Engine(
-        sim_config or SimConfig(seed=seed),
+        _sim_config_with_transport(sim_config, config, seed),
         scheduler=make_scheduler(runtime),
     )
     coordinator = MaliciousCoordinator(
@@ -137,7 +156,7 @@ def build_secure_overlay(
     config = config or SecureCyclonConfig()
     scheduler = make_scheduler(runtime)
     engine = Engine(
-        sim_config or SimConfig(seed=seed),
+        _sim_config_with_transport(sim_config, config, seed),
         scheduler=scheduler,
     )
     coordinator = MaliciousCoordinator(

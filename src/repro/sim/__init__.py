@@ -50,6 +50,12 @@ from repro.sim.scheduler import (
     make_scheduler,
 )
 from repro.sim.trace import EventTrace, TraceEvent
+from repro.sim.transport import (
+    ObjectTransport,
+    Transport,
+    WireTransport,
+    make_transport,
+)
 
 __all__ = [
     "SimClock",
@@ -82,4 +88,8 @@ __all__ = [
     "make_scheduler",
     "EventTrace",
     "TraceEvent",
+    "Transport",
+    "ObjectTransport",
+    "WireTransport",
+    "make_transport",
 ]

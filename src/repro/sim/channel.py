@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import ChannelDropped
+from repro.sim.transport import ObjectTransport, Transport
 
 
 @dataclass(frozen=True)
@@ -132,6 +133,15 @@ class Channel:
     policy's burst mode is on.  Both default to ``None``, in which case
     the channel behaves — including its RNG consumption — exactly like
     the classic instantaneous channel.
+
+    ``transport`` (a :class:`~repro.sim.transport.Transport`) decides
+    how payloads cross each leg: the default
+    :class:`~repro.sim.transport.ObjectTransport` passes the sender's
+    objects by reference and prices messages with the budgeted
+    ``sizer``; a :class:`~repro.sim.transport.WireTransport` frames
+    every leg to bytes, hands the receiver freshly decoded objects, and
+    switches both byte counters to *measured* frame sizes.  Transports
+    consume no randomness, so the RNG streams are identical either way.
     """
 
     def __init__(
@@ -145,11 +155,13 @@ class Channel:
         stats: Optional[Any] = None,
         timing: Optional[Any] = None,
         burst_state: Optional[BurstState] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
         self.initiator_id = initiator_id
         self.partner_id = partner_id
         self._deliver = deliver
         self._rng = rng
+        self._transport = transport or ObjectTransport()
         self._policy = policy or DropPolicy()
         # Loss probabilities hoisted out of the per-message path (the
         # policy is immutable for the channel's lifetime).
@@ -200,14 +212,22 @@ class Channel:
     def request(self, payload: Any) -> Any:
         """Send ``payload`` and wait for the partner's reply.
 
-        Raises :class:`MessageDropped` if either direction loses the
-        message, or :class:`MessageTimeout` if latency pushes the round
-        trip past the dialogue timeout; ``delivered`` on the exception
-        says whether the partner processed the request.
+        The configured transport encodes the payload once at the sender
+        (a lost message is still serialised — and in wire mode still
+        billed — before the network loses it) and decodes it for the
+        partner only when the request leg actually arrives.  Raises
+        :class:`MessageDropped` if either direction loses the message,
+        or :class:`MessageTimeout` if latency pushes the round trip
+        past the dialogue timeout; ``delivered`` on the exception says
+        whether the partner processed the request.
         """
         self.requests_sent += 1
-        if self._sizer is not None:
+        transport = self._transport
+        wire = transport.encode(payload)
+        size = transport.wire_size(wire)
+        if size is None and self._sizer is not None:
             size = self._sizer(payload)
+        if size is not None:
             self.bytes_sent += size
             if self._stats is not None:
                 self._stats.record_dialogue_traffic(sent=size)
@@ -240,7 +260,23 @@ class Channel:
                 raise MessageTimeout(
                     "request", delivered=False, elapsed_s=timeout_s
                 )
-        reply = self._deliver(payload)
+        reply = self._deliver(transport.decode(wire))
+        reply_wire = None
+        reply_size = None
+        if reply is not None:
+            reply_wire = transport.encode(reply)
+            reply_size = transport.wire_size(reply_wire)
+            if reply_size is not None:
+                # Wire mode bills the reply frame here, at partner-send
+                # time — symmetric with the request leg and with
+                # pushes: the partner serialised and transmitted the
+                # frame whether or not the network then loses it or
+                # latency voids it.  (Object mode keeps its historical
+                # semantics: the budgeted sizer below prices only
+                # replies that actually survive.)
+                self.bytes_received += reply_size
+                if self._stats is not None:
+                    self._stats.record_dialogue_traffic(received=reply_size)
         if self._loses(self._reply_loss):
             # Same unification as a lost request: with a timeout
             # configured the missing reply is experienced as (and
@@ -267,9 +303,16 @@ class Channel:
                 )
             self._spend_time(round_trip_s)
         self.replies_received += 1
-        if self._sizer is not None and reply is not None:
-            size = self._sizer(reply)
-            self.bytes_received += size
-            if self._stats is not None:
-                self._stats.record_dialogue_traffic(received=size)
+        if reply is not None:
+            # Decode only for replies that actually arrive; the frame
+            # itself was billed above.  Object mode (reply_size None)
+            # prices delivered replies with the budgeted sizer, exactly
+            # as the pre-transport channel did.
+            if reply_size is not None:
+                reply = transport.decode(reply_wire)
+            elif self._sizer is not None:
+                size = self._sizer(reply)
+                self.bytes_received += size
+                if self._stats is not None:
+                    self._stats.record_dialogue_traffic(received=size)
         return reply

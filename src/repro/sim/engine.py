@@ -31,6 +31,7 @@ from repro.sim.observers import Observer
 from repro.sim.rng import RngHub
 from repro.sim.scheduler import CycleScheduler, Scheduler
 from repro.sim.trace import EventTrace
+from repro.sim.transport import make_transport
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,17 @@ class SimConfig:
     long-lived caches so often that it costs ~25% of the run time.
     The previous thresholds are restored when ``run`` returns.  Set to
     ``None`` to leave the collector untouched.
+
+    ``transport`` selects how payloads cross the simulated network: a
+    mode name (``"object"``/``"wire"``), an already-built
+    :class:`~repro.sim.transport.Transport`, or ``None`` — resolved
+    through the ``REPRO_TRANSPORT`` environment variable with the
+    classic shared-object semantics as the default.  The scenario
+    builders forward the protocol configs' ``transport=`` knob here
+    when this field was left unset.  In wire mode every dialogue leg
+    and push is framed through the binary codec and traffic accounting
+    switches from the budgeted ``payload_sizer`` to measured frame
+    sizes (see :mod:`repro.sim.transport`).
     """
 
     seed: int = 42
@@ -55,6 +67,7 @@ class SimConfig:
     trace: bool = True
     payload_sizer: Optional[Callable[[Any], int]] = None
     gc_generation0_threshold: Optional[int] = 400_000
+    transport: Optional[Any] = None
 
 
 class ProtocolNode:
@@ -106,6 +119,7 @@ class Engine:
             rng=self.rng_hub.stream("network"),
             drop_policy=self.config.drop_policy,
             sizer=self.config.payload_sizer,
+            transport=make_transport(self.config.transport),
         )
         self.nodes: Dict[Any, ProtocolNode] = {}
         self._observers: List[Observer] = []
@@ -231,9 +245,11 @@ class Engine:
         """
         # Unbind any event-runtime hooks; an event scheduler re-installs
         # its own on the next run, and the cycle runtime needs the
-        # synchronous (hook-free) network paths.
+        # synchronous (hook-free) network paths.  The *message*
+        # transport is engine state, not a runtime hook, and survives
+        # scheduler swaps.
         self.network.set_link_timing(None)
-        self.network.use_transport(None)
+        self.network.use_event_transport(None)
         self.scheduler = scheduler
 
     def run(self, cycles: int) -> None:

@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.errors import PeerUnreachable
 from repro.sim.channel import BurstState, Channel, DropPolicy
+from repro.sim.transport import ObjectTransport, Transport
 
 
 @dataclass(frozen=True, order=True)
@@ -49,6 +50,7 @@ class Network:
         rng,
         drop_policy: Optional[DropPolicy] = None,
         sizer: Optional[Callable[[Any], int]] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
         self._rng = rng
         self._drop_policy = drop_policy or DropPolicy()
@@ -62,11 +64,15 @@ class Network:
         )
         # Event-runtime hooks, both installed by the scheduler: a
         # LinkTiming that prices dialogue legs and enforces timeouts,
-        # and a transport that carries one-way pushes through the event
-        # queue (delayed, possibly reordered) instead of delivering
-        # them synchronously.
+        # and an event transport that carries one-way pushes through
+        # the event queue (delayed, possibly reordered) instead of
+        # delivering them synchronously.
         self._timing = None
-        self._transport = None
+        self._event_transport = None
+        # How payloads cross the wire (repro.sim.transport): object
+        # passing by default; WireTransport re-frames every message
+        # through the codec and switches accounting to measured bytes.
+        self._msg_transport = transport or ObjectTransport()
         self._sizer = sizer
         self._nodes: Dict[Any, Any] = {}
         self._addresses: Dict[Any, NetworkAddress] = {}
@@ -85,6 +91,13 @@ class Network:
         # or a large overlay overflows the interpreter stack.
         self._push_queue: "deque" = deque()
         self._draining = False
+        # One-entry encode memo for pushes: a proof flood pushes the
+        # *same* payload object to every neighbor back to back, and in
+        # wire mode each push would otherwise re-serialise an identical
+        # frame ~view_length times.  Keyed by object identity and the
+        # live transport, so a swapped transport or a new payload can
+        # never be served stale bytes.
+        self._push_encode_memo: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # membership
@@ -150,13 +163,29 @@ class Network:
         """Install (or clear, with ``None``) per-leg latency pricing."""
         self._timing = timing
 
-    def use_transport(self, transport: Optional[Any]) -> None:
-        """Route one-way pushes through ``transport.schedule_push``.
+    def use_event_transport(self, event_transport: Optional[Any]) -> None:
+        """Route one-way pushes through ``event_transport.schedule_push``.
 
-        Passing ``None`` restores the synchronous drain used by the
-        cycle runtime.
+        The event scheduler installs itself here so pushes ride the
+        event queue; passing ``None`` restores the synchronous drain
+        used by the cycle runtime.  Distinct from the *message*
+        transport (:meth:`use_message_transport`), which decides how a
+        payload is represented in flight, not when it arrives.
         """
-        self._transport = transport
+        self._event_transport = event_transport
+
+    def use_message_transport(self, transport: Transport) -> None:
+        """Install the payload representation for every future message.
+
+        Swap between runs, not mid-dialogue: channels capture the
+        transport at :meth:`connect` time.
+        """
+        self._msg_transport = transport
+
+    @property
+    def message_transport(self) -> Transport:
+        """The transport payloads currently cross the network with."""
+        return self._msg_transport
 
     def call_later(self, delay_s: float, callback: Callable[[], None]) -> bool:
         """Defer ``callback()`` by ``delay_s`` of virtual time.
@@ -169,9 +198,9 @@ class Network:
         or not at all (for retries this cannot matter: the cycle
         runtime has no timeouts, so nothing ever asks to retry).
         """
-        if self._transport is None:
+        if self._event_transport is None:
             return False
-        self._transport.call_later(delay_s, callback)
+        self._event_transport.call_later(delay_s, callback)
         return True
 
     # ------------------------------------------------------------------
@@ -201,6 +230,7 @@ class Network:
             stats=self,
             timing=self._timing,
             burst_state=self._burst_state,
+            transport=self._msg_transport,
         )
 
     def record_dialogue_traffic(self, sent: int = 0, received: int = 0) -> None:
@@ -227,12 +257,28 @@ class Network:
         from inside a ``receive_push`` handler are queued and drained
         iteratively (breadth-first), so network-wide floods cannot
         overflow the call stack.
+
+        The message transport encodes the payload once here (wire mode:
+        the sender pays serialisation and the *measured* frame size is
+        billed even when the network then loses the frame) and decodes
+        it at delivery time, so receivers of a wire-mode flood get
+        fresh objects exactly like dialogue partners do.
         """
         if target_id not in self._nodes:
             return False
         self.pushes_sent += 1
-        if self._sizer is not None:
-            self.push_bytes += self._sizer(payload)
+        transport = self._msg_transport
+        memo = self._push_encode_memo
+        if memo is not None and memo[0] is payload and memo[1] is transport:
+            wire = memo[2]
+        else:
+            wire = transport.encode(payload)
+            self._push_encode_memo = (payload, transport, wire)
+        size = transport.wire_size(wire)
+        if size is None and self._sizer is not None:
+            size = self._sizer(payload)
+        if size is not None:
+            self.push_bytes += size
         loss = self._drop_policy.request_loss
         burst = self._burst_state
         if burst is not None:
@@ -241,36 +287,46 @@ class Network:
             if burst is not None:
                 burst.on_drop()
             return False
-        if self._transport is not None:
+        if self._event_transport is not None:
             # Event runtime: the push rides the event queue with its own
             # sampled delay, so floods spread over virtual time and may
-            # arrive reordered relative to their sends.
-            self._transport.schedule_push(sender_id, target_id, payload)
+            # arrive reordered relative to their sends.  The queued
+            # payload pairs the on-wire form with the transport that
+            # produced it; deliver_push decodes with that same
+            # transport, so frames in flight across a (between-runs)
+            # transport swap still decode with their encoder's inverse.
+            self._event_transport.schedule_push(
+                sender_id, target_id, (transport, wire)
+            )
             return True
-        self._push_queue.append((sender_id, target_id, payload))
+        self._push_queue.append((sender_id, target_id, transport, wire))
         if self._draining:
             return True
         self._draining = True
         try:
             while self._push_queue:
-                src, dst, msg = self._push_queue.popleft()
+                src, dst, codec, msg = self._push_queue.popleft()
                 node = self._nodes.get(dst)
                 if node is not None:
-                    node.receive_push(src, msg)
+                    node.receive_push(src, codec.decode(msg))
         finally:
             self._draining = False
         return True
 
     def deliver_push(self, sender_id: Any, target_id: Any, payload: Any) -> None:
-        """Hand a transport-delayed push to its (still alive) target.
+        """Hand an event-delayed push to its (still alive) target.
 
         Called by the event scheduler when a push's delivery time comes
-        up.  A handler that re-floods goes back through :meth:`push`,
-        which re-enqueues on the transport — no recursion, mirroring the
-        iterative drain of the synchronous path.  A target that died
-        while the push was in flight silently swallows it; like every
-        push, the message is not retried (see :meth:`push`).
+        up; ``payload`` is the ``(transport, frame)`` pair queued by
+        :meth:`push` and is decoded here, at the receiver, with the
+        transport that encoded it.  A handler that re-floods goes back
+        through :meth:`push`, which re-enqueues on the event transport
+        — no recursion, mirroring the iterative drain of the
+        synchronous path.  A target that died while the push was in
+        flight silently swallows it; like every push, the message is
+        not retried (see :meth:`push`).
         """
         node = self._nodes.get(target_id)
         if node is not None:
-            node.receive_push(sender_id, payload)
+            transport, wire = payload
+            node.receive_push(sender_id, transport.decode(wire))

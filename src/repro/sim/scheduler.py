@@ -219,10 +219,13 @@ class EventScheduler(Scheduler):
         heapq.heappush(self._heap, (time_s, priority, self._seq, kind, data))
 
     def schedule_push(self, sender_id: Any, target_id: Any, payload: Any) -> None:
-        """Transport hook: carry a one-way push with a sampled delay.
+        """Event-transport hook: carry a one-way push with a sampled delay.
 
-        Draws from the same latency stream as dialogue legs, so every
-        latency sample in a run comes from one dedicated RNG.
+        ``payload`` is whatever on-wire form the network's message
+        transport produced — the scheduler only times it; decoding
+        happens in ``Network.deliver_push`` at the receiver.  Draws
+        from the same latency stream as dialogue legs, so every latency
+        sample in a run comes from one dedicated RNG.
         """
         delay = 0.0
         if self._timing is not None:
@@ -318,7 +321,7 @@ class EventScheduler(Scheduler):
                 "build a fresh scheduler per engine"
             )
         engine.network.set_link_timing(self._timing)
-        engine.network.use_transport(self)
+        engine.network.use_event_transport(self)
 
     def run(self, engine: Any, cycles: int) -> None:
         self._attach(engine)

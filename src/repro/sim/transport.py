@@ -1,0 +1,177 @@
+"""Pluggable message transports: how payloads cross the simulated wire.
+
+The paper's system model (§II-A) is a routed network moving *bytes*;
+historically the simulator moved *references* — the sender's Python
+objects were handed straight to the receiver.  That is fast, but it
+silently memoises work (a receiver holding the exact object the sender
+verified skips re-verification through per-object caches) and it can
+never catch a serialisation bug.  This module makes the choice explicit:
+
+* :class:`ObjectTransport` — the classic in-process semantics,
+  bit-for-bit identical to the historical behaviour: payloads pass by
+  reference, sizes come from the budgeted ``payload_sizer`` when one is
+  configured.
+* :class:`WireTransport` — wire fidelity: every dialogue leg and every
+  one-way push is framed through :mod:`repro.core.codec`, so each
+  receiver decodes **fresh objects from real bytes**, and all traffic
+  accounting switches from budgeted to *measured* frame sizes.  The
+  codec is lossless and consumes no randomness, so seeded runs produce
+  byte-identical outputs under both transports (golden-guarded); what
+  changes is the *work*: shared-object identity no longer short-circuits
+  verification, which is the regime where batched verification
+  (``verification=batched``) pays off network-wide.
+
+Selection mirrors the ``verification=`` knob: both protocol configs
+carry ``transport=`` (``"object"``/``"wire"``/``None``), ``None``
+resolves through the ``REPRO_TRANSPORT`` environment variable, and the
+default stays ``object``.  :func:`make_transport` turns the resolved
+mode (or an already-built :class:`Transport`) into an instance for
+:class:`~repro.sim.network.Network`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+from repro.errors import ConfigError
+
+#: Accepted values of the ``transport=`` knob.
+TRANSPORT_MODES = ("object", "wire")
+
+#: Environment override for the knob, mirroring ``REPRO_VERIFICATION``:
+#: a config whose ``transport`` is ``None`` resolves through this
+#: variable, so the whole harness (and the golden equivalence guard)
+#: can flip transports without touching any call site.
+ENV_TRANSPORT = "REPRO_TRANSPORT"
+
+
+def resolve_transport(mode: Optional[str]) -> str:
+    """Resolve a ``transport=`` knob value to a concrete mode.
+
+    An explicit value wins; otherwise the ``REPRO_TRANSPORT``
+    environment variable; otherwise ``"object"`` — the default must
+    stay the in-process semantics so existing runs are untouched
+    unless a run opts in.
+    """
+    if mode is not None:
+        return mode
+    raw = os.environ.get(ENV_TRANSPORT, "").strip().lower()
+    if not raw:
+        return TRANSPORT_MODES[0]
+    if raw not in TRANSPORT_MODES:
+        valid = ", ".join(TRANSPORT_MODES)
+        raise ConfigError(
+            f"invalid {ENV_TRANSPORT}={raw!r}; expected one of: {valid}"
+        )
+    return raw
+
+
+def validate_transport(mode: Optional[str]) -> None:
+    """Config-time validation shared by both protocol configs."""
+    if mode is not None and mode not in TRANSPORT_MODES:
+        valid = ", ".join(TRANSPORT_MODES)
+        raise ConfigError(
+            f"transport must be one of: {valid} (or None); got {mode!r}"
+        )
+
+
+class Transport:
+    """How a payload crosses one leg of the simulated network.
+
+    The contract is three hooks, called by :class:`~repro.sim.channel.
+    Channel` for both dialogue legs and by :class:`~repro.sim.network.
+    Network` for one-way pushes:
+
+    * :meth:`encode` turns the sender's payload into its on-wire form;
+    * :meth:`decode` rebuilds the receiver-side payload from that form;
+    * :meth:`wire_size` prices the on-wire form in bytes, or returns
+      ``None`` to defer to the budgeted ``payload_sizer`` (object mode).
+
+    Transports must be deterministic and consume no randomness: the
+    simulator's seeded RNG streams are required to be transport-
+    independent so the golden figure series stay bit-for-bit identical
+    across modes.
+    """
+
+    name = "abstract"
+
+    def encode(self, payload: Any) -> Any:
+        raise NotImplementedError
+
+    def decode(self, wire: Any) -> Any:
+        raise NotImplementedError
+
+    def wire_size(self, wire: Any) -> Optional[int]:
+        raise NotImplementedError
+
+
+class ObjectTransport(Transport):
+    """Shared-object message passing (the historical semantics).
+
+    Payloads cross the network by reference: the receiver gets the
+    sender's object, object-identity fast paths stay hot, and traffic
+    accounting uses the budgeted sizer (when configured) exactly as
+    before the transport abstraction existed.
+    """
+
+    name = "object"
+
+    def encode(self, payload: Any) -> Any:
+        return payload
+
+    def decode(self, wire: Any) -> Any:
+        return wire
+
+    def wire_size(self, wire: Any) -> Optional[int]:
+        return None
+
+
+class WireTransport(Transport):
+    """Byte-accurate message passing through :mod:`repro.core.codec`.
+
+    Every payload is framed to bytes at the sender and decoded into
+    fresh objects at the receiver, so nothing downstream can depend on
+    object identity — the state a real deployment is always in.  Sizes
+    are the *measured* frame lengths.  Messages the framing layer does
+    not know raise :class:`~repro.errors.CodecError` at the sender;
+    protocols outside the SecureCyclon/legacy-Cyclon dialogue register
+    their messages via :func:`repro.core.codec.register_message_codec`
+    before opting into wire mode.
+    """
+
+    name = "wire"
+
+    def __init__(self) -> None:
+        # Deferred import: the codec lives in the protocol layer, which
+        # transitively imports repro.sim; binding at construction time
+        # keeps this module import-light and cycle-free.
+        from repro.core.codec import decode_message, encode_message
+
+        self._encode = encode_message
+        self._decode = decode_message
+
+    def encode(self, payload: Any) -> bytes:
+        return self._encode(payload)
+
+    def decode(self, wire: bytes) -> Any:
+        return self._decode(wire)
+
+    def wire_size(self, wire: bytes) -> int:
+        return len(wire)
+
+
+def make_transport(transport: Any = None) -> Transport:
+    """Resolve a ``transport=`` knob into a transport instance.
+
+    ``transport`` is a mode name (``"object"``/``"wire"``), ``None``
+    (resolved through ``REPRO_TRANSPORT``, default object), or an
+    already-built :class:`Transport` (returned as-is).
+    """
+    if isinstance(transport, Transport):
+        return transport
+    validate_transport(transport)
+    mode = resolve_transport(transport)
+    if mode == "wire":
+        return WireTransport()
+    return ObjectTransport()

@@ -78,6 +78,25 @@ def test_batched_verification_matches_goldens(name, monkeypatch):
     assert _CAPTURES[name]() + "\n" == expected
 
 
+@pytest.mark.parametrize("verification", ["sequential", "batched"])
+@pytest.mark.parametrize("name", sorted(_CAPTURES))
+def test_wire_transport_matches_goldens(name, verification, monkeypatch):
+    """``transport=wire`` is bit-for-bit the shared-object simulator.
+
+    The wire transport replaces *how* messages travel — every dialogue
+    leg and push framed to bytes and decoded fresh at the receiver —
+    never *what* they say: the codec is lossless and consumes no RNG,
+    so flipping the whole harness to wire mode via the environment
+    override must reproduce the committed golden series byte for byte,
+    under both verification modes (the acceptance bar for making the
+    codec a load-bearing subsystem).
+    """
+    monkeypatch.setenv("REPRO_TRANSPORT", "wire")
+    monkeypatch.setenv("REPRO_VERIFICATION", verification)
+    expected = (GOLDEN / f"{name}.txt").read_text(encoding="utf-8")
+    assert _CAPTURES[name]() + "\n" == expected
+
+
 def _converged_stats(runtime):
     overlay = build_cyclon_overlay(
         n=150,

@@ -1,0 +1,467 @@
+"""Unit tests for the pluggable message transport.
+
+The contract under test: ``ObjectTransport`` preserves the historical
+shared-object semantics exactly; ``WireTransport`` hands every receiver
+freshly decoded objects and switches all traffic accounting to
+measured frame sizes; the knob resolves explicit > environment >
+object; and the two transports produce identical protocol outcomes on
+identical seeds (the sim-level restatement of the golden guard).
+"""
+
+import random
+
+import pytest
+
+from repro.core.codec import encode_message
+from repro.core.config import SecureCyclonConfig
+from repro.core.exchange import GossipAccept, GossipOpen, ProofFlood
+from repro.core.wire import payload_bytes
+from repro.cyclon.config import CyclonConfig
+from repro.errors import CodecError, ConfigError
+from repro.experiments.scenarios import build_cyclon_overlay, build_secure_overlay
+from repro.sim.channel import Channel
+from repro.sim.engine import SimConfig
+from repro.sim.network import Network
+from repro.sim.transport import (
+    ENV_TRANSPORT,
+    ObjectTransport,
+    Transport,
+    WireTransport,
+    make_transport,
+    resolve_transport,
+    validate_transport,
+)
+
+
+class EchoNode:
+    """Returns the payload it received, and records push payloads."""
+
+    def __init__(self):
+        self.received = []
+        self.pushes = []
+
+    def receive(self, sender_id, payload):
+        self.received.append(payload)
+        return payload
+
+    def receive_push(self, sender_id, payload):
+        self.pushes.append(payload)
+
+
+def _registry_and_message():
+    from repro.crypto.registry import KeyRegistry
+    from repro.sim.network import NetworkAddress
+    from repro.core.descriptor import mint
+
+    registry = KeyRegistry()
+    rng = random.Random(5)
+    alice = registry.new_keypair(rng)
+    bob = registry.new_keypair(rng)
+    descriptor = mint(alice, NetworkAddress(host=1, port=1), 0.0).transfer(
+        alice, bob.public
+    )
+    opening = GossipOpen(
+        redemption=descriptor, samples=(descriptor,), proofs=()
+    )
+    return registry, opening
+
+
+# ----------------------------------------------------------------------
+# knob resolution
+# ----------------------------------------------------------------------
+
+
+def test_default_is_object_transport(monkeypatch):
+    monkeypatch.delenv(ENV_TRANSPORT, raising=False)
+    assert resolve_transport(None) == "object"
+    assert isinstance(make_transport(None), ObjectTransport)
+    assert isinstance(make_transport("object"), ObjectTransport)
+
+
+def test_env_override_selects_wire(monkeypatch):
+    monkeypatch.setenv(ENV_TRANSPORT, "wire")
+    assert resolve_transport(None) == "wire"
+    assert isinstance(make_transport(None), WireTransport)
+    # An explicit mode beats the environment.
+    assert resolve_transport("object") == "object"
+
+
+def test_invalid_env_value_raises(monkeypatch):
+    monkeypatch.setenv(ENV_TRANSPORT, "telepathy")
+    with pytest.raises(ConfigError):
+        resolve_transport(None)
+
+
+def test_invalid_mode_raises():
+    with pytest.raises(ConfigError):
+        validate_transport("telepathy")
+    with pytest.raises(ConfigError):
+        make_transport("telepathy")
+
+
+def test_prebuilt_instance_passes_through():
+    transport = WireTransport()
+    assert make_transport(transport) is transport
+
+
+def test_config_knob_validated_on_both_configs():
+    with pytest.raises(ConfigError):
+        SecureCyclonConfig(transport="telepathy")
+    with pytest.raises(ConfigError):
+        CyclonConfig(transport="telepathy")
+    assert SecureCyclonConfig(transport="wire").effective_transport() == "wire"
+    assert CyclonConfig(transport="wire").effective_transport() == "wire"
+
+
+def test_config_knob_resolves_env_at_call_time(monkeypatch):
+    config = SecureCyclonConfig()
+    legacy = CyclonConfig()
+    monkeypatch.delenv(ENV_TRANSPORT, raising=False)
+    assert config.effective_transport() == "object"
+    monkeypatch.setenv(ENV_TRANSPORT, "wire")
+    assert config.effective_transport() == "wire"
+    assert legacy.effective_transport() == "wire"
+
+
+# ----------------------------------------------------------------------
+# transport semantics
+# ----------------------------------------------------------------------
+
+
+def test_object_transport_is_identity():
+    transport = ObjectTransport()
+    payload = object()
+    assert transport.encode(payload) is payload
+    assert transport.decode(payload) is payload
+    assert transport.wire_size(payload) is None
+
+
+def test_wire_transport_roundtrips_fresh_objects():
+    _, opening = _registry_and_message()
+    transport = WireTransport()
+    wire = transport.encode(opening)
+    assert isinstance(wire, bytes)
+    assert transport.wire_size(wire) == len(wire)
+    decoded = transport.decode(wire)
+    assert decoded == opening
+    assert decoded is not opening
+    assert decoded.redemption is not opening.redemption
+
+
+def test_wire_transport_rejects_unknown_payloads():
+    with pytest.raises(CodecError):
+        WireTransport().encode({"not": "a message"})
+
+
+def test_abstract_transport_hooks_raise():
+    transport = Transport()
+    with pytest.raises(NotImplementedError):
+        transport.encode(object())
+    with pytest.raises(NotImplementedError):
+        transport.decode(object())
+    with pytest.raises(NotImplementedError):
+        transport.wire_size(object())
+
+
+# ----------------------------------------------------------------------
+# channel + network integration
+# ----------------------------------------------------------------------
+
+
+def test_channel_wire_mode_delivers_decoded_copies_and_measures():
+    _, opening = _registry_and_message()
+    node = EchoNode()
+    channel = Channel(
+        initiator_id="a",
+        partner_id="b",
+        deliver=lambda payload: node.receive("a", payload),
+        rng=random.Random(0),
+        transport=WireTransport(),
+    )
+    reply = channel.request(opening)
+    frame_size = len(encode_message(opening))
+    # The partner processed an equal-but-distinct rebuilt message...
+    assert node.received[0] == opening
+    assert node.received[0] is not opening
+    # ...the echoed reply came back through its own frame...
+    assert reply == opening
+    assert reply is not node.received[0]
+    # ...and both directions were billed at measured frame size.
+    assert channel.bytes_sent == frame_size
+    assert channel.bytes_received == frame_size
+
+
+def test_channel_wire_mode_ignores_budgeted_sizer():
+    """Wire mode bills measured frames even when a sizer is configured."""
+    _, opening = _registry_and_message()
+    channel = Channel(
+        initiator_id="a",
+        partner_id="b",
+        deliver=lambda payload: None,
+        rng=random.Random(0),
+        sizer=lambda payload: 1,
+        transport=WireTransport(),
+    )
+    channel.request(opening)
+    assert channel.bytes_sent == len(encode_message(opening))
+
+
+def test_wire_mode_bills_lost_reply_frames_at_partner_send():
+    """A lost/late reply was still serialised and sent by the partner.
+
+    Wire mode bills both directions at send time (symmetric with the
+    request leg and with pushes); object mode keeps the historical
+    rule of pricing only replies that survive.
+    """
+    from repro.sim.channel import DropPolicy, MessageDropped
+
+    _, opening = _registry_and_message()
+    frame = len(encode_message(opening))
+    wire_channel = Channel(
+        initiator_id="a",
+        partner_id="b",
+        deliver=lambda payload: payload,
+        rng=random.Random(0),
+        policy=DropPolicy(reply_loss=1.0),
+        transport=WireTransport(),
+    )
+    with pytest.raises(MessageDropped):
+        wire_channel.request(opening)
+    assert wire_channel.bytes_sent == frame
+    assert wire_channel.bytes_received == frame  # billed despite the loss
+
+    object_channel = Channel(
+        initiator_id="a",
+        partner_id="b",
+        deliver=lambda payload: payload,
+        rng=random.Random(0),
+        policy=DropPolicy(reply_loss=1.0),
+        sizer=lambda payload: 7,
+    )
+    with pytest.raises(MessageDropped):
+        object_channel.request(opening)
+    assert object_channel.bytes_sent == 7
+    assert object_channel.bytes_received == 0  # historical semantics
+
+
+def test_flood_to_many_neighbors_encodes_once():
+    """Pushing one payload object to N targets serialises it once."""
+    calls = {"encode": 0}
+
+    class CountingWire(WireTransport):
+        def encode(self, payload):
+            calls["encode"] += 1
+            return super().encode(payload)
+
+    _, opening = _registry_and_message()
+    from repro.core.exchange import GossipAccept
+
+    network = Network(rng=random.Random(0), transport=CountingWire())
+    targets = [f"n{i}" for i in range(10)]
+    for target in targets:
+        network.attach(target, EchoNode())
+    payload = GossipAccept(samples=opening.samples, proofs=())
+    for target in targets:
+        assert network.push("s", target, payload)
+    assert calls["encode"] == 1
+    # A different object (even an equal one) re-encodes.
+    network.push("s", targets[0], GossipAccept(samples=opening.samples))
+    assert calls["encode"] == 2
+
+
+def test_channel_object_mode_unchanged_with_sizer():
+    _, opening = _registry_and_message()
+    channel = Channel(
+        initiator_id="a",
+        partner_id="b",
+        deliver=lambda payload: payload,
+        rng=random.Random(0),
+        sizer=payload_bytes,
+    )
+    reply = channel.request(opening)
+    assert reply is opening  # shared-object semantics intact
+    assert channel.bytes_sent == payload_bytes(opening)
+
+
+def test_network_push_wire_mode_decodes_at_receiver():
+    registry, opening = _registry_and_message()
+    from repro.core.proofs import build_cloning_proof
+    from repro.core.descriptor import mint
+    from repro.sim.network import NetworkAddress
+
+    rng = random.Random(6)
+    alice = registry.new_keypair(rng)
+    bob = registry.new_keypair(rng)
+    carol = registry.new_keypair(rng)
+    base = mint(alice, NetworkAddress(host=3, port=3), 0.0)
+    proof = build_cloning_proof(
+        base.transfer(alice, bob.public), base.transfer(alice, carol.public)
+    )
+    flood = ProofFlood(proof=proof)
+
+    network = Network(rng=random.Random(0), transport=WireTransport())
+    receiver = EchoNode()
+    network.attach("r", receiver)
+    assert network.push("s", "r", flood)
+    assert receiver.pushes[0] == flood
+    assert receiver.pushes[0] is not flood
+    assert network.push_bytes == len(encode_message(flood))
+
+
+def test_network_exposes_message_transport():
+    wire = WireTransport()
+    network = Network(rng=random.Random(0), transport=wire)
+    assert network.message_transport is wire
+    swapped = ObjectTransport()
+    network.use_message_transport(swapped)
+    assert network.message_transport is swapped
+
+
+# ----------------------------------------------------------------------
+# overlay-level equivalence and threading
+# ----------------------------------------------------------------------
+
+
+def _secure_fingerprint(transport):
+    overlay = build_secure_overlay(
+        n=30,
+        config=SecureCyclonConfig(view_length=8, swap_length=3,
+                                  transport=transport),
+        seed=13,
+    )
+    overlay.run(6)
+    return sorted(
+        (node.node_id.hex(), sorted(d.chain_digest().hex() for d in
+                                    node.view.descriptors()))
+        for node in overlay.engine.legit_nodes()
+    )
+
+
+def test_secure_overlay_identical_under_both_transports():
+    """Same seed, same final views — transport cannot change outcomes."""
+    assert _secure_fingerprint("object") == _secure_fingerprint("wire")
+
+
+def _sample_cache_sharing(transport):
+    """How many distinct nodes hold each cached sample *instance*.
+
+    Keeps a reference to every descriptor alongside its id() so CPython
+    cannot recycle addresses mid-census.
+    """
+    overlay = build_secure_overlay(
+        n=20,
+        config=SecureCyclonConfig(view_length=6, transport=transport),
+        seed=3,
+    )
+    overlay.run(4)
+    holders = {}
+    for node in overlay.engine.legit_nodes():
+        for slot in node.sample_cache._by_creator.values():
+            for descriptor in slot[1].values():
+                entry = holders.setdefault(id(descriptor), (descriptor, set()))
+                entry[1].add(node.node_id)
+    return [len(nodes) for _, nodes in holders.values()]
+
+
+def test_wire_mode_breaks_object_identity_network_wide():
+    """No two receivers may ever cache the same instance in wire mode.
+
+    Sample caches are where shared-object identity memoised work away:
+    in object mode the same descriptor object circulates and lands in
+    many nodes' caches; in wire mode every receiver decoded its own
+    copy, so each instance is cached by exactly one node.  The object-
+    mode assertion proves the census has teeth.
+    """
+    assert max(_sample_cache_sharing("object")) > 1
+    assert max(_sample_cache_sharing("wire")) == 1
+
+
+def test_cyclon_overlay_runs_under_wire_and_measures():
+    overlay = build_cyclon_overlay(
+        n=25, config=CyclonConfig(view_length=6, transport="wire"), seed=5
+    )
+    overlay.run(5)
+    assert overlay.engine.network.dialogue_bytes_forward > 0
+
+
+def test_sim_config_transport_wins_over_protocol_config():
+    overlay = build_secure_overlay(
+        n=5,
+        config=SecureCyclonConfig(transport="wire"),
+        seed=1,
+        sim_config=SimConfig(seed=1, transport="object"),
+    )
+    assert isinstance(
+        overlay.engine.network.message_transport, ObjectTransport
+    )
+
+
+def test_protocol_config_transport_reaches_network():
+    overlay = build_secure_overlay(
+        n=5, config=SecureCyclonConfig(transport="wire"), seed=1
+    )
+    assert isinstance(overlay.engine.network.message_transport, WireTransport)
+
+
+def test_in_flight_pushes_survive_transport_swap():
+    """Frames decode with the transport that encoded them.
+
+    A push queued on the event heap can outlive a between-runs
+    ``use_message_transport`` swap; decoding it with the *new*
+    transport would hand receive_push raw bytes (or double-decode).
+    """
+    registry = __import__("repro.crypto.registry", fromlist=["KeyRegistry"])
+    from repro.core.proofs import build_cloning_proof
+    from repro.core.descriptor import mint
+    from repro.sim.network import NetworkAddress
+
+    rng = random.Random(9)
+    reg = registry.KeyRegistry()
+    alice, bob, carol = (reg.new_keypair(rng) for _ in range(3))
+    base = mint(alice, NetworkAddress(host=4, port=4), 0.0)
+    flood = ProofFlood(
+        proof=build_cloning_proof(
+            base.transfer(alice, bob.public),
+            base.transfer(alice, carol.public),
+        )
+    )
+
+    class HoldingQueue:
+        """Stands in for the event scheduler: holds pushes until asked."""
+
+        def __init__(self, network):
+            self.network = network
+            self.held = []
+
+        def schedule_push(self, sender_id, target_id, payload):
+            self.held.append((sender_id, target_id, payload))
+
+        def flush(self):
+            for sender_id, target_id, payload in self.held:
+                self.network.deliver_push(sender_id, target_id, payload)
+
+    network = Network(rng=random.Random(0), transport=WireTransport())
+    queue = HoldingQueue(network)
+    network.use_event_transport(queue)
+    receiver = EchoNode()
+    network.attach("r", receiver)
+    assert network.push("s", "r", flood)
+
+    network.use_message_transport(ObjectTransport())  # swap mid-flight
+    queue.flush()
+    assert receiver.pushes[0] == flood  # decoded object, not raw bytes
+    assert receiver.pushes[0] is not flood
+
+
+def test_event_runtime_wire_pushes_decode_at_delivery():
+    """Wire + event runtime: delayed pushes still decode per receiver."""
+    from repro.sim.scheduler import EventScheduler
+
+    overlay = build_secure_overlay(
+        n=20,
+        config=SecureCyclonConfig(view_length=6, transport="wire"),
+        seed=7,
+        runtime=EventScheduler(),
+    )
+    overlay.run(4)
+    assert overlay.engine.network.dialogue_bytes_forward > 0
