@@ -173,3 +173,15 @@ echo "== wire-transport equivalence (REPRO_TRANSPORT=wire vs golden) =="
 REPRO_TRANSPORT=wire python -m pytest -q \
     tests/properties/test_scheduler_equivalence.py \
     -k "pre_refactor and (fig3 or fig5)"
+
+# Wire-fault plane: the fault injector and health ledger must be
+# bit-for-bit invisible while inert (tier-1 parametrises this over all
+# five goldens x both transports in-file; this step names the guard),
+# and the wire_faults experiment itself must run end to end — seven
+# fault modes, quarantine engaging, no CodecError ever escaping the
+# engine.
+echo "== wire-fault plane (inert subsystem vs golden; wire_faults smoke-run) =="
+python -m pytest -q tests/properties/test_scheduler_equivalence.py \
+    -k "inert_fault_subsystem and object and (fig3 or fig5)"
+REPRO_SCALE=smoke timeout 300 python -m repro.experiments wire_faults > /dev/null
+echo "wire_faults smoke-run ok"

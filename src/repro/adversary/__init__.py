@@ -29,9 +29,17 @@ Attackers:
 * :class:`~repro.adversary.timing.StallAttacker` /
   :class:`~repro.adversary.timing.TimeoutInducer` — timing attackers
   for the event runtime: protocol-legal content, adversarial message
-  timing (stalled or never-arriving replies).  See
-  ``docs/ADVERSARIES.md`` for the full catalogue with knobs and the
-  experiment that exercises each attacker.
+  timing (stalled or never-arriving replies).
+* :class:`~repro.adversary.wire.MalformedFrameAttacker` /
+  :class:`~repro.adversary.wire.TruncationAttacker` /
+  :class:`~repro.adversary.wire.FrameReplayAttacker` /
+  :class:`~repro.adversary.wire.FrameInflationAttacker` — wire-plane
+  attackers for the wire transport: honest protocol content, mangled
+  frames (bit flips, truncation, stale replays, oversize padding),
+  countered by per-peer health scoring and quarantine instead of
+  violation proofs.  See ``docs/ADVERSARIES.md`` for the full
+  catalogue with knobs and the experiment that exercises each
+  attacker.
 """
 
 from repro.adversary.coordinator import MaliciousCoordinator
@@ -52,6 +60,13 @@ from repro.adversary.timing import (
     TimingAttacker,
     TimingStrategy,
 )
+from repro.adversary.wire import (
+    FrameInflationAttacker,
+    FrameReplayAttacker,
+    MalformedFrameAttacker,
+    TruncationAttacker,
+    WireFaultAttacker,
+)
 
 __all__ = [
     "MaliciousCoordinator",
@@ -64,11 +79,16 @@ __all__ = [
     "CloningAttacker",
     "FrequencyAttacker",
     "EclipseAttacker",
+    "FrameInflationAttacker",
+    "FrameReplayAttacker",
+    "MalformedFrameAttacker",
     "ReplayAttacker",
     "StallAttacker",
     "StealthBiasAttacker",
     "TimeoutInducer",
     "TimingAttacker",
     "TimingStrategy",
+    "TruncationAttacker",
+    "WireFaultAttacker",
     "eclipse_pressure",
 ]

@@ -1,0 +1,141 @@
+"""Wire-plane attackers: weaponise the *frames*, not the protocol.
+
+The paper's attack model (§II-C) lets a Byzantine peer put arbitrary
+bytes on the wire.  The content attackers in this suite stay inside the
+codec — they forge *valid* messages with hostile semantics.  This
+module supplies the complement: attackers whose dialogue content is
+bit-for-bit honest (they run the unmodified
+:class:`~repro.core.node.SecureCyclonNode` exchange code) but whose
+*frames* are mangled in flight — corrupted, truncated, replayed, or
+inflated.  No violation proof can ever name them (garbage carries no
+redeemable descriptor to pin a violation on), so the defence is not
+forensic blacklisting but the wire-health plane added alongside them:
+receivers convert undecodable frames to drops
+(:class:`~repro.sim.channel.MessageUndecodable`), score the sender on
+the :class:`~repro.sim.peerhealth.PeerHealthLedger`, and quarantine the
+persistently faulty.
+
+Mechanism: each attacker carries a
+:class:`~repro.sim.transport.FaultPlan` in its ``fault_plan``
+attribute.  The scenario builders register that plan with the
+network's :class:`~repro.sim.transport.FaultInjector` under the
+attacker's node id, gated on the coordinator's attack schedule — so
+only frames *sent by this attacker* are mangled, only while the attack
+is on, and honest traffic never touches the fault RNG stream.
+
+Frame faults require frames: under the object transport
+(``transport="object"``) there are no bytes to mangle, and every
+attacker below except none degrades to a no-op (the injector applies
+byte faults only to byte frames).  Run wire-fault scenarios with
+``transport="wire"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.core.codec import MAX_FRAME_BYTES
+from repro.core.node import SecureCyclonNode
+from repro.errors import ConfigError
+from repro.sim.transport import FaultPlan
+
+
+class WireFaultAttacker(SecureCyclonNode):
+    """Base for colluding nodes that mangle their own outgoing frames.
+
+    ``severity`` is the per-frame fault probability in ``(0, 1]``:
+    at ``1.0`` every frame the attacker sends is mangled, at ``0.25``
+    one in four.  Subclasses supply :meth:`_build_plan` mapping the
+    severity onto one :class:`~repro.sim.transport.FaultPlan` knob.
+    Like every member of the malicious party these nodes skip the
+    voluntary security duties: flooded proofs are swallowed.
+    """
+
+    def __init__(
+        self,
+        *args,
+        coordinator: MaliciousCoordinator,
+        severity: float = 1.0,
+        **kwargs,
+    ) -> None:
+        if not 0.0 < severity <= 1.0:
+            raise ConfigError("severity must be in (0, 1]")
+        self.severity = severity
+        super().__init__(*args, **kwargs)
+        self.coordinator = coordinator
+        #: Consumed by the scenario builders: registered with the
+        #: network's FaultInjector under this node's id, gated on
+        #: ``_attacking``.
+        self.fault_plan = self._build_plan()
+
+    @property
+    def is_malicious(self) -> bool:
+        return True
+
+    def _attacking(self) -> bool:
+        return self.coordinator.is_attacking(self.current_cycle)
+
+    def _build_plan(self) -> FaultPlan:
+        raise NotImplementedError
+
+    def receive_push(self, sender_id: Any, payload: Any) -> None:
+        """Swallow proof floods (§IV: attackers skip security duties)."""
+        del sender_id, payload
+
+
+class MalformedFrameAttacker(WireFaultAttacker):
+    """Bit-flips its outgoing frames: receivers get undecodable garbage.
+
+    The cheapest wire attack — every corrupted frame forces the
+    receiver to scan and reject it, burning a dialogue slot (request
+    leg) or a retry budget (reply leg) per frame until quarantine cuts
+    the link.
+    """
+
+    def _build_plan(self) -> FaultPlan:
+        return FaultPlan(corrupt=self.severity)
+
+
+class TruncationAttacker(WireFaultAttacker):
+    """Cuts its outgoing frames short at a random byte boundary.
+
+    Exercises the codec's truncation paths (every declared count and
+    length is checked against the bytes actually present) rather than
+    its content checks.
+    """
+
+    def _build_plan(self) -> FaultPlan:
+        return FaultPlan(truncate=self.severity)
+
+
+class FrameReplayAttacker(WireFaultAttacker):
+    """Replaces its outgoing frames with stale previously-seen ones.
+
+    The wire-plane cousin of the descriptor
+    :class:`~repro.adversary.replay.ReplayAttacker`: the stale frame
+    *decodes* fine — the defence here is not the codec but the protocol
+    layer above it, which rejects the out-of-context message (a
+    redemption that doesn't check out, a reply that doesn't match the
+    dialogue state).  Measures that the redemption discipline holds
+    even when the transport itself replays.
+    """
+
+    def _build_plan(self) -> FaultPlan:
+        return FaultPlan(replay=self.severity)
+
+
+class FrameInflationAttacker(WireFaultAttacker):
+    """Pads its outgoing frames past the decoder's size ceiling.
+
+    The volumetric variant: each inflated frame lands over
+    :data:`~repro.core.codec.MAX_FRAME_BYTES`, so the receiver rejects
+    it with one length comparison before parsing anything
+    (:class:`~repro.errors.FrameOversizeError`) — the attacker pays a
+    megabyte of (simulated) bandwidth per frame and buys a single
+    integer compare of honest CPU.  The DoS-amplification meter prices
+    exactly this asymmetry.
+    """
+
+    def _build_plan(self) -> FaultPlan:
+        return FaultPlan(inflate=self.severity, inflate_bytes=MAX_FRAME_BYTES)

@@ -31,7 +31,7 @@ protocol layers above it.
 from __future__ import annotations
 
 import struct
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.exchange import (
     BulkSwapMessage,
@@ -51,7 +51,15 @@ from repro.core.wire import (
     encode_descriptor,
     encode_proof,
 )
-from repro.errors import CodecError, DescriptorError
+from repro.errors import CodecError, DescriptorError, FrameOversizeError
+
+#: Default ceiling on a decodable frame, checked before any parsing.
+#: Generously above every legitimate frame (the largest honest message
+#: — a bulk swap of max-hop chains — measures a few hundred KiB below
+#: this at paper-scale view lengths) while bounding what one frame can
+#: make a receiver scan: an attacker who inflates frames past the
+#: ceiling is rejected at the cost of a single length check.
+MAX_FRAME_BYTES = 1 << 20
 
 _TYPE_CODES = {
     GossipOpen: 1,
@@ -191,18 +199,22 @@ class MessageReader:
         return raw
 
     def blob(self) -> bytes:
+        # The declared length is untrusted: check it against the bytes
+        # actually remaining *before* slicing, so a frame declaring a
+        # 4 GiB record is rejected by arithmetic, not by materialising
+        # anything proportional to the claim.
         size = self.u32()
-        raw = self.data[self.offset : self.offset + size]
-        if len(raw) != size:
+        if size > len(self.data) - self.offset:
             raise CodecError("truncated record")
+        raw = self.data[self.offset : self.offset + size]
         self.offset += size
         return raw
 
     def string(self) -> str:
         size = self.u16()
-        raw = self.data[self.offset : self.offset + size]
-        if len(raw) != size:
+        if size > len(self.data) - self.offset:
             raise CodecError("truncated string")
+        raw = self.data[self.offset : self.offset + size]
         self.offset += size
         return raw.decode("utf-8")
 
@@ -265,13 +277,25 @@ def encode_message(message: Any) -> bytes:
     return writer.bytes()
 
 
-def decode_message(data: bytes) -> Any:
+def decode_message(
+    data: bytes, max_frame_bytes: Optional[int] = MAX_FRAME_BYTES
+) -> Any:
     """Inverse of :func:`encode_message`.
 
     Raises :class:`~repro.errors.CodecError` on any malformed input:
     truncated frames, trailing bytes, unknown type codes, and corrupt
-    embedded descriptor/proof records.
+    embedded descriptor/proof records.  Frames longer than
+    ``max_frame_bytes`` raise :class:`~repro.errors.FrameOversizeError`
+    (a :class:`CodecError` subclass) before any field is parsed —
+    bounded allocation comes first, declared counts and lengths are
+    only ever read from frames already inside the ceiling.  Pass
+    ``None`` to disable the ceiling.
     """
+    if max_frame_bytes is not None and len(data) > max_frame_bytes:
+        raise FrameOversizeError(
+            f"frame of {len(data)} bytes exceeds the "
+            f"{max_frame_bytes}-byte ceiling"
+        )
     try:
         reader = MessageReader(data)
         code = reader.u8()

@@ -269,7 +269,14 @@ class SecureCyclonNode(ProtocolNode):
             return self._handle_open(sender_id, payload)
         if isinstance(payload, BulkSwapMessage):
             return self._handle_bulk_swap(sender_id, payload)
-        raise TypeError(f"unexpected payload {type(payload).__name__}")
+        # A message that decodes but makes no sense as a request — e.g.
+        # a reply-type frame replayed by a wire-plane attacker — is
+        # refused, not crashed on: a Byzantine sender must never cost
+        # the *receiver* its cycle.  Initiators already treat any
+        # non-matching reply as a failed exchange, so the refusal is
+        # safe at every round of the dialogue.
+        self._emit("secure.unexpected_request", sender=sender_id)
+        return GossipReject(reason="unexpected message", proofs=())
 
     def receive_push(self, sender_id: Any, payload: Any) -> None:
         """Handle a one-way push (proof flooding); unknown pushes are dropped."""

@@ -48,6 +48,18 @@ class CodecError(DescriptorError):
     """
 
 
+class FrameOversizeError(CodecError):
+    """A frame exceeded the decoder's maximum accepted size.
+
+    Raised *before* any parsing of declared counts or lengths, so a
+    deliberately inflated frame costs the receiver one length check
+    instead of a proportional scan — the cheap rejection the
+    DoS-amplification budget counts on.  Distinguished from the base
+    :class:`CodecError` so per-peer health accounting can weight
+    oversize frames separately from ordinary garbage.
+    """
+
+
 class RedemptionError(ProtocolError):
     """A descriptor redemption was rejected by the creator."""
 
@@ -66,6 +78,18 @@ class ChannelDropped(ChannelError):
 
 class PeerUnreachable(ChannelError):
     """The remote peer did not accept the connection (dead or departed)."""
+
+
+class PeerQuarantined(PeerUnreachable):
+    """A dialogue was refused because one endpoint is quarantined.
+
+    Raised by :meth:`~repro.sim.network.Network.connect` when the
+    per-peer health ledger (:mod:`repro.sim.peerhealth`) has put either
+    endpoint under quarantine: persistently-faulty links are dropped
+    instead of parsed.  Subclasses :class:`PeerUnreachable` because to
+    the initiating protocol code the outcome is identical — the
+    dialogue never opens, the cycle moves on.
+    """
 
 
 class SimulationError(ReproError):

@@ -23,6 +23,7 @@ from repro.experiments import (
     stealth_experiment,
     timing_attack,
     violations_matrix,
+    wire_faults,
     fig2_indegree,
     fig3_cyclon_takeover,
     fig5_hub_defense,
@@ -51,6 +52,7 @@ EXPERIMENTS = {
     "loss": (loss_sweep.run_loss_sweep, loss_sweep.render),
     "latency": (latency_sweep.run_latency_sweep, latency_sweep.render),
     "timing_attack": (timing_attack.run_timing_attack, timing_attack.render),
+    "wire_faults": (wire_faults.run_wire_faults, wire_faults.render),
 }
 
 

@@ -20,6 +20,7 @@ from repro.cyclon.node import CyclonNode
 from repro.sim.clock import DriftedClock, DriftPlan
 from repro.sim.engine import Engine, SimConfig
 from repro.sim.scheduler import EventScheduler, Scheduler, make_scheduler
+from repro.sim.transport import FaultInjector
 
 #: What the ``runtime=`` knob accepts: a runtime name ("cycle"/"event")
 #: or a pre-configured :class:`~repro.sim.scheduler.Scheduler`.
@@ -152,6 +153,11 @@ def build_secure_overlay(
     automatically registered with the event scheduler's link timing —
     they require ``runtime`` to be an
     :class:`~repro.sim.scheduler.EventScheduler` to have any effect.
+    Attackers that carry a ``fault_plan``
+    (:class:`~repro.adversary.wire.WireFaultAttacker` subclasses) are
+    likewise auto-registered with the network's
+    :class:`~repro.sim.transport.FaultInjector` — byte-level faults
+    require the wire transport to have any effect.
     """
     config = config or SecureCyclonConfig()
     scheduler = make_scheduler(runtime)
@@ -208,6 +214,24 @@ def build_secure_overlay(
             strategy = getattr(node, "timing_strategy", None)
             if strategy is not None:
                 scheduler.register_timing_strategy(node.node_id, strategy)
+
+    # Wire-fault attackers carry a FaultPlan; register each with the
+    # network's fault injector (created lazily on first need, drawing
+    # from its own dedicated RNG stream), gated on the attack schedule
+    # so frames are only mangled while the attack is on.
+    injector = None
+    for node in malicious_nodes:
+        plan = getattr(node, "fault_plan", None)
+        if plan is None:
+            continue
+        if injector is None:
+            injector = engine.network.fault_injector
+            if injector is None:
+                injector = FaultInjector(
+                    rng=engine.rng_hub.stream("wire-faults")
+                )
+                engine.network.use_fault_injector(injector)
+        injector.register_plan(node.node_id, plan, active=node._attacking)
 
     coordinator.note_legit_population(
         [node_id for node_id in node_ids if node_id not in malicious_ids]

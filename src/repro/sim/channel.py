@@ -21,8 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.errors import ChannelDropped
-from repro.sim.transport import ObjectTransport, Transport
+from repro.errors import ChannelDropped, CodecError, FrameOversizeError
+from repro.sim.transport import DROPPED, ObjectTransport, Transport
 
 
 @dataclass(frozen=True)
@@ -119,6 +119,34 @@ class MessageTimeout(MessageDropped):
         self.elapsed_s = elapsed_s
 
 
+class MessageUndecodable(MessageDropped):
+    """The frame arrived but its bytes could not be decoded.
+
+    The graceful-degradation outcome of a malformed frame: instead of
+    the receiver's :class:`~repro.errors.CodecError` escaping the
+    receive path (which would abort the initiator's whole cycle), the
+    channel converts it into this :class:`MessageDropped`-family
+    failure — protocol code already handles those.  ``delivered``
+    keeps the §V-A asymmetry: ``False`` for a garbled request (the
+    partner never processed anything), ``True`` for a garbled reply
+    (the partner did, so anything the initiator sent is spent).
+    ``oversize`` distinguishes frames rejected by the size ceiling
+    (one cheap length check) from frames that failed parsing.
+
+    Deliberately *not* a :class:`MessageTimeout`: retry policies
+    re-attempt timeouts, and a frame its own sender garbled is not
+    owed a retry.
+    """
+
+    def __init__(
+        self, direction: str, delivered: bool, oversize: bool = False
+    ) -> None:
+        ChannelDropped.__init__(self, f"message undecodable ({direction})")
+        self.direction = direction
+        self.delivered = delivered
+        self.oversize = oversize
+
+
 class Channel:
     """One dialogue between an initiator and a partner node.
 
@@ -156,6 +184,8 @@ class Channel:
         timing: Optional[Any] = None,
         burst_state: Optional[BurstState] = None,
         transport: Optional[Transport] = None,
+        faults: Optional[Any] = None,
+        health: Optional[Any] = None,
     ) -> None:
         self.initiator_id = initiator_id
         self.partner_id = partner_id
@@ -171,6 +201,12 @@ class Channel:
         self._stats = stats
         self._timing = timing
         self._burst = burst_state
+        # Wire-plane fault injection and per-peer health scoring, both
+        # installed network-wide (repro.sim.transport.FaultInjector /
+        # repro.sim.peerhealth.PeerHealthLedger).  ``None`` keeps the
+        # classic channel, including its RNG consumption, untouched.
+        self._faults = faults
+        self._health = health
         self.requests_sent = 0
         self.replies_received = 0
         self.bytes_sent = 0
@@ -224,6 +260,16 @@ class Channel:
         self.requests_sent += 1
         transport = self._transport
         wire = transport.encode(payload)
+        faults = self._faults
+        fault_dropped = False
+        if faults is not None:
+            shaped = faults.apply(
+                wire, self.initiator_id, self.partner_id, "request"
+            )
+            if shaped is DROPPED:
+                fault_dropped = True
+            else:
+                wire = shaped
         size = transport.wire_size(wire)
         if size is None and self._sizer is not None:
             size = self._sizer(payload)
@@ -231,8 +277,15 @@ class Channel:
             self.bytes_sent += size
             if self._stats is not None:
                 self._stats.record_dialogue_traffic(sent=size)
+            if self._health is not None:
+                self._health.note_sent(
+                    self.initiator_id, self.partner_id, size
+                )
         timing = self._timing
-        if self._loses(self._request_loss):
+        # The honest loss draw always happens first, fault or no fault:
+        # the fault plane runs on its own RNG stream and must not shift
+        # how this channel consumes the shared network stream.
+        if self._loses(self._request_loss) or fault_dropped:
             # In a timed network the initiator only *learns* about the
             # loss by waiting out its whole patience: observationally
             # the failure IS a timeout, so it is charged and raised as
@@ -260,11 +313,20 @@ class Channel:
                 raise MessageTimeout(
                     "request", delivered=False, elapsed_s=timeout_s
                 )
-        reply = self._deliver(transport.decode(wire))
+        reply = self._deliver(self._decode_inbound(wire, "request", timing))
         reply_wire = None
         reply_size = None
+        reply_fault_dropped = False
         if reply is not None:
             reply_wire = transport.encode(reply)
+            if faults is not None:
+                shaped = faults.apply(
+                    reply_wire, self.partner_id, self.initiator_id, "reply"
+                )
+                if shaped is DROPPED:
+                    reply_fault_dropped = True
+                else:
+                    reply_wire = shaped
             reply_size = transport.wire_size(reply_wire)
             if reply_size is not None:
                 # Wire mode bills the reply frame here, at partner-send
@@ -277,13 +339,19 @@ class Channel:
                 self.bytes_received += reply_size
                 if self._stats is not None:
                     self._stats.record_dialogue_traffic(received=reply_size)
-        if self._loses(self._reply_loss):
+                if self._health is not None:
+                    self._health.note_sent(
+                        self.partner_id, self.initiator_id, reply_size
+                    )
+        if self._loses(self._reply_loss) or reply_fault_dropped:
             # Same unification as a lost request: with a timeout
             # configured the missing reply is experienced as (and
             # raised as) a timeout, full patience charged.
             if timing is not None and timing.timeout_s is not None:
                 timeout_s = timing.timeout_s
                 self._spend_time(timeout_s)
+                if self._health is not None:
+                    self._health.record_timeout(self.partner_id)
                 raise MessageTimeout(
                     "reply", delivered=True, elapsed_s=timeout_s
                 )
@@ -298,6 +366,8 @@ class Channel:
                 # §V-A case 2 by timing: the partner processed the
                 # request but the reply arrives too late to matter.
                 self._spend_time(timeout_s)
+                if self._health is not None:
+                    self._health.record_timeout(self.partner_id)
                 raise MessageTimeout(
                     "reply", delivered=True, elapsed_s=timeout_s
                 )
@@ -309,10 +379,49 @@ class Channel:
             # prices delivered replies with the budgeted sizer, exactly
             # as the pre-transport channel did.
             if reply_size is not None:
-                reply = transport.decode(reply_wire)
+                reply = self._decode_inbound(reply_wire, "reply", timing)
             elif self._sizer is not None:
                 size = self._sizer(reply)
                 self.bytes_received += size
                 if self._stats is not None:
                     self._stats.record_dialogue_traffic(received=size)
         return reply
+
+    def _decode_inbound(self, wire: Any, direction: str, timing: Any) -> Any:
+        """Decode one arriving frame; malformed bytes degrade, not crash.
+
+        This is the receive boundary the fault subsystem exists for: a
+        frame that fails to decode is scored against its sender on the
+        health ledger, counted network-wide, and surfaced to the
+        initiator as :class:`MessageUndecodable` — a
+        :class:`MessageDropped`-family outcome the protocol already
+        survives — never as a raw :class:`~repro.errors.CodecError`
+        escaping the engine loop.  When a dialogue timeout is
+        configured the initiator is charged full patience, because
+        that is how long it takes to *observe* that nothing valid came
+        back.
+        """
+        health = self._health
+        peer = self.initiator_id if direction == "request" else self.partner_id
+        if health is not None:
+            scanned = self._transport.wire_size(wire)
+            if scanned is not None:
+                health.note_scanned(peer, scanned)
+        try:
+            return self._transport.decode(wire)
+        except CodecError as exc:
+            oversize = isinstance(exc, FrameOversizeError)
+            if health is not None:
+                if oversize:
+                    health.record_oversize(peer)
+                else:
+                    health.record_decode_failure(peer)
+            if self._stats is not None:
+                self._stats.record_undecodable()
+            if timing is not None and timing.timeout_s is not None:
+                self._spend_time(timing.timeout_s)
+            raise MessageUndecodable(
+                direction,
+                delivered=(direction == "reply"),
+                oversize=oversize,
+            ) from exc

@@ -49,6 +49,15 @@ class SimConfig:
     The previous thresholds are restored when ``run`` returns.  Set to
     ``None`` to leave the collector untouched.
 
+    ``peer_health`` opts into per-peer wire-health scoring and
+    quarantine (:mod:`repro.sim.peerhealth`): pass a
+    :class:`~repro.sim.peerhealth.HealthPolicy` (a fresh ledger is
+    built from it), an already-built
+    :class:`~repro.sim.peerhealth.PeerHealthLedger`, or ``True`` for
+    the default policy.  ``None`` (the default) leaves the ledger out
+    entirely — receive boundaries still convert undecodable frames to
+    drops, but nothing is scored and nothing is ever quarantined.
+
     ``transport`` selects how payloads cross the simulated network: a
     mode name (``"object"``/``"wire"``), an already-built
     :class:`~repro.sim.transport.Transport`, or ``None`` — resolved
@@ -68,6 +77,7 @@ class SimConfig:
     payload_sizer: Optional[Callable[[Any], int]] = None
     gc_generation0_threshold: Optional[int] = 400_000
     transport: Optional[Any] = None
+    peer_health: Optional[Any] = None
 
 
 class ProtocolNode:
@@ -120,6 +130,7 @@ class Engine:
             drop_policy=self.config.drop_policy,
             sizer=self.config.payload_sizer,
             transport=make_transport(self.config.transport),
+            health=self._resolve_peer_health(self.config.peer_health),
         )
         self.nodes: Dict[Any, ProtocolNode] = {}
         self._observers: List[Observer] = []
@@ -144,6 +155,30 @@ class Engine:
         # sequential-verification runs; the schedulers reset it at
         # every cycle boundary when it exists.
         self._verification_plan: Optional[Any] = None
+
+    @staticmethod
+    def _resolve_peer_health(spec: Optional[Any]) -> Optional[Any]:
+        """Resolve ``SimConfig.peer_health`` into a ledger (or ``None``).
+
+        Imported lazily for the same layering reason as the
+        verification plan: accepting a policy here must not put
+        :mod:`repro.sim.peerhealth` on the import path of runs that
+        never use it.
+        """
+        if spec is None:
+            return None
+        from repro.sim.peerhealth import HealthPolicy, PeerHealthLedger
+
+        if isinstance(spec, PeerHealthLedger):
+            return spec
+        if isinstance(spec, HealthPolicy):
+            return PeerHealthLedger(spec)
+        if spec is True:
+            return PeerHealthLedger()
+        raise SimulationError(
+            "peer_health must be None, True, a HealthPolicy, or a "
+            f"PeerHealthLedger; got {spec!r}"
+        )
 
     # ------------------------------------------------------------------
     # membership

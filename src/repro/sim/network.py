@@ -14,9 +14,18 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Dict, Iterator, Optional
 
-from repro.errors import PeerUnreachable
+from repro.errors import (
+    CodecError,
+    FrameOversizeError,
+    PeerQuarantined,
+    PeerUnreachable,
+)
 from repro.sim.channel import BurstState, Channel, DropPolicy
-from repro.sim.transport import ObjectTransport, Transport
+from repro.sim.transport import DROPPED, ObjectTransport, Transport
+
+#: Internal sentinel for a push frame the receive boundary swallowed
+#: (undecodable or quarantined sender) — never handed to a node.
+_SWALLOWED = object()
 
 
 @dataclass(frozen=True, order=True)
@@ -51,6 +60,8 @@ class Network:
         drop_policy: Optional[DropPolicy] = None,
         sizer: Optional[Callable[[Any], int]] = None,
         transport: Optional[Transport] = None,
+        fault_injector: Optional[Any] = None,
+        health: Optional[Any] = None,
     ) -> None:
         self._rng = rng
         self._drop_policy = drop_policy or DropPolicy()
@@ -73,6 +84,12 @@ class Network:
         # passing by default; WireTransport re-frames every message
         # through the codec and switches accounting to measured bytes.
         self._msg_transport = transport or ObjectTransport()
+        # Wire-plane robustness hooks, both optional and inert when
+        # absent: a FaultInjector (repro.sim.transport) mutating frames
+        # in flight, and a PeerHealthLedger (repro.sim.peerhealth)
+        # scoring senders and quarantining persistently-faulty links.
+        self._faults = fault_injector
+        self._health = health
         self._sizer = sizer
         self._nodes: Dict[Any, Any] = {}
         self._addresses: Dict[Any, NetworkAddress] = {}
@@ -85,6 +102,12 @@ class Network:
         # Virtual seconds initiators spent waiting on round trips
         # (event runtime only) — the stall attack's damage surface.
         self.dialogue_seconds = 0.0
+        # Receive-boundary degradation counters: frames that arrived
+        # but failed to decode (converted to MessageDropped-family
+        # outcomes, never crashes), and frames/dialogues refused
+        # because a quarantined peer was on one end.
+        self.undecodable_frames = 0
+        self.quarantine_refusals = 0
         # One-way deliveries are queued and drained iteratively: a
         # receive_push handler that re-floods (proof dissemination is a
         # BFS over the overlay) must not recurse through the network,
@@ -187,6 +210,44 @@ class Network:
         """The transport payloads currently cross the network with."""
         return self._msg_transport
 
+    def use_fault_injector(self, injector: Optional[Any]) -> None:
+        """Install (or clear, with ``None``) the wire fault injector.
+
+        The injector (:class:`~repro.sim.transport.FaultInjector`) sees
+        every dialogue leg and push after encoding and may corrupt,
+        truncate, replay, inflate, or drop the frame.  It draws from its
+        own dedicated RNG stream, so an installed-but-inert injector
+        leaves the protocol and network RNG sequences untouched.
+        """
+        self._faults = injector
+
+    @property
+    def fault_injector(self) -> Optional[Any]:
+        return self._faults
+
+    def use_peer_health(self, ledger: Optional[Any]) -> None:
+        """Install (or clear, with ``None``) the per-peer health ledger.
+
+        Once installed, every receive boundary scores decode failures,
+        oversize frames, and reply timeouts against the sending peer,
+        and :meth:`connect` refuses dialogues touching quarantined
+        peers (:class:`~repro.errors.PeerQuarantined`).
+        """
+        self._health = ledger
+
+    @property
+    def peer_health(self) -> Optional[Any]:
+        return self._health
+
+    def health_tick(self, cycle: int) -> None:
+        """Cycle-boundary hook: decay health scores, release quarantines.
+
+        Both schedulers call this once per protocol cycle; a no-op when
+        no ledger is installed.
+        """
+        if self._health is not None:
+            self._health.tick(cycle)
+
     def call_later(self, delay_s: float, callback: Callable[[], None]) -> bool:
         """Defer ``callback()`` by ``delay_s`` of virtual time.
 
@@ -210,10 +271,23 @@ class Network:
     def connect(self, initiator_id: Any, partner_id: Any) -> Channel:
         """Open a dialogue from ``initiator_id`` to ``partner_id``.
 
-        Raises :class:`PeerUnreachable` if the partner is dead; the
+        Raises :class:`PeerUnreachable` if the partner is dead, or its
+        :class:`~repro.errors.PeerQuarantined` subclass when either
+        endpoint is under quarantine (the healthy side refuses to spend
+        a dialogue on a peer whose frames keep failing to decode); the
         returned channel may still drop individual messages according to
         the network's drop policy.
         """
+        health = self._health
+        if health is not None and (
+            health.is_quarantined(initiator_id)
+            or health.is_quarantined(partner_id)
+        ):
+            self.quarantine_refusals += 1
+            raise PeerQuarantined(
+                f"dialogue {initiator_id!r} -> {partner_id!r} refused: "
+                "endpoint quarantined"
+            )
         partner = self.node(partner_id)
         self.dialogues_opened += 1
         # functools.partial instead of a closure: one Python frame less
@@ -231,6 +305,8 @@ class Network:
             timing=self._timing,
             burst_state=self._burst_state,
             transport=self._msg_transport,
+            faults=self._faults,
+            health=self._health,
         )
 
     def record_dialogue_traffic(self, sent: int = 0, received: int = 0) -> None:
@@ -241,6 +317,10 @@ class Network:
     def record_dialogue_time(self, seconds: float) -> None:
         """Accumulate virtual waiting time across all dialogues."""
         self.dialogue_seconds += seconds
+
+    def record_undecodable(self) -> None:
+        """A dialogue frame failed to decode (channel receive boundary)."""
+        self.undecodable_frames += 1
 
     def push(self, sender_id: Any, target_id: Any, payload: Any) -> bool:
         """Deliver a one-way message (no reply expected).
@@ -274,18 +354,34 @@ class Network:
         else:
             wire = transport.encode(payload)
             self._push_encode_memo = (payload, transport, wire)
+        # Faults mutate the frame per-push (after the memo — the memo
+        # caches the honest encoding, never an injected mutation).
+        fault_dropped = False
+        if self._faults is not None:
+            shaped = self._faults.apply(wire, sender_id, target_id, "push")
+            if shaped is DROPPED:
+                fault_dropped = True
+            else:
+                wire = shaped
         size = transport.wire_size(wire)
         if size is None and self._sizer is not None:
             size = self._sizer(payload)
         if size is not None:
             self.push_bytes += size
+            if self._health is not None:
+                self._health.note_sent(sender_id, target_id, size)
         loss = self._drop_policy.request_loss
         burst = self._burst_state
         if burst is not None:
             loss = burst.effective(loss)
+        # The loss draw always happens, even for fault-dropped frames:
+        # the network RNG stream must consume exactly one draw per push
+        # regardless of the injector's verdict.
         if self._rng.random() < loss:
             if burst is not None:
                 burst.on_drop()
+            return False
+        if fault_dropped:
             return False
         if self._event_transport is not None:
             # Event runtime: the push rides the event queue with its own
@@ -308,7 +404,9 @@ class Network:
                 src, dst, codec, msg = self._push_queue.popleft()
                 node = self._nodes.get(dst)
                 if node is not None:
-                    node.receive_push(src, codec.decode(msg))
+                    message = self._decode_push(src, codec, msg)
+                    if message is not _SWALLOWED:
+                        node.receive_push(src, message)
         finally:
             self._draining = False
         return True
@@ -329,4 +427,36 @@ class Network:
         node = self._nodes.get(target_id)
         if node is not None:
             transport, wire = payload
-            node.receive_push(sender_id, transport.decode(wire))
+            message = self._decode_push(sender_id, transport, wire)
+            if message is not _SWALLOWED:
+                node.receive_push(sender_id, message)
+
+    def _decode_push(self, src: Any, transport: Any, wire: Any) -> Any:
+        """Decode a push frame at the receive boundary.
+
+        Returns the decoded message, or the ``_SWALLOWED`` sentinel when
+        the frame must not reach the node: the sender is quarantined
+        (refused before any decode work is spent on it), or the bytes
+        fail to decode (counted, scored against the sender, and dropped
+        — a garbage push degrades to a lost push, never a crash).
+        """
+        health = self._health
+        if health is not None:
+            if health.is_quarantined(src):
+                self.quarantine_refusals += 1
+                return _SWALLOWED
+            scanned = transport.wire_size(wire)
+            if scanned is not None:
+                health.note_scanned(src, scanned)
+        try:
+            return transport.decode(wire)
+        except FrameOversizeError:
+            self.undecodable_frames += 1
+            if health is not None:
+                health.record_oversize(src)
+            return _SWALLOWED
+        except CodecError:
+            self.undecodable_frames += 1
+            if health is not None:
+                health.record_decode_failure(src)
+            return _SWALLOWED

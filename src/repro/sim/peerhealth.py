@@ -1,0 +1,225 @@
+"""Per-peer health scoring and quarantine: graceful wire-plane degradation.
+
+The paper's threat model (§II-C) lets a Byzantine peer put anything on
+the wire; PR 5 made the codec total over byte strings, so garbage is
+*rejected* — but rejection alone still lets a peer make every receiver
+pay to parse its garbage forever.  This module adds the memory: a
+:class:`PeerHealthLedger` scores each peer's observable misbehaviour
+(frames that fail to decode, frames past the size ceiling, repeated
+reply timeouts), decays the score every cycle, and quarantines peers
+whose score crosses a threshold — the network then refuses their links
+(:class:`~repro.errors.PeerQuarantined`) instead of parsing their
+frames.
+
+Hysteresis: quarantine engages at ``quarantine_threshold`` and releases
+only when decay brings the score down to ``release_threshold`` (strictly
+lower), so a peer oscillating around the entry threshold cannot flap the
+quarantine state every cycle.  A peer that genuinely stops misbehaving
+is released after a few quiet cycles and rejoins the overlay.
+
+The ledger is installed on the :class:`~repro.sim.network.Network`
+(``SimConfig.peer_health`` or ``use_peer_health``) and is shared by all
+honest receive paths.  That centralisation is a simulator simplification
+in the spirit of the paper's network-wide blacklist (§IV): every honest
+node's local health table, merged.  Scoring consumes no randomness and
+the ledger is inert for well-behaved peers, so installing it leaves all
+golden series bit-for-bit unchanged (guarded).
+
+The ledger doubles as the **DoS-amplification meter**: bind the
+adversary's identity set (:meth:`PeerHealthLedger.bind_adversary`) and
+it prices what the honest side paid per attacker byte — bytes scanned
+decoding attacker frames plus bytes of honest frames sent to attackers,
+both of which stop accruing once quarantine cuts the links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Optional
+
+from repro.errors import ConfigError
+
+#: Offence kinds the ledger scores.
+OFFENCE_DECODE = "decode_failure"
+OFFENCE_OVERSIZE = "oversize_frame"
+OFFENCE_TIMEOUT = "timeout"
+
+_OFFENCES = (OFFENCE_DECODE, OFFENCE_OVERSIZE, OFFENCE_TIMEOUT)
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Scoring weights, decay, and the quarantine hysteresis band.
+
+    Defaults are sized for the wire-fault experiments: a peer
+    corrupting most of its frames (a few decode failures per cycle)
+    crosses ``quarantine_threshold`` within a cycle or two of attack
+    start, while honest peers under ~10% ambient link noise plateau
+    well below it (steady-state score ≈ rate / (1 - decay)).
+    ``timeout_weight`` is deliberately small: timeouts also happen to
+    honest peers on slow links, so silence is weaker evidence than
+    garbage.
+    """
+
+    decode_failure_weight: float = 1.0
+    oversize_weight: float = 1.0
+    timeout_weight: float = 0.25
+    decay: float = 0.7
+    quarantine_threshold: float = 3.0
+    release_threshold: float = 0.75
+
+    def __post_init__(self) -> None:
+        for name in (
+            "decode_failure_weight", "oversize_weight", "timeout_weight"
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        if not 0.0 < self.decay < 1.0:
+            raise ConfigError("decay must be in (0, 1)")
+        if self.quarantine_threshold <= 0:
+            raise ConfigError("quarantine_threshold must be positive")
+        if not 0 <= self.release_threshold < self.quarantine_threshold:
+            raise ConfigError(
+                "release_threshold must sit below quarantine_threshold "
+                "(the hysteresis band)"
+            )
+
+
+class PeerHealthLedger:
+    """Scores peers' wire behaviour; quarantines the persistently faulty."""
+
+    def __init__(self, policy: Optional[HealthPolicy] = None) -> None:
+        self.policy = policy or HealthPolicy()
+        self._scores: Dict[Any, float] = {}
+        self._quarantined: set = set()
+        self._cycle = 0
+        #: peer -> {offence kind: count}; only misbehaving peers appear.
+        self.offences: Dict[Any, Dict[str, int]] = {}
+        #: peer -> cycle at which it was first quarantined.
+        self.quarantined_at: Dict[Any, int] = {}
+        self.quarantine_events = 0
+        self.release_events = 0
+        # --- DoS-amplification meter (active once bound) -------------
+        self._adversary: FrozenSet[Any] = frozenset()
+        #: Bytes of frames the adversary put on the wire.
+        self.adversary_bytes_sent = 0
+        #: Bytes of adversary frames honest receivers actually scanned
+        #: (decode attempts — quarantined frames are refused unscanned).
+        self.adversary_bytes_scanned = 0
+        #: Bytes of honest frames sent *to* adversary peers.
+        self.honest_bytes_to_adversary = 0
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+
+    def _record(self, peer: Any, offence: str, weight: float) -> None:
+        counts = self.offences.get(peer)
+        if counts is None:
+            counts = dict.fromkeys(_OFFENCES, 0)
+            self.offences[peer] = counts
+        counts[offence] += 1
+        score = self._scores.get(peer, 0.0) + weight
+        self._scores[peer] = score
+        if (
+            peer not in self._quarantined
+            and score >= self.policy.quarantine_threshold
+        ):
+            self._quarantined.add(peer)
+            self.quarantine_events += 1
+            self.quarantined_at.setdefault(peer, self._cycle)
+
+    def record_decode_failure(self, peer: Any) -> None:
+        """A frame claiming to come from ``peer`` failed to decode."""
+        self._record(peer, OFFENCE_DECODE, self.policy.decode_failure_weight)
+
+    def record_oversize(self, peer: Any) -> None:
+        """A frame from ``peer`` blew past the decoder's size ceiling."""
+        self._record(peer, OFFENCE_OVERSIZE, self.policy.oversize_weight)
+
+    def record_timeout(self, peer: Any) -> None:
+        """``peer`` processed a request but its reply never made it."""
+        self._record(peer, OFFENCE_TIMEOUT, self.policy.timeout_weight)
+
+    def score(self, peer: Any) -> float:
+        return self._scores.get(peer, 0.0)
+
+    def is_quarantined(self, peer: Any) -> bool:
+        return peer in self._quarantined
+
+    def quarantined_peers(self) -> set:
+        return set(self._quarantined)
+
+    def tick(self, cycle: int) -> None:
+        """Cycle-boundary decay + hysteresis release (no randomness).
+
+        Called by both schedulers through
+        :meth:`~repro.sim.network.Network.health_tick`.
+        """
+        self._cycle = cycle
+        decay = self.policy.decay
+        release = self.policy.release_threshold
+        forgotten = []
+        for peer, score in self._scores.items():
+            score *= decay
+            if score < 1e-9:
+                forgotten.append(peer)
+                continue
+            self._scores[peer] = score
+            if peer in self._quarantined and score <= release:
+                self._quarantined.discard(peer)
+                self.release_events += 1
+        for peer in forgotten:
+            del self._scores[peer]
+            if peer in self._quarantined:
+                self._quarantined.discard(peer)
+                self.release_events += 1
+
+    # ------------------------------------------------------------------
+    # DoS-amplification meter
+    # ------------------------------------------------------------------
+
+    def bind_adversary(self, ids: Iterable[Any]) -> None:
+        """Tell the meter which peers belong to the adversary.
+
+        Experiments bind ``engine.malicious_ids`` after building the
+        overlay; unbound, the meter's counters simply stay zero (the
+        quarantine machinery never needs the set — it judges behaviour,
+        not identity).
+        """
+        self._adversary = frozenset(ids)
+
+    def note_sent(self, src: Any, dst: Any, nbytes: int) -> None:
+        """Account one frame of ``nbytes`` travelling ``src`` → ``dst``."""
+        adversary = self._adversary
+        if not adversary:
+            return
+        if src in adversary:
+            self.adversary_bytes_sent += nbytes
+        elif dst in adversary:
+            self.honest_bytes_to_adversary += nbytes
+
+    def note_scanned(self, src: Any, nbytes: int) -> None:
+        """An honest receiver decode-scanned ``nbytes`` from ``src``."""
+        if src in self._adversary:
+            self.adversary_bytes_scanned += nbytes
+
+    def amplification(self) -> float:
+        """Honest bytes paid per adversary byte sent (the DoS budget).
+
+        Work the adversary extracted, per byte it spent: the decode
+        scans its frames forced (``adversary_bytes_scanned``) plus the
+        honest frames it was sent (``honest_bytes_to_adversary``),
+        divided by everything it transmitted.  Quarantine caps the
+        numerator — refused links are neither scanned nor replied to —
+        so a working defense drives this ratio down as fault severity
+        rises.
+        """
+        if not self.adversary_bytes_sent:
+            return 0.0
+        paid = self.adversary_bytes_scanned + self.honest_bytes_to_adversary
+        return paid / self.adversary_bytes_sent
+
+    def offence_total(self, offence: str) -> int:
+        """Network-wide count of one offence kind."""
+        return sum(counts[offence] for counts in self.offences.values())

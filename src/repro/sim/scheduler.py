@@ -139,6 +139,7 @@ class CycleScheduler(Scheduler):
 
         for observer in engine._observers:
             observer.on_cycle_end(engine, cycle)
+        engine.network.health_tick(cycle)
         engine.clock.advance()
 
 
@@ -418,6 +419,7 @@ class EventScheduler(Scheduler):
         engine = self._engine
         for observer in engine._observers:
             observer.on_cycle_end(engine, cycle)
+        engine.network.health_tick(cycle)
         if time_s < end_time and cycle + 1 > self._churn_done_cycle:
             # The next cycle starts now: its churn applies here, exactly
             # where the cycle runtime would apply it.

@@ -350,9 +350,15 @@ def test_mint_guard_once_per_cycle():
 
 
 def test_unknown_payload_rejected():
+    # A payload that makes no sense as a request — e.g. a reply-type
+    # frame replayed by a wire-plane attacker — is refused, never
+    # crashed on: a Byzantine sender must not cost the receiver its
+    # cycle.
     engine, (a, *_) = build_world()
-    with pytest.raises(TypeError):
-        a.receive("x", object())
+    reply = a.receive("x", object())
+    assert isinstance(reply, GossipReject)
+    assert reply.reason == "unexpected message"
+    assert engine.trace.count("secure.unexpected_request") == 1
 
 
 def test_samples_payload_contains_view_and_redemption_cache():

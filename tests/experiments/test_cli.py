@@ -20,6 +20,7 @@ def test_every_figure_is_wired():
         "loss",
         "latency",
         "timing_attack",
+        "wire_faults",
         "scale",
     }
 

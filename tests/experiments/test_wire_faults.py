@@ -1,0 +1,67 @@
+"""Smoke-scale run of the wire-fault sweep."""
+
+from repro.experiments import wire_faults
+from repro.experiments.scale import Scale
+
+
+def test_wire_faults_smoke():
+    result = wire_faults.run_wire_faults(scale=Scale.SMOKE, seed=42)
+    rows = {row.label: row for row in result.rows}
+    assert set(rows) == {
+        "baseline",
+        "malformed-25",
+        "malformed-50",
+        "malformed-100",
+        "truncate",
+        "replay",
+        "inflate",
+    }
+
+    # The attacker-free baseline never trips the fault machinery.
+    baseline = rows["baseline"]
+    assert baseline.undecodable == 0
+    assert baseline.refusals == 0
+    assert baseline.amplification == 0.0
+
+    # Byte-mangling modes produce garbage the receive boundary counts
+    # (and the engine survives — reaching this line at all proves no
+    # CodecError escaped any of the seven runs).
+    assert rows["malformed-100"].undecodable > 0
+    assert rows["truncate"].undecodable > 0
+
+    # Severity orders the garbage volume.
+    assert (
+        rows["malformed-25"].undecodable
+        <= rows["malformed-50"].undecodable
+        <= rows["malformed-100"].undecodable
+    )
+
+    # Inflated frames die on the size ceiling specifically.
+    assert rows["inflate"].oversize > 0
+
+    # Replayed frames decode fine: the codec plane stays quiet and the
+    # protocol layer does the rejecting.
+    assert rows["replay"].undecodable == 0
+
+    # Quarantine engages against full-severity byte manglers.
+    assert rows["truncate"].quarantined_attackers > 0
+    assert rows["truncate"].first_quarantine is not None
+    assert rows["truncate"].refusals > 0
+
+    # Honest views survive every mode.
+    for row in result.rows:
+        assert row.view_fill_min > 0.5
+
+    # The amplification budget is measured and bounded wherever an
+    # adversary actually sent bytes.
+    for label in ("malformed-100", "truncate", "inflate"):
+        assert 0.0 < rows[label].amplification < 10.0
+
+
+def test_wire_faults_render():
+    result = wire_faults.run_wire_faults(scale=Scale.SMOKE, seed=42)
+    text = wire_faults.render(result)
+    assert "wire transport" in text
+    assert "[chart]" in text
+    assert "malformed-100" in text
+    assert "DoS amplification" in text

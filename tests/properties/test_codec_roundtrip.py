@@ -4,7 +4,9 @@ Covers every dialogue message type the wire transport can carry — the
 eight SecureCyclon messages (``GossipOpen`` … ``ProofFlood``) plus the
 registered legacy-Cyclon shuffle messages — including empty sequences
 and max-hop ownership chains, and fuzzes the error paths: truncations,
-random byte prefixes, and unknown type bytes must raise the typed
+random byte prefixes, unknown type bytes, *mutations* of valid frames
+(bit flips and cross-frame splices — what the wire-plane attackers
+actually produce), and the frame-size ceiling must raise the typed
 :class:`~repro.errors.CodecError`, never leak ``struct.error``.
 """
 
@@ -15,6 +17,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.codec import (
+    MAX_FRAME_BYTES,
     decode_message,
     encode_message,
     encoded_message_size,
@@ -34,7 +37,7 @@ from repro.core.exchange import (
 from repro.core.proofs import build_cloning_proof
 from repro.crypto.registry import KeyRegistry
 from repro.cyclon import CyclonDescriptor, CyclonReply, CyclonRequest
-from repro.errors import CodecError, DescriptorError
+from repro.errors import CodecError, DescriptorError, FrameOversizeError
 from repro.sim.network import NetworkAddress
 
 _REGISTRY = KeyRegistry()
@@ -211,9 +214,95 @@ def test_corrupted_prefix_of_valid_frame_is_typed(message, corruption):
     assert decode_message(encode_message(decoded)) == decoded
 
 
+@given(message=messages(), mutation=st.data())
+@settings(max_examples=100, deadline=None)
+def test_bit_flipped_frames_decode_or_raise_typed(message, mutation):
+    """Mutation fuzz: bit flips in valid frames stay inside the contract.
+
+    This is exactly what the wire-plane MalformedFrameAttacker does to
+    its frames; whatever comes out, the receiver must either get a
+    message that round-trips or a typed :class:`CodecError` — never an
+    untyped crash.
+    """
+    data = bytearray(encode_message(message))
+    flips = mutation.draw(st.integers(min_value=1, max_value=8))
+    for _ in range(flips):
+        index = mutation.draw(
+            st.integers(min_value=0, max_value=len(data) - 1)
+        )
+        bit = mutation.draw(st.integers(min_value=0, max_value=7))
+        data[index] ^= 1 << bit
+    try:
+        decoded = decode_message(bytes(data))
+    except CodecError:
+        return
+    assert decode_message(encode_message(decoded)) == decoded
+
+
+@given(first=messages(), second=messages(), splice=st.data())
+@settings(max_examples=60, deadline=None)
+def test_spliced_frames_decode_or_raise_typed(first, second, splice):
+    """Mutation fuzz: grafting two valid frames stays inside the contract.
+
+    Models a truncation-plus-replay on the wire: the head of one
+    legitimate frame welded onto the tail of another.
+    """
+    head = encode_message(first)
+    tail = encode_message(second)
+    cut_head = splice.draw(st.integers(min_value=0, max_value=len(head)))
+    cut_tail = splice.draw(st.integers(min_value=0, max_value=len(tail)))
+    spliced = head[:cut_head] + tail[cut_tail:]
+    try:
+        decoded = decode_message(spliced)
+    except CodecError:
+        return
+    assert decode_message(encode_message(decoded)) == decoded
+
+
 def test_unknown_type_code_rejected():
     with pytest.raises(CodecError):
         decode_message(b"\xff")
+
+
+def test_frame_size_ceiling_boundary():
+    """Frames at the ceiling decode; one byte past it is refused."""
+    frame = encode_message(GossipReject(reason="x" * 100, proofs=()))
+    # Exactly at a ceiling equal to the frame's own size: accepted.
+    assert decode_message(frame, max_frame_bytes=len(frame)) is not None
+    # One byte under: refused with the oversize subclass, before any
+    # parsing could notice the frame is otherwise perfectly valid.
+    with pytest.raises(FrameOversizeError):
+        decode_message(frame, max_frame_bytes=len(frame) - 1)
+
+
+def test_default_ceiling_rejects_megaframe():
+    """An attacker-inflated frame is refused by one length check."""
+    frame = encode_message(GossipReject(reason="x", proofs=()))
+    inflated = frame + b"\x00" * MAX_FRAME_BYTES
+    with pytest.raises(FrameOversizeError):
+        decode_message(inflated)
+    # The oversize error is still a CodecError: every receive boundary
+    # that survives garbage survives volume.
+    assert issubclass(FrameOversizeError, CodecError)
+    # Disabling the ceiling restores the old behaviour (trailing bytes
+    # are then rejected by parsing, not by the ceiling).
+    with pytest.raises(CodecError):
+        decode_message(inflated, max_frame_bytes=None)
+    assert decode_message(frame, max_frame_bytes=None) is not None
+
+
+def test_declared_length_cannot_force_allocation():
+    """A u32 record length far past the real payload is rejected cheaply.
+
+    The declared length is checked against the bytes actually present
+    before slicing — a 4 GiB claim inside a 13-byte frame must die by
+    arithmetic (and stay a typed error), not by materialising anything.
+    """
+    # Type byte 8 (ProofFlood) followed by a u32 blob length of
+    # 0xFFFFFFFF and no payload to back it up.
+    frame = bytes([8]) + struct.pack(">I", 0xFFFFFFFF) + b"\x00" * 8
+    with pytest.raises(CodecError):
+        decode_message(frame)
 
 
 def test_non_message_rejected_on_encode():

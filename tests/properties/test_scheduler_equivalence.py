@@ -97,6 +97,40 @@ def test_wire_transport_matches_goldens(name, verification, monkeypatch):
     assert _CAPTURES[name]() + "\n" == expected
 
 
+@pytest.mark.parametrize("transport", ["object", "wire"])
+@pytest.mark.parametrize("name", sorted(_CAPTURES))
+def test_inert_fault_subsystem_matches_goldens(name, transport, monkeypatch):
+    """Installed-but-inert wire faults + health ledger change nothing.
+
+    The fault plane (``repro.sim.transport.FaultInjector``) and the
+    per-peer health ledger (``repro.sim.peerhealth``) must be free when
+    idle: an injector whose plan injects nothing draws zero randomness
+    from its (dedicated) stream, and a ledger that never sees an
+    offence never quarantines — so wiring both into every engine must
+    reproduce the committed golden series byte for byte, under both
+    transports.
+    """
+    from repro.sim.engine import Engine
+    from repro.sim.peerhealth import PeerHealthLedger
+    from repro.sim.transport import FaultInjector, FaultPlan
+
+    original_init = Engine.__init__
+
+    def init_with_inert_subsystem(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        self.network.use_fault_injector(
+            FaultInjector(
+                rng=self.rng_hub.stream("wire-faults"), plan=FaultPlan()
+            )
+        )
+        self.network.use_peer_health(PeerHealthLedger())
+
+    monkeypatch.setattr(Engine, "__init__", init_with_inert_subsystem)
+    monkeypatch.setenv("REPRO_TRANSPORT", transport)
+    expected = (GOLDEN / f"{name}.txt").read_text(encoding="utf-8")
+    assert _CAPTURES[name]() + "\n" == expected
+
+
 def _converged_stats(runtime):
     overlay = build_cyclon_overlay(
         n=150,

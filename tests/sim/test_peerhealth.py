@@ -1,0 +1,233 @@
+"""Per-peer health: scoring, decay, hysteresis, and the DoS meter."""
+
+import pytest
+
+from repro.adversary.wire import MalformedFrameAttacker
+from repro.core.config import SecureCyclonConfig
+from repro.errors import ConfigError, PeerQuarantined
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.links import view_fill_fraction
+from repro.sim.engine import SimConfig
+from repro.sim.peerhealth import (
+    OFFENCE_DECODE,
+    OFFENCE_OVERSIZE,
+    OFFENCE_TIMEOUT,
+    HealthPolicy,
+    PeerHealthLedger,
+)
+
+
+class TestHealthPolicy:
+    def test_defaults_validate(self):
+        HealthPolicy()
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            HealthPolicy(decode_failure_weight=-1.0)
+
+    @pytest.mark.parametrize("decay", [0.0, 1.0, 1.5])
+    def test_decay_must_be_strictly_inside_unit_interval(self, decay):
+        with pytest.raises(ConfigError):
+            HealthPolicy(decay=decay)
+
+    def test_release_must_sit_below_quarantine(self):
+        with pytest.raises(ConfigError):
+            HealthPolicy(quarantine_threshold=2.0, release_threshold=2.0)
+        HealthPolicy(quarantine_threshold=2.0, release_threshold=1.9)
+
+
+class TestScoring:
+    def test_offences_accumulate_their_weights(self):
+        policy = HealthPolicy(
+            decode_failure_weight=1.0,
+            oversize_weight=2.0,
+            timeout_weight=0.25,
+            quarantine_threshold=100.0,
+            release_threshold=1.0,
+        )
+        ledger = PeerHealthLedger(policy)
+        ledger.record_decode_failure("p")
+        ledger.record_oversize("p")
+        ledger.record_timeout("p")
+        assert ledger.score("p") == pytest.approx(3.25)
+        assert ledger.offences["p"] == {
+            OFFENCE_DECODE: 1,
+            OFFENCE_OVERSIZE: 1,
+            OFFENCE_TIMEOUT: 1,
+        }
+        assert ledger.offence_total(OFFENCE_DECODE) == 1
+
+    def test_clean_peers_score_zero(self):
+        ledger = PeerHealthLedger()
+        assert ledger.score("anyone") == 0.0
+        assert not ledger.is_quarantined("anyone")
+
+    def test_tick_decays_scores_geometrically(self):
+        policy = HealthPolicy(decay=0.5, quarantine_threshold=100.0)
+        ledger = PeerHealthLedger(policy)
+        for _ in range(4):
+            ledger.record_decode_failure("p")
+        assert ledger.score("p") == pytest.approx(4.0)
+        ledger.tick(1)
+        assert ledger.score("p") == pytest.approx(2.0)
+        ledger.tick(2)
+        assert ledger.score("p") == pytest.approx(1.0)
+
+    def test_tiny_scores_are_forgotten(self):
+        ledger = PeerHealthLedger(HealthPolicy(quarantine_threshold=100.0))
+        ledger.record_decode_failure("p")
+        for cycle in range(100):
+            ledger.tick(cycle)
+        assert ledger.score("p") == 0.0
+
+
+class TestQuarantineHysteresis:
+    POLICY = HealthPolicy(
+        decay=0.5, quarantine_threshold=3.0, release_threshold=0.75
+    )
+
+    def test_crossing_the_threshold_quarantines(self):
+        ledger = PeerHealthLedger(self.POLICY)
+        ledger.record_decode_failure("p")
+        ledger.record_decode_failure("p")
+        assert not ledger.is_quarantined("p")
+        ledger.record_decode_failure("p")
+        assert ledger.is_quarantined("p")
+        assert ledger.quarantine_events == 1
+        assert "p" in ledger.quarantined_at
+
+    def test_quarantine_holds_inside_the_hysteresis_band(self):
+        # Score 4.0 -> 2.0 -> 1.0: below the entry threshold both times
+        # but above release (0.75), so the peer stays out.
+        ledger = PeerHealthLedger(self.POLICY)
+        for _ in range(4):
+            ledger.record_decode_failure("p")
+        assert ledger.is_quarantined("p")
+        ledger.tick(1)
+        ledger.tick(2)
+        assert ledger.score("p") == pytest.approx(1.0)
+        assert ledger.is_quarantined("p")
+
+    def test_quiet_peer_is_eventually_released(self):
+        ledger = PeerHealthLedger(self.POLICY)
+        for _ in range(4):
+            ledger.record_decode_failure("p")
+        cycles = 0
+        while ledger.is_quarantined("p"):
+            cycles += 1
+            assert cycles < 50, "quarantine never released"
+            ledger.tick(cycles)
+        assert ledger.release_events == 1
+        # ...and a relapse quarantines again from the decayed base.
+        for _ in range(6):
+            ledger.record_decode_failure("p")
+        assert ledger.is_quarantined("p")
+        assert ledger.quarantine_events == 2
+        # First-quarantine cycle is preserved across re-entry.
+        assert ledger.quarantined_at["p"] == 0
+
+
+class TestAmplificationMeter:
+    def test_unbound_meter_stays_zero(self):
+        ledger = PeerHealthLedger()
+        ledger.note_sent("a", "b", 100)
+        ledger.note_scanned("a", 100)
+        assert ledger.adversary_bytes_sent == 0
+        assert ledger.amplification() == 0.0
+
+    def test_amplification_arithmetic(self):
+        ledger = PeerHealthLedger()
+        ledger.bind_adversary({"mallory"})
+        ledger.note_sent("mallory", "honest", 100)  # adversary spends 100
+        ledger.note_scanned("mallory", 100)  # honest scans those 100
+        ledger.note_sent("honest", "mallory", 150)  # honest replies 150
+        ledger.note_sent("honest", "honest2", 999)  # honest<->honest: free
+        ledger.note_scanned("honest", 999)
+        assert ledger.adversary_bytes_sent == 100
+        assert ledger.adversary_bytes_scanned == 100
+        assert ledger.honest_bytes_to_adversary == 150
+        assert ledger.amplification() == pytest.approx(2.5)
+
+
+class TestNetworkEnforcement:
+    def _overlay(self, **kwargs):
+        return build_secure_overlay(
+            n=kwargs.pop("n", 20),
+            config=SecureCyclonConfig(
+                view_length=5, swap_length=2, transport="wire"
+            ),
+            seed=11,
+            sim_config=SimConfig(
+                seed=11, peer_health=HealthPolicy(), transport="wire"
+            ),
+            **kwargs,
+        )
+
+    def test_connect_refuses_quarantined_endpoints(self):
+        overlay = self._overlay()
+        network = overlay.engine.network
+        ledger = network.peer_health
+        ids = list(overlay.engine.alive_ids())
+        victim, other, third = ids[0], ids[1], ids[2]
+        while not ledger.is_quarantined(victim):
+            ledger.record_decode_failure(victim)
+        with pytest.raises(PeerQuarantined):
+            network.connect(other, victim)  # quarantined partner
+        with pytest.raises(PeerQuarantined):
+            network.connect(victim, other)  # quarantined initiator
+        network.connect(other, third)  # healthy pair unaffected
+        assert network.quarantine_refusals == 2
+
+    def test_quarantined_overlay_recovers_after_release(self):
+        # Quarantine an honest node by hand, then run: once decay
+        # releases it, its links function again and the overlay keeps
+        # full views.
+        overlay = self._overlay()
+        ledger = overlay.engine.network.peer_health
+        victim = next(iter(overlay.engine.alive_ids()))
+        while not ledger.is_quarantined(victim):
+            ledger.record_decode_failure(victim)
+        overlay.run(10)
+        assert not ledger.is_quarantined(victim)
+        assert ledger.release_events >= 1
+        assert view_fill_fraction(overlay.engine) > 0.9
+
+
+def test_end_to_end_malformed_frame_attack_degrades_gracefully():
+    """200 honest-ish nodes, 10% frame-corrupting attackers, wire mode.
+
+    The engine must survive every cycle, the receive boundary must see
+    (and count) garbage, quarantine must engage against the attackers,
+    and the honest overlay must stay connected.
+    """
+    nodes = 200
+    overlay = build_secure_overlay(
+        n=nodes,
+        config=SecureCyclonConfig(
+            view_length=10, swap_length=3, transport="wire"
+        ),
+        malicious=nodes // 10,
+        attack_start=3,
+        seed=5,
+        attacker_cls=MalformedFrameAttacker,
+        sim_config=SimConfig(
+            seed=5, peer_health=HealthPolicy(), transport="wire"
+        ),
+    )
+    engine = overlay.engine
+    ledger = engine.network.peer_health
+    ledger.bind_adversary(engine.malicious_ids)
+    overlay.run(15)  # no crash: CodecError never escapes the engine
+
+    assert engine.network.undecodable_frames > 0
+    quarantined_attackers = set(ledger.quarantined_at) & engine.malicious_ids
+    assert quarantined_attackers, "quarantine never engaged"
+    # No honest node was ever quarantined: collateral damage stays nil
+    # (honest frames always decode).
+    assert not set(ledger.quarantined_at) - engine.malicious_ids
+    # The honest overlay survives: views stay usable throughout.
+    assert view_fill_fraction(engine) > 0.5
+    # The attacker paid for its noise: the amplification budget is
+    # bounded (each adversary byte buys a bounded amount of honest
+    # traffic/scan work, it does not snowball).
+    assert 0.0 < ledger.amplification() < 10.0

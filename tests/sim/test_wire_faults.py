@@ -1,0 +1,249 @@
+"""Wire fault injection: plans, the injector, and channel degradation."""
+
+import random
+
+import pytest
+
+from repro.core.codec import MAX_FRAME_BYTES
+from repro.core.exchange import GossipAccept, GossipReject
+from repro.errors import CodecError, ConfigError
+from repro.sim.channel import Channel, MessageTimeout, MessageUndecodable
+from repro.sim.network import Network
+from repro.sim.peerhealth import PeerHealthLedger
+from repro.sim.transport import (
+    DROPPED,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    make_transport,
+)
+
+FRAME = bytes(range(64))
+
+
+def injector(plan=None, seed=0, **kwargs):
+    return FaultInjector(rng=random.Random(seed), plan=plan, **kwargs)
+
+
+class TestFaultPlan:
+    def test_default_plan_is_inert(self):
+        assert FaultPlan().inert
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_any_nonzero_probability_breaks_inertness(self, kind):
+        assert not FaultPlan(**{kind: 0.1}).inert
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_probabilities_validated(self, kind, bad):
+        with pytest.raises(ConfigError):
+            FaultPlan(**{kind: bad})
+
+    def test_knobs_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(max_bit_flips=0)
+        with pytest.raises(ConfigError):
+            FaultPlan(inflate_bytes=0)
+
+
+class TestFaultInjector:
+    def test_no_plan_passes_frames_through_untouched(self):
+        inj = injector()
+        assert inj.apply(FRAME, "a", "b", "request") is FRAME
+        assert inj.total_injected == 0
+
+    def test_inert_plan_consumes_zero_randomness(self):
+        # The golden guarantee: an installed-but-inert injector must
+        # not draw from its stream at all, so enabling the subsystem
+        # cannot shift any later consumer of the same RNG object.
+        inj = injector(FaultPlan())
+        before = inj.rng.getstate()
+        for _ in range(50):
+            inj.apply(FRAME, "a", "b", "request")
+        assert inj.rng.getstate() == before
+
+    def test_drop_returns_sentinel(self):
+        inj = injector(FaultPlan(drop=1.0))
+        assert inj.apply(FRAME, "a", "b", "request") is DROPPED
+        assert inj.injected["drop"] == 1
+
+    def test_drop_applies_to_object_payloads_too(self):
+        # Dropping needs no bytes; it must work under the object
+        # transport as well.
+        payload = GossipAccept(samples=(), proofs=())
+        inj = injector(FaultPlan(drop=1.0))
+        assert inj.apply(payload, "a", "b", "request") is DROPPED
+
+    def test_byte_faults_skip_object_payloads(self):
+        payload = GossipAccept(samples=(), proofs=())
+        inj = injector(FaultPlan(corrupt=1.0, truncate=1.0, inflate=1.0))
+        assert inj.apply(payload, "a", "b", "request") is payload
+        assert inj.total_injected == 0
+
+    def test_corrupt_flips_bits_preserving_length(self):
+        inj = injector(FaultPlan(corrupt=1.0))
+        mutated = inj.apply(FRAME, "a", "b", "request")
+        assert len(mutated) == len(FRAME)
+        assert mutated != FRAME
+
+    def test_truncate_shortens_frame(self):
+        inj = injector(FaultPlan(truncate=1.0))
+        mutated = inj.apply(FRAME, "a", "b", "request")
+        assert 1 <= len(mutated) < len(FRAME)
+        assert FRAME.startswith(mutated)
+
+    def test_inflate_pads_frame(self):
+        inj = injector(FaultPlan(inflate=1.0, inflate_bytes=128))
+        mutated = inj.apply(FRAME, "a", "b", "request")
+        assert len(mutated) == len(FRAME) + 128
+        assert mutated.startswith(FRAME)
+
+    def test_replay_serves_a_previously_seen_frame(self):
+        inj = injector(FaultPlan(replay=1.0))
+        first = b"first-frame"
+        assert inj.apply(first, "a", "b", "request") is first
+        stale = inj.apply(FRAME, "a", "b", "request")
+        assert stale == first
+
+    def test_replay_without_history_passes_through(self):
+        inj = injector(FaultPlan(replay=1.0))
+        assert inj.apply(FRAME, "a", "b", "request") is FRAME
+        assert inj.injected["replay"] == 0
+
+    def test_per_sender_plans_override_the_global_default(self):
+        inj = injector()
+        inj.register_plan("mallory", FaultPlan(corrupt=1.0))
+        assert inj.apply(FRAME, "honest", "b", "request") is FRAME
+        assert inj.apply(FRAME, "mallory", "b", "request") != FRAME
+
+    def test_registered_plan_respects_active_gate(self):
+        gate = {"on": False}
+        inj = injector()
+        inj.register_plan(
+            "mallory", FaultPlan(corrupt=1.0), active=lambda: gate["on"]
+        )
+        assert inj.apply(FRAME, "mallory", "b", "request") is FRAME
+        gate["on"] = True
+        assert inj.apply(FRAME, "mallory", "b", "request") != FRAME
+
+
+def wire_channel(deliver, plan, health=None):
+    return Channel(
+        initiator_id="init",
+        partner_id="partner",
+        deliver=deliver,
+        rng=random.Random(7),
+        transport=make_transport("wire"),
+        faults=injector(plan),
+        health=health,
+    )
+
+
+class TestChannelDegradation:
+    """Satellite regression: CodecError never escapes the channel."""
+
+    def test_corrupted_request_degrades_to_undecodable(self):
+        def deliver(payload):  # pragma: no cover - must not be reached
+            raise AssertionError("corrupted request must not be delivered")
+
+        channel = wire_channel(deliver, FaultPlan(corrupt=1.0))
+        with pytest.raises(MessageUndecodable) as exc_info:
+            channel.request(GossipReject(reason="x", proofs=()))
+        # Never a raw CodecError, and not a retryable timeout either.
+        assert not isinstance(exc_info.value, CodecError)
+        assert not isinstance(exc_info.value, MessageTimeout)
+        assert exc_info.value.delivered is False
+        assert exc_info.value.oversize is False
+
+    def test_corrupted_reply_keeps_the_delivered_asymmetry(self):
+        delivered = []
+
+        def deliver(payload):
+            delivered.append(payload)
+            return GossipAccept(samples=(), proofs=())
+
+        channel = Channel(
+            initiator_id="init",
+            partner_id="partner",
+            deliver=deliver,
+            rng=random.Random(7),
+            transport=make_transport("wire"),
+            # Corrupt replies only: the partner processed the request.
+            faults=FaultInjector(
+                rng=random.Random(0), plan=FaultPlan(corrupt=1.0)
+            ),
+        )
+        channel._faults.register_plan("init", FaultPlan())
+        with pytest.raises(MessageUndecodable) as exc_info:
+            channel.request(GossipReject(reason="x", proofs=()))
+        assert delivered  # §V-A case 2: the request got through
+        assert exc_info.value.delivered is True
+
+    def test_inflated_frame_reports_oversize(self):
+        plan = FaultPlan(inflate=1.0, inflate_bytes=MAX_FRAME_BYTES)
+        channel = wire_channel(lambda payload: None, plan)
+        with pytest.raises(MessageUndecodable) as exc_info:
+            channel.request(GossipReject(reason="x", proofs=()))
+        assert exc_info.value.oversize is True
+
+    def test_health_ledger_scores_the_faulting_sender(self):
+        ledger = PeerHealthLedger()
+        channel = wire_channel(
+            lambda payload: None, FaultPlan(corrupt=1.0), health=ledger
+        )
+        with pytest.raises(MessageUndecodable):
+            channel.request(GossipReject(reason="x", proofs=()))
+        # The *initiator* garbled its own request; the partner's record
+        # stays clean.
+        assert ledger.score("init") > 0
+        assert ledger.score("partner") == 0
+
+
+class _PushRecorder:
+    def __init__(self):
+        self.received = []
+
+    def receive(self, sender_id, payload):  # pragma: no cover - unused
+        raise AssertionError("dialogue path not under test")
+
+    def receive_push(self, sender_id, payload):
+        self.received.append((sender_id, payload))
+
+
+class TestPushDegradation:
+    def _network(self, plan):
+        network = Network(
+            rng=random.Random(3),
+            transport=make_transport("wire"),
+            fault_injector=injector(plan),
+            health=PeerHealthLedger(),
+        )
+        recorder = _PushRecorder()
+        network.attach("src", _PushRecorder())
+        network.attach("dst", recorder)
+        return network, recorder
+
+    def test_corrupted_push_is_swallowed_and_counted(self):
+        network, recorder = self._network(FaultPlan(corrupt=1.0))
+        accepted = network.push(
+            "src", "dst", GossipReject(reason="x", proofs=())
+        )
+        assert accepted  # the frame was sent; it died at the receiver
+        assert recorder.received == []
+        assert network.undecodable_frames == 1
+        assert network.peer_health.score("src") > 0
+
+    def test_clean_push_still_delivers(self):
+        network, recorder = self._network(FaultPlan())
+        assert network.push("src", "dst", GossipReject(reason="x", proofs=()))
+        assert len(recorder.received) == 1
+        assert network.undecodable_frames == 0
+
+    def test_push_from_quarantined_sender_is_refused(self):
+        network, recorder = self._network(FaultPlan())
+        ledger = network.peer_health
+        while not ledger.is_quarantined("src"):
+            ledger.record_decode_failure("src")
+        network.push("src", "dst", GossipReject(reason="x", proofs=()))
+        assert recorder.received == []
+        assert network.quarantine_refusals == 1
