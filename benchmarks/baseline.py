@@ -157,6 +157,19 @@ def bench_batch_verification() -> dict:
     }
 
 
+def bench_codec_fastpath() -> dict:
+    """The batch-codec micro-kernels (see bench_codec)."""
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from bench_codec import bench_fanout, bench_frame
+
+    return {
+        "codec_frame": bench_frame(),
+        "codec_fanout": bench_fanout(),
+    }
+
+
 def bench_paper_scale(include_10k: bool) -> dict:
     """The 1K×50 (and optionally 10K full-cycle) wall-time runs.
 
@@ -256,6 +269,7 @@ def record(
     )
     metrics.update(bench_event_cycle(rounds))
     metrics.update(bench_batch_verification())
+    metrics.update(bench_codec_fastpath())
     if paper_scale:
         metrics.update(bench_paper_scale(include_10k=include_10k))
     entry = {

@@ -1,0 +1,219 @@
+"""Micro-benchmark: the batch-codec fast path vs the reference codec.
+
+Two workloads, both dominated by message framing and nothing else:
+
+* **frame** — distinct messages, cold tables: per-frame encode/decode
+  µs for the reference codec against :class:`BatchEncoder` /
+  :class:`FastDecoder` with nothing memoised.  This prices the
+  precompiled-struct writer and the zero-copy offset walk themselves,
+  with every memo missing.
+
+* **fanout** — the regime one simulated cycle actually produces: many
+  frames whose embedded descriptor records repeat heavily (views
+  overlap, so the same record crosses the wire once per sighting).
+  The reference codec re-parses every copy; the fast path shares one
+  :class:`InternTable` across all receivers — exactly how
+  ``WireTransport`` wires it — and answers repeats from the table.
+  The intern hit rate is reported alongside the timings because it is
+  the number that explains them.
+
+Used three ways: standalone (``PYTHONPATH=src python
+benchmarks/bench_codec.py``), imported by ``benchmarks/baseline.py``
+to record ``BENCH_core.json`` entries, and re-timed by
+``scripts/check.sh`` against the recorded numbers under the
+perf-regression budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+
+from repro.core.codec import decode_message, encode_message
+from repro.core.codec_batch import BatchEncoder, FastDecoder, InternTable
+from repro.core.descriptor import mint
+from repro.core.exchange import GossipAccept
+from repro.crypto.registry import KeyRegistry
+from repro.sim.network import NetworkAddress
+
+_ADDRESS = NetworkAddress(host=1, port=1)
+
+
+def _build_pool(count: int, hops: int) -> list:
+    """A pool of distinct verified-shape descriptors, ``hops`` deep."""
+    registry = KeyRegistry()
+    rng = random.Random(0)
+    keypairs = [registry.new_keypair(rng) for _ in range(max(hops + 1, 8))]
+    pool = []
+    for index in range(count):
+        descriptor = mint(
+            keypairs[index % len(keypairs)], _ADDRESS, float(index * 10)
+        )
+        holder = keypairs[index % len(keypairs)]
+        for step in range(hops):
+            nxt = keypairs[(index + step + 1) % len(keypairs)]
+            descriptor = descriptor.transfer(holder, nxt.public)
+            holder = nxt
+        pool.append(descriptor)
+    return pool
+
+
+def _build_messages(
+    pool: list, frames: int, samples: int, overlap: bool
+) -> list:
+    """``frames`` GossipAccept messages drawing ``samples`` descriptors.
+
+    With ``overlap`` the draws come from the shared pool with repeats
+    (the fan-out regime); without it every frame gets its own distinct
+    descriptors (the cold regime, ``frames * samples <= len(pool)``).
+    """
+    rng = random.Random(1)
+    messages = []
+    for index in range(frames):
+        if overlap:
+            chosen = tuple(rng.sample(pool, samples))
+        else:
+            start = index * samples
+            chosen = tuple(pool[start : start + samples])
+        messages.append(GossipAccept(samples=chosen, proofs=()))
+    return messages
+
+
+def bench_frame(frames: int = 40, samples: int = 5, hops: int = 6) -> dict:
+    """Cold per-frame µs: distinct payloads, nothing memoised."""
+    pool = _build_pool(frames * samples, hops)
+    messages = _build_messages(pool, frames, samples, overlap=False)
+
+    start = time.perf_counter()
+    reference_frames = [encode_message(m) for m in messages]
+    reference_encode_s = time.perf_counter() - start
+
+    encoder = BatchEncoder(InternTable())
+    start = time.perf_counter()
+    fast_frames = [encoder.encode(m) for m in messages]
+    fast_encode_s = time.perf_counter() - start
+    if fast_frames != reference_frames:
+        raise AssertionError("batch encoder diverged from reference bytes")
+
+    start = time.perf_counter()
+    for frame in reference_frames:
+        decode_message(frame)
+    reference_decode_s = time.perf_counter() - start
+
+    decoder = FastDecoder(InternTable())
+    start = time.perf_counter()
+    for frame in reference_frames:
+        decoder.decode(frame)
+    fast_decode_s = time.perf_counter() - start
+
+    return {
+        "frames": frames,
+        "samples_per_frame": samples,
+        "hops": hops,
+        "reference_encode_us_per_frame": round(
+            reference_encode_s / frames * 1e6, 3
+        ),
+        "batch_encode_us_per_frame": round(fast_encode_s / frames * 1e6, 3),
+        "reference_decode_us_per_frame": round(
+            reference_decode_s / frames * 1e6, 3
+        ),
+        "fast_decode_us_per_frame": round(fast_decode_s / frames * 1e6, 3),
+        "encode_speedup": round(reference_encode_s / fast_encode_s, 2),
+        "decode_speedup": round(reference_decode_s / fast_decode_s, 2),
+    }
+
+
+def bench_fanout(
+    pool_size: int = 200,
+    frames: int = 100,
+    samples: int = 8,
+    hops: int = 6,
+    rounds: int = 20,
+) -> dict:
+    """Fan-out µs per frame: overlapping records, shared intern table."""
+    pool = _build_pool(pool_size, hops)
+    messages = _build_messages(pool, frames, samples, overlap=True)
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        reference_frames = [encode_message(m) for m in messages]
+    reference_encode_s = time.perf_counter() - start
+
+    intern = InternTable()
+    encoder = BatchEncoder(intern)
+    start = time.perf_counter()
+    for cycle in range(rounds):
+        encoder.begin_cycle(cycle)
+        fast_frames = [encoder.encode(m) for m in messages]
+    fast_encode_s = time.perf_counter() - start
+    if fast_frames != reference_frames:
+        raise AssertionError("batch encoder diverged from reference bytes")
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for frame in reference_frames:
+            decode_message(frame)
+    reference_decode_s = time.perf_counter() - start
+
+    decoder = FastDecoder(intern)
+    start = time.perf_counter()
+    for cycle in range(rounds):
+        intern.begin_cycle(cycle)
+        for frame in reference_frames:
+            decoder.decode(frame)
+    fast_decode_s = time.perf_counter() - start
+
+    per_frame = rounds * frames
+    return {
+        "pool_size": pool_size,
+        "frames": frames,
+        "samples_per_frame": samples,
+        "hops": hops,
+        "reference_encode_us_per_frame": round(
+            reference_encode_s / per_frame * 1e6, 3
+        ),
+        "batch_encode_us_per_frame": round(
+            fast_encode_s / per_frame * 1e6, 3
+        ),
+        "reference_decode_us_per_frame": round(
+            reference_decode_s / per_frame * 1e6, 3
+        ),
+        "fast_decode_us_per_frame": round(
+            fast_decode_s / per_frame * 1e6, 3
+        ),
+        "encode_speedup": round(reference_encode_s / fast_encode_s, 2),
+        "decode_speedup": round(reference_decode_s / fast_decode_s, 2),
+        "intern_hit_rate": round(intern.hit_rate, 4),
+    }
+
+
+def run_all() -> dict:
+    return {"frame": bench_frame(), "fanout": bench_fanout()}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=20)
+    args = parser.parse_args()
+    frame = bench_frame()
+    fanout = bench_fanout(rounds=args.rounds)
+    print(
+        "frame  : encode {reference_encode_us_per_frame:8.2f} -> "
+        "{batch_encode_us_per_frame:8.2f} us (x{encode_speedup}) | "
+        "decode {reference_decode_us_per_frame:8.2f} -> "
+        "{fast_decode_us_per_frame:8.2f} us (x{decode_speedup})".format(
+            **frame
+        )
+    )
+    print(
+        "fanout : encode {reference_encode_us_per_frame:8.2f} -> "
+        "{batch_encode_us_per_frame:8.2f} us (x{encode_speedup}) | "
+        "decode {reference_decode_us_per_frame:8.2f} -> "
+        "{fast_decode_us_per_frame:8.2f} us (x{decode_speedup}) | "
+        "intern hit rate {intern_hit_rate:.1%}".format(**fanout)
+    )
+
+
+if __name__ == "__main__":
+    main()

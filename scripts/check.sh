@@ -89,6 +89,31 @@ if recorded_batch is not None:
         f"(x{batch_ratio:.2f}, budget x{BATCH_BUDGET})"
     )
 
+# Codec fast path: re-time the fan-out decode (the per-frame cost the
+# wire transport actually pays each cycle) against the recorded
+# number.  Slightly looser than the verify kernel's budget: the codec
+# kernel is dict-probe heavy, so allocator state moves it a bit more.
+CODEC_BUDGET = 1.25
+codec_ratio = None
+recorded_codec = entry["metrics"].get("codec_fanout")
+if recorded_codec is not None:
+    if "benchmarks" not in sys.path:
+        sys.path.insert(0, "benchmarks")
+    from bench_codec import bench_fanout as bench_codec_fanout
+
+    codec = bench_codec_fanout(rounds=8)
+    codec_ratio = (
+        codec["fast_decode_us_per_frame"]
+        / recorded_codec["fast_decode_us_per_frame"]
+    )
+    print(
+        f"codec fanout decode: {codec['fast_decode_us_per_frame']:.2f} us "
+        f"vs recorded [{label}] "
+        f"{recorded_codec['fast_decode_us_per_frame']:.2f} us "
+        f"(x{codec_ratio:.2f}, budget x{CODEC_BUDGET}) | "
+        f"intern hit rate {codec['intern_hit_rate']:.1%}"
+    )
+
 report = run_scale_stress(scale=Scale.SMOKE, seed=7)
 print(report.render())
 
@@ -102,6 +127,10 @@ if batch_ratio is not None and batch_ratio > BATCH_BUDGET:
     sys.exit(
         f"batched verification kernel regressed: x{batch_ratio:.2f} "
         f"> x{BATCH_BUDGET}"
+    )
+if codec_ratio is not None and codec_ratio > CODEC_BUDGET:
+    sys.exit(
+        f"codec fast path regressed: x{codec_ratio:.2f} > x{CODEC_BUDGET}"
     )
 print("perf guard OK")
 PY
@@ -173,6 +202,15 @@ echo "== wire-transport equivalence (REPRO_TRANSPORT=wire vs golden) =="
 REPRO_TRANSPORT=wire python -m pytest -q \
     tests/properties/test_scheduler_equivalence.py \
     -k "pre_refactor and (fig3 or fig5)"
+
+# The observation screen's numpy kernel must be bit-for-bit invisible
+# too: same golden subset plus the sample-cache unit tests under
+# REPRO_OBSERVE=vectorized (the default loop mode is what tier-1 runs).
+echo "== vectorised observation equivalence (REPRO_OBSERVE=vectorized vs golden) =="
+REPRO_OBSERVE=vectorized python -m pytest -q \
+    tests/core/test_samples.py \
+    tests/properties/test_scheduler_equivalence.py \
+    -k "samples or (pre_refactor and (fig3 or fig5))"
 
 # Wire-fault plane: the fault injector and health ledger must be
 # bit-for-bit invisible while inert (tier-1 parametrises this over all

@@ -41,7 +41,8 @@ SRC = ROOT / "src"
 #: Modules the gate measures: the batched kernel, every module the
 #: sequential/batched verification paths run through, and — since the
 #: transport redesign made the codec load-bearing — the wire layer
-#: (record serialisation, message framing, transport plumbing).
+#: (record serialisation, message framing, the batch-codec fast path,
+#: transport plumbing).
 TARGET_MODULES = [
     "repro/crypto/batch.py",
     "repro/crypto/keys.py",
@@ -49,6 +50,7 @@ TARGET_MODULES = [
     "repro/crypto/signing.py",
     "repro/core/chain.py",
     "repro/core/codec.py",
+    "repro/core/codec_batch.py",
     "repro/core/descriptor.py",
     "repro/core/proofs.py",
     "repro/core/samples.py",

@@ -78,6 +78,17 @@ _TYPE_CODES = {
 _EXTENSION_ENCODERS: Dict[type, Tuple[int, Callable[["MessageWriter", Any], None]]] = {}
 _EXTENSION_DECODERS: Dict[int, Callable[["MessageReader"], Any]] = {}
 
+# Precompiled Struct objects for every primitive field width.  A
+# module-level Struct skips the format-string parse and cache probe
+# that ``struct.pack``/``unpack_from`` pay on every call — these
+# primitives run once per field of every frame, so the constant factor
+# is the whole cost.  Shared by the legacy reader/writer below and the
+# batch fast path (:mod:`repro.core.codec_batch`).
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+
 
 def register_message_codec(
     message_type: type,
@@ -122,16 +133,16 @@ class MessageWriter:
         self.parts: List[bytes] = []
 
     def u8(self, value: int) -> None:
-        self.parts.append(struct.pack(">B", value))
+        self.parts.append(_U8.pack(value))
 
     def u16(self, value: int) -> None:
-        self.parts.append(struct.pack(">H", value))
+        self.parts.append(_U16.pack(value))
 
     def u32(self, value: int) -> None:
-        self.parts.append(struct.pack(">I", value))
+        self.parts.append(_U32.pack(value))
 
     def i64(self, value: int) -> None:
-        self.parts.append(struct.pack(">q", value))
+        self.parts.append(_I64.pack(value))
 
     def raw(self, data: bytes) -> None:
         """Append ``data`` verbatim (fixed-width fields; no prefix)."""
@@ -164,29 +175,49 @@ class MessageWriter:
 
 
 class MessageReader:
-    """Mirrors :class:`MessageWriter`."""
+    """Mirrors :class:`MessageWriter`.
+
+    Every primitive raises a typed :class:`~repro.errors.CodecError`
+    when the frame runs out of bytes: malformed input is reported by
+    the reader itself, so the dispatch site in :func:`decode_message`
+    never has to catch ``struct.error`` (which would also mask decoder
+    bugs as "malformed input").  The try/except costs nothing on the
+    happy path.
+    """
 
     def __init__(self, data: bytes) -> None:
         self.data = data
         self.offset = 0
 
     def u8(self) -> int:
-        (value,) = struct.unpack_from(">B", self.data, self.offset)
+        try:
+            (value,) = _U8.unpack_from(self.data, self.offset)
+        except struct.error:
+            raise CodecError("truncated u8 field") from None
         self.offset += 1
         return value
 
     def u16(self) -> int:
-        (value,) = struct.unpack_from(">H", self.data, self.offset)
+        try:
+            (value,) = _U16.unpack_from(self.data, self.offset)
+        except struct.error:
+            raise CodecError("truncated u16 field") from None
         self.offset += 2
         return value
 
     def u32(self) -> int:
-        (value,) = struct.unpack_from(">I", self.data, self.offset)
+        try:
+            (value,) = _U32.unpack_from(self.data, self.offset)
+        except struct.error:
+            raise CodecError("truncated u32 field") from None
         self.offset += 4
         return value
 
     def i64(self) -> int:
-        (value,) = struct.unpack_from(">q", self.data, self.offset)
+        try:
+            (value,) = _I64.unpack_from(self.data, self.offset)
+        except struct.error:
+            raise CodecError("truncated i64 field") from None
         self.offset += 8
         return value
 
@@ -338,10 +369,15 @@ def decode_message(
         return message
     except CodecError:
         raise
-    except (struct.error, ValueError, IndexError, KeyError, DescriptorError) as exc:
-        # DescriptorError covers corrupt embedded records surfaced by
-        # decode_descriptor/decode_proof; re-raised as the frame-level
-        # error so callers see one exception type for "bad bytes".
+    except (ValueError, DescriptorError) as exc:
+        # Deliberately narrow: truncation is raised as CodecError by the
+        # reader primitives themselves and the registry lookup raises
+        # explicitly above, so the only things legitimately left are
+        # DescriptorError (corrupt embedded records surfaced by
+        # decode_descriptor/decode_proof) and ValueError (invalid UTF-8
+        # in string fields, out-of-range record fields).  A KeyError or
+        # IndexError escaping a decoder is a decoder *bug* and must
+        # surface as one, not masquerade as malformed input.
         raise CodecError(f"malformed message bytes: {exc}") from exc
 
 

@@ -131,6 +131,15 @@ class SecureDescriptor:
     _verified_by: object = field(
         init=False, compare=False, repr=False, default=None
     )
+    # Content-addressed fingerprint of the whole chain, the batched-
+    # verification memo key (repro.crypto.batch._content_key).  Filled
+    # lazily by the plan, or eagerly by the zero-copy wire decoder —
+    # which derives it from the record bytes it just parsed, one
+    # C-level hash instead of a per-hop Python walk.  Content-
+    # determined and immutable, so it never expires.
+    _content_key: Optional[bytes] = field(
+        init=False, compare=False, repr=False, default=None
+    )
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -279,8 +288,10 @@ class SecureDescriptor:
         fill(child, "_chain_digest", new_digest)
         # The attested digest is only consulted by full (non-memoised)
         # verification, which the memo below makes rare — computing it
-        # lazily there beats one eager hash per transfer here.
+        # lazily there beats one eager hash per transfer here.  Same
+        # for the batched-verification content key.
         fill(child, "_attested_digest", None)
+        fill(child, "_content_key", None)
         # The new hop was signed here and now with the genuine owner
         # key, so a child of a verified parent is verified by
         # construction — propagate the memo instead of re-running the

@@ -110,22 +110,37 @@ _KIND_CODES = {
 }
 _CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
 
+# Hop kinds are a closed three-element set; pre-encoding the kind byte
+# per kind turns the per-hop ``struct.pack`` into a dict probe.
+_KIND_BYTES = {kind: bytes([code]) for kind, code in _KIND_CODES.items()}
+
+# Precompiled Structs for the record layout (see repro.core.codec for
+# the rationale): the birth fields, the hop count, and the single
+# leading byte of a proof record.
+_BIRTH = struct.Struct(">IHd")
+_BIRTH_SIZE = _BIRTH.size
+_HOP_COUNT = struct.Struct(">H")
+_U8 = struct.Struct(">B")
+_U32 = struct.Struct(">I")
+
 
 def encode_descriptor(descriptor: SecureDescriptor) -> bytes:
     """Serialise a descriptor to a canonical byte string."""
     parts = [
         descriptor.creator.digest,
-        struct.pack(">IHd", descriptor.address.host, descriptor.address.port,
+        _BIRTH.pack(descriptor.address.host, descriptor.address.port,
                     descriptor.timestamp),
-        struct.pack(">H", len(descriptor.hops)),
+        _HOP_COUNT.pack(len(descriptor.hops)),
     ]
+    append = parts.append
+    kind_bytes = _KIND_BYTES
     for hop in descriptor.hops:
         # The signature's signer is implied by chain position (it is
         # the previous owner), so it is not serialised — matching the
         # paper's 512-bits-per-hop budget.
-        parts.append(hop.owner.digest)
-        parts.append(struct.pack(">B", _KIND_CODES[hop.kind]))
-        parts.append(hop.signature.mac)
+        append(hop.owner.digest)
+        append(kind_bytes[hop.kind])
+        append(hop.signature.mac)
     return b"".join(parts)
 
 
@@ -135,16 +150,16 @@ def decode_descriptor(data: bytes) -> SecureDescriptor:
         offset = 0
         creator = PublicKey(data[offset : offset + 32])
         offset += 32
-        host, port, timestamp = struct.unpack_from(">IHd", data, offset)
-        offset += struct.calcsize(">IHd")
-        (hop_count,) = struct.unpack_from(">H", data, offset)
+        host, port, timestamp = _BIRTH.unpack_from(data, offset)
+        offset += _BIRTH_SIZE
+        (hop_count,) = _HOP_COUNT.unpack_from(data, offset)
         offset += 2
         hops = []
         signer = creator
         for _ in range(hop_count):
             owner = PublicKey(data[offset : offset + 32])
             offset += 32
-            (kind_code,) = struct.unpack_from(">B", data, offset)
+            (kind_code,) = _U8.unpack_from(data, offset)
             offset += 1
             mac = data[offset : offset + 32]
             offset += 32
@@ -182,11 +197,11 @@ def encode_proof(proof: ViolationProof) -> bytes:
     second = encode_descriptor(proof.second)
     return b"".join(
         [
-            struct.pack(">B", kind_code),
+            _U8.pack(kind_code),
             proof.culprit.digest,
-            struct.pack(">I", len(first)),
+            _U32.pack(len(first)),
             first,
-            struct.pack(">I", len(second)),
+            _U32.pack(len(second)),
             second,
         ]
     )
@@ -195,14 +210,14 @@ def encode_proof(proof: ViolationProof) -> bytes:
 def decode_proof(data: bytes) -> ViolationProof:
     """Inverse of :func:`encode_proof`."""
     try:
-        (kind_code,) = struct.unpack_from(">B", data, 0)
+        (kind_code,) = _U8.unpack_from(data, 0)
         culprit = PublicKey(data[1:33])
         offset = 33
-        (first_len,) = struct.unpack_from(">I", data, offset)
+        (first_len,) = _U32.unpack_from(data, offset)
         offset += 4
         first = decode_descriptor(data[offset : offset + first_len])
         offset += first_len
-        (second_len,) = struct.unpack_from(">I", data, offset)
+        (second_len,) = _U32.unpack_from(data, offset)
         offset += 4
         second = decode_descriptor(data[offset : offset + second_len])
         offset += second_len

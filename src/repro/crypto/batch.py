@@ -95,7 +95,22 @@ def _content_key(descriptor: SecureDescriptor) -> bytes:
     registry's trusted-digest cache makes — which is what lets
     verdicts (including structural rejections) be shared across
     copies.
+
+    The key is cached on the descriptor (``_content_key``): it is
+    content-determined and descriptors are immutable, so it never goes
+    stale.  The zero-copy wire decoder pre-fills the slot with a
+    *domain-separated* fingerprint of the canonical record bytes it
+    just parsed (see :mod:`repro.core.codec_batch`) — a different but
+    equally injective encoding of the same content, distinguished by a
+    BLAKE2b ``person`` tag so the two schemes can never collide with
+    each other.  Copies keyed under different schemes simply occupy
+    two memo entries (one extra verification per distinct chain per
+    cycle at worst); copies keyed under the same scheme share, which
+    is the case that carries the traffic.
     """
+    cached = descriptor._content_key
+    if cached is not None:
+        return cached
     address = descriptor.address
     ts_bytes = repr(descriptor.timestamp).encode("ascii")
     parts = [
@@ -114,7 +129,9 @@ def _content_key(descriptor: SecureDescriptor) -> bytes:
         append(signature.signer.digest)
         append(len(mac).to_bytes(4, "big"))
         append(mac)
-    return hashlib.blake2b(b"".join(parts), digest_size=32).digest()
+    key = hashlib.blake2b(b"".join(parts), digest_size=32).digest()
+    object.__setattr__(descriptor, "_content_key", key)
+    return key
 
 
 class _PendingChain:

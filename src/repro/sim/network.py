@@ -243,10 +243,16 @@ class Network:
         """Cycle-boundary hook: decay health scores, release quarantines.
 
         Both schedulers call this once per protocol cycle; a no-op when
-        no ledger is installed.
+        no ledger is installed.  Also ticks the message transport's
+        codec cycle (when the transport has one — the wire transport's
+        encode memos and intern tables are cycle-scoped; see
+        :mod:`repro.core.codec_batch`).
         """
         if self._health is not None:
             self._health.tick(cycle)
+        begin_cycle = getattr(self._msg_transport, "begin_cycle", None)
+        if begin_cycle is not None:
+            begin_cycle(cycle)
 
     def call_later(self, delay_s: float, callback: Callable[[], None]) -> bool:
         """Defer ``callback()`` by ``delay_s`` of virtual time.

@@ -149,18 +149,44 @@ class WireTransport(Transport):
         # transitively imports repro.sim; binding at construction time
         # keeps this module import-light and cycle-free.
         from repro.core.codec import decode_message, encode_message
+        from repro.core.codec_batch import (
+            BatchEncoder,
+            FastDecoder,
+            InternTable,
+        )
 
+        # Reference codec, kept addressable for tests and subclasses
+        # that want the unmemoised per-frame path.
         self._encode = encode_message
         self._decode = decode_message
+        # Fast path (repro.core.codec_batch): byte-identical frames,
+        # cycle-scoped encode memos and a shared atom intern table.
+        # Frames stay ``bytes`` — never memoryview — because the
+        # FaultInjector's byte faults apply only to real byte frames.
+        self.intern = InternTable()
+        self.encoder = BatchEncoder(self.intern)
+        self.decoder = FastDecoder(self.intern)
 
     def encode(self, payload: Any) -> bytes:
-        return self._encode(payload)
+        return self.encoder.encode(payload)
 
     def decode(self, wire: bytes) -> Any:
-        return self._decode(wire)
+        return self.decoder.decode(wire)
 
     def wire_size(self, wire: bytes) -> int:
         return len(wire)
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Start a codec cycle: drop the previous cycle's memos.
+
+        Called once per cycle from ``Network.health_tick`` (both
+        schedulers tick it); idempotent per cycle number.  Harnesses
+        that never tick cycles are still safe — every memo is
+        size-capped and content- or identity-addressed, so clearing
+        late affects memory, never bytes.
+        """
+        self.encoder.begin_cycle(cycle)
+        self.intern.begin_cycle(cycle)
 
 
 #: Sentinel returned by :meth:`FaultInjector.apply` when the frame is

@@ -23,6 +23,12 @@ from repro.core.codec import (
     encoded_message_size,
     register_message_codec,
 )
+from repro.core.codec_batch import (
+    BatchEncoder,
+    FastDecoder,
+    InternTable,
+    split_frames,
+)
 from repro.core.descriptor import mint, verify_descriptor
 from repro.core.exchange import (
     BulkSwapMessage,
@@ -442,3 +448,228 @@ def test_unencodable_cyclon_node_id_rejected():
                 )
             )
         )
+
+
+# ----------------------------------------------------------------------
+# Batch-codec fast path: byte identity and decode equivalence
+# ----------------------------------------------------------------------
+#
+# The WireTransport runs repro.core.codec_batch, not the reference
+# codec, so everything the properties above pin about the reference
+# must also be pinned *between* the two implementations: the batch
+# encoder's bytes are the reference bytes, and the fast decoder's
+# accept/reject set (including exception types) is the reference set.
+
+
+@given(message=messages())
+@settings(max_examples=120, deadline=None)
+def test_batch_encoder_bytes_identical_to_reference(message):
+    """Batch-encoded frames are byte-for-byte the reference encoding.
+
+    Covers all ten registered message types, including the
+    extension-registry Cyclon shuffles (which the batch encoder must
+    delegate, not re-implement).
+    """
+    assert BatchEncoder().encode(message) == encode_message(message)
+
+
+@given(batch=st.lists(messages(), max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_encode_frames_identical_to_framed_concatenation(batch):
+    """A batched fan-out is the concatenation of u32-prefixed frames."""
+    encoder = BatchEncoder()
+    expected = b"".join(
+        struct.pack(">I", len(frame)) + frame
+        for frame in map(encode_message, batch)
+    )
+    buffer = encoder.encode_frames(batch)
+    assert buffer == expected
+    assert split_frames(buffer) == [encode_message(m) for m in batch]
+
+
+@given(message=messages(), cycles=st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_batch_encoder_memo_and_cycle_tick_preserve_bytes(message, cycles):
+    """Memoised re-encodes stay byte-identical across cycle boundaries.
+
+    The first encode fills the id-keyed memos; the second must hit them
+    (same object) and return the same bytes; a begin_cycle tick drops
+    the memos and a third encode must rebuild the identical frame.
+    """
+    encoder = BatchEncoder(InternTable())
+    reference = encode_message(message)
+    assert encoder.encode(message) == reference
+    assert encoder.encode(message) == reference
+    for cycle in range(cycles):
+        encoder.begin_cycle(cycle)
+        assert encoder.encode(message) == reference
+
+
+@given(message=messages())
+@settings(max_examples=120, deadline=None)
+def test_fast_decoder_equivalent_on_valid_frames(message):
+    """FastDecoder(frame) == decode_message(frame) on every valid frame."""
+    frame = encode_message(message)
+    decoded = FastDecoder().decode(frame)
+    assert decoded == decode_message(frame)
+    assert decoded == message
+
+
+def _assert_decoders_agree(data):
+    """Both decoders accept with equal results or raise the same type."""
+    reference_error = reference_message = None
+    try:
+        reference_message = decode_message(data)
+    except CodecError as exc:
+        reference_error = exc
+    fast_error = fast_message = None
+    try:
+        fast_message = FastDecoder().decode(data)
+    except CodecError as exc:
+        fast_error = exc
+    if reference_error is None:
+        assert fast_error is None, (
+            f"reference accepted, fast raised {fast_error!r}"
+        )
+        assert fast_message == reference_message
+    else:
+        assert fast_error is not None, (
+            f"reference raised {reference_error!r}, fast accepted"
+        )
+        assert type(fast_error) is type(reference_error)
+
+
+@given(message=messages(), mutation=st.data())
+@settings(max_examples=100, deadline=None)
+def test_fast_decoder_equivalent_under_bit_flips(message, mutation):
+    """Mutation fuzz: both decoders agree on bit-flipped valid frames.
+
+    Byte-level agreement on the *reject* side matters as much as the
+    accept side: the fault-injection suite counts typed rejections, so
+    a fast path that rejected more (or less, or differently) would
+    change measured robustness numbers.
+    """
+    data = bytearray(encode_message(message))
+    flips = mutation.draw(st.integers(min_value=1, max_value=8))
+    for _ in range(flips):
+        index = mutation.draw(
+            st.integers(min_value=0, max_value=len(data) - 1)
+        )
+        bit = mutation.draw(st.integers(min_value=0, max_value=7))
+        data[index] ^= 1 << bit
+    _assert_decoders_agree(bytes(data))
+
+
+@given(message=messages(), cut=st.data())
+@settings(max_examples=60, deadline=None)
+def test_fast_decoder_equivalent_under_truncation(message, cut):
+    """Every strict prefix is rejected by both decoders, same type."""
+    data = encode_message(message)
+    if len(data) < 2:
+        return
+    prefix = cut.draw(st.integers(min_value=0, max_value=len(data) - 1))
+    _assert_decoders_agree(data[:prefix])
+
+
+@given(first=messages(), second=messages(), splice=st.data())
+@settings(max_examples=60, deadline=None)
+def test_fast_decoder_equivalent_under_splices(first, second, splice):
+    """Head-of-one-frame + tail-of-another: both decoders agree."""
+    head = encode_message(first)
+    tail = encode_message(second)
+    cut_head = splice.draw(st.integers(min_value=0, max_value=len(head)))
+    cut_tail = splice.draw(st.integers(min_value=0, max_value=len(tail)))
+    _assert_decoders_agree(head[:cut_head] + tail[cut_tail:])
+
+
+@given(garbage=st.binary(max_size=300))
+@settings(max_examples=150, deadline=None)
+def test_fast_decoder_equivalent_on_random_bytes(garbage):
+    _assert_decoders_agree(garbage)
+
+
+def test_fast_decoder_oversize_before_parsing():
+    """The frame ceiling fires first, as the oversize subclass."""
+    frame = encode_message(GossipReject(reason="x" * 100, proofs=()))
+    decoder = FastDecoder()
+    assert decoder.decode(frame, max_frame_bytes=len(frame)) is not None
+    with pytest.raises(FrameOversizeError):
+        decoder.decode(frame, max_frame_bytes=len(frame) - 1)
+    with pytest.raises(FrameOversizeError):
+        decoder.decode(frame + b"\x00" * MAX_FRAME_BYTES)
+    # And with the ceiling disabled, trailing garbage is a parse error.
+    with pytest.raises(CodecError):
+        decoder.decode(frame + b"\x00", max_frame_bytes=None)
+
+
+def test_fast_decoder_accepts_bytearray_frames():
+    """Fault injectors hand bytearray frames; both decoders take them."""
+    message = BulkSwapMessage(descriptors=())
+    frame = bytearray(encode_message(message))
+    assert FastDecoder().decode(frame) == message
+
+
+def test_interned_decode_shares_atoms_but_not_shells():
+    """Two decodes share immutable atoms, never descriptor objects.
+
+    The wire-mode contract (pinned for the reference decoder in
+    tests/sim/test_transport.py) is that receivers never share
+    descriptor instances or verification state.  The intern table must
+    only ever share the *immutable* atoms below the shell: keys, hops,
+    identities.
+    """
+    descriptor = mint(_KEYPAIRS[0], NetworkAddress(host=5, port=5), 2.0)
+    descriptor = descriptor.transfer(_KEYPAIRS[0], _KEYPAIRS[1].public)
+    frame = encode_message(TransferMessage(descriptor=descriptor, round_index=0))
+    decoder = FastDecoder()
+    first = decoder.decode(frame).descriptor
+    second = decoder.decode(frame).descriptor
+    assert first == second
+    assert first is not second
+    assert first is not descriptor
+    # Atoms are interned by content...
+    assert first.creator is second.creator
+    assert first.identity is second.identity
+    assert first.hops is second.hops
+    # ...and the verification cache slots start clean on every shell.
+    assert first._verified_by is None and second._verified_by is None
+    assert first._chain_digest is None and second._chain_digest is None
+    assert verify_descriptor(first, _REGISTRY)
+    # Verifying one shell must not have marked the other.
+    assert second._verified_by is None
+
+
+def test_decoded_content_key_feeds_encoder_memo():
+    """Decode fills _content_key; re-encoding the copy is a dict probe."""
+    intern = InternTable()
+    decoder = FastDecoder(intern)
+    encoder = BatchEncoder(intern)
+    descriptor = mint(_KEYPAIRS[2], NetworkAddress(host=6, port=6), 3.0)
+    frame = encode_message(TransferMessage(descriptor=descriptor, round_index=1))
+    decoded = decoder.decode(frame).descriptor
+    assert decoded._content_key is not None
+    # Re-sending the received descriptor reproduces the reference bytes
+    # through the content-key memo the decoder filled.
+    reply = TransferReply(descriptor=decoded)
+    assert encoder.encode(reply) == encode_message(reply)
+    assert encoder.descriptor_hits >= 1
+
+
+def test_intern_table_persists_across_cycles_and_stays_bounded():
+    """Content-addressed maps survive the cycle tick; clear() drops them."""
+    intern = InternTable()
+    decoder = FastDecoder(intern)
+    descriptor = mint(_KEYPAIRS[3], NetworkAddress(host=7, port=7), 4.0)
+    frame = encode_message(TransferMessage(descriptor=descriptor, round_index=2))
+    decoder.decode(frame)
+    assert intern.stats()["records"] == 1
+    intern.begin_cycle(1)
+    # A content-addressed entry cannot go stale, so the tick retains it:
+    # cycle-N receives are re-sent in cycle N+1.
+    assert intern.stats()["records"] == 1
+    before_hits = intern.hits
+    decoder.decode(frame)
+    assert intern.hits > before_hits
+    intern.clear()
+    assert intern.stats()["records"] == 0
+    assert 0.0 <= intern.hit_rate <= 1.0
