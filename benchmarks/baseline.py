@@ -215,6 +215,51 @@ def bench_paper_scale(include_10k: bool) -> dict:
     return metrics
 
 
+def bench_scale_sharded(include_10k: bool) -> dict:
+    """The sharded-engine wall-time runs (free-running + determinism).
+
+    Each measurement runs in a fresh subprocess for the same allocator
+    hygiene as :func:`bench_paper_scale` — doubly important here, since
+    each run forks worker processes off the measuring interpreter.  The
+    free-running rows are directly comparable to the ``scale_1000x50``
+    rows above (same shape, same seed); the deterministic row records
+    the bit-exactness check's verdict alongside its cost.
+    """
+    import json as json_module
+    import subprocess
+    import sys
+
+    shapes = [(1000, 50, 2, "free"), (1000, 50, 4, "free")]
+    if include_10k:
+        shapes.append((10000, 3, 2, "free"))
+    shapes.append((200, 10, 2, "deterministic"))
+    metrics = {}
+    for nodes, cycles, shards, mode in shapes:
+        script = (
+            "import dataclasses, json\n"
+            "from repro.experiments.scale_sharded import measure_sharded\n"
+            f"row = measure_sharded({nodes}, {cycles}, {shards}, "
+            f"mode={mode!r}, seed=42, "
+            f"check_determinism={mode == 'deterministic'})\n"
+            "print(json.dumps(dataclasses.asdict(row)))\n"
+        )
+        output = subprocess.check_output(
+            [sys.executable, "-c", script], text=True
+        )
+        row = json_module.loads(output.strip().splitlines()[-1])
+        key = f"scale_sharded_{nodes}x{cycles}_{mode}_{shards}shards"
+        entry = {
+            "build_s": row["build_seconds"],
+            "run_s": row["run_seconds"],
+            "per_cycle_ms": row["per_cycle_ms"],
+            "mean_view_fill": row["mean_view_fill"],
+        }
+        if row["deterministic_match"] is not None:
+            entry["bit_exact"] = row["deterministic_match"]
+        metrics[key] = entry
+    return metrics
+
+
 def bench_event_cycle(rounds: int) -> dict:
     """The same 200-node workload under the event-driven runtime.
 
@@ -259,6 +304,7 @@ def record(
     output: pathlib.Path,
     paper_scale: bool = False,
     include_10k: bool = False,
+    sharded: bool = False,
 ) -> dict:
     metrics = bench_micro()
     metrics.update(bench_full_cycle(rounds))
@@ -272,6 +318,8 @@ def record(
     metrics.update(bench_codec_fastpath())
     if paper_scale:
         metrics.update(bench_paper_scale(include_10k=include_10k))
+    if sharded:
+        metrics.update(bench_scale_sharded(include_10k=include_10k))
     entry = {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "metrics": metrics,
@@ -311,6 +359,12 @@ def main() -> None:
         action="store_true",
         help="with --paper-scale: also record the 10K-node full-cycle run",
     )
+    parser.add_argument(
+        "--sharded",
+        action="store_true",
+        help="also record the sharded-engine wall-time runs "
+        "(honours --include-10k for the 10K free-running row)",
+    )
     args = parser.parse_args()
     entry = record(
         args.label,
@@ -318,6 +372,7 @@ def main() -> None:
         args.output,
         paper_scale=args.paper_scale,
         include_10k=args.include_10k,
+        sharded=args.sharded,
     )
     print(f"[{args.label}] -> {args.output}")
     print(json.dumps(entry, indent=2))

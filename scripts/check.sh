@@ -223,3 +223,16 @@ python -m pytest -q tests/properties/test_scheduler_equivalence.py \
     -k "inert_fault_subsystem and object and (fig3 or fig5)"
 REPRO_SCALE=smoke timeout 300 python -m repro.experiments wire_faults > /dev/null
 echo "wire_faults smoke-run ok"
+
+# Sharded engine: deterministic-mode worker fleets must be bit-for-bit
+# the single-process engine.  Tier-1 runs the full fig x shard-count
+# matrix (marker: golden_shard); this step names the guard on a cheap
+# subset — one multi-overlay capture at 2 shards, one probe capture at
+# 4 — and then smoke-runs the scale_sharded experiment end to end
+# (which includes its own free-running and bit-exactness-checked rows).
+echo "== sharded-engine equivalence (fork fleets vs golden; scale_sharded smoke-run) =="
+python -m pytest -q \
+    "tests/sim/test_shard_equivalence.py::test_sharded_runs_match_goldens[fig3-2]" \
+    "tests/sim/test_shard_equivalence.py::test_sharded_runs_match_goldens[fig2-4]"
+REPRO_SCALE=smoke timeout 300 python -m repro.experiments scale_sharded > /dev/null
+echo "scale_sharded smoke-run ok"

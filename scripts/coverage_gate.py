@@ -57,6 +57,8 @@ TARGET_MODULES = [
     "repro/core/wire.py",
     "repro/cyclon/codec.py",
     "repro/sim/transport.py",
+    "repro/sim/shard.py",
+    "repro/sim/shardcoord.py",
 ]
 
 #: Tests that exercise those modules (kept narrow so the stdlib tracer
@@ -72,6 +74,9 @@ TARGET_TESTS = [
     "tests/properties/test_codec_roundtrip.py",
     "tests/sim/test_transport.py",
     "tests/sim/test_wire_faults.py",
+    "tests/sim/test_shard_router.py",
+    "tests/sim/test_shard_unit.py",
+    "tests/sim/test_shard_failures.py",
 ]
 
 #: Measured 91.6% when the gate landed (stdlib engine), 94.3% after
@@ -113,6 +118,8 @@ def run_with_pytest_cov() -> int:
 
 
 def run_with_stdlib_trace(report: bool) -> int:
+    import threading
+
     import pytest
 
     tracer = trace.Trace(
@@ -120,9 +127,17 @@ def run_with_stdlib_trace(report: bool) -> int:
         trace=0,
         ignoredirs=[sys.prefix, sys.exec_prefix],
     )
-    exit_code = tracer.runfunc(
-        pytest.main, ["-q", "-p", "no:cacheprovider", *TARGET_TESTS]
-    )
+    # ``Trace.runfunc`` only installs the tracer on the calling thread;
+    # the shard tests run worker loops on *threads* (the in-process
+    # backend), so new threads must inherit the same tracer or the
+    # whole worker side of shard.py would read as uncovered.
+    threading.settrace(tracer.globaltrace)
+    try:
+        exit_code = tracer.runfunc(
+            pytest.main, ["-q", "-p", "no:cacheprovider", *TARGET_TESTS]
+        )
+    finally:
+        threading.settrace(None)
     if exit_code != 0:
         print(f"coverage gate: gated tests failed (pytest exit {exit_code})")
         return int(exit_code)

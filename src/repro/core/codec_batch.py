@@ -564,6 +564,22 @@ class FastDecoder:
             # records (DescriptorError from decode_proof).
             raise CodecError(f"malformed message bytes: {exc}") from exc
 
+    def decode_frames(
+        self, data: bytes, max_frame_bytes: Optional[int] = MAX_FRAME_BYTES
+    ) -> List[Any]:
+        """Decode a whole :meth:`BatchEncoder.encode_frames` buffer.
+
+        The shard boundary's receive path: one ``recv`` hands over a
+        length-prefixed buffer, :func:`split_frames` walks the
+        prefixes, and each frame decodes through the shared intern
+        table — so descriptors repeated across a fan-out are built
+        once per worker, exactly like the in-process wire transport.
+        """
+        return [
+            self.decode(frame, max_frame_bytes)
+            for frame in split_frames(data)
+        ]
+
     # ------------------------------------------------------------------
     # record parsing
     # ------------------------------------------------------------------

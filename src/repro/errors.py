@@ -94,3 +94,31 @@ class PeerQuarantined(PeerUnreachable):
 
 class SimulationError(ReproError):
     """The simulation engine detected an inconsistent state."""
+
+
+class ShardFailure(SimulationError):
+    """A sharded run lost a worker or hit a protocol violation.
+
+    Raised by the shard coordinator (:mod:`repro.sim.shardcoord`) when
+    a worker process dies mid-run, reports an exception, or the
+    control-plane handshake is violated.  The coordinator tears the
+    whole fleet down before raising, so a failed sharded capture never
+    leaves half-written results or orphan processes behind.
+    """
+
+
+class ShardTimeout(ShardFailure):
+    """A shard went silent past the coordinator's deadline.
+
+    Subclasses :class:`ShardFailure` because callers handle both the
+    same way — the run is dead; the distinction only matters for
+    diagnostics (a hung worker vs a crashed one).
+    """
+
+
+class ShardRemoteError(ShardFailure):
+    """A cross-shard request raised on the remote shard.
+
+    Carries the remote exception's type name and message; the original
+    traceback lives in the worker that raised it.
+    """

@@ -32,12 +32,17 @@ from repro.experiments import (
     netcost_table,
 )
 from repro.experiments import scale as scale_benchmark
+from repro.experiments import scale_sharded as scale_sharded_benchmark
 from repro.experiments.scale import Scale
 
 EXPERIMENTS = {
     "scale": (
         scale_benchmark.run_paper_scale,
         scale_benchmark.render_paper_scale,
+    ),
+    "scale_sharded": (
+        scale_sharded_benchmark.run_scale_sharded,
+        scale_sharded_benchmark.render,
     ),
     "fig2": (fig2_indegree.run_fig2, fig2_indegree.render),
     "fig3": (fig3_cyclon_takeover.run_fig3, fig3_cyclon_takeover.render),

@@ -25,6 +25,12 @@ def run_with_probes(
     the overlay elsewhere.  Probes sample at cycle boundaries under
     both runtimes, so the resulting series are directly comparable.
     """
+    from repro.sim import shardcoord
+
+    if shardcoord.active_context() is not None:
+        return shardcoord.run_with_probes_sharded(
+            overlay, cycles, probes, every=every, runtime=runtime
+        )
     if runtime is not None:
         overlay.engine.use_scheduler(make_scheduler(runtime))
     observer = SeriesObserver(probes, every=every)

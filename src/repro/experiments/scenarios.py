@@ -40,6 +40,11 @@ class Overlay:
         return self.engine.nodes
 
     def run(self, cycles: int) -> None:
+        from repro.sim import shardcoord
+
+        if shardcoord.active_context() is not None:
+            shardcoord.run_overlay_sharded(self, cycles)
+            return
         self.engine.run(cycles)
 
 

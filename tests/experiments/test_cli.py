@@ -22,6 +22,7 @@ def test_every_figure_is_wired():
         "timing_attack",
         "wire_faults",
         "scale",
+        "scale_sharded",
     }
 
 

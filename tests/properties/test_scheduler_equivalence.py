@@ -78,6 +78,7 @@ def test_batched_verification_matches_goldens(name, monkeypatch):
     assert _CAPTURES[name]() + "\n" == expected
 
 
+@pytest.mark.golden_wire
 @pytest.mark.parametrize("verification", ["sequential", "batched"])
 @pytest.mark.parametrize("name", sorted(_CAPTURES))
 def test_wire_transport_matches_goldens(name, verification, monkeypatch):

@@ -1,0 +1,67 @@
+"""Differential equivalence suite for the sharded engine.
+
+The determinism contract (docs/SHARDING.md): a deterministic-mode
+sharded run is **bit-for-bit** the single-process engine — same RNG
+stream consumption, same activation order, same views, same series.
+The committed golden files under ``tests/properties/golden/`` are the
+pre-scheduler-refactor fig2/3/5/6/7 smoke captures that every engine
+refactor since has reproduced byte-for-byte; here the same bar gates
+the shard boundary: the unchanged figure harnesses run under a
+``sharded(N)`` context, which forks one worker per shard and routes
+every cross-shard dialogue leg and push through ``encode_frames``
+buffers over sockets, and the rendered output must still match the
+goldens exactly, at 1, 2 and 4 shards.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import (
+    fig2_indegree,
+    fig3_cyclon_takeover,
+    fig5_hub_defense,
+    fig6_depletion,
+    fig7_redemption,
+)
+from repro.experiments.scale import Scale
+from repro.sim.shardcoord import sharded
+
+GOLDEN = pathlib.Path(__file__).parent.parent / "properties" / "golden"
+
+_CAPTURES = {
+    "fig2": lambda: fig2_indegree.render(
+        fig2_indegree.run_fig2(scale=Scale.SMOKE, seed=1)
+    ),
+    "fig3": lambda: fig3_cyclon_takeover.render(
+        fig3_cyclon_takeover.run_fig3(scale=Scale.SMOKE, seed=1)
+    ),
+    "fig5": lambda: fig5_hub_defense.render(
+        fig5_hub_defense.run_fig5(scale=Scale.SMOKE, seed=1)
+    ),
+    "fig6": lambda: fig6_depletion.render(
+        fig6_depletion.run_fig6(scale=Scale.SMOKE, seed=1)
+    ),
+    "fig7": lambda: fig7_redemption.render(
+        fig7_redemption.run_fig7(scale=Scale.SMOKE, seed=1)
+    ),
+}
+
+
+@pytest.mark.golden_shard
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("name", sorted(_CAPTURES))
+def test_sharded_runs_match_goldens(name, shards):
+    """N-shard deterministic runs are bit-for-bit the 1-process engine.
+
+    Every capture below builds its overlays through the unchanged
+    figure harness; the ambient context reroutes each ``Overlay.run`` /
+    ``run_with_probes`` through a fresh worker fleet.  Byte equality of
+    the rendered tables is deliberately the strongest possible check:
+    it covers every sampled series value, every final view, and every
+    trace-derived count the figures report.
+    """
+    expected = (GOLDEN / f"{name}.txt").read_text(encoding="utf-8")
+    with sharded(shards):
+        got = _CAPTURES[name]() + "\n"
+    assert got == expected

@@ -1,0 +1,149 @@
+"""Crash-robustness of the shard coordinator.
+
+A sharded run must never hang and never present a partial result: a
+dead worker, a silent worker, or an invalid configuration all surface
+as a typed :class:`~repro.errors.ShardFailure` (or its
+:class:`~repro.errors.ShardTimeout` subclass for deadline expiry), and
+the coordinator tears the whole fleet down before raising.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+import repro.sim.shard as shard_module
+from repro.core.config import SecureCyclonConfig
+from repro.errors import ShardFailure, ShardTimeout
+from repro.experiments.scenarios import build_secure_overlay
+from repro.sim.shardcoord import ShardedSession, sharded
+
+
+def _overlay(seed=11, n=16):
+    return build_secure_overlay(
+        n=n,
+        config=SecureCyclonConfig(view_length=6, swap_length=3),
+        seed=seed,
+    )
+
+
+def test_killed_worker_raises_shard_failure_not_a_hang():
+    session = ShardedSession(_overlay(), 2, deadline_s=30.0)
+    session.start()
+    session._workers[1].kill()
+    started = time.monotonic()
+    with pytest.raises(ShardFailure):
+        session.run_cycles(3)
+    # EOF detection, not deadline expiry, must be what fired.
+    assert time.monotonic() - started < 10.0
+    assert not any(worker.is_alive() for worker in session._workers)
+    session.close()
+
+
+def test_worker_killed_mid_cycle_raises_shard_failure(monkeypatch):
+    # Stall both workers inside the cycle (the hook is read post-fork,
+    # monkeypatched pre-fork so children inherit it), then kill one
+    # while the coordinator is blocked collecting BEGIN_DONE.
+    monkeypatch.setattr(shard_module, "_TEST_STALL_S", 10.0)
+    session = ShardedSession(_overlay(), 2, deadline_s=60.0)
+    session.start()
+    killer = threading.Timer(0.3, session._workers[0].kill)
+    killer.start()
+    started = time.monotonic()
+    try:
+        with pytest.raises(ShardFailure):
+            session.run_cycles(1)
+    finally:
+        killer.cancel()
+    assert time.monotonic() - started < 10.0
+    session.close()
+
+
+def test_silent_shard_honours_the_configured_deadline(monkeypatch):
+    monkeypatch.setattr(shard_module, "_TEST_STALL_S", 30.0)
+    session = ShardedSession(_overlay(), 2, deadline_s=1.0)
+    session.start()
+    started = time.monotonic()
+    with pytest.raises(ShardTimeout):
+        session.run_cycles(1)
+    elapsed = time.monotonic() - started
+    assert 1.0 <= elapsed < 10.0
+    assert not any(worker.is_alive() for worker in session._workers)
+    session.close()
+
+
+def test_failure_tears_the_whole_fleet_down():
+    session = ShardedSession(_overlay(), 4, deadline_s=30.0)
+    session.start()
+    pids = [worker.pid for worker in session._workers]
+    session._workers[2].kill()
+    with pytest.raises(ShardFailure):
+        session.run_cycles(2)
+    for worker in session._workers or []:
+        assert not worker.is_alive()
+    # close() is idempotent and the session refuses further driving.
+    session.close()
+    with pytest.raises(ShardFailure):
+        session.run_cycles(1)
+    assert len(pids) == 4
+
+
+# ----------------------------------------------------------------------
+# configuration rejections (typed, raised before any fork)
+# ----------------------------------------------------------------------
+
+
+def test_churn_schedules_are_rejected():
+    overlay = _overlay()
+    overlay.engine._churn.crash(5, next(iter(overlay.engine.nodes)))
+    with pytest.raises(ShardFailure):
+        ShardedSession(overlay, 2)
+
+
+def test_event_runtime_is_rejected():
+    overlay = build_secure_overlay(
+        n=12,
+        config=SecureCyclonConfig(view_length=6, swap_length=3),
+        seed=3,
+        runtime="event",
+    )
+    with pytest.raises(ShardFailure):
+        ShardedSession(overlay, 2)
+
+
+def test_deterministic_mode_rejects_message_loss():
+    from repro.sim.channel import DropPolicy
+    from repro.sim.engine import SimConfig
+
+    overlay = build_secure_overlay(
+        n=12,
+        config=SecureCyclonConfig(view_length=6, swap_length=3),
+        seed=3,
+        sim_config=SimConfig(
+            seed=3, drop_policy=DropPolicy(request_loss=0.1)
+        ),
+    )
+    with pytest.raises(ShardFailure):
+        ShardedSession(overlay, 2, mode="deterministic")
+
+
+def test_bad_mode_backend_and_shard_count_are_rejected():
+    overlay = _overlay()
+    with pytest.raises(ShardFailure):
+        ShardedSession(overlay, 0)
+    with pytest.raises(ShardFailure):
+        ShardedSession(overlay, 2, mode="chaotic")
+    with pytest.raises(ShardFailure):
+        ShardedSession(overlay, 2, backend="greenlet")
+    with pytest.raises(ShardFailure):
+        ShardedSession(overlay, 2, backend="thread")  # no replica_factory
+
+
+def test_an_overlay_cannot_run_twice_under_a_sharded_context():
+    overlay = _overlay()
+    with sharded(2):
+        overlay.run(2)
+        with pytest.raises(ShardFailure):
+            overlay.run(2)

@@ -1,0 +1,196 @@
+"""Property tests for the shard router and the cross-shard frame path.
+
+Two pillars of the sharded engine that must hold for *any* node-id
+population, not just the seeds the figures use:
+
+* :class:`~repro.sim.shard.ShardPlan` — the consistent-hashing
+  partition function must be **total** (every id maps to exactly one
+  shard), **stable** (an id's shard depends on nothing but the id and
+  the ring — joins and leaves move nobody), **monotone** (growing the
+  ring only moves ids *to* the new shards) and **balanced** within
+  generous bounds.
+
+* The cross-shard data plane — a payload framed with
+  ``BatchEncoder.encode_frames``, shipped through a real
+  ``socket.socketpair``, split with ``split_frames`` and decoded by
+  ``FastDecoder`` must come back byte-identical when re-encoded: the
+  socket hop adds nothing and loses nothing.
+"""
+
+import random
+import socket
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec_batch import (
+    BatchEncoder,
+    FastDecoder,
+    InternTable,
+    split_frames,
+)
+from repro.core.descriptor import mint
+from repro.core.exchange import GossipOpen
+from repro.crypto.registry import KeyRegistry
+from repro.sim.network import NetworkAddress
+from repro.sim.shard import ShardPlan
+
+_REGISTRY = KeyRegistry()
+_RNG = random.Random(13)
+_KEYPAIRS = [_REGISTRY.new_keypair(_RNG) for _ in range(8)]
+
+
+def _node_ids(draw_ints):
+    """Map drawn integers onto the id shapes the simulator uses."""
+    return [_KEYPAIRS[i % len(_KEYPAIRS)].public for i in draw_ints]
+
+
+node_id_lists = st.lists(
+    st.one_of(
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.text(min_size=0, max_size=24),
+        st.binary(min_size=0, max_size=24),
+        st.integers(0, 7).map(lambda i: _KEYPAIRS[i].public),
+    ),
+    min_size=0,
+    max_size=200,
+    unique=True,
+)
+
+shard_counts = st.integers(min_value=1, max_value=8)
+
+
+@given(ids=node_id_lists, shards=shard_counts)
+@settings(max_examples=50, deadline=None)
+def test_partition_is_total(ids, shards):
+    plan = ShardPlan(shards)
+    parts = plan.partition(ids)
+    assert len(parts) == shards
+    flattened = [node_id for part in parts for node_id in part]
+    assert sorted(flattened, key=repr) == sorted(ids, key=repr)
+    for node_id in ids:
+        assert 0 <= plan.shard_of(node_id) < shards
+
+
+@given(ids=node_id_lists, shards=shard_counts, data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_partition_is_stable_under_joins_and_leaves(ids, shards, data):
+    """An id's shard never depends on which other ids exist."""
+    plan = ShardPlan(shards)
+    before = {node_id: plan.shard_of(node_id) for node_id in ids}
+    survivors = data.draw(st.sets(st.sampled_from(ids)) if ids else st.just(set()))
+    # Leaves: the survivors keep their shards.
+    for node_id in survivors:
+        assert plan.shard_of(node_id) == before[node_id]
+    # Joins: new ids change nothing for the existing population.
+    for node_id in ids:
+        assert plan.shard_of(node_id) == before[node_id]
+
+
+@given(ids=node_id_lists, shards=st.integers(min_value=1, max_value=7))
+@settings(max_examples=50, deadline=None)
+def test_partition_is_monotone_when_the_ring_grows(ids, shards):
+    """Going from N to N+1 shards only moves ids to the new shard."""
+    small = ShardPlan(shards)
+    large = ShardPlan(shards + 1)
+    for node_id in ids:
+        before, after = small.shard_of(node_id), large.shard_of(node_id)
+        assert after == before or after == shards
+
+
+def test_partition_is_balanced_within_bounds():
+    """128 vnodes/shard keep the split within loose bounds at scale.
+
+    Consistent hashing is balanced only in expectation; with the fixed
+    ring this repo ships the bound below is deterministic, and it is
+    deliberately generous — the property that matters is "no shard gets
+    starved or doubled", not perfect equality.
+    """
+    rng = random.Random(99)
+    registry = KeyRegistry()
+    ids = [registry.new_keypair(rng).public for _ in range(2000)]
+    for shards in (2, 4, 8):
+        plan = ShardPlan(shards)
+        sizes = [len(part) for part in plan.partition(ids)]
+        fair = len(ids) / shards
+        assert min(sizes) > fair * 0.5, (shards, sizes)
+        assert max(sizes) < fair * 1.6, (shards, sizes)
+
+
+def test_pinned_ids_override_the_ring():
+    rng = random.Random(5)
+    registry = KeyRegistry()
+    ids = [registry.new_keypair(rng).public for _ in range(32)]
+    plan = ShardPlan(4).with_pinned({node_id: 0 for node_id in ids[:8]})
+    assert all(plan.shard_of(node_id) == 0 for node_id in ids[:8])
+    # And pinning leaves everyone else exactly where the ring put them.
+    unpinned = ShardPlan(4)
+    for node_id in ids[8:]:
+        assert plan.shard_of(node_id) == unpinned.shard_of(node_id)
+
+
+# ----------------------------------------------------------------------
+# cross-shard frame round-trip over a real socket
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def gossip_opens(draw):
+    creator = draw(st.integers(0, 7))
+    timestamp = draw(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    count = draw(st.integers(min_value=0, max_value=6))
+    descriptors = tuple(
+        mint(
+            _KEYPAIRS[draw(st.integers(0, 7))],
+            NetworkAddress(host=draw(st.integers(0, 2**31 - 1)), port=9000),
+            draw(st.floats(min_value=0.0, max_value=1e6, allow_nan=False)),
+        )
+        for _ in range(count)
+    )
+    own = mint(
+        _KEYPAIRS[creator],
+        NetworkAddress(host=creator, port=9000),
+        timestamp,
+    )
+    return GossipOpen(
+        redemption=own,
+        non_swappable=draw(st.booleans()),
+        samples=descriptors,
+    )
+
+
+@given(payloads=st.lists(gossip_opens(), min_size=1, max_size=5))
+@settings(max_examples=25, deadline=None)
+def test_cross_shard_frames_round_trip_over_a_socketpair(payloads):
+    """encode_frames → socket → split_frames → FastDecoder is lossless.
+
+    Byte-identity is checked in both directions: the received buffer is
+    the sent buffer, and re-encoding the decoded payloads on the
+    receiving side reproduces the original frame bytes exactly (the
+    property the deterministic mode's wire accounting relies on).
+    """
+    sender = BatchEncoder(InternTable())
+    receiver_decoder = FastDecoder(InternTable())
+    receiver_encoder = BatchEncoder(receiver_decoder.intern)
+
+    wire = sender.encode_frames(payloads)
+    left, right = socket.socketpair()
+    try:
+        left.sendall(wire)
+        left.shutdown(socket.SHUT_WR)
+        received = bytearray()
+        while True:
+            chunk = right.recv(1 << 16)
+            if not chunk:
+                break
+            received += chunk
+    finally:
+        left.close()
+        right.close()
+
+    received = bytes(received)
+    assert received == wire
+    frames = split_frames(received)
+    assert len(frames) == len(payloads)
+    decoded = receiver_decoder.decode_frames(received)
+    assert decoded == payloads
+    assert receiver_encoder.encode_frames(decoded) == wire

@@ -1,0 +1,237 @@
+"""Unit tests of the shard worker/coordinator over the thread backend.
+
+The thread backend runs each :class:`~repro.sim.shard.ShardWorker` as
+an in-process thread speaking the exact same socket protocol as the
+fork backend, with identically-seeded overlay rebuilds standing in for
+fork's copy-on-write replicas.  That makes the whole worker loop —
+shuffle replication, token walking, cross-shard serve paths, snapshot
+shipping — visible to in-process tooling (the coverage gate traces
+threads, not forked children), and it pins the protocol itself rather
+than fork inheritance as what the determinism contract rests on.
+"""
+
+import pytest
+
+from repro.core.config import SecureCyclonConfig
+from repro.errors import ShardFailure
+from repro.experiments.runner import run_with_probes
+from repro.experiments.scenarios import build_secure_overlay
+from repro.metrics.links import view_fill_fraction
+from repro.sim.shardcoord import (
+    ShardedSession,
+    run_overlay_sharded,
+    sharded,
+)
+
+
+def _build(seed=23, n=24, malicious=3):
+    return build_secure_overlay(
+        n=n,
+        config=SecureCyclonConfig(view_length=6, swap_length=3),
+        malicious=malicious,
+        attack_start=2,
+        seed=seed,
+    )
+
+
+def _fingerprint(engine):
+    return {
+        node_id: tuple(
+            (entry.creator, entry.timestamp, entry.non_swappable)
+            for entry in node.view
+        )
+        for node_id, node in engine.nodes.items()
+    }
+
+
+@pytest.mark.parametrize("shards", [2, 3])
+def test_thread_backend_deterministic_run_matches_single_process(shards):
+    """Identically-seeded replicas + the token protocol = bit-exactness.
+
+    The reference overlay runs in-process; the sharded overlay (same
+    seed) runs across worker threads with every cross-shard message
+    framed through the codec and a real socketpair.  Final views and
+    the event trace length must agree exactly.
+    """
+    reference = _build()
+    reference.run(6)
+
+    overlay = _build()
+    session = ShardedSession(
+        overlay,
+        shards,
+        backend="thread",
+        replica_factory=lambda index: _build(),
+        deadline_s=60.0,
+    )
+    session.start()
+    session.run_cycles(6)
+    counters = session.finish()
+
+    assert _fingerprint(overlay.engine) == _fingerprint(reference.engine)
+    assert len(overlay.engine.trace) == len(reference.engine.trace)
+    # The merged wire counters describe a real run, not a silent no-op.
+    assert counters["dialogues_opened"] > 0
+    assert set(counters) == {
+        "dialogues_opened",
+        "pushes_sent",
+        "dialogue_bytes_forward",
+        "dialogue_bytes_backward",
+        "push_bytes",
+    }
+
+
+def test_thread_backend_free_running_mode_completes():
+    """Free-running mode keeps cycles aligned but not activations; it
+    promises liveness and a healthy overlay, not bit-exactness."""
+    overlay = _build(seed=31)
+    session = ShardedSession(
+        overlay,
+        2,
+        mode="free",
+        backend="thread",
+        replica_factory=lambda index: _build(seed=31),
+        deadline_s=60.0,
+    )
+    session.start()
+    session.run_cycles(8)
+    counters = session.finish()
+    assert counters["dialogues_opened"] > 0
+    assert view_fill_fraction(overlay.engine) > 0.5
+
+
+def test_snapshots_mirror_node_state_onto_the_parent():
+    """Sampling cycles ship views/blacklists back mid-run, so probes on
+    the mirror see the distributed state without waiting for finish."""
+    sampled = []
+
+    overlay = _build(seed=5)
+    session = ShardedSession(
+        overlay,
+        2,
+        backend="thread",
+        replica_factory=lambda index: _build(seed=5),
+        deadline_s=60.0,
+    )
+    session.start()
+    session.run_cycles(
+        4,
+        sample_cycles={1, 3},
+        on_sample=lambda cycle: sampled.append(
+            (cycle, view_fill_fraction(overlay.engine))
+        ),
+    )
+    session.finish()
+    assert [cycle for cycle, _ in sampled] == [1, 3]
+    # Views were genuinely applied: a mirror with never-updated views
+    # would report the sparse bootstrap fill at both samples.
+    assert all(0.5 < fill <= 1.0 for _, fill in sampled)
+
+
+def test_session_context_manager_closes_on_error():
+    overlay = _build(seed=9)
+    with ShardedSession(
+        overlay,
+        2,
+        backend="thread",
+        replica_factory=lambda index: _build(seed=9),
+        deadline_s=60.0,
+    ) as session:
+        session.start()
+        session.run_cycles(2)
+        session.finish()
+    assert session._workers == []
+
+
+def test_sharded_context_routes_overlay_run_through_the_session():
+    """``Overlay.run`` inside ``with sharded(...)`` is the distributed
+    run — same final views as the in-process engine, no call-site
+    changes."""
+    reference = _build(seed=17)
+    reference.run(5)
+
+    overlay = _build(seed=17)
+    with sharded(
+        2,
+        backend="thread",
+        replica_factory=lambda index: _build(seed=17),
+        deadline_s=60.0,
+    ):
+        overlay.run(5)
+    assert _fingerprint(overlay.engine) == _fingerprint(reference.engine)
+
+
+def test_sharded_context_routes_run_with_probes_bit_for_bit():
+    """The ``run_with_probes`` seam: probe series sampled against the
+    mirror match the in-process observer's series exactly."""
+    probes = {"fill": view_fill_fraction}
+
+    reference = _build(seed=29)
+    expected = run_with_probes(reference, 6, probes, every=2)
+
+    overlay = _build(seed=29)
+    with sharded(
+        2,
+        backend="thread",
+        replica_factory=lambda index: _build(seed=29),
+        deadline_s=60.0,
+    ):
+        got = run_with_probes(overlay, 6, probes, every=2)
+
+    assert got["fill"].points == expected["fill"].points
+    assert got["fill"].label == "fill"
+
+
+def test_sharded_runner_rejects_a_runtime_override():
+    overlay = _build(seed=29)
+    with sharded(
+        2,
+        backend="thread",
+        replica_factory=lambda index: _build(seed=29),
+    ):
+        with pytest.raises(ShardFailure, match="cycle runtime"):
+            run_with_probes(
+                overlay, 2, {"fill": view_fill_fraction}, runtime="event"
+            )
+
+
+def test_run_overlay_sharded_requires_an_active_context():
+    overlay = _build(seed=3)
+    with pytest.raises(ShardFailure, match="no sharded context"):
+        run_overlay_sharded(overlay, 2)
+
+
+@pytest.mark.filterwarnings(
+    # The worker thread re-raises after relaying OP_ERROR (so fork
+    # workers exit non-zero); under the thread backend that re-raise
+    # is deliberately unhandled.
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+def test_a_remote_node_exception_surfaces_as_a_typed_failure():
+    """A node blowing up while serving a cross-shard request travels
+    the full error path: REP("raise") back to the requester, which
+    raises ShardRemoteError, which the worker relays as OP_ERROR —
+    and the coordinator tears down with the remote traceback."""
+
+    def broken_replica(index):
+        replica = _build(seed=41)
+        if index == 1:
+            for node in replica.engine.nodes.values():
+                def explode(sender_id, payload, _node=node):
+                    raise RuntimeError("sabotaged receive")
+
+                node.receive = explode
+        return replica
+
+    overlay = _build(seed=41)
+    session = ShardedSession(
+        overlay,
+        2,
+        backend="thread",
+        replica_factory=broken_replica,
+        deadline_s=60.0,
+    )
+    session.start()
+    with pytest.raises(ShardFailure, match="sabotaged receive"):
+        session.run_cycles(4)
+        session.finish()
