@@ -342,9 +342,85 @@ def record(
     return entry
 
 
+def validate_history(data: object) -> list:
+    """Check a loaded BENCH_core.json against the schema.
+
+    Returns the entry labels in file order; raises ``ValueError`` with
+    a precise message on the first violation.  This is what
+    ``--list`` (and through it ``scripts/check.sh``) runs, so a
+    hand-edited or merge-mangled history fails fast instead of
+    silently feeding the perf guard a malformed budget.
+    """
+    if not isinstance(data, dict):
+        raise ValueError("top level must be a JSON object")
+    if data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"schema must be {SCHEMA!r}, got {data.get('schema')!r}"
+        )
+    entries = data.get("entries")
+    if not isinstance(entries, dict) or not entries:
+        raise ValueError("'entries' must be a non-empty object")
+    for label, entry in entries.items():
+        if not isinstance(entry, dict):
+            raise ValueError(f"entry {label!r} must be an object")
+        recorded_at = entry.get("recorded_at")
+        if not isinstance(recorded_at, str) or not recorded_at:
+            raise ValueError(f"entry {label!r} missing 'recorded_at'")
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            raise ValueError(f"entry {label!r} needs a non-empty 'metrics'")
+        for name, value in metrics.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                continue
+            if isinstance(value, dict) and value and all(
+                isinstance(v, (int, float, bool)) for v in value.values()
+            ):
+                continue
+            raise ValueError(
+                f"entry {label!r} metric {name!r} must be a number or a "
+                "flat object of numbers"
+            )
+    return list(entries)
+
+
+def list_entries(output: pathlib.Path) -> int:
+    """Validate the recorded history and print a one-line-per-entry view."""
+    try:
+        data = json.loads(output.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"error: {output} does not exist", file=__import__("sys").stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: {output} is not JSON: {exc}",
+              file=__import__("sys").stderr)
+        return 1
+    try:
+        labels = validate_history(data)
+    except ValueError as exc:
+        print(f"error: {output} fails {SCHEMA}: {exc}",
+              file=__import__("sys").stderr)
+        return 1
+    print(f"{output} [{SCHEMA}] - {len(labels)} entries")
+    for label in labels:
+        entry = data["entries"][label]
+        speedup = entry.get("full_cycle_speedup_vs_seed")
+        extra = f"  speedup_vs_seed={speedup}" if speedup is not None else ""
+        print(
+            f"  {label:<24} {entry['recorded_at']}  "
+            f"{len(entry['metrics'])} metrics{extra}"
+        )
+    return 0
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--label", required=True, help="entry name, e.g. seed")
+    parser.add_argument("--label", default=None, help="entry name, e.g. seed")
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="validate the recorded history against the schema and list "
+        "its entries instead of running benchmarks",
+    )
     parser.add_argument("--rounds", type=int, default=5)
     parser.add_argument(
         "--output", type=pathlib.Path, default=DEFAULT_OUTPUT
@@ -366,6 +442,10 @@ def main() -> None:
         "(honours --include-10k for the 10K free-running row)",
     )
     args = parser.parse_args()
+    if args.list:
+        raise SystemExit(list_entries(args.output))
+    if args.label is None:
+        parser.error("--label is required unless --list is given")
     entry = record(
         args.label,
         args.rounds,

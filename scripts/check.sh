@@ -236,3 +236,40 @@ python -m pytest -q \
     "tests/sim/test_shard_equivalence.py::test_sharded_runs_match_goldens[fig2-4]"
 REPRO_SCALE=smoke timeout 300 python -m repro.experiments scale_sharded > /dev/null
 echo "scale_sharded smoke-run ok"
+
+# Bench-history schema: the recorded perf trajectory the perf guard
+# reads must stay well-formed (a merge-mangled BENCH_core.json would
+# otherwise feed the guard a silent garbage budget).
+echo "== bench history schema (benchmarks/baseline.py --list) =="
+python benchmarks/baseline.py --list
+
+# Checkpoint/resume: an experiment checkpointed at its midpoint and
+# resumed in a FRESH PROCESS must reproduce the committed golden
+# bit-for-bit.  Tier-1 runs the in-process {object,wire} x
+# {sequential,batched} resume matrix (tests/ops/); this step proves
+# the CLI split end to end — two invocations, two interpreters, one
+# golden — on one object-transport and one wire-transport figure.
+echo "== resume-golden (25+25 == 50: --checkpoint then --resume vs golden) =="
+CKPT_DIR=$(mktemp -d)
+trap 'rm -rf "$CKPT_DIR"' EXIT
+for fig in fig2 fig5; do
+    printf '  %s (object) checkpoint half ... ' "$fig"
+    timeout 300 python -m repro.experiments "$fig" --scale smoke --seed 1 \
+        --checkpoint "$CKPT_DIR/$fig" --output "$CKPT_DIR/$fig-first" > /dev/null
+    diff -q "$CKPT_DIR/$fig-first/$fig.txt" "tests/properties/golden/$fig.txt" > /dev/null
+    printf 'resume half ... '
+    timeout 300 python -m repro.experiments "$fig" --scale smoke --seed 1 \
+        --resume "$CKPT_DIR/$fig" --output "$CKPT_DIR/$fig-second" > /dev/null
+    diff -q "$CKPT_DIR/$fig-second/$fig.txt" "tests/properties/golden/$fig.txt" > /dev/null
+    echo ok
+done
+printf '  fig5 (wire) checkpoint half ... '
+REPRO_TRANSPORT=wire timeout 300 python -m repro.experiments fig5 --scale smoke --seed 1 \
+    --checkpoint "$CKPT_DIR/fig5-wire" --output "$CKPT_DIR/fig5-wire-first" > /dev/null
+diff -q "$CKPT_DIR/fig5-wire-first/fig5.txt" "tests/properties/golden/fig5.txt" > /dev/null
+printf 'resume half ... '
+REPRO_TRANSPORT=wire timeout 300 python -m repro.experiments fig5 --scale smoke --seed 1 \
+    --resume "$CKPT_DIR/fig5-wire" --output "$CKPT_DIR/fig5-wire-second" > /dev/null
+diff -q "$CKPT_DIR/fig5-wire-second/fig5.txt" "tests/properties/golden/fig5.txt" > /dev/null
+echo ok
+echo "resume-golden ok (object: fig2 fig5; wire: fig5)"

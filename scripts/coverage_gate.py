@@ -59,6 +59,11 @@ TARGET_MODULES = [
     "repro/sim/transport.py",
     "repro/sim/shard.py",
     "repro/sim/shardcoord.py",
+    "repro/ops/records.py",
+    "repro/ops/checkpoint.py",
+    "repro/ops/metrics_stream.py",
+    "repro/ops/server.py",
+    "repro/ops/__main__.py",
 ]
 
 #: Tests that exercise those modules (kept narrow so the stdlib tracer
@@ -77,12 +82,18 @@ TARGET_TESTS = [
     "tests/sim/test_shard_router.py",
     "tests/sim/test_shard_unit.py",
     "tests/sim/test_shard_failures.py",
+    "tests/ops/test_checkpoint_records.py",
+    "tests/ops/test_resume_equivalence.py",
+    "tests/ops/test_metrics_stream.py",
+    "tests/ops/test_sharded_checkpoint.py",
 ]
 
 #: Measured 91.6% when the gate landed (stdlib engine), 94.3% after
-#: the transport redesign added the wire layer to the gate, and 94.7%
-#: with the fault injector's tests gated alongside it; the margin
-#: absorbs executable-line drift, not coverage regressions.
+#: the transport redesign added the wire layer to the gate, 94.7%
+#: with the fault injector's tests gated alongside it, and holding
+#: above 94% with the ops plane (checkpoint records/restore, metrics
+#: stream, server, CLI) gated too; the margin absorbs executable-line
+#: drift, not coverage regressions.
 BASELINE_PERCENT = 93.0
 
 

@@ -88,6 +88,7 @@ _U8 = struct.Struct(">B")
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
 _I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
 
 
 def register_message_codec(
@@ -143,6 +144,10 @@ class MessageWriter:
 
     def i64(self, value: int) -> None:
         self.parts.append(_I64.pack(value))
+
+    def f64(self, value: float) -> None:
+        """An IEEE-754 double, big-endian — lossless for every float."""
+        self.parts.append(_F64.pack(value))
 
     def raw(self, data: bytes) -> None:
         """Append ``data`` verbatim (fixed-width fields; no prefix)."""
@@ -218,6 +223,14 @@ class MessageReader:
             (value,) = _I64.unpack_from(self.data, self.offset)
         except struct.error:
             raise CodecError("truncated i64 field") from None
+        self.offset += 8
+        return value
+
+    def f64(self) -> float:
+        try:
+            (value,) = _F64.unpack_from(self.data, self.offset)
+        except struct.error:
+            raise CodecError("truncated f64 field") from None
         self.offset += 8
         return value
 

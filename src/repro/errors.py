@@ -60,6 +60,19 @@ class FrameOversizeError(CodecError):
     """
 
 
+class CheckpointError(CodecError):
+    """A checkpoint file could not be read back or applied.
+
+    Raised by :mod:`repro.ops.checkpoint` for bad magic bytes, an
+    unknown format version, truncated or trailing frames, a footer
+    record count that disagrees with the file, and for restore targets
+    that do not match the checkpoint (different seed, node population,
+    or node classes).  Subclasses :class:`CodecError` because a state
+    file that does not parse and a wire frame that does not parse are
+    rejected the same way: typed, before any partial state is applied.
+    """
+
+
 class RedemptionError(ProtocolError):
     """A descriptor redemption was rejected by the creator."""
 

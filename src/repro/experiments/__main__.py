@@ -16,6 +16,7 @@ import time
 from repro.sim.transport import ENV_TRANSPORT, TRANSPORT_MODES
 
 from repro.experiments import (
+    checkpoint_resume,
     churn_recovery,
     eclipse_experiment,
     latency_sweep,
@@ -58,6 +59,10 @@ EXPERIMENTS = {
     "latency": (latency_sweep.run_latency_sweep, latency_sweep.render),
     "timing_attack": (timing_attack.run_timing_attack, timing_attack.render),
     "wire_faults": (wire_faults.run_wire_faults, wire_faults.render),
+    "checkpoint_resume": (
+        checkpoint_resume.run_checkpoint_resume,
+        checkpoint_resume.render,
+    ),
 }
 
 
@@ -95,6 +100,25 @@ def main(argv=None) -> int:
         help="also write each experiment's rendered output to this "
         "directory as <name>.txt",
     )
+    split = parser.add_mutually_exclusive_group()
+    split.add_argument(
+        "--checkpoint",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="checkpoint every engine run half-way into DIR "
+        "(run-<k>.ckpt per run call), then keep running — output is "
+        "bit-identical to a run without the flag",
+    )
+    split.add_argument(
+        "--resume",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="resume every engine run from the matching run-<k>.ckpt "
+        "in DIR (written by a previous --checkpoint invocation of the "
+        "same experiment) and execute only the remaining cycles",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -118,18 +142,32 @@ def main(argv=None) -> int:
             sorted(EXPERIMENTS) if args.experiment == "all"
             else [args.experiment]
         )
-        for name in names:
-            run, render = EXPERIMENTS[name]
-            started = time.time()
-            result = run(scale=scale, seed=args.seed)
-            text = render(result)
-            print(text)
-            if args.output is not None:
-                args.output.mkdir(parents=True, exist_ok=True)
-                (args.output / f"{name}.txt").write_text(
-                    text + "\n", encoding="utf-8"
-                )
-            print(f"\n[{name} finished in {time.time() - started:.1f}s]\n")
+        # --checkpoint/--resume intercept every Engine.run the selected
+        # experiments make (repro.ops.checkpoint.split_runs); without
+        # either flag the null context leaves the runs untouched.
+        if args.checkpoint is not None or args.resume is not None:
+            from repro.ops.checkpoint import split_runs
+
+            directory = args.checkpoint or args.resume
+            mode = "checkpoint" if args.checkpoint is not None else "resume"
+            split_context = split_runs(directory, mode)
+        else:
+            from contextlib import nullcontext
+
+            split_context = nullcontext()
+        with split_context:
+            for name in names:
+                run, render = EXPERIMENTS[name]
+                started = time.time()
+                result = run(scale=scale, seed=args.seed)
+                text = render(result)
+                print(text)
+                if args.output is not None:
+                    args.output.mkdir(parents=True, exist_ok=True)
+                    (args.output / f"{name}.txt").write_text(
+                        text + "\n", encoding="utf-8"
+                    )
+                print(f"\n[{name} finished in {time.time() - started:.1f}s]\n")
     finally:
         if args.transport is not None:
             if previous_transport is None:

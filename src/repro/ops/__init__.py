@@ -1,0 +1,40 @@
+"""Production ops surface: checkpoint/resume and live observation.
+
+Two planes, deliberately decoupled from the simulation loop:
+
+* **State plane** — :mod:`repro.ops.records` defines codec extension
+  records for every piece of mutated engine state and
+  :mod:`repro.ops.checkpoint` frames them into versioned checkpoint
+  files; ``Engine.checkpoint()/resume()``, ``CheckpointPolicy`` and
+  the sharded ``checkpoint_fleet``/``restore_fleet`` path all ride on
+  it.  The contract is bit-exactness under the cycle runtime: run N
+  cycles, checkpoint, resume in a fresh process, and the remaining
+  cycles reproduce an unbroken run byte for byte.
+
+* **Observe plane** — :mod:`repro.ops.metrics_stream` publishes
+  per-cycle metrics through the existing Observer hooks into a bounded
+  queue (drops counted, never blocking), and :mod:`repro.ops.server`
+  streams them as newline-delimited JSON over a local socket; the
+  ``python -m repro.ops`` CLI tails the stream and inspects checkpoint
+  files, stdlib only.
+"""
+
+from repro.ops.checkpoint import (
+    CheckpointPolicy,
+    inspect_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+    split_runs,
+)
+from repro.ops.metrics_stream import StreamingObserver
+from repro.ops.server import MetricsServer
+
+__all__ = [
+    "CheckpointPolicy",
+    "MetricsServer",
+    "StreamingObserver",
+    "inspect_checkpoint",
+    "restore_checkpoint",
+    "save_checkpoint",
+    "split_runs",
+]

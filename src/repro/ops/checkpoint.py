@@ -1,0 +1,709 @@
+"""Versioned engine checkpoints with a bit-exact resume contract.
+
+File format (``docs/OPS.md`` has the normative description)::
+
+    b"RPCK"                                  magic, 4 bytes
+    repeat: u32 frame length + frame bytes   one codec message per frame
+
+Every frame is an :mod:`repro.ops.records` record serialised through
+:func:`repro.core.codec.encode_message`.  The first record must be a
+:class:`~repro.ops.records.CheckpointHeader` (format version, master
+seed, clock position, node count) and the last a
+:class:`~repro.ops.records.CheckpointFooter` whose record count covers
+the whole file — truncation at any frame boundary is caught by
+arithmetic, truncation inside a frame by the codec, and both surface
+as a typed :class:`~repro.errors.CheckpointError` before any state is
+applied.
+
+The resume model is **rebuild + overlay**: a checkpoint stores only
+the *mutated* state (views, caches, blacklists, RNG streams, counters,
+the clock), not keys or topology.  To resume, rebuild the identical
+overlay — same builder, same config, same seed — in a fresh process,
+then :func:`restore_checkpoint` overlays the saved state on top.  The
+rebuild may consume build-time randomness freely: every named RNG
+stream is ``setstate()``-restored afterwards.  Under the cycle runtime
+the continuation is bit-for-bit the unbroken run (the golden-guarded
+contract); under the event runtime the in-flight event queue is not
+serialised, so resume restores *state* but restarts activation timers
+— documented, not golden-guarded.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pathlib
+import pickle
+import struct
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.adversary.cloning import CloneEvent, CloningAttacker, _StashEntry
+from repro.adversary.coordinator import MaliciousCoordinator
+from repro.adversary.hub import CyclonHubAttacker, SecureHubAttacker
+from repro.core.codec import decode_message, encode_message
+from repro.core.descriptor import DescriptorId
+from repro.core.node import SecureCyclonNode
+from repro.core.samples import _BY_TS, _TIMESTAMPS
+from repro.core.view import _new_entry
+from repro.cyclon.node import CyclonNode
+from repro.errors import CheckpointError, ConfigError, SimulationError
+from repro.ops.records import (
+    BlobState,
+    CheckpointFooter,
+    CheckpointHeader,
+    CoordinatorState,
+    NetworkState,
+    NodeState,
+    PeerHealthState,
+    RegistryState,
+    RngStreamState,
+)
+
+MAGIC = b"RPCK"
+FORMAT_VERSION = 1
+
+_LEN = struct.Struct(">I")
+
+
+# ----------------------------------------------------------------------
+# capture
+# ----------------------------------------------------------------------
+
+
+def _node_kind(node: Any) -> str:
+    """Classify a node for :class:`NodeState` (subclasses first)."""
+    if isinstance(node, CloningAttacker):
+        return "cloning"
+    if isinstance(node, SecureHubAttacker):
+        return "secure-hub"
+    if isinstance(node, SecureCyclonNode):
+        return "secure"
+    if isinstance(node, CyclonHubAttacker):
+        return "cyclon-hub"
+    if isinstance(node, CyclonNode):
+        return "cyclon"
+    raise CheckpointError(
+        f"cannot checkpoint node of type {type(node).__name__}"
+    )
+
+
+def _capture_node(node: Any) -> NodeState:
+    kind = _node_kind(node)
+    if kind in ("cyclon", "cyclon-hub"):
+        view = node.view
+        return NodeState(
+            kind=kind,
+            node_id=node.node_id,
+            current_cycle=node.current_cycle,
+            cyclon_epoch=view._epoch,
+            cyclon_records=tuple(
+                (record[0], record[1]) for record in view._records
+            ),
+        )
+    cache = node.sample_cache
+    extras: Dict[str, Any] = {}
+    if kind == "secure-hub":
+        extras["cycle_mint"] = node._cycle_mint
+    elif kind == "cloning":
+        extras["stash"] = tuple(
+            (entry.descriptor, entry.target_age) for entry in node._stash
+        )
+        extras["clone_events"] = tuple(
+            (
+                event.identity.creator,
+                event.identity.timestamp,
+                event.age_at_duplication,
+                event.cycle,
+            )
+            for event in node.clone_events
+        )
+    return NodeState(
+        kind=kind,
+        node_id=node.node_id,
+        current_cycle=node.current_cycle,
+        last_mint_cycle=node._last_mint_cycle,
+        last_mint_time_s=node._last_mint_time_s,
+        nonswap_accepted=node._nonswap_accepted_this_cycle,
+        nonswap_redeemed=tuple(sorted(node._nonswap_redeemed_identities)),
+        redeemed_own=tuple(sorted(node._redeemed_own_timestamps)),
+        view_entries=tuple(
+            (entry.descriptor, entry.non_swappable)
+            for entry in node.view._entries
+        ),
+        samples=tuple(
+            (
+                creator,
+                tuple(
+                    (ts, slot[_BY_TS][ts]) for ts in slot[_TIMESTAMPS]
+                ),
+            )
+            for creator, slot in cache._by_creator.items()
+        ),
+        sample_expiry=tuple(cache._expiry),
+        redemptions=tuple(node.redemption_cache._entries),
+        proofs=node.blacklist.proofs_tuple(),
+        **extras,
+    )
+
+
+def _capture_peer_health(ledger: Any) -> PeerHealthState:
+    return PeerHealthState(
+        cycle=ledger._cycle,
+        scores=tuple(ledger._scores.items()),
+        quarantined=tuple(ledger._quarantined),
+        offences=tuple(
+            (peer, tuple(counts.items()))
+            for peer, counts in ledger.offences.items()
+        ),
+        quarantined_at=tuple(ledger.quarantined_at.items()),
+        quarantine_events=ledger.quarantine_events,
+        release_events=ledger.release_events,
+        adversary=tuple(ledger._adversary),
+        adversary_bytes_sent=ledger.adversary_bytes_sent,
+        adversary_bytes_scanned=ledger.adversary_bytes_scanned,
+        honest_bytes_to_adversary=ledger.honest_bytes_to_adversary,
+    )
+
+
+def _discover_coordinators(engine: Any) -> List[MaliciousCoordinator]:
+    """Coordinators reachable from nodes, deduplicated, in node order."""
+    found: List[MaliciousCoordinator] = []
+    seen: set = set()
+    for node in engine.nodes.values():
+        coordinator = getattr(node, "coordinator", None)
+        if isinstance(coordinator, MaliciousCoordinator):
+            if id(coordinator) not in seen:
+                seen.add(id(coordinator))
+                found.append(coordinator)
+    return found
+
+
+def capture_records(engine: Any) -> List[Any]:
+    """Every record of ``engine``'s mutated state, header to footer."""
+    records: List[Any] = [
+        CheckpointHeader(
+            format_version=FORMAT_VERSION,
+            master_seed=engine.rng_hub.master_seed,
+            cycle=engine.clock.cycle,
+            now_s=engine.clock.now_s,
+            period_s=engine.clock.period_seconds,
+            node_count=len(engine.nodes),
+        )
+    ]
+    for name, state in engine.rng_hub.stream_states().items():
+        records.append(RngStreamState(name=name, state=state))
+    records.append(
+        RegistryState(
+            trusted_digests=tuple(engine.registry.trusted_chain_digests)
+        )
+    )
+    network = engine.network
+    records.append(
+        NetworkState(
+            dialogues_opened=network.dialogues_opened,
+            pushes_sent=network.pushes_sent,
+            push_bytes=network.push_bytes,
+            dialogue_bytes_forward=network.dialogue_bytes_forward,
+            dialogue_bytes_backward=network.dialogue_bytes_backward,
+            dialogue_seconds=network.dialogue_seconds,
+            undecodable_frames=network.undecodable_frames,
+            quarantine_refusals=network.quarantine_refusals,
+        )
+    )
+    ledger = network.peer_health
+    if ledger is not None:
+        records.append(_capture_peer_health(ledger))
+    records.append(
+        BlobState(
+            slot="trace",
+            payload=pickle.dumps(list(engine.trace), protocol=4),
+        )
+    )
+    for coordinator in _discover_coordinators(engine):
+        records.append(
+            CoordinatorState(
+                pool_maxlen=coordinator._pool.maxlen,
+                pool=tuple(coordinator._pool),
+                circulating=tuple(coordinator._circulating.values()),
+            )
+        )
+    for node in engine.nodes.values():
+        records.append(_capture_node(node))
+    series = [
+        observer.export_series()
+        for observer in engine._observers
+        if hasattr(observer, "export_series")
+    ]
+    records.append(
+        BlobState(
+            slot="observer-series", payload=pickle.dumps(series, protocol=4)
+        )
+    )
+    records.append(CheckpointFooter(record_count=len(records) + 1))
+    return records
+
+
+def save_checkpoint(engine: Any, path: Any) -> pathlib.Path:
+    """Serialise ``engine``'s full mutated state to ``path``.
+
+    Pure reads plus RNG ``getstate()`` — saving perturbs nothing, so a
+    run that checkpoints mid-way stays bit-identical to one that does
+    not.  Returns the written path.
+    """
+    path = pathlib.Path(path)
+    parts: List[bytes] = [MAGIC]
+    for record in capture_records(engine):
+        payload = encode_message(record)
+        parts.append(_LEN.pack(len(payload)))
+        parts.append(payload)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"".join(parts))
+    return path
+
+
+# ----------------------------------------------------------------------
+# read / inspect
+# ----------------------------------------------------------------------
+
+
+def read_checkpoint(path: Any) -> List[Any]:
+    """Parse and validate a checkpoint file into its record list.
+
+    Raises :class:`~repro.errors.CheckpointError` for bad magic, a
+    truncated frame (at either the length-prefix or codec level), a
+    missing/misplaced header or footer, an unknown format version, and
+    a footer count that disagrees with the file.
+    """
+    path = pathlib.Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not data.startswith(MAGIC):
+        raise CheckpointError(f"{path}: not a checkpoint file (bad magic)")
+    offset = len(MAGIC)
+    records: List[Any] = []
+    while offset < len(data):
+        if offset + _LEN.size > len(data):
+            raise CheckpointError(f"{path}: truncated frame length prefix")
+        (size,) = _LEN.unpack_from(data, offset)
+        offset += _LEN.size
+        if size > len(data) - offset:
+            raise CheckpointError(f"{path}: truncated frame")
+        payload = data[offset : offset + size]
+        offset += size
+        try:
+            # No frame ceiling: a checkpointed node's sample cache can
+            # legitimately exceed the wire transport's 1 MiB bound, and
+            # checkpoint files are operator-trusted local artefacts.
+            records.append(decode_message(payload, max_frame_bytes=None))
+        except CheckpointError:
+            raise
+        except Exception as exc:  # CodecError and codec-adjacent only
+            raise CheckpointError(
+                f"{path}: frame {len(records)} is malformed: {exc}"
+            ) from exc
+    if not records or not isinstance(records[0], CheckpointHeader):
+        raise CheckpointError(f"{path}: first record is not a header")
+    header = records[0]
+    if header.format_version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: unknown checkpoint format version "
+            f"{header.format_version} (this build reads {FORMAT_VERSION})"
+        )
+    if not isinstance(records[-1], CheckpointFooter):
+        raise CheckpointError(
+            f"{path}: footer record missing (file truncated?)"
+        )
+    if records[-1].record_count != len(records):
+        raise CheckpointError(
+            f"{path}: footer declares {records[-1].record_count} records, "
+            f"file holds {len(records)}"
+        )
+    return records
+
+
+def inspect_checkpoint(path: Any) -> Dict[str, Any]:
+    """A JSON-friendly summary of a checkpoint file (the CLI's view)."""
+    records = read_checkpoint(path)
+    header = records[0]
+    kinds: Dict[str, int] = {}
+    streams: List[str] = []
+    record_types: Dict[str, int] = {}
+    for record in records:
+        name = type(record).__name__
+        record_types[name] = record_types.get(name, 0) + 1
+        if isinstance(record, NodeState):
+            kinds[record.kind] = kinds.get(record.kind, 0) + 1
+        elif isinstance(record, RngStreamState):
+            streams.append(record.name)
+    return {
+        "path": str(path),
+        "format_version": header.format_version,
+        "master_seed": header.master_seed,
+        "cycle": header.cycle,
+        "now_s": header.now_s,
+        "period_s": header.period_s,
+        "node_count": header.node_count,
+        "records": record_types,
+        "node_kinds": kinds,
+        "rng_streams": streams,
+    }
+
+
+# ----------------------------------------------------------------------
+# restore
+# ----------------------------------------------------------------------
+
+
+def _apply_node(node: Any, state: NodeState) -> None:
+    if state.kind in ("cyclon", "cyclon-hub"):
+        node.current_cycle = state.current_cycle
+        view = node.view
+        records = [
+            [descriptor, epoch]
+            for descriptor, epoch in state.cyclon_records
+        ]
+        view._records = records
+        view._by_id = {record[0].node_id: record for record in records}
+        view._epoch = state.cyclon_epoch
+        view._oldest_record = None
+        return
+    node.current_cycle = state.current_cycle
+    node._last_mint_cycle = state.last_mint_cycle
+    node._last_mint_time_s = state.last_mint_time_s
+    node._nonswap_accepted_this_cycle = state.nonswap_accepted
+    node._nonswap_redeemed_identities = set(state.nonswap_redeemed)
+    node._redeemed_own_timestamps = set(state.redeemed_own)
+    node._sessions.clear()
+
+    view = node.view
+    view._entries = [
+        _new_entry(descriptor, non_swappable)
+        for descriptor, non_swappable in state.view_entries
+    ]
+    view._reindex()
+
+    cache = node.sample_cache
+    by_creator: Dict[Any, list] = {}
+    count = 0
+    for creator, pairs in state.samples:
+        timestamps = [ts for ts, _ in pairs]
+        by_ts = {ts: descriptor for ts, descriptor in pairs}
+        by_creator[creator] = [timestamps, by_ts]
+        count += len(pairs)
+    cache._by_creator = by_creator
+    cache._count = count
+    cache._expiry = deque(
+        (expiry_cycle, creator, ts)
+        for expiry_cycle, creator, ts in state.sample_expiry
+    )
+
+    redemption = node.redemption_cache
+    redemption._entries.clear()
+    redemption._entries.extend(
+        (cycle, descriptor) for cycle, descriptor in state.redemptions
+    )
+    redemption._contents_cache = None
+
+    # In place: node._blacklist_map aliases blacklist.by_culprit, and
+    # re-adding in discovery order rebuilds both structures exactly.
+    blacklist = node.blacklist
+    blacklist.by_culprit.clear()
+    blacklist._proofs_tuple = ()
+    for proof in state.proofs:
+        blacklist.add(proof)
+
+    if state.kind == "secure-hub":
+        node._cycle_mint = state.cycle_mint
+    elif state.kind == "cloning":
+        node._stash = [
+            _StashEntry(descriptor=descriptor, target_age=target_age)
+            for descriptor, target_age in state.stash
+        ]
+        node.clone_events = [
+            CloneEvent(
+                identity=DescriptorId(creator=creator, timestamp=timestamp),
+                age_at_duplication=age,
+                cycle=cycle,
+            )
+            for creator, timestamp, age, cycle in state.clone_events
+        ]
+
+
+def _apply_peer_health(ledger: Any, state: PeerHealthState) -> None:
+    ledger._cycle = state.cycle
+    ledger._scores.clear()
+    ledger._scores.update(state.scores)
+    ledger._quarantined.clear()
+    ledger._quarantined.update(state.quarantined)
+    ledger.offences.clear()
+    for peer, kinds in state.offences:
+        ledger.offences[peer] = dict(kinds)
+    ledger.quarantined_at.clear()
+    ledger.quarantined_at.update(state.quarantined_at)
+    ledger.quarantine_events = state.quarantine_events
+    ledger.release_events = state.release_events
+    ledger._adversary = frozenset(state.adversary)
+    ledger.adversary_bytes_sent = state.adversary_bytes_sent
+    ledger.adversary_bytes_scanned = state.adversary_bytes_scanned
+    ledger.honest_bytes_to_adversary = state.honest_bytes_to_adversary
+
+
+def restore_checkpoint(engine: Any, path: Any) -> CheckpointHeader:
+    """Overlay the state saved at ``path`` onto a freshly built twin.
+
+    Everything is validated against the engine *before* any state is
+    touched — a mismatched checkpoint (different seed, period, node
+    population, or node classes) raises
+    :class:`~repro.errors.CheckpointError` and leaves the engine as it
+    was.  Returns the checkpoint header.
+    """
+    records = read_checkpoint(path)
+    header: CheckpointHeader = records[0]
+
+    rng_states: Dict[str, tuple] = {}
+    node_states: Dict[Any, NodeState] = {}
+    coordinator_states: List[CoordinatorState] = []
+    registry_state: Optional[RegistryState] = None
+    network_state: Optional[NetworkState] = None
+    health_state: Optional[PeerHealthState] = None
+    blobs: Dict[str, bytes] = {}
+    for record in records[1:-1]:
+        if isinstance(record, RngStreamState):
+            rng_states[record.name] = record.state
+        elif isinstance(record, NodeState):
+            node_states[record.node_id] = record
+        elif isinstance(record, CoordinatorState):
+            coordinator_states.append(record)
+        elif isinstance(record, RegistryState):
+            registry_state = record
+        elif isinstance(record, NetworkState):
+            network_state = record
+        elif isinstance(record, PeerHealthState):
+            health_state = record
+        elif isinstance(record, BlobState):
+            blobs[record.slot] = record.payload
+        else:
+            raise CheckpointError(
+                f"unexpected record type {type(record).__name__} "
+                "in checkpoint body"
+            )
+
+    # --- validate against the rebuilt engine (no mutation yet) --------
+    if header.master_seed != engine.rng_hub.master_seed:
+        raise CheckpointError(
+            f"checkpoint was taken with master seed {header.master_seed}, "
+            f"engine was built with {engine.rng_hub.master_seed}"
+        )
+    if header.period_s != engine.clock.period_seconds:
+        raise CheckpointError(
+            "checkpoint and engine disagree on the gossip period"
+        )
+    if engine.clock.cycle > header.cycle:
+        raise CheckpointError(
+            f"engine already at cycle {engine.clock.cycle}, past the "
+            f"checkpoint's cycle {header.cycle}; resume into a freshly "
+            "built overlay"
+        )
+    if header.node_count != len(node_states):
+        raise CheckpointError(
+            f"header declares {header.node_count} nodes, checkpoint "
+            f"holds {len(node_states)}"
+        )
+    if set(node_states) != set(engine.nodes):
+        raise CheckpointError(
+            "checkpoint and engine node populations differ (a run "
+            "checkpointed mid-churn must be resumed into an overlay "
+            "built with the same churn prefix)"
+        )
+    for node_id, state in node_states.items():
+        actual = _node_kind(engine.nodes[node_id])
+        if actual != state.kind:
+            raise CheckpointError(
+                f"node {node_id!r} is a {actual!r} in the engine but a "
+                f"{state.kind!r} in the checkpoint"
+            )
+    coordinators = _discover_coordinators(engine)
+    if len(coordinators) != len(coordinator_states):
+        raise CheckpointError(
+            f"engine has {len(coordinators)} adversary coordinator(s), "
+            f"checkpoint has {len(coordinator_states)}"
+        )
+    for coordinator, state in zip(coordinators, coordinator_states):
+        if coordinator._pool.maxlen != state.pool_maxlen:
+            raise CheckpointError(
+                "coordinator pool capacity differs from the checkpoint"
+            )
+    if health_state is not None and engine.network.peer_health is None:
+        raise CheckpointError(
+            "checkpoint carries a peer-health ledger but the engine was "
+            "built without one"
+        )
+    saved_series: List[Dict[str, Any]] = (
+        pickle.loads(blobs["observer-series"])
+        if "observer-series" in blobs
+        else []
+    )
+    series_observers = [
+        observer
+        for observer in engine._observers
+        if hasattr(observer, "restore_series")
+    ]
+    if len(saved_series) != len(series_observers):
+        raise CheckpointError(
+            f"checkpoint holds {len(saved_series)} observer series, "
+            f"engine has {len(series_observers)} series observers "
+            "attached (attach the same observers before resuming)"
+        )
+
+    # --- apply --------------------------------------------------------
+    engine.rng_hub.restore_stream_states(rng_states)
+    engine.clock.advance_to(header.now_s, cycle=header.cycle)
+    if registry_state is not None:
+        trusted = engine.registry.trusted_chain_digests
+        trusted.clear()
+        for digest in registry_state.trusted_digests:
+            trusted[digest] = None
+    if network_state is not None:
+        network = engine.network
+        network.dialogues_opened = network_state.dialogues_opened
+        network.pushes_sent = network_state.pushes_sent
+        network.push_bytes = network_state.push_bytes
+        network.dialogue_bytes_forward = network_state.dialogue_bytes_forward
+        network.dialogue_bytes_backward = network_state.dialogue_bytes_backward
+        network.dialogue_seconds = network_state.dialogue_seconds
+        network.undecodable_frames = network_state.undecodable_frames
+        network.quarantine_refusals = network_state.quarantine_refusals
+        network._push_encode_memo = None
+    if health_state is not None:
+        _apply_peer_health(engine.network.peer_health, health_state)
+    if "trace" in blobs:
+        events = pickle.loads(blobs["trace"])
+        engine.trace._events[:] = events
+    for coordinator, state in zip(coordinators, coordinator_states):
+        coordinator._pool.clear()
+        coordinator._pool.extend(state.pool)
+        coordinator._circulating.clear()
+        for descriptor in state.circulating:
+            coordinator._circulating[descriptor.identity] = descriptor
+    for node_id, state in node_states.items():
+        _apply_node(engine.nodes[node_id], state)
+    for observer, series in zip(series_observers, saved_series):
+        observer.restore_series(series)
+    return header
+
+
+# ----------------------------------------------------------------------
+# checkpoint policy (scheduler hook)
+# ----------------------------------------------------------------------
+
+
+class CheckpointPolicy:
+    """When to checkpoint during a run: every N cycles, on demand, or both.
+
+    Install on an engine (``engine.checkpoint_policy = policy``); both
+    schedulers call :meth:`after_cycle` at every completed cycle
+    boundary.  ``every_cycles=None`` makes the policy purely
+    on-demand: nothing is written until :meth:`request` arms it.
+    Written paths accumulate in :attr:`saved`.
+    """
+
+    def __init__(
+        self, directory: Any, every_cycles: Optional[int] = None
+    ) -> None:
+        if every_cycles is not None and every_cycles < 1:
+            raise ConfigError("every_cycles must be >= 1 (or None)")
+        self.directory = pathlib.Path(directory)
+        self.every_cycles = every_cycles
+        self.saved: List[pathlib.Path] = []
+        self._requested = False
+
+    def request(self) -> None:
+        """Arm a one-shot checkpoint at the next cycle boundary."""
+        self._requested = True
+
+    def after_cycle(self, engine: Any, cycle: int) -> None:
+        """Scheduler hook: ``cycle`` just completed, clock is past it."""
+        completed = cycle + 1
+        due = self._requested or (
+            self.every_cycles is not None
+            and completed % self.every_cycles == 0
+        )
+        if not due:
+            return
+        self._requested = False
+        self.saved.append(
+            save_checkpoint(
+                engine, self.directory / f"cycle-{completed:06d}.ckpt"
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# split runs (the experiments CLI's --checkpoint / --resume flags)
+# ----------------------------------------------------------------------
+
+
+@contextmanager
+def split_runs(directory: Any, mode: str) -> Iterator[pathlib.Path]:
+    """Intercept every ``Engine.run`` to checkpoint or resume half-way.
+
+    ``mode="checkpoint"``: each ``run(cycles)`` executes the first
+    ``cycles // 2`` cycles, saves ``run-<k>.ckpt`` (``k`` counts run
+    calls under this context), then executes the rest — output is
+    bit-identical to an unbroken run because saving is pure reads.
+
+    ``mode="resume"``: each ``run(cycles)`` restores ``run-<k>.ckpt``
+    into the freshly built engine and executes only the remaining
+    ``cycles - cycles // 2`` cycles.  Combined with the identical
+    experiment code having produced the checkpoints, the rendered
+    output matches the unbroken run bit for bit (the golden-guarded
+    25+25-vs-50 contract).
+
+    Runs of fewer than 2 cycles pass through unsplit in both modes.
+    """
+    from repro.sim import engine as engine_module
+
+    if mode not in ("checkpoint", "resume"):
+        raise ConfigError(f"split_runs mode must be checkpoint/resume, got {mode!r}")
+    if engine_module._RUN_HOOK is not None:
+        raise SimulationError("a split-run context is already active")
+    directory = pathlib.Path(directory)
+    counter = itertools.count()
+
+    if mode == "checkpoint":
+        directory.mkdir(parents=True, exist_ok=True)
+
+        def hook(engine: Any, cycles: int) -> None:
+            index = next(counter)
+            if cycles < 2:
+                engine.scheduler.run(engine, cycles)
+                return
+            half = cycles // 2
+            engine.scheduler.run(engine, half)
+            save_checkpoint(engine, directory / f"run-{index}.ckpt")
+            engine.scheduler.run(engine, cycles - half)
+
+    else:
+
+        def hook(engine: Any, cycles: int) -> None:
+            index = next(counter)
+            if cycles < 2:
+                engine.scheduler.run(engine, cycles)
+                return
+            path = directory / f"run-{index}.ckpt"
+            if not path.exists():
+                raise CheckpointError(
+                    f"missing {path}; run the same experiment with "
+                    "--checkpoint first (run sequences must match)"
+                )
+            restore_checkpoint(engine, path)
+            engine.scheduler.run(engine, cycles - cycles // 2)
+
+    engine_module._RUN_HOOK = hook
+    try:
+        yield directory
+    finally:
+        engine_module._RUN_HOOK = None

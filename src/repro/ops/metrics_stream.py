@@ -1,0 +1,141 @@
+"""Streaming per-cycle metrics, decoupled from the simulation loop.
+
+:class:`StreamingObserver` rides the existing Observer hooks — the
+engine calls it like any other observer, it reads engine state with the
+same pure probes the figures use, and it publishes one JSON-ready dict
+per cycle into a **bounded** queue.  Nothing here can slow or perturb
+the run: a full queue drops the row and counts the drop (``dropped``),
+publishing never blocks, and every probe is a pure read, so attaching
+the observer leaves golden outputs bit-for-bit unchanged (guarded by
+``tests/ops/test_metrics_stream.py``).
+
+:class:`~repro.ops.server.MetricsServer` drains the queue onto a local
+socket as newline-delimited JSON; ``python -m repro.ops tail`` is the
+matching stdlib-only client.  The row schema is documented in
+``docs/OPS.md``.
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.degree import indegree_statistics
+from repro.metrics.links import view_fill_fraction
+from repro.sim.observers import Observer
+
+
+def collect_row(engine: Any, cycle: int) -> Dict[str, Any]:
+    """One cycle's metrics as a flat, JSON-serialisable dict."""
+    indegree = indegree_statistics(engine)
+    network = engine.network
+    row: Dict[str, Any] = {
+        "event": "cycle",
+        "cycle": cycle,
+        "now_s": engine.clock.now_s,
+        "nodes": len(engine.nodes),
+        "view_fill": view_fill_fraction(engine),
+        "indegree_mean": indegree["mean"],
+        "indegree_min": indegree["min"],
+        "indegree_max": indegree["max"],
+        "indegree_stddev": indegree["stddev"],
+        "blacklist_proofs": sum(
+            len(node.blacklist.proofs_tuple())
+            for node in engine.nodes.values()
+            if hasattr(node, "blacklist")
+        ),
+        "dialogues_opened": network.dialogues_opened,
+        "pushes_sent": network.pushes_sent,
+        "traffic_bytes": (
+            network.push_bytes
+            + network.dialogue_bytes_forward
+            + network.dialogue_bytes_backward
+        ),
+        "undecodable_frames": network.undecodable_frames,
+        "quarantine_refusals": network.quarantine_refusals,
+    }
+    ledger = network.peer_health
+    if ledger is not None:
+        row["quarantined"] = len(ledger.quarantined_peers())
+        row["quarantine_events"] = ledger.quarantine_events
+        row["release_events"] = ledger.release_events
+        row["amplification"] = ledger.amplification()
+    return row
+
+
+class StreamingObserver(Observer):
+    """Publishes per-cycle metric rows into a bounded queue.
+
+    * ``maxsize`` bounds the queue; when a consumer falls behind, new
+      rows are **dropped and counted** (``dropped``), never queued
+      unboundedly and never blocking the simulation.
+    * ``every`` samples every N-th cycle (like SeriesObserver).
+
+    Lifecycle rows (``{"event": "start"}`` / ``{"event": "finish",
+    "dropped": n}``) bracket the cycle rows so a tailer can tell a
+    completed run from a severed connection.
+    """
+
+    def __init__(self, maxsize: int = 1024, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError("sampling interval must be >= 1")
+        if maxsize < 1:
+            raise ValueError("queue bound must be >= 1")
+        self._every = every
+        self.rows: "queue.Queue[Optional[Dict[str, Any]]]" = queue.Queue(
+            maxsize=maxsize
+        )
+        self.dropped = 0
+        self.published = 0
+
+    # -- queue side ----------------------------------------------------
+
+    def publish(self, row: Optional[Dict[str, Any]]) -> None:
+        """Enqueue a row (or the ``None`` end-of-stream sentinel)."""
+        try:
+            self.rows.put_nowait(row)
+        except queue.Full:
+            self.dropped += 1
+        else:
+            if row is not None:
+                self.published += 1
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Pop everything currently queued (sentinel excluded)."""
+        rows: List[Dict[str, Any]] = []
+        while True:
+            try:
+                row = self.rows.get_nowait()
+            except queue.Empty:
+                return rows
+            if row is not None:
+                rows.append(row)
+
+    # -- observer side (pure reads; never raises into the engine) -----
+
+    def on_start(self, engine: Any) -> None:
+        self.publish(
+            {
+                "event": "start",
+                "cycle": engine.clock.cycle,
+                "nodes": len(engine.nodes),
+                "master_seed": engine.rng_hub.master_seed,
+            }
+        )
+
+    def on_cycle_end(self, engine: Any, cycle: int) -> None:
+        if cycle % self._every != 0:
+            return
+        self.publish(collect_row(engine, cycle))
+
+    def on_finish(self, engine: Any) -> None:
+        self.publish(
+            {
+                "event": "finish",
+                "cycle": engine.clock.cycle,
+                "dropped": self.dropped,
+            }
+        )
+        # End-of-stream sentinel: tells a draining server the run is
+        # over even when the finish row itself was dropped.
+        self.publish(None)

@@ -1,0 +1,143 @@
+"""Local NDJSON metrics socket for :class:`StreamingObserver` rows.
+
+:class:`MetricsServer` binds a localhost TCP socket (ephemeral port by
+default), accepts any number of tailers, and pumps the observer's
+bounded queue to all of them as newline-delimited JSON — one row per
+line.  Both the accept loop and the pump run on daemon threads; the
+simulation never waits on a client:
+
+* a slow client gets a short send timeout and is **dropped**, not
+  waited for (the queue bound already capped memory upstream);
+* when the observer publishes its end-of-stream sentinel, the pump
+  closes every client socket, so a tailer sees clean EOF after the
+  ``finish`` row.
+
+Use as a context manager around ``engine.run(...)``; ``close()`` is
+idempotent.  ``python -m repro.ops tail HOST:PORT`` is the matching
+client.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socket
+import threading
+from typing import Any, List, Optional, Tuple
+
+_POLL_S = 0.2
+_SEND_TIMEOUT_S = 0.5
+
+
+class MetricsServer:
+    """Broadcast an observer's metric rows over a local socket."""
+
+    def __init__(
+        self,
+        observer: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._observer = observer
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(_POLL_S)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._clients: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self.sent_lines = 0
+        self.dropped_clients = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-ops-accept", daemon=True
+        )
+        self._pump_thread = threading.Thread(
+            target=self._pump_loop, name="repro-ops-pump", daemon=True
+        )
+        self._accept_thread.start()
+        self._pump_thread.start()
+
+    @property
+    def endpoint(self) -> str:
+        """``host:port`` string for the tailer CLI."""
+        return f"{self.address[0]}:{self.address[1]}"
+
+    # -- threads -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            client.settimeout(_SEND_TIMEOUT_S)
+            with self._lock:
+                self._clients.append(client)
+
+    def _pump_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                row = self._observer.rows.get(timeout=_POLL_S)
+            except queue.Empty:
+                continue
+            if row is None:
+                break
+            self._broadcast(json.dumps(row, sort_keys=True) + "\n")
+        self._close_clients()
+
+    def _broadcast(self, line: str) -> None:
+        payload = line.encode("utf-8")
+        with self._lock:
+            clients = list(self._clients)
+        for client in clients:
+            try:
+                client.sendall(payload)
+            except OSError:
+                # Slow or gone: drop the client, never the simulation.
+                self.dropped_clients += 1
+                with self._lock:
+                    if client in self._clients:
+                        self._clients.remove(client)
+                try:
+                    client.close()
+                except OSError:
+                    pass
+        self.sent_lines += 1
+
+    def _close_clients(self) -> None:
+        with self._lock:
+            clients, self._clients = self._clients, []
+        for client in clients:
+            try:
+                client.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop both threads and close every socket.  Idempotent."""
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._pump_thread.join(timeout=timeout)
+        self._accept_thread.join(timeout=timeout)
+        self._close_clients()
+
+    def wait_drained(self, timeout: Optional[float] = 10.0) -> bool:
+        """Block until the pump saw the end-of-stream sentinel."""
+        self._pump_thread.join(timeout=timeout)
+        return not self._pump_thread.is_alive()
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

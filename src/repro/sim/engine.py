@@ -33,6 +33,16 @@ from repro.sim.scheduler import CycleScheduler, Scheduler
 from repro.sim.trace import EventTrace
 from repro.sim.transport import make_transport
 
+#: Run-loop interception point for the ops plane.  ``None`` in normal
+#: operation; :func:`repro.ops.checkpoint.split_runs` installs a
+#: callable ``hook(engine, cycles)`` here that drives the scheduler in
+#: place of the plain ``scheduler.run`` call — e.g. run half the
+#: cycles, save a checkpoint, run the rest.  Module-global (mirroring
+#: ``repro.sim.shardcoord._ACTIVE``) so the experiments CLI can flip a
+#: whole run's engines without threading a parameter through every
+#: builder.
+_RUN_HOOK: Optional[Callable[["Engine", int], None]] = None
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -155,6 +165,10 @@ class Engine:
         # sequential-verification runs; the schedulers reset it at
         # every cycle boundary when it exists.
         self._verification_plan: Optional[Any] = None
+        # Optional repro.ops.checkpoint.CheckpointPolicy: both
+        # schedulers call ``after_cycle`` on it at every completed
+        # cycle boundary (every-N-cycles and on-demand checkpoints).
+        self.checkpoint_policy: Optional[Any] = None
 
     @staticmethod
     def _resolve_peer_health(spec: Optional[Any]) -> Optional[Any]:
@@ -300,9 +314,38 @@ class Engine:
         with self._tuned_gc():
             for observer in self._observers:
                 observer.on_start(self)
-            self.scheduler.run(self, cycles)
+            hook = _RUN_HOOK
+            if hook is not None:
+                hook(self, cycles)
+            else:
+                self.scheduler.run(self, cycles)
             for observer in self._observers:
                 observer.on_finish(self)
+
+    def checkpoint(self, path: Any) -> Any:
+        """Serialise this universe's full state to a checkpoint file.
+
+        See :mod:`repro.ops.checkpoint` for the format and the
+        bit-exact resume contract.  Imported lazily: the ops plane
+        sits above the engine and must not be on the import path of
+        runs that never checkpoint.
+        """
+        from repro.ops.checkpoint import save_checkpoint
+
+        return save_checkpoint(self, path)
+
+    def resume(self, path: Any) -> Any:
+        """Restore state saved by :meth:`checkpoint` into this engine.
+
+        The engine must be a freshly built twin of the checkpointed
+        one (same seed, same scenario builder); restore overlays the
+        mutated state — views, caches, blacklists, RNG streams, the
+        clock — on top, after which ``run`` continues exactly where
+        the checkpointed run left off.
+        """
+        from repro.ops.checkpoint import restore_checkpoint
+
+        return restore_checkpoint(self, path)
 
     @contextmanager
     def _tuned_gc(self) -> Iterator[None]:

@@ -67,6 +67,28 @@ class SeriesObserver(Observer):
         """Just the sampled cycle numbers of one series."""
         return [cycle for cycle, _ in self.series[name]]
 
+    def export_series(self) -> Dict[str, List[tuple]]:
+        """A deep-enough copy of the collected series for checkpointing.
+
+        Tuples are immutable, so copying the lists is sufficient; the
+        values keep their exact types (``int`` vs ``float`` matters for
+        the bit-exact resume guarantee — renderers format them
+        differently).
+        """
+        return {name: list(pairs) for name, pairs in self.series.items()}
+
+    def restore_series(self, saved: Dict[str, List[tuple]]) -> None:
+        """Replace the collected series with a checkpointed snapshot.
+
+        Used on resume: the freshly attached observer adopts the pairs
+        recorded before the checkpoint, then keeps appending from the
+        resumed cycle, so the finished series equals an unbroken run's.
+        """
+        self.series = {
+            name: [tuple(pair) for pair in pairs]
+            for name, pairs in saved.items()
+        }
+
 
 class TimedSeriesObserver(Observer):
     """Wall-clock twin of :class:`SeriesObserver` (event runtime only).

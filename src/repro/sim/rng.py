@@ -44,6 +44,28 @@ class RngHub:
         self._streams[name] = rng
         return rng
 
+    def stream_states(self) -> Dict[str, tuple]:
+        """``getstate()`` of every stream created so far, by name.
+
+        The snapshot half of checkpointing (:mod:`repro.ops.checkpoint`):
+        the dict captures each Mersenne Twister's full internal state,
+        so a resumed run continues every stream exactly where the
+        checkpointed run left it.  Insertion (creation) order is
+        preserved, which keeps checkpoint files deterministic.
+        """
+        return {name: rng.getstate() for name, rng in self._streams.items()}
+
+    def restore_stream_states(self, states: Dict[str, tuple]) -> None:
+        """Install saved ``getstate()`` tuples, creating streams lazily.
+
+        Streams absent from ``states`` are left untouched: they were
+        never drawn from before the checkpoint, so their derived seed
+        (which depends only on the master seed and name) already puts
+        them in the right state.
+        """
+        for name, state in states.items():
+            self.stream(name).setstate(state)
+
     def spawn(self, name: str) -> "RngHub":
         """A child hub whose streams are independent of this hub's."""
         digest = hashlib.sha256(

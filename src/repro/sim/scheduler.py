@@ -141,6 +141,11 @@ class CycleScheduler(Scheduler):
             observer.on_cycle_end(engine, cycle)
         engine.network.health_tick(cycle)
         engine.clock.advance()
+        policy = engine.checkpoint_policy
+        if policy is not None:
+            # After the advance: the saved state is exactly the start
+            # of cycle ``cycle + 1``, which is where resume continues.
+            policy.after_cycle(engine, cycle)
 
 
 class EventScheduler(Scheduler):
@@ -420,6 +425,14 @@ class EventScheduler(Scheduler):
         for observer in engine._observers:
             observer.on_cycle_end(engine, cycle)
         engine.network.health_tick(cycle)
+        policy = engine.checkpoint_policy
+        if policy is not None:
+            # Same boundary the cycle runtime checkpoints at (the clock
+            # already reads ``cycle + 1`` here).  Event-runtime resume
+            # restores state but not the in-flight event queue — see
+            # docs/OPS.md for the (cycle-runtime-only) bit-exactness
+            # contract.
+            policy.after_cycle(engine, cycle)
         if time_s < end_time and cycle + 1 > self._churn_done_cycle:
             # The next cycle starts now: its churn applies here, exactly
             # where the cycle runtime would apply it.

@@ -70,6 +70,10 @@ OP_FINISH = 10      # parent -> worker: ()
 OP_FINAL = 11       # worker -> parent: (final_state,)
 OP_SHUTDOWN = 12    # parent -> worker: ()
 OP_ERROR = 13       # worker -> parent: (type_name, message, traceback)
+OP_CHECKPOINT = 14  # parent -> worker: (path,) save engine state to path
+OP_CHECKPOINT_DONE = 15  # worker -> parent: (shard_index,)
+OP_RESTORE = 16     # parent -> worker: (path,) overlay saved state
+OP_RESTORE_DONE = 17     # worker -> parent: (shard_index,)
 
 # data plane (worker <-> worker; TOKEN may also come from the parent)
 OP_TOKEN = 20       # (cycle, position)
@@ -84,7 +88,8 @@ _HEADER = struct.Struct(">BI")
 #: else is either served inline (REQ/PUSH) or parked in the pending
 #: queue until a wait asks for it (REP/PUSH_ACK raced by other traffic).
 _SERVE_OPS = frozenset(
-    (OP_BEGIN, OP_TOKEN, OP_END_CYCLE, OP_FREE, OP_FINISH, OP_SHUTDOWN)
+    (OP_BEGIN, OP_TOKEN, OP_END_CYCLE, OP_FREE, OP_FINISH, OP_SHUTDOWN,
+     OP_CHECKPOINT, OP_RESTORE)
 )
 
 #: Test hook: a positive value makes every worker sleep this long at
@@ -369,6 +374,10 @@ class ShardWorker:
                         self._free_cycle(body[0])
                     elif op == OP_FINISH:
                         self.control.send(OP_FINAL, (self._final_state(),))
+                    elif op == OP_CHECKPOINT:
+                        self._checkpoint(body[0])
+                    elif op == OP_RESTORE:
+                        self._restore(body[0])
                     elif op == OP_SHUTDOWN:
                         return
         except BaseException as exc:  # noqa: BLE001 - relayed to parent
@@ -628,6 +637,35 @@ class ShardWorker:
                 return self._inbox.pop(0)
             if not block and not progressed:
                 return None
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (coordinator-driven, at cycle boundaries)
+    # ------------------------------------------------------------------
+
+    def _checkpoint(self, path: str) -> None:
+        """Save this replica's full engine state to ``path``.
+
+        The replica holds every node (foreign ones just never ran
+        here), so each shard's checkpoint is a complete engine
+        checkpoint of which only the local partition's state is
+        meaningful — restore pairs each file with the same shard.
+        """
+        from repro.ops.checkpoint import save_checkpoint
+
+        save_checkpoint(self.engine, path)
+        self.control.send(OP_CHECKPOINT_DONE, (self.index,))
+
+    def _restore(self, path: str) -> None:
+        """Overlay the state saved at ``path`` onto this replica."""
+        from repro.ops.checkpoint import restore_checkpoint
+
+        restore_checkpoint(self.engine, path)
+        # Saved counters describe a whole engine; final_state() must
+        # keep reporting only what happened *on this shard* afterwards.
+        self._trace_base = len(self.engine.trace)
+        self._enc.begin_cycle(self.engine.clock.cycle)
+        self._dec.intern.begin_cycle(self.engine.clock.cycle)
+        self.control.send(OP_RESTORE_DONE, (self.index,))
 
     # ------------------------------------------------------------------
     # state shipping

@@ -46,6 +46,8 @@ from repro.sim.scheduler import CycleScheduler
 from repro.sim.shard import (
     OP_BEGIN,
     OP_BEGIN_DONE,
+    OP_CHECKPOINT,
+    OP_CHECKPOINT_DONE,
     OP_CYCLE_DONE,
     OP_END_CYCLE,
     OP_END_DONE,
@@ -55,6 +57,8 @@ from repro.sim.shard import (
     OP_FREE,
     OP_FREE_DONE,
     OP_HELLO,
+    OP_RESTORE,
+    OP_RESTORE_DONE,
     OP_SHUTDOWN,
     OP_SNAPSHOT,
     OP_TOKEN,
@@ -74,6 +78,8 @@ _OP_NAMES = {
     OP_SNAPSHOT: "SNAPSHOT",
     OP_FREE_DONE: "FREE_DONE",
     OP_FINAL: "FINAL",
+    OP_CHECKPOINT_DONE: "CHECKPOINT_DONE",
+    OP_RESTORE_DONE: "RESTORE_DONE",
 }
 
 #: Engines already consumed by a context-routed sharded run.  A second
@@ -452,6 +458,67 @@ class ShardedSession:
         _CONSUMED.add(self.mirror)
         self.close()
         return counters
+
+    # -- checkpoint / restore ------------------------------------------
+
+    def checkpoint_fleet(self, directory: Any) -> List[Any]:
+        """Checkpoint every shard (and the mirror) into ``directory``.
+
+        Must be called at a cycle boundary (i.e. between ``run_cycles``
+        calls).  Writes ``shard-<i>.ckpt`` per worker plus
+        ``mirror.ckpt`` for the parent's replica, and returns the
+        written paths.  Restore with :meth:`restore_fleet` on a freshly
+        built session of the same shape.
+        """
+        import pathlib
+
+        from repro.ops.checkpoint import save_checkpoint
+
+        if not self._started or self._finished:
+            raise ShardFailure("sharded session is not running")
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths: List[Any] = []
+        try:
+            # Not _broadcast: every shard gets its own file path.
+            for index, channel in enumerate(self._controls):
+                path = directory / f"shard-{index}.ckpt"
+                channel.send(OP_CHECKPOINT, (str(path),))
+                paths.append(path)
+        except (OSError, BrokenPipeError):
+            self._fail("a shard closed its control link mid-checkpoint")
+        self._collect_all(OP_CHECKPOINT_DONE)
+        paths.append(save_checkpoint(self.mirror, directory / "mirror.ckpt"))
+        return paths
+
+    def restore_fleet(self, directory: Any) -> None:
+        """Overlay a :meth:`checkpoint_fleet` snapshot onto this fleet.
+
+        The session must be freshly started from an identically built
+        overlay with the same shard count; each worker restores its own
+        ``shard-<i>.ckpt`` and the mirror restores ``mirror.ckpt``, so
+        clocks, RNG streams, and node state all resume in lockstep.
+        """
+        import pathlib
+
+        from repro.ops.checkpoint import restore_checkpoint
+
+        if not self._started or self._finished:
+            raise ShardFailure("sharded session is not running")
+        directory = pathlib.Path(directory)
+        restore_checkpoint(self.mirror, directory / "mirror.ckpt")
+        try:
+            for index, channel in enumerate(self._controls):
+                path = directory / f"shard-{index}.ckpt"
+                if not path.exists():
+                    self._fail(
+                        f"missing {path}: the checkpoint was taken with a "
+                        "different shard count"
+                    )
+                channel.send(OP_RESTORE, (str(path),))
+        except (OSError, BrokenPipeError):
+            self._fail("a shard closed its control link mid-restore")
+        self._collect_all(OP_RESTORE_DONE)
 
     # -- internals -----------------------------------------------------
 

@@ -23,6 +23,7 @@ def test_every_figure_is_wired():
         "wire_faults",
         "scale",
         "scale_sharded",
+        "checkpoint_resume",
     }
 
 

@@ -1,0 +1,451 @@
+"""Fuzz and round-trip coverage for the checkpoint record codecs.
+
+The checkpoint plane's records (codes 32–40) are codec extensions like
+the dialogue messages, so they get the same treatment the wire codecs
+get in ``tests/properties/test_codec_roundtrip.py``: every record type
+round-trips exactly, and truncations, bit flips, garbage, unknown
+version tags, and malformed files surface as the typed
+:class:`~repro.errors.CodecError` / :class:`~repro.errors.CheckpointError`
+— never ``struct.error`` or a silent wrong answer.
+"""
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import decode_message, encode_message
+from repro.core.descriptor import mint
+from repro.core.proofs import build_cloning_proof
+from repro.crypto.registry import KeyRegistry
+from repro.cyclon.descriptor import CyclonDescriptor
+from repro.errors import CheckpointError, CodecError
+from repro.ops.checkpoint import (
+    FORMAT_VERSION,
+    MAGIC,
+    read_checkpoint,
+    save_checkpoint,
+)
+from repro.ops.records import (
+    BlobState,
+    CheckpointFooter,
+    CheckpointHeader,
+    CoordinatorState,
+    NetworkState,
+    NodeState,
+    PeerHealthState,
+    RegistryState,
+    RngStreamState,
+)
+from repro.sim.network import NetworkAddress
+
+_REGISTRY = KeyRegistry()
+_RNG = random.Random(99)
+_KEYPAIRS = [_REGISTRY.new_keypair(_RNG) for _ in range(5)]
+
+
+@st.composite
+def descriptors(draw):
+    creator = draw(st.integers(0, 4))
+    descriptor = mint(
+        _KEYPAIRS[creator],
+        NetworkAddress(
+            host=draw(st.integers(0, 2**32 - 1)),
+            port=draw(st.integers(0, 2**16 - 1)),
+        ),
+        draw(st.floats(min_value=0.0, max_value=1e6, allow_nan=False)),
+    )
+    current = creator
+    for nxt in draw(st.lists(st.integers(0, 4), max_size=3)):
+        descriptor = descriptor.transfer(
+            _KEYPAIRS[current], _KEYPAIRS[nxt].public
+        )
+        current = nxt
+    return descriptor
+
+
+@st.composite
+def proofs(draw):
+    base = draw(descriptors())
+    owner_index = next(
+        index
+        for index, keypair in enumerate(_KEYPAIRS)
+        if keypair.public == base.current_owner
+    )
+    owner = _KEYPAIRS[owner_index]
+    branch_a = base.transfer(owner, _KEYPAIRS[(owner_index + 1) % 5].public)
+    branch_b = base.transfer(owner, _KEYPAIRS[(owner_index + 2) % 5].public)
+    proof = build_cloning_proof(branch_a, branch_b)
+    assert proof is not None
+    return proof
+
+
+@st.composite
+def node_refs(draw):
+    tag = draw(st.integers(0, 2))
+    if tag == 0:
+        return _KEYPAIRS[draw(st.integers(0, 4))].public
+    if tag == 1:
+        return draw(st.integers(-(2**63), 2**63 - 1))
+    return draw(st.text(max_size=12))
+
+
+@st.composite
+def rng_states(draw):
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    if draw(st.booleans()):
+        rng.gauss(0.0, 1.0)  # may leave gauss_next set
+    return rng.getstate()
+
+
+@st.composite
+def secure_node_states(draw):
+    kind = draw(st.sampled_from(["secure", "secure-hub", "cloning"]))
+    timestamps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            max_size=3,
+        )
+    )
+    return NodeState(
+        kind=kind,
+        node_id=draw(node_refs()),
+        current_cycle=draw(st.integers(0, 10_000)),
+        last_mint_cycle=draw(st.one_of(st.none(), st.integers(0, 10_000))),
+        last_mint_time_s=draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+            )
+        ),
+        nonswap_accepted=draw(st.booleans()),
+        nonswap_redeemed=tuple(sorted(timestamps)),
+        redeemed_own=tuple(sorted(timestamps)),
+        view_entries=tuple(
+            (d, draw(st.booleans()))
+            for d in draw(st.lists(descriptors(), max_size=3))
+        ),
+        samples=tuple(
+            (
+                draw(node_refs()),
+                tuple((d.timestamp, d) for d in group),
+            )
+            for group in draw(
+                st.lists(st.lists(descriptors(), max_size=2), max_size=2)
+            )
+        ),
+        sample_expiry=tuple(
+            (draw(st.integers(0, 10_000)), draw(node_refs()), ts)
+            for ts in timestamps
+        ),
+        redemptions=tuple(
+            (draw(st.integers(0, 10_000)), d)
+            for d in draw(st.lists(descriptors(), max_size=2))
+        ),
+        proofs=tuple(draw(st.lists(proofs(), max_size=2))),
+        cycle_mint=draw(st.one_of(st.none(), descriptors())),
+        stash=tuple(
+            (d, draw(st.integers(0, 100)))
+            for d in draw(st.lists(descriptors(), max_size=2))
+        ),
+        clone_events=tuple(
+            (d.creator, d.timestamp, draw(st.integers(0, 100)), cycle)
+            for cycle, d in enumerate(
+                draw(st.lists(descriptors(), max_size=2))
+            )
+        ),
+    )
+
+
+@st.composite
+def cyclon_node_states(draw):
+    kind = draw(st.sampled_from(["cyclon", "cyclon-hub"]))
+    return NodeState(
+        kind=kind,
+        node_id=draw(node_refs()),
+        current_cycle=draw(st.integers(0, 10_000)),
+        cyclon_epoch=draw(st.integers(0, 10_000)),
+        cyclon_records=tuple(
+            (
+                CyclonDescriptor(
+                    node_id=draw(node_refs()),
+                    address=NetworkAddress(
+                        host=draw(st.integers(0, 2**32 - 1)),
+                        port=draw(st.integers(0, 2**16 - 1)),
+                    ),
+                    age=draw(st.integers(0, 1000)),
+                ),
+                draw(st.integers(0, 10_000)),
+            )
+            for _ in range(draw(st.integers(0, 3)))
+        ),
+    )
+
+
+@st.composite
+def records(draw):
+    kind = draw(st.integers(0, 9))
+    if kind == 0:
+        return CheckpointHeader(
+            format_version=draw(st.integers(0, 2**16 - 1)),
+            master_seed=draw(st.integers(-(2**63), 2**63 - 1)),
+            cycle=draw(st.integers(0, 2**32 - 1)),
+            now_s=draw(
+                st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+            ),
+            period_s=draw(
+                st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+            ),
+            node_count=draw(st.integers(0, 2**32 - 1)),
+        )
+    if kind == 1:
+        return RngStreamState(
+            name=draw(st.text(max_size=20)), state=draw(rng_states())
+        )
+    if kind == 2:
+        return RegistryState(
+            trusted_digests=tuple(
+                draw(st.lists(st.binary(min_size=8, max_size=32), max_size=4))
+            )
+        )
+    if kind == 3:
+        return NetworkState(
+            dialogues_opened=draw(st.integers(0, 2**40)),
+            pushes_sent=draw(st.integers(0, 2**40)),
+            push_bytes=draw(st.integers(0, 2**40)),
+            dialogue_bytes_forward=draw(st.integers(0, 2**40)),
+            dialogue_bytes_backward=draw(st.integers(0, 2**40)),
+            dialogue_seconds=draw(
+                st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+            ),
+            undecodable_frames=draw(st.integers(0, 2**40)),
+            quarantine_refusals=draw(st.integers(0, 2**40)),
+        )
+    if kind == 4:
+        return PeerHealthState(
+            cycle=draw(st.integers(0, 2**32)),
+            scores=tuple(
+                (draw(node_refs()), score)
+                for score in draw(
+                    st.lists(
+                        st.floats(
+                            min_value=-100.0,
+                            max_value=100.0,
+                            allow_nan=False,
+                        ),
+                        max_size=3,
+                    )
+                )
+            ),
+            quarantined=tuple(draw(st.lists(node_refs(), max_size=3))),
+            offences=tuple(
+                (
+                    draw(node_refs()),
+                    tuple(
+                        (kind_name, draw(st.integers(0, 1000)))
+                        for kind_name in draw(
+                            st.lists(
+                                st.sampled_from(
+                                    ["decode_failure", "oversize_frame",
+                                     "timeout"]
+                                ),
+                                max_size=3,
+                                unique=True,
+                            )
+                        )
+                    ),
+                )
+                for _ in range(draw(st.integers(0, 2)))
+            ),
+            quarantined_at=tuple(
+                (draw(node_refs()), draw(st.integers(0, 10_000)))
+                for _ in range(draw(st.integers(0, 2)))
+            ),
+            quarantine_events=draw(st.integers(0, 10_000)),
+            release_events=draw(st.integers(0, 10_000)),
+            adversary=tuple(draw(st.lists(node_refs(), max_size=3))),
+            adversary_bytes_sent=draw(st.integers(0, 2**40)),
+            adversary_bytes_scanned=draw(st.integers(0, 2**40)),
+            honest_bytes_to_adversary=draw(st.integers(0, 2**40)),
+        )
+    if kind == 5:
+        return BlobState(
+            slot=draw(st.sampled_from(["trace", "observer-series"])),
+            payload=draw(st.binary(max_size=256)),
+        )
+    if kind == 6:
+        return draw(secure_node_states())
+    if kind == 7:
+        return draw(cyclon_node_states())
+    if kind == 8:
+        return CoordinatorState(
+            pool_maxlen=draw(st.one_of(st.none(), st.integers(1, 1000))),
+            pool=tuple(draw(st.lists(descriptors(), max_size=2))),
+            circulating=tuple(draw(st.lists(descriptors(), max_size=2))),
+        )
+    return CheckpointFooter(record_count=draw(st.integers(0, 2**32 - 1)))
+
+
+@given(record=records())
+@settings(max_examples=150, deadline=None)
+def test_record_roundtrip(record):
+    """Every checkpoint record decodes back exactly equal."""
+    assert decode_message(encode_message(record)) == record
+
+
+@given(record=records(), data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_truncated_records_are_typed(record, data):
+    """Any strict prefix of a valid record raises CodecError."""
+    frame = encode_message(record)
+    cut = data.draw(st.integers(0, len(frame) - 1))
+    with pytest.raises(CodecError):
+        decode_message(frame[:cut])
+
+
+@given(record=records(), data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_bit_flipped_records_decode_or_raise_typed(record, data):
+    """Corruption either decodes (to something) or raises CodecError."""
+    frame = bytearray(encode_message(record))
+    position = data.draw(st.integers(0, len(frame) - 1))
+    frame[position] ^= 1 << data.draw(st.integers(0, 7))
+    try:
+        decode_message(bytes(frame), max_frame_bytes=None)
+    except CodecError:
+        pass
+    except struct.error:  # pragma: no cover - the regression this guards
+        pytest.fail("struct.error leaked through the record codec")
+
+
+def test_unknown_rng_version_rejected():
+    state = (4, tuple(range(625)), None)
+    with pytest.raises(CodecError):
+        encode_message(RngStreamState(name="x", state=state))
+
+
+def test_unknown_blob_slot_rejected():
+    with pytest.raises(CodecError):
+        encode_message(BlobState(slot="arbitrary-pickle", payload=b""))
+
+
+def test_bool_node_id_rejected():
+    record = NodeState(kind="secure", node_id=True, current_cycle=0)
+    with pytest.raises(CodecError):
+        encode_message(record)
+
+
+def test_unknown_node_kind_rejected():
+    record = NodeState(kind="brahms", node_id=1, current_cycle=0)
+    with pytest.raises(CodecError):
+        encode_message(record)
+
+
+# ----------------------------------------------------------------------
+# file-level validation
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def checkpoint_file(tmp_path_factory):
+    from repro.experiments.scenarios import build_secure_overlay
+
+    overlay = build_secure_overlay(n=12, malicious=2, seed=5)
+    overlay.run(3)
+    path = tmp_path_factory.mktemp("ckpt") / "small.ckpt"
+    save_checkpoint(overlay.engine, path)
+    return path
+
+
+def test_file_roundtrip_parses(checkpoint_file):
+    records_list = read_checkpoint(checkpoint_file)
+    assert isinstance(records_list[0], CheckpointHeader)
+    assert isinstance(records_list[-1], CheckpointFooter)
+    assert records_list[-1].record_count == len(records_list)
+
+
+def test_bad_magic_rejected(tmp_path, checkpoint_file):
+    data = checkpoint_file.read_bytes()
+    bad = tmp_path / "bad-magic.ckpt"
+    bad.write_bytes(b"ZZZZ" + data[len(MAGIC):])
+    with pytest.raises(CheckpointError, match="magic"):
+        read_checkpoint(bad)
+
+
+@pytest.mark.parametrize("keep_fraction", [0.1, 0.5, 0.9, 0.999])
+def test_truncated_file_rejected(tmp_path, checkpoint_file, keep_fraction):
+    data = checkpoint_file.read_bytes()
+    cut = tmp_path / "cut.ckpt"
+    cut.write_bytes(data[: max(len(MAGIC), int(len(data) * keep_fraction))])
+    with pytest.raises(CheckpointError):
+        read_checkpoint(cut)
+
+
+def test_unknown_format_version_rejected(tmp_path):
+    header = CheckpointHeader(
+        format_version=FORMAT_VERSION + 1,
+        master_seed=0,
+        cycle=0,
+        now_s=0.0,
+        period_s=10.0,
+        node_count=0,
+    )
+    frames = [
+        encode_message(header),
+        encode_message(CheckpointFooter(record_count=2)),
+    ]
+    path = tmp_path / "future.ckpt"
+    path.write_bytes(
+        MAGIC
+        + b"".join(struct.pack(">I", len(f)) + f for f in frames)
+    )
+    with pytest.raises(CheckpointError, match="version"):
+        read_checkpoint(path)
+
+
+def test_wrong_footer_count_rejected(tmp_path):
+    header = CheckpointHeader(
+        format_version=FORMAT_VERSION,
+        master_seed=0,
+        cycle=0,
+        now_s=0.0,
+        period_s=10.0,
+        node_count=0,
+    )
+    frames = [
+        encode_message(header),
+        encode_message(CheckpointFooter(record_count=7)),
+    ]
+    path = tmp_path / "miscounted.ckpt"
+    path.write_bytes(
+        MAGIC
+        + b"".join(struct.pack(">I", len(f)) + f for f in frames)
+    )
+    with pytest.raises(CheckpointError, match="declares"):
+        read_checkpoint(path)
+
+
+def test_missing_footer_rejected(tmp_path):
+    header = CheckpointHeader(
+        format_version=FORMAT_VERSION,
+        master_seed=0,
+        cycle=0,
+        now_s=0.0,
+        period_s=10.0,
+        node_count=0,
+    )
+    frame = encode_message(header)
+    path = tmp_path / "headless.ckpt"
+    path.write_bytes(MAGIC + struct.pack(">I", len(frame)) + frame)
+    with pytest.raises(CheckpointError, match="footer"):
+        read_checkpoint(path)
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(CheckpointError, match="cannot read"):
+        read_checkpoint(tmp_path / "nope.ckpt")
+
+
+def test_checkpoint_error_is_a_codec_error():
+    assert issubclass(CheckpointError, CodecError)
